@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file bench_common.hpp
+/// Shared helpers for the paper-reproduction benchmark binaries: the proxy
+/// workloads standing in for the paper's SuiteSparse matrices (DESIGN.md
+/// §3) and fixed-width table printing.
+///
+/// Set SSP_BENCH_LARGE=1 to run paper-scale sizes (millions of vertices);
+/// the defaults are laptop-scale and finish each binary in well under two
+/// minutes while preserving every trend.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "graph/generators/airfoil.hpp"
+#include "graph/generators/knn.hpp"
+#include "graph/generators/lattice.hpp"
+#include "graph/generators/points.hpp"
+#include "graph/generators/random_graphs.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ssp::bench {
+
+/// True when SSP_BENCH_LARGE=1: paper-scale workloads.
+inline bool large_mode() {
+  const char* v = std::getenv("SSP_BENCH_LARGE");
+  return v != nullptr && std::string(v) == "1";
+}
+
+/// Scales a default dimension up in large mode.
+inline Vertex dim(Vertex normal, Vertex large) {
+  return large_mode() ? large : normal;
+}
+
+// ---- Proxy workloads (paper test case -> synthetic stand-in) ----
+
+/// `G3_circuit` (1.6M-node circuit mesh): 2-D grid, conductances over two
+/// decades.
+inline Graph g3_circuit_proxy(Vertex side, std::uint64_t seed = 101) {
+  Rng rng(seed);
+  return grid_2d(side, side, WeightModel::log_uniform(0.1, 10.0), &rng);
+}
+
+/// `thermal2` (1.2M-node FE thermal problem): triangulated grid, smooth
+/// coefficient variation.
+inline Graph thermal2_proxy(Vertex side, std::uint64_t seed = 102) {
+  Rng rng(seed);
+  return triangulated_grid(side, side, WeightModel::uniform(0.5, 2.0), &rng);
+}
+
+/// `ecology2` (1M-node 5-point stencil): unit-weight 2-D grid.
+inline Graph ecology2_proxy(Vertex side, std::uint64_t /*seed*/ = 103) {
+  return grid_2d(side, side);
+}
+
+/// `tmt_sym` (0.7M-node electromagnetics FE): 8-neighbor grid.
+inline Graph tmt_sym_proxy(Vertex side, std::uint64_t seed = 104) {
+  Rng rng(seed);
+  return grid_2d_8(side, side, WeightModel::uniform(0.5, 2.0), &rng);
+}
+
+/// `parabolic_fem` (0.5M-node parabolic FE): thin 3-D slab.
+inline Graph parabolic_fem_proxy(Vertex side, std::uint64_t seed = 105) {
+  Rng rng(seed);
+  return grid_3d(side, side, 4, WeightModel::uniform(0.5, 2.0), &rng);
+}
+
+/// FE solids for Table 1 / Table 4 (fe_rotor, brack2, fe_tooth, auto):
+/// 3-D grids with log-uniform stiffness.
+inline Graph fe_solid_proxy(Vertex side, std::uint64_t seed) {
+  Rng rng(seed);
+  return grid_3d(side, side, side, WeightModel::log_uniform(0.2, 5.0), &rng);
+}
+
+/// Protein / structural matrices (pdb1HYS, bcsstk36, raefsky3): kNN graph
+/// of a clustered 3-D point cloud. Inverse-distance weights keep the
+/// dynamic range physical (Gaussian similarities of far-apart clusters
+/// underflow and make reference eigensolves meaningless).
+inline Graph protein_proxy(Index points, Index k, std::uint64_t seed) {
+  Rng rng(seed);
+  const PointCloud pc = gaussian_mixture_points(points, 3, 12, 0.03, rng);
+  return knn_graph(pc, k, KnnWeight::kInverseDistance);
+}
+
+/// `coAuthorsDBLP` (300k-node collaboration network): preferential
+/// attachment.
+inline Graph dblp_proxy(Vertex n, std::uint64_t seed = 106) {
+  Rng rng(seed);
+  return barabasi_albert(n, 3, rng);
+}
+
+/// `appu` (14k-node dense random graph, ~65 nnz/row).
+inline Graph appu_proxy(Vertex n, std::uint64_t seed = 107) {
+  Rng rng(seed);
+  return erdos_renyi_connected(n, static_cast<EdgeId>(n) * 30, rng);
+}
+
+/// `RCV-80NN` (80-nearest-neighbor document graph): 80-NN over a
+/// Gaussian-mixture embedding cloud.
+inline Graph rcv_proxy(Index points, std::uint64_t seed = 108) {
+  Rng rng(seed);
+  const PointCloud pc = gaussian_mixture_points(points, 16, 20, 0.08, rng);
+  return knn_graph(pc, 80);
+}
+
+// ---- Table printing ----
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+/// Prints a banner naming the reproduced paper artifact.
+inline void print_banner(const char* title) {
+  std::printf("\n");
+  print_rule(78);
+  std::printf("%s\n", title);
+  print_rule(78);
+}
+
+}  // namespace ssp::bench

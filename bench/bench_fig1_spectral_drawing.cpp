@@ -1,0 +1,107 @@
+// Reproduces paper Fig. 1: spectral drawings of the airfoil graph and of
+// its similarity-aware sparsifier. The drawing places vertex v at
+// (u2(v), u3(v)), the first two nontrivial Laplacian eigenvectors [Koren].
+// If the sparsifier is spectrally similar, the two drawings coincide.
+//
+// Outputs fig1_original.csv / fig1_sparsifier.csv (x, y per vertex) and
+// prints the eigenvalue comparison plus drawing correlation.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "core/sparsifier.hpp"
+#include "eigen/lanczos.hpp"
+#include "eigen/operators.hpp"
+#include "graph/laplacian.hpp"
+#include "la/vector_ops.hpp"
+#include "solver/preconditioner.hpp"
+#include "tree/kruskal.hpp"
+
+namespace {
+
+using namespace ssp;
+
+EigenPairs drawing_eigenvectors(const Graph& g, Rng& rng) {
+  const CsrMatrix l = laplacian(g);
+  const SpanningTree tree = max_weight_spanning_tree(g);
+  const TreePreconditioner precond(tree);
+  const LinOp solve = make_pcg_op(
+      l, precond,
+      {.max_iterations = 3000, .rel_tolerance = 1e-9,
+       .project_constants = true});
+  return smallest_laplacian_eigenpairs(l.rows(), 2, solve, 60, rng);
+}
+
+void write_csv(const std::string& path, const EigenPairs& pairs) {
+  std::ofstream out(path);
+  out << "x,y\n";
+  const Vec& x = pairs.vectors[0];
+  const Vec& y = pairs.vectors[1];
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out << x[i] << ',' << y[i] << '\n';
+  }
+}
+
+void print_fig1() {
+  bench::print_banner(
+      "Fig. 1 — spectral drawings of two spectrally-similar airfoil graphs");
+  const Vertex nr = bench::dim(24, 48);
+  const Vertex na = bench::dim(180, 360);
+  const Mesh2d mesh = joukowski_airfoil_mesh(nr, na);
+  const Graph& g = mesh.graph;
+  std::printf("airfoil mesh: |V| = %d, |E| = %lld\n", g.num_vertices(),
+              static_cast<long long>(g.num_edges()));
+
+  SparsifyOptions opts;
+  opts.sigma2 = 100.0;
+  const SparsifyResult res = sparsify(g, opts);
+  const Graph p = res.extract(g);
+  std::printf("sparsifier:   |Es| = %lld (%.2f x |V|), sigma2 = %.1f %s\n",
+              static_cast<long long>(p.num_edges()),
+              static_cast<double>(p.num_edges()) / g.num_vertices(),
+              res.sigma2_estimate,
+              res.reached_target ? "[reached]" : "[not reached]");
+
+  Rng rng(11);
+  const EigenPairs orig = drawing_eigenvectors(g, rng);
+  const EigenPairs spars = drawing_eigenvectors(p, rng);
+  write_csv("fig1_original.csv", orig);
+  write_csv("fig1_sparsifier.csv", spars);
+
+  // Drawing agreement: |correlation| of each coordinate (sign-invariant).
+  for (int k = 0; k < 2; ++k) {
+    const double corr = std::abs(
+        dot(orig.vectors[static_cast<std::size_t>(k)],
+            spars.vectors[static_cast<std::size_t>(k)]));
+    std::printf("eigenvector u%d: lambda %.3e (orig) vs %.3e (spars), "
+                "|corr| = %.4f\n",
+                k + 2, orig.values[static_cast<std::size_t>(k)],
+                spars.values[static_cast<std::size_t>(k)], corr);
+  }
+  std::printf("wrote fig1_original.csv / fig1_sparsifier.csv "
+              "(plot x,y per vertex to compare drawings)\n");
+}
+
+void BM_AirfoilSparsify(benchmark::State& state) {
+  const Mesh2d mesh =
+      joukowski_airfoil_mesh(static_cast<Vertex>(state.range(0)), 120);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparsify(mesh.graph, {.sigma2 = 100.0}));
+  }
+}
+BENCHMARK(BM_AirfoilSparsify)->Arg(12)->Arg(24)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Reproduces paper Fig. 2: spectral edge ranking and filtering by
+// normalized Joule heat for the G2_circuit and thermal1 test cases (proxied
+// by a log-uniform-weight grid and a triangulated FE grid).
+//
+// Prints the sorted normalized-heat series (sharply decaying: "not too many
+// large generalized eigenvalues") with the θ_σ filtering thresholds for
+// σ² = 100 and σ² = 500, and writes fig2_<case>.csv (rank, heat).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+
+#include "bench_common.hpp"
+#include "core/edge_filter.hpp"
+#include "core/eigen_estimate.hpp"
+#include "core/embedding.hpp"
+#include "eigen/operators.hpp"
+#include "graph/laplacian.hpp"
+#include "tree/kruskal.hpp"
+#include "tree/tree_solver.hpp"
+
+namespace {
+
+using namespace ssp;
+
+void run_case(const char* name, const Graph& g) {
+  std::printf("\n%s: |V| = %d, |E| = %lld\n", name, g.num_vertices(),
+              static_cast<long long>(g.num_edges()));
+  const SpanningTree tree = max_weight_spanning_tree(g);
+  const TreeSolver solver(tree);
+  const LinOp solve_p = make_tree_solver_op(solver);
+  const CsrMatrix lg = laplacian(g);
+
+  std::vector<char> in_p(static_cast<std::size_t>(g.num_edges()), 0);
+  for (EdgeId e : tree.tree_edge_ids()) in_p[static_cast<std::size_t>(e)] = 1;
+
+  Rng rng(31);
+  // Fig. 2 uses one-step generalized power iterations (t = 1).
+  const OffTreeEmbedding emb = compute_offtree_heat(
+      g, in_p, solve_p, {.power_steps = 1, .num_vectors = 16}, rng);
+
+  std::vector<double> normalized = emb.heat;
+  for (double& h : normalized) h /= emb.heat_max;
+  std::sort(normalized.begin(), normalized.end(), std::greater<>());
+
+  // Thresholds for the two σ² levels shown in the figure.
+  const double lmin = estimate_lambda_min_node_coloring(g, in_p);
+  const double lmax = estimate_lambda_max_power(lg, solve_p, rng, 10);
+  std::printf("  lambda_min ~= %.3f, lambda_max ~= %.1f\n", lmin, lmax);
+  // The paper's figure marks sigma^2 = 100 and 500; our grid proxies carry
+  // a larger tree-pencil lambda_max than the UFL circuit matrices, so two
+  // higher levels are added to exhibit the same sharp-cut regime.
+  for (const double sigma2 : {100.0, 500.0, 0.05 * lmax, 0.5 * lmax}) {
+    const double theta = heat_threshold(sigma2, lmin, lmax, 1);
+    const auto above = static_cast<Index>(
+        std::lower_bound(normalized.begin(), normalized.end(), theta,
+                         std::greater<>()) -
+        normalized.begin());
+    std::printf(
+        "  theta(sigma2=%3.0f) = %.3e  -> %lld of %zu off-tree edges pass "
+        "(%.2f%%)\n",
+        sigma2, theta, static_cast<long long>(above), normalized.size(),
+        100.0 * static_cast<double>(above) /
+            static_cast<double>(normalized.size()));
+  }
+
+  // Decile series of the sorted curve (log-scale decay profile).
+  std::printf("  sorted normalized heat deciles:");
+  for (int d = 0; d <= 10; ++d) {
+    const std::size_t idx = std::min(
+        normalized.size() - 1, normalized.size() * static_cast<std::size_t>(d) / 10);
+    std::printf(" %.1e", normalized[idx]);
+  }
+  std::printf("\n");
+
+  // CSV for plotting (subsampled to <= 2000 rows).
+  const std::string path = std::string("fig2_") + name + ".csv";
+  std::ofstream out(path);
+  out << "rank,normalized_heat\n";
+  const std::size_t stride = std::max<std::size_t>(1, normalized.size() / 2000);
+  for (std::size_t i = 0; i < normalized.size(); i += stride) {
+    out << i << ',' << normalized[i] << '\n';
+  }
+  std::printf("  wrote %s\n", path.c_str());
+}
+
+void print_fig2() {
+  bench::print_banner(
+      "Fig. 2 — spectral edge ranking & filtering by normalized Joule heat");
+  run_case("G2_circuit", bench::g3_circuit_proxy(bench::dim(160, 420), 301));
+  run_case("thermal1", bench::thermal2_proxy(bench::dim(140, 380), 302));
+}
+
+void BM_HeatEmbedding(benchmark::State& state) {
+  const Graph g = bench::g3_circuit_proxy(static_cast<Vertex>(state.range(0)));
+  const SpanningTree tree = max_weight_spanning_tree(g);
+  const TreeSolver solver(tree);
+  const LinOp solve_p = make_tree_solver_op(solver);
+  std::vector<char> in_p(static_cast<std::size_t>(g.num_edges()), 0);
+  for (EdgeId e : tree.tree_edge_ids()) in_p[static_cast<std::size_t>(e)] = 1;
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_offtree_heat(
+        g, in_p, solve_p, {.power_steps = 2, .num_vectors = 8}, rng));
+  }
+}
+BENCHMARK(BM_HeatEmbedding)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

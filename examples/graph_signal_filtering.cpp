@@ -1,0 +1,48 @@
+// Graph-signal filtering demo (the paper's §3.4 "low-pass graph filter"
+// view): apply heat-kernel smoothing exp(-tau L) to signals of increasing
+// frequency on a mesh and on its sigma^2 = 100 sparsifier, and show that
+// the sparsifier reproduces the filter on smooth content.
+//
+//   build/examples/graph_signal_filtering
+
+#include <iostream>
+
+#include "core/graph_filter.hpp"
+#include "core/sparsifier.hpp"
+#include "graph/generators/lattice.hpp"
+#include "graph/laplacian.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  ssp::Rng wrng(21);
+  const ssp::Graph g = ssp::triangulated_grid(
+      90, 90, ssp::WeightModel::uniform(0.5, 2.0), &wrng);
+  std::cout << "mesh: |V| = " << g.num_vertices()
+            << ", |E| = " << g.num_edges() << "\n";
+
+  const ssp::SparsifyResult sp = ssp::sparsify(g, {.sigma2 = 100.0});
+  const ssp::CsrMatrix lg = ssp::laplacian(g);
+  const ssp::CsrMatrix lp = ssp::laplacian(sp.extract(g));
+  std::cout << "sparsifier: " << sp.num_edges() << " edges (sigma^2 est "
+            << sp.sigma2_estimate << ")\n\n";
+
+  ssp::Rng rng(4);
+  std::cout << "high-freq%   smoothness(L_G)   filter disagreement\n";
+  std::cout << "---------------------------------------------------\n";
+  for (const double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const ssp::Vec sig = ssp::synthesize_signal(lg, frac, rng);
+    const double s = ssp::smoothness(lg, sig);
+    const double err = ssp::filter_agreement(
+        lg, lp, sig, {.tau = 2.0, .degree = 32}, rng);
+    std::cout.width(9);
+    std::cout << frac * 100 << "   ";
+    std::cout.width(15);
+    std::cout << s << "   ";
+    std::cout.width(19);
+    std::cout << err << "\n";
+  }
+  std::cout << "\nlow-frequency signals filter identically on G and P; the\n"
+               "disagreement grows with frequency — the sparsifier is a\n"
+               "low-pass approximation of the graph (paper §3.4).\n";
+  return 0;
+}

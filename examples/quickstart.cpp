@@ -1,0 +1,54 @@
+// Quickstart: sparsify a weighted mesh to a chosen spectral-similarity
+// level and inspect the result.
+//
+//   build/examples/quickstart [sigma2]
+//
+// Demonstrates the core public API: build a Graph, call ssp::sparsify with
+// a σ² target, extract the sparsifier, and verify the similarity estimate.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/sparsifier.hpp"
+#include "graph/generators/lattice.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  const double sigma2 = argc > 1 ? std::atof(argv[1]) : 100.0;
+
+  // A 128x128 grid with conductance-like weights spanning two decades —
+  // the structure of the paper's circuit/thermal test matrices.
+  ssp::Rng weights(7);
+  const ssp::Graph g = ssp::grid_2d(
+      128, 128, ssp::WeightModel::log_uniform(0.1, 10.0), &weights);
+
+  std::cout << "input graph: |V| = " << g.num_vertices()
+            << ", |E| = " << g.num_edges() << "\n";
+
+  ssp::SparsifyOptions opts;
+  opts.sigma2 = sigma2;  // target relative condition number
+  const ssp::SparsifyResult result = ssp::sparsify(g, opts);
+
+  std::cout << "sparsifier:  |Es| = " << result.num_edges() << "  ("
+            << static_cast<double>(result.num_edges()) /
+                   static_cast<double>(g.num_vertices())
+            << " x |V|)\n";
+  std::cout << "sigma^2 target " << sigma2 << "  ->  estimate "
+            << result.sigma2_estimate
+            << (result.reached_target ? "  [reached]" : "  [NOT reached]")
+            << "\n";
+  std::cout << "lambda_min = " << result.lambda_min
+            << ", lambda_max = " << result.lambda_max << "\n";
+  std::cout << "densification rounds: " << result.rounds.size()
+            << ", total time " << result.total_seconds << " s\n";
+  for (const ssp::DensifyRound& r : result.rounds) {
+    std::cout << "  round " << r.round << ": sigma2 = " << r.sigma2_estimate
+              << ", theta = " << r.theta << ", added " << r.edges_added
+              << " edges\n";
+  }
+
+  const ssp::Graph p = result.extract(g);
+  std::cout << "extracted sparsifier graph with " << p.num_edges()
+            << " edges\n";
+  return result.reached_target ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// SDD solver demo (the paper's Table 2 scenario): precondition PCG with
+// similarity-aware sparsifiers at two σ² levels and compare iteration
+// counts against plain CG and the bare spanning-tree preconditioner.
+//
+//   build/examples/sdd_solver
+
+#include <iostream>
+
+#include "core/sparsifier.hpp"
+#include "core/sparsifier_preconditioner.hpp"
+#include "graph/generators/lattice.hpp"
+#include "graph/laplacian.hpp"
+#include "la/vector_ops.hpp"
+#include "solver/pcg.hpp"
+#include "solver/preconditioner.hpp"
+#include "tree/kruskal.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  ssp::Rng rng(11);
+  const ssp::Graph g = ssp::grid_2d(
+      150, 150, ssp::WeightModel::log_uniform(0.1, 10.0), &rng);
+  const ssp::CsrMatrix lg = ssp::laplacian(g);
+
+  // Random RHS, solved to ||Ax-b|| < 1e-3 ||b|| as in the paper.
+  ssp::Vec b = rng.normal_vector(g.num_vertices());
+  ssp::project_out_mean(b);
+  const ssp::PcgOptions opts = {.max_iterations = 5000,
+                                .rel_tolerance = 1e-3,
+                                .project_constants = true};
+
+  std::cout << "solving L x = b on |V| = " << g.num_vertices()
+            << ", |E| = " << g.num_edges() << " (tol 1e-3)\n\n";
+
+  {  // plain CG
+    ssp::Vec x(b.size(), 0.0);
+    const ssp::PcgResult r = ssp::cg_solve(lg, b, x, opts);
+    std::cout << "plain CG:                    " << r.iterations
+              << " iterations\n";
+  }
+  {  // bare spanning tree preconditioner
+    const ssp::SpanningTree tree = ssp::max_weight_spanning_tree(g);
+    const ssp::TreePreconditioner tp(tree);
+    ssp::Vec x(b.size(), 0.0);
+    const ssp::PcgResult r = ssp::pcg_solve(lg, b, x, tp, opts);
+    std::cout << "spanning-tree preconditioner: " << r.iterations
+              << " iterations\n";
+  }
+  for (const double sigma2 : {200.0, 50.0}) {
+    ssp::SparsifyOptions sopts;
+    sopts.sigma2 = sigma2;
+    const ssp::SparsifyResult sp = ssp::sparsify(g, sopts);
+    const ssp::Graph p = sp.extract(g);
+    const ssp::SparsifierPreconditioner precond(p);
+    ssp::Vec x(b.size(), 0.0);
+    const ssp::PcgResult r = ssp::pcg_solve(lg, b, x, precond, opts);
+    std::cout << "sigma^2 = " << sigma2 << " sparsifier ("
+              << static_cast<double>(sp.num_edges()) /
+                     static_cast<double>(g.num_vertices())
+              << " x |V| edges, " << sp.total_seconds
+              << " s to build):  " << r.iterations << " iterations\n";
+  }
+  std::cout << "\nhigher similarity (smaller sigma^2) -> fewer PCG "
+               "iterations, denser preconditioner.\n";
+  return 0;
+}

@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file densify.hpp
+/// Iterative graph densification (paper §3.7) — the engine behind
+/// `ssp::sparsify`. Exposed separately so tests and ablation benches can
+/// drive the loop with a caller-supplied backbone.
+
+#include "core/sparsifier.hpp"
+#include "tree/spanning_tree.hpp"
+
+namespace ssp {
+
+/// Runs the densification loop starting from `backbone` (which must span
+/// `g`). Follows SparsifyOptions for the embedding/filter/solver knobs;
+/// `opts.backbone` is ignored (the tree is given).
+[[nodiscard]] SparsifyResult densify_loop(const Graph& g,
+                                          const SpanningTree& backbone,
+                                          const SparsifyOptions& opts);
+
+}  // namespace ssp

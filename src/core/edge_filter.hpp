@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file edge_filter.hpp
+/// Similarity-aware off-tree edge filtering — paper §3.5 / Eq. (15) — plus
+/// the dissimilarity check of densification step 6 (§3.7).
+///
+/// The filter keeps an off-tree edge (p,q) iff its *normalized* Joule heat
+/// clears the low-pass threshold
+///   heat(p,q)/heat_max ≥ θ_σ ≈ (σ² λ_min / λ_max)^{2t+1}.
+/// Intuition: heats scale like λ^{2t+1}; the target spectral radius after
+/// densification is λ̃_max = σ²·λ̃_min ≈ σ²·λ_min, so edges whose implied λ
+/// exceeds that target pass the filter, the rest are attenuated away —
+/// spectral sparsification acting as a graph low-pass filter (§3.4).
+
+#include <span>
+#include <vector>
+
+#include "core/embedding.hpp"
+#include "graph/graph.hpp"
+
+namespace ssp {
+
+/// How "similar" edges are suppressed within one filtered batch (paper
+/// densification step 6: "only add dissimilar edges").
+enum class SimilarityPolicy {
+  kNone,          ///< keep every edge above threshold
+  kNodeDisjoint,  ///< greedy: skip an edge when either endpoint was already
+                  ///< touched by an accepted edge this round
+  kBounded,       ///< allow up to `node_cap` accepted edges per endpoint
+};
+
+struct FilterOptions {
+  SimilarityPolicy similarity = SimilarityPolicy::kNodeDisjoint;
+  /// Per-endpoint acceptance budget for SimilarityPolicy::kBounded.
+  Index node_cap = 2;
+  /// Hard cap on accepted edges per round (0 = unlimited) — the "small
+  /// portions" of paper §3.7.
+  EdgeId max_edges = 0;
+};
+
+/// Paper Eq. (15): θ_σ = (σ²·λ_min / λ_max)^{2t+1}, clamped to [0, 1].
+[[nodiscard]] double heat_threshold(double sigma2, double lambda_min,
+                                    double lambda_max, int power_steps);
+
+/// Applies the threshold + similarity policy to an embedding. Edges are
+/// visited in descending heat order; the returned ids preserve that order.
+[[nodiscard]] std::vector<EdgeId> filter_offtree_edges(
+    const Graph& g, const OffTreeEmbedding& emb, double theta,
+    const FilterOptions& opts = {});
+
+}  // namespace ssp

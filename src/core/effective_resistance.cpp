@@ -1,0 +1,83 @@
+#include "core/effective_resistance.hpp"
+
+#include <cmath>
+
+#include "la/vector_ops.hpp"
+#include "tree/kruskal.hpp"
+#include "tree/lca.hpp"
+#include "util/assert.hpp"
+
+namespace ssp {
+
+double effective_resistance(const Graph& g, const LinOp& solve, Vertex u,
+                            Vertex v) {
+  SSP_REQUIRE(u >= 0 && u < g.num_vertices() && v >= 0 &&
+                  v < g.num_vertices(),
+              "effective_resistance: vertex out of range");
+  if (u == v) return 0.0;
+  const Index n = g.num_vertices();
+  Vec b(static_cast<std::size_t>(n), 0.0);
+  b[static_cast<std::size_t>(u)] = 1.0;
+  b[static_cast<std::size_t>(v)] = -1.0;
+  project_out_mean(b);
+  Vec x(static_cast<std::size_t>(n));
+  solve(b, x);
+  return x[static_cast<std::size_t>(u)] - x[static_cast<std::size_t>(v)];
+}
+
+ResistanceSketch::ResistanceSketch(const Graph& g, const LinOp& solve,
+                                   Index projections, Rng& rng)
+    : g_(&g) {
+  SSP_REQUIRE(g.finalized(), "ResistanceSketch: graph must be finalized");
+  SSP_REQUIRE(projections >= 1, "ResistanceSketch: need >= 1 projection");
+  const Index n = g.num_vertices();
+  const double scale_factor = 1.0 / std::sqrt(static_cast<double>(projections));
+  z_.resize(static_cast<std::size_t>(projections));
+  Vec y(static_cast<std::size_t>(n));
+  for (Index i = 0; i < projections; ++i) {
+    fill(y, 0.0);
+    for (const Edge& e : g.edges()) {
+      const double q = rng.rademacher() * scale_factor * std::sqrt(e.weight);
+      y[static_cast<std::size_t>(e.u)] += q;
+      y[static_cast<std::size_t>(e.v)] -= q;
+    }
+    project_out_mean(y);
+    z_[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(n));
+    solve(y, z_[static_cast<std::size_t>(i)]);
+  }
+}
+
+double ResistanceSketch::query(Vertex u, Vertex v) const {
+  SSP_REQUIRE(u >= 0 && u < g_->num_vertices() && v >= 0 &&
+                  v < g_->num_vertices(),
+              "ResistanceSketch: vertex out of range");
+  double sum = 0.0;
+  for (const Vec& z : z_) {
+    const double d =
+        z[static_cast<std::size_t>(u)] - z[static_cast<std::size_t>(v)];
+    sum += d * d;
+  }
+  return sum;
+}
+
+Vec ResistanceSketch::all_edges() const {
+  Vec out(static_cast<std::size_t>(g_->num_edges()));
+  for (EdgeId e = 0; e < g_->num_edges(); ++e) {
+    const Edge& edge = g_->edge(e);
+    out[static_cast<std::size_t>(e)] = query(edge.u, edge.v);
+  }
+  return out;
+}
+
+Vec tree_resistance_bound_all_edges(const Graph& g) {
+  const SpanningTree tree = max_weight_spanning_tree(g);
+  const LcaIndex lca(tree);
+  Vec out(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    out[static_cast<std::size_t>(e)] = lca.path_resistance(edge.u, edge.v);
+  }
+  return out;
+}
+
+}  // namespace ssp

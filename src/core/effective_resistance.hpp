@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file effective_resistance.hpp
+/// Effective-resistance computation. R_eff(u,v) = (e_u − e_v)ᵀ L⁺ (e_u − e_v)
+/// is the electrical distance the paper's §2 lists among the quantities a
+/// spectral sparsifier preserves, and the sampling weight of the
+/// Spielman–Srivastava baseline [17].
+///
+/// Three estimators, trading accuracy for cost:
+///  * exact        — one Laplacian solve per queried pair;
+///  * JL sketch    — O(log n / ε²) solves once, then O(k) per pair [17];
+///  * tree bound   — spanning-tree path resistance, an upper bound, O(log n)
+///                   per pair after O(n log n) preprocessing.
+
+#include <utility>
+#include <vector>
+
+#include "eigen/operators.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+
+/// Exact effective resistance between u and v using `solve` ≈ L⁺.
+[[nodiscard]] double effective_resistance(const Graph& g, const LinOp& solve,
+                                          Vertex u, Vertex v);
+
+/// Johnson–Lindenstrauss sketch of all-pairs effective resistances:
+/// R(u,v) ≈ ||Z(:,u) − Z(:,v)||² with Z = Q W^{1/2} B L⁺ built from
+/// `projections` Laplacian solves.
+class ResistanceSketch {
+ public:
+  /// Builds the sketch; `solve` applies L⁺ of `g`'s Laplacian.
+  ResistanceSketch(const Graph& g, const LinOp& solve, Index projections,
+                   Rng& rng);
+
+  [[nodiscard]] double query(Vertex u, Vertex v) const;
+
+  /// Per-edge resistances for all edges of the host graph.
+  [[nodiscard]] Vec all_edges() const;
+
+  [[nodiscard]] Index projections() const {
+    return static_cast<Index>(z_.size());
+  }
+
+ private:
+  const Graph* g_;
+  std::vector<Vec> z_;  // one n-vector per projection
+};
+
+/// Spanning-tree upper bound: R_T(u,v) ≥ R_G(u,v) by Rayleigh monotonicity.
+/// (Computed via tree/lca.hpp; thin wrapper re-exported here so resistance
+/// users need only this header.)
+[[nodiscard]] Vec tree_resistance_bound_all_edges(const Graph& g);
+
+}  // namespace ssp

@@ -1,0 +1,72 @@
+#include "core/embedding.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/laplacian.hpp"
+#include "la/vector_ops.hpp"
+#include "util/assert.hpp"
+
+namespace ssp {
+
+OffTreeEmbedding compute_offtree_heat(const Graph& g,
+                                      std::span<const char> in_sparsifier,
+                                      const LinOp& solve_p,
+                                      const EmbeddingOptions& opts, Rng& rng) {
+  SSP_REQUIRE(g.finalized(), "embedding: graph must be finalized");
+  SSP_REQUIRE(static_cast<EdgeId>(in_sparsifier.size()) == g.num_edges(),
+              "embedding: in_sparsifier size must equal edge count");
+  SSP_REQUIRE(opts.power_steps >= 1, "embedding: power_steps must be >= 1");
+  const Index n = g.num_vertices();
+  SSP_REQUIRE(n >= 2, "embedding: need >= 2 vertices");
+
+  OffTreeEmbedding emb;
+  emb.power_steps = opts.power_steps;
+  // Default r = max(6, ceil(log2(n)/2)) — still the paper's O(log |V|)
+  // regime; the embedding-parameter ablation shows the heat ranking is
+  // already stable there, at half the solve cost of r = log2 n.
+  emb.num_vectors =
+      opts.num_vectors > 0
+          ? opts.num_vectors
+          : std::max<Index>(
+                6, static_cast<Index>(std::ceil(
+                       0.5 *
+                       std::log2(static_cast<double>(std::max<Index>(n, 4))))));
+
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (in_sparsifier[static_cast<std::size_t>(e)] == 0) {
+      emb.offtree_edges.push_back(e);
+    }
+  }
+  emb.heat.assign(emb.offtree_edges.size(), 0.0);
+  if (emb.offtree_edges.empty()) return emb;
+
+  const CsrMatrix lg = laplacian(g);
+  Vec h(static_cast<std::size_t>(n));
+  Vec gh(static_cast<std::size_t>(n));
+
+  for (Index j = 0; j < emb.num_vectors; ++j) {
+    h = random_probe_vector(n, rng);
+    for (int s = 0; s < opts.power_steps; ++s) {
+      lg.multiply(h, gh);
+      project_out_mean(gh);
+      solve_p(gh, h);
+      project_out_mean(h);
+    }
+    // Accumulate per-edge Joule heat of h_t (Eq. (6)).
+    for (std::size_t k = 0; k < emb.offtree_edges.size(); ++k) {
+      const Edge& e = g.edge(emb.offtree_edges[k]);
+      const double d = h[static_cast<std::size_t>(e.u)] -
+                       h[static_cast<std::size_t>(e.v)];
+      emb.heat[k] += e.weight * d * d;
+    }
+  }
+
+  for (double v : emb.heat) {
+    emb.total_heat += v;
+    emb.heat_max = std::max(emb.heat_max, v);
+  }
+  return emb;
+}
+
+}  // namespace ssp

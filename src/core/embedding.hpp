@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file embedding.hpp
+/// Spectral embedding of off-sparsifier edges — paper §3.2 / Eq. (6), (12).
+///
+/// Running t-step generalized power iterations h_t = (L_P⁺ L_G)^t h_0 with
+/// r random ±1 start vectors and expanding the Laplacian quadratic form of
+/// δL = L_G − L_P gives each missing edge (p,q) its **Joule heat**
+///
+///   heat(p,q) = w_pq · Σ_j (h_t,j(p) − h_t,j(q))²
+///             ≈ w_pq Σ_i α_i² λ_i^{2t} (u_iᵀ e_pq)²,
+///
+/// i.e. the generalized eigenvalues are embedded into per-edge scalars:
+/// edges whose inclusion would most reduce the dominant eigenvalues of
+/// L_P⁺ L_G carry the most heat. t = 2 suffices in practice (paper §3.2).
+
+#include <span>
+#include <vector>
+
+#include "eigen/operators.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+
+struct EmbeddingOptions {
+  /// t — generalized power iteration steps (paper default 2).
+  int power_steps = 2;
+  /// r — number of random start vectors; 0 selects ceil(log2 n) (paper
+  /// §3.7 step 4: "O(log |V|) random vectors").
+  Index num_vectors = 0;
+};
+
+struct OffTreeEmbedding {
+  /// Edges of G absent from the sparsifier, ascending by id.
+  std::vector<EdgeId> offtree_edges;
+  /// Joule heat per off-tree edge, aligned with offtree_edges.
+  std::vector<double> heat;
+  double heat_max = 0.0;
+  /// Σ heat = sampled Q_{δL,max}(h_t) of Eq. (6) — large values mean low
+  /// spectral similarity.
+  double total_heat = 0.0;
+  int power_steps = 2;       ///< t actually used
+  Index num_vectors = 0;     ///< r actually used
+};
+
+/// Computes Joule heats for every edge of `g` not marked in
+/// `in_sparsifier` (one char per edge id, nonzero = inside P). `solve_p`
+/// applies L_P⁺.
+[[nodiscard]] OffTreeEmbedding compute_offtree_heat(
+    const Graph& g, std::span<const char> in_sparsifier, const LinOp& solve_p,
+    const EmbeddingOptions& opts, Rng& rng);
+
+}  // namespace ssp

@@ -1,0 +1,157 @@
+#include "core/graph_filter.hpp"
+
+#include <cmath>
+
+#include "eigen/operators.hpp"
+#include "eigen/power_iteration.hpp"
+#include "la/vector_ops.hpp"
+#include "util/assert.hpp"
+
+namespace ssp {
+
+double smoothness(const CsrMatrix& l, std::span<const double> x) {
+  SSP_REQUIRE(static_cast<Index>(x.size()) == l.rows(), "smoothness: size");
+  const double xx = dot(x, x);
+  if (xx == 0.0) return 0.0;
+  return l.quadratic(x) / xx;
+}
+
+namespace {
+
+/// Chebyshev coefficients of f on [0, lmax] via the standard cosine
+/// quadrature (Clenshaw–Curtis style at Chebyshev points).
+Vec chebyshev_coefficients(double tau, double lmax, int degree) {
+  const int m = degree + 1;
+  Vec c(static_cast<std::size_t>(m), 0.0);
+  for (int j = 0; j < m; ++j) {
+    double sum = 0.0;
+    for (int q = 0; q < m; ++q) {
+      const double theta = M_PI * (static_cast<double>(q) + 0.5) /
+                           static_cast<double>(m);
+      // Map cos(theta) in [-1,1] to lambda in [0, lmax].
+      const double lambda = 0.5 * lmax * (std::cos(theta) + 1.0);
+      sum += std::exp(-tau * lambda) *
+             std::cos(static_cast<double>(j) * theta);
+    }
+    c[static_cast<std::size_t>(j)] = 2.0 * sum / static_cast<double>(m);
+  }
+  c[0] *= 0.5;
+  return c;
+}
+
+}  // namespace
+
+Vec chebyshev_lowpass(const CsrMatrix& l, std::span<const double> x,
+                      const ChebyshevFilterOptions& opts, Rng& rng) {
+  SSP_REQUIRE(l.rows() == l.cols(), "chebyshev: matrix not square");
+  SSP_REQUIRE(static_cast<Index>(x.size()) == l.rows(), "chebyshev: x size");
+  SSP_REQUIRE(opts.degree >= 1, "chebyshev: degree must be >= 1");
+  SSP_REQUIRE(opts.tau > 0.0, "chebyshev: tau must be positive");
+
+  double lmax = opts.lambda_max;
+  if (lmax <= 0.0) {
+    const PowerResult pr = power_iteration(
+        make_csr_op(l), l.rows(), rng,
+        {.max_iterations = 50, .rel_tolerance = 1e-3,
+         .project_constants = false});
+    lmax = pr.eigenvalue * 1.05;  // small safety margin
+  }
+  SSP_ASSERT(lmax > 0.0, "chebyshev: nonpositive spectral bound");
+
+  const Vec coeff = chebyshev_coefficients(opts.tau, lmax, opts.degree);
+
+  // Chebyshev recurrence on the shifted operator
+  //   A~ = (2/lmax) L - I   (spectrum in [-1, 1]).
+  const Index n = l.rows();
+  auto apply_shifted = [&](const Vec& v, Vec& out) {
+    l.multiply(v, out);
+    for (Index i = 0; i < n; ++i) {
+      out[static_cast<std::size_t>(i)] =
+          (2.0 / lmax) * out[static_cast<std::size_t>(i)] -
+          v[static_cast<std::size_t>(i)];
+    }
+  };
+
+  Vec t_prev(x.begin(), x.end());            // T_0 x = x
+  Vec t_cur(static_cast<std::size_t>(n));    // T_1 x = A~ x
+  apply_shifted(t_prev, t_cur);
+
+  Vec y(static_cast<std::size_t>(n), 0.0);
+  axpy(coeff[0], t_prev, y);
+  if (coeff.size() > 1) axpy(coeff[1], t_cur, y);
+
+  Vec t_next(static_cast<std::size_t>(n));
+  for (std::size_t j = 2; j < coeff.size(); ++j) {
+    apply_shifted(t_cur, t_next);
+    for (Index i = 0; i < n; ++i) {
+      t_next[static_cast<std::size_t>(i)] =
+          2.0 * t_next[static_cast<std::size_t>(i)] -
+          t_prev[static_cast<std::size_t>(i)];
+    }
+    axpy(coeff[j], t_next, y);
+    std::swap(t_prev, t_cur);
+    std::swap(t_cur, t_next);
+  }
+  return y;
+}
+
+Vec synthesize_signal(const CsrMatrix& l, double high_fraction, Rng& rng) {
+  SSP_REQUIRE(high_fraction >= 0.0 && high_fraction <= 1.0,
+              "synthesize_signal: fraction in [0,1]");
+  const Index n = l.rows();
+  SSP_REQUIRE(n >= 2, "synthesize_signal: need n >= 2");
+
+  const PowerResult pr = power_iteration(
+      make_csr_op(l), n, rng,
+      {.max_iterations = 40, .rel_tolerance = 1e-3,
+       .project_constants = false});
+  const double lmax = std::max(pr.eigenvalue, 1e-300);
+
+  // Smooth part: noise pushed to the bottom of the spectrum with a strong
+  // heat kernel — components at λ are damped by e^{-150 λ/λmax}, so only
+  // the genuinely low-frequency subspace survives.
+  Vec smooth = chebyshev_lowpass(
+      l, random_probe_vector(n, rng),
+      {.tau = 150.0 / lmax, .degree = 96, .lambda_max = lmax * 1.05}, rng);
+  project_out_mean(smooth);
+  normalize(smooth);
+
+  // Oscillatory part: noise pushed toward the top of the spectrum by a few
+  // plain power iterations on L.
+  Vec rough = random_probe_vector(n, rng);
+  Vec tmp(static_cast<std::size_t>(n));
+  for (int pass = 0; pass < 8; ++pass) {
+    l.multiply(rough, tmp);
+    rough = tmp;
+    project_out_mean(rough);
+    normalize(rough);
+  }
+
+  Vec sig(static_cast<std::size_t>(n), 0.0);
+  axpy(std::sqrt(1.0 - high_fraction), smooth, sig);
+  axpy(std::sqrt(high_fraction), rough, sig);
+  normalize(sig);
+  return sig;
+}
+
+double filter_agreement(const CsrMatrix& lg, const CsrMatrix& lp,
+                        std::span<const double> signal,
+                        const ChebyshevFilterOptions& opts, Rng& rng) {
+  SSP_REQUIRE(lg.rows() == lp.rows(), "filter_agreement: size mismatch");
+  // Use a shared spectral bound so both filters approximate the same h(λ).
+  ChebyshevFilterOptions shared = opts;
+  if (shared.lambda_max <= 0.0) {
+    const PowerResult pr = power_iteration(
+        make_csr_op(lg), lg.rows(), rng,
+        {.max_iterations = 50, .rel_tolerance = 1e-3,
+         .project_constants = false});
+    shared.lambda_max = pr.eigenvalue * 1.05;
+  }
+  const Vec yg = chebyshev_lowpass(lg, signal, shared, rng);
+  const Vec yp = chebyshev_lowpass(lp, signal, shared, rng);
+  const double denom =
+      std::max(norm2(yg), 1e-3 * std::max(norm2(signal), 1e-300));
+  return norm2(subtract(yp, yg)) / denom;
+}
+
+}  // namespace ssp

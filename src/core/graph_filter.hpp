@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file graph_filter.hpp
+/// Graph-signal-processing view of spectral sparsification (paper §3.4).
+///
+/// A graph signal x ∈ R^V decomposes along the Laplacian eigenbasis;
+/// low-eigenvalue components vary slowly across edges ("low frequency").
+/// The paper frames a spectral sparsifier as a *low-pass graph filter*: P
+/// preserves the action of L_G on smooth signals and degrades gracefully
+/// on oscillatory ones. This module provides the tooling to measure that
+/// claim directly:
+///
+///  * `smoothness`  — the normalized Rayleigh quotient xᵀLx/xᵀx (the GSP
+///    notion of signal frequency);
+///  * `chebyshev_lowpass` — polynomial approximation of the ideal low-pass
+///    filter h(L)x with h(λ) = exp(−τλ) (heat-kernel smoothing), evaluated
+///    with Chebyshev recurrences so only SpMVs are needed;
+///  * `filter_agreement` — relative L2 error between filtering a signal on
+///    G and on its sparsifier P across a band of smoothness levels: small
+///    for smooth inputs, growing with frequency — the low-pass fingerprint
+///    (bench_gsp_filter).
+
+#include "la/csr_matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+
+/// Normalized Rayleigh quotient xᵀ L x / xᵀ x (0 for the zero vector).
+[[nodiscard]] double smoothness(const CsrMatrix& l, std::span<const double> x);
+
+struct ChebyshevFilterOptions {
+  double tau = 1.0;       ///< heat-kernel time; larger = stronger smoothing
+  int degree = 24;        ///< polynomial degree (SpMV count)
+  double lambda_max = 0;  ///< spectral upper bound; 0 = estimate via power
+};
+
+/// y ≈ exp(−τ L) x via degree-d Chebyshev approximation on [0, λ_max].
+/// Needs only matrix–vector products with L.
+[[nodiscard]] Vec chebyshev_lowpass(const CsrMatrix& l,
+                                    std::span<const double> x,
+                                    const ChebyshevFilterOptions& opts,
+                                    Rng& rng);
+
+/// Synthesizes a unit-norm signal that mixes a smooth component (k-step
+/// smoothed noise) with an oscillatory one, with `high_fraction` ∈ [0,1]
+/// energy in the oscillatory part. Used by tests and the GSP bench to
+/// probe the filter across frequencies.
+[[nodiscard]] Vec synthesize_signal(const CsrMatrix& l, double high_fraction,
+                                    Rng& rng);
+
+/// L2 difference of the low-pass filter outputs computed on L_G vs on L_P
+/// for the same input, relative to the reference output:
+/// ||h(L_P)x − h(L_G)x|| / max(||h(L_G)x||, 1e-3·||x||). The floor keeps
+/// the metric finite when the reference filter annihilates the signal
+/// (pure high-frequency input under a strong low-pass), where *any*
+/// response mismatch is infinitely large in purely relative terms.
+[[nodiscard]] double filter_agreement(const CsrMatrix& lg,
+                                      const CsrMatrix& lp,
+                                      std::span<const double> signal,
+                                      const ChebyshevFilterOptions& opts,
+                                      Rng& rng);
+
+}  // namespace ssp

@@ -1,0 +1,31 @@
+#include "core/rescale.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+RescaleResult rescale_sparsifier(const Graph& g,
+                                 const SparsifyResult& result) {
+  SSP_REQUIRE(result.lambda_min > 0.0 && result.lambda_max > 0.0,
+              "rescale: result lacks eigenvalue estimates");
+  RescaleResult out;
+  // Pencil spectrum ⊂ [λ_min, λ_max]; scaling P by c divides it by c.
+  // c = √(λ_min λ_max) centers the spectrum geometrically around 1.
+  const double c = std::sqrt(result.lambda_min * result.lambda_max);
+  out.scale = c;
+  out.sigma2_before = result.lambda_max / result.lambda_min;
+  // After centering, both ends sit at √κ^{±1}: two-sided σ² = √κ.
+  out.sigma2_after = std::sqrt(out.sigma2_before);
+
+  out.sparsifier = Graph(g.num_vertices());
+  for (EdgeId e : result.edges) {
+    const Edge& edge = g.edge(e);
+    out.sparsifier.add_edge(edge.u, edge.v, edge.weight * c);
+  }
+  out.sparsifier.finalize();
+  return out;
+}
+
+}  // namespace ssp

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file rescale.hpp
+/// Optional sparsifier re-scaling — the paper's §3.1 notes that "edge
+/// re-scaling schemes [19] can be applied to further improve the
+/// approximation"; this module implements the scalar variant.
+///
+/// κ(L_G, L_P) is invariant under scaling L_P ← c·L_P, but the σ of the
+/// two-sided bound (Eq. (2)) is not: the pencil spectrum [λ_min, λ_max]
+/// maps to [λ_min/c, λ_max/c], and c* = √(λ_min·λ_max) centers it
+/// geometrically around 1, giving the optimal two-sided σ = (λ_max/λ_min)^¼
+/// … i.e. σ² drops from κ to √κ. Useful when the sparsifier is consumed
+/// through the quadratic-form bound rather than through PCG.
+
+#include "core/sparsifier.hpp"
+#include "graph/graph.hpp"
+
+namespace ssp {
+
+struct RescaleResult {
+  Graph sparsifier;      ///< re-scaled sparsifier graph (finalized)
+  double scale = 1.0;    ///< factor applied to every edge weight
+  double sigma2_before = 0.0;  ///< two-sided σ² bound before (= κ)
+  double sigma2_after = 0.0;   ///< two-sided σ² bound after (= √κ)
+};
+
+/// Applies the optimal scalar re-scaling c* = 1/√(λ_min·λ_max) to the
+/// sparsifier edges, using the eigenvalue estimates recorded in `result`.
+[[nodiscard]] RescaleResult rescale_sparsifier(const Graph& g,
+                                               const SparsifyResult& result);
+
+}  // namespace ssp

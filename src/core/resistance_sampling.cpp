@@ -1,0 +1,147 @@
+#include "core/resistance_sampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "eigen/operators.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/laplacian.hpp"
+#include "la/vector_ops.hpp"
+#include "solver/pcg.hpp"
+#include "solver/preconditioner.hpp"
+#include "tree/kruskal.hpp"
+#include "tree/lca.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace ssp {
+
+namespace {
+
+/// Per-edge effective resistance estimates.
+Vec estimate_resistances(const Graph& g, const SsOptions& opts, Rng& rng) {
+  const EdgeId m = g.num_edges();
+  Vec r(static_cast<std::size_t>(m));
+
+  if (opts.estimate == ResistanceEstimate::kTreeUpperBound) {
+    const SpanningTree tree = max_weight_spanning_tree(g);
+    const LcaIndex lca(tree);
+    for (EdgeId e = 0; e < m; ++e) {
+      const Edge& edge = g.edge(e);
+      r[static_cast<std::size_t>(e)] = lca.path_resistance(edge.u, edge.v);
+    }
+    return r;
+  }
+
+  // JL sketch: z_i = L^+ (B^T W^{1/2} q_i), R_eff(u,v) ≈ Σ_i (z_i(u)-z_i(v))².
+  const Index n = g.num_vertices();
+  const Index k = std::max<Index>(opts.jl_projections, 4);
+  const CsrMatrix l = laplacian(g);
+  const SpanningTree tree = max_weight_spanning_tree(g);
+  const TreePreconditioner precond(tree);
+  const LinOp solve = make_pcg_op(l, precond,
+                                  {.max_iterations = 1000,
+                                   .rel_tolerance = opts.solver_tolerance,
+                                   .project_constants = true});
+
+  std::vector<Vec> z(static_cast<std::size_t>(k));
+  Vec y(static_cast<std::size_t>(n));
+  const double scale_factor = 1.0 / std::sqrt(static_cast<double>(k));
+  for (Index i = 0; i < k; ++i) {
+    fill(y, 0.0);
+    for (EdgeId e = 0; e < m; ++e) {
+      const Edge& edge = g.edge(e);
+      const double q = rng.rademacher() * scale_factor * std::sqrt(edge.weight);
+      y[static_cast<std::size_t>(edge.u)] += q;
+      y[static_cast<std::size_t>(edge.v)] -= q;
+    }
+    project_out_mean(y);
+    z[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(n));
+    solve(y, z[static_cast<std::size_t>(i)]);
+  }
+  for (EdgeId e = 0; e < m; ++e) {
+    const Edge& edge = g.edge(e);
+    double sum = 0.0;
+    for (Index i = 0; i < k; ++i) {
+      const double d =
+          z[static_cast<std::size_t>(i)][static_cast<std::size_t>(edge.u)] -
+          z[static_cast<std::size_t>(i)][static_cast<std::size_t>(edge.v)];
+      sum += d * d;
+    }
+    r[static_cast<std::size_t>(e)] = sum;
+  }
+  return r;
+}
+
+}  // namespace
+
+SsResult spielman_srivastava_sparsify(const Graph& g, const SsOptions& opts) {
+  SSP_REQUIRE(g.finalized(), "ss: graph must be finalized");
+  SSP_REQUIRE(g.num_vertices() >= 2, "ss: need >= 2 vertices");
+  SSP_REQUIRE(is_connected(g), "ss: graph must be connected");
+  SSP_REQUIRE(opts.jl_projections >= 1, "ss: jl_projections must be >= 1");
+
+  const WallTimer timer;
+  Rng rng(opts.seed);
+  const Index n = g.num_vertices();
+  const EdgeId m = g.num_edges();
+  const EdgeId q =
+      opts.samples > 0
+          ? opts.samples
+          : static_cast<EdgeId>(std::ceil(
+                8.0 * static_cast<double>(n) *
+                std::log(std::max(2.0, static_cast<double>(n)))));
+
+  const Vec resistances = estimate_resistances(g, opts, rng);
+
+  // Sampling probabilities p_e ∝ w_e R_e; build the cumulative table.
+  Vec cumulative(static_cast<std::size_t>(m));
+  double total = 0.0;
+  for (EdgeId e = 0; e < m; ++e) {
+    const double score =
+        g.edge(e).weight * std::max(resistances[static_cast<std::size_t>(e)], 0.0);
+    total += score;
+    cumulative[static_cast<std::size_t>(e)] = total;
+  }
+  SSP_REQUIRE(total > 0.0, "ss: degenerate resistance estimates");
+
+  // Draw q samples with replacement; accumulate reweighted multiplicity.
+  std::map<EdgeId, double> weight_of;
+  for (EdgeId s = 0; s < q; ++s) {
+    const double u = rng.uniform() * total;
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    const EdgeId e = static_cast<EdgeId>(it - cumulative.begin());
+    const double pe =
+        (g.edge(e).weight *
+         std::max(resistances[static_cast<std::size_t>(e)], 0.0)) /
+        total;
+    weight_of[e] += g.edge(e).weight /
+                    (static_cast<double>(q) * std::max(pe, 1e-300));
+  }
+
+  SsResult out;
+  out.samples_drawn = q;
+  out.sparsifier = Graph(static_cast<Vertex>(n));
+  if (opts.include_spanning_tree) {
+    const SpanningTree tree = max_weight_spanning_tree(g);
+    for (EdgeId e : tree.tree_edge_ids()) {
+      // Keep original weight for tree edges not sampled; sampled ones merge.
+      if (weight_of.find(e) == weight_of.end()) {
+        weight_of[e] = g.edge(e).weight;
+      }
+    }
+  }
+  for (const auto& [e, w] : weight_of) {
+    const Edge& edge = g.edge(e);
+    out.sparsifier.add_edge(edge.u, edge.v, w);
+  }
+  out.sparsifier.finalize();
+  out.distinct_edges = out.sparsifier.num_edges();
+  out.seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace ssp

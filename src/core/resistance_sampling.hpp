@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file resistance_sampling.hpp
+/// Spielman–Srivastava effective-resistance edge sampling [17] — the
+/// baseline spectral sparsifier the paper positions itself against: it
+/// produces good sparsifiers but offers no direct control of the final
+/// similarity level, which is exactly the gap the similarity-aware filter
+/// closes. Compared head-to-head in `bench_baseline_ss`.
+///
+/// Sampling q edges with replacement with probability p_e ∝ w_e·R_eff(e)
+/// and weight w_e/(q·p_e) per sample preserves the Laplacian spectrum with
+/// high probability for q = O(n log n / ε²).
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+
+/// How effective resistances are estimated.
+enum class ResistanceEstimate {
+  /// Tree-path resistance upper bound via the max-weight spanning tree —
+  /// exact on the tree, an over-estimate off it; O(m log n) total.
+  kTreeUpperBound,
+  /// Johnson–Lindenstrauss sketch: R_eff(u,v) ≈ ||Z(e_u − e_v)||² with
+  /// Z = Q W^{1/2} B L⁺ built from `jl_projections` Laplacian solves
+  /// (the construction of [17] §4).
+  kJlSketch,
+};
+
+struct SsOptions {
+  /// Number of samples drawn (q). 0 selects ceil(8 n ln n).
+  EdgeId samples = 0;
+  ResistanceEstimate estimate = ResistanceEstimate::kTreeUpperBound;
+  /// JL sketch dimension (kJlSketch only).
+  Index jl_projections = 24;
+  /// Tolerance of the Laplacian solves building the sketch.
+  double solver_tolerance = 1e-6;
+  /// Union a max-weight spanning tree into the output so it is always
+  /// connected/usable as a preconditioner (the usual practical tweak).
+  bool include_spanning_tree = true;
+  std::uint64_t seed = 42;
+};
+
+struct SsResult {
+  Graph sparsifier;        ///< reweighted sampled graph (finalized)
+  EdgeId distinct_edges = 0;
+  EdgeId samples_drawn = 0;
+  double seconds = 0.0;
+};
+
+/// Runs Spielman–Srivastava sampling on a connected, finalized graph.
+[[nodiscard]] SsResult spielman_srivastava_sparsify(const Graph& g,
+                                                    const SsOptions& opts = {});
+
+}  // namespace ssp

@@ -1,0 +1,37 @@
+#include "core/sparsifier.hpp"
+
+#include "core/densify.hpp"
+#include "graph/connectivity.hpp"
+#include "tree/akpw.hpp"
+#include "tree/dijkstra_tree.hpp"
+#include "tree/kruskal.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace ssp {
+
+SparsifyResult sparsify(const Graph& g, const SparsifyOptions& opts) {
+  SSP_REQUIRE(g.finalized(), "sparsify: graph must be finalized");
+  SSP_REQUIRE(g.num_vertices() >= 2, "sparsify: need >= 2 vertices");
+  SSP_REQUIRE(is_connected(g), "sparsify: graph must be connected");
+
+  const WallTimer timer;
+  Rng tree_rng(opts.seed ^ 0x5eed5eedULL);
+  const SpanningTree backbone = [&] {
+    switch (opts.backbone) {
+      case BackboneKind::kMaxWeight:
+        return max_weight_spanning_tree(g);
+      case BackboneKind::kShortestPath:
+        return shortest_path_tree_from_center(g);
+      case BackboneKind::kAkpw:
+        break;
+    }
+    return akpw_low_stretch_tree(g, tree_rng);
+  }();
+
+  SparsifyResult result = densify_loop(g, backbone, opts);
+  result.total_seconds = timer.seconds();  // include backbone construction
+  return result;
+}
+
+}  // namespace ssp

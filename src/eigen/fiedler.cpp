@@ -1,0 +1,41 @@
+#include "eigen/fiedler.hpp"
+
+#include <cmath>
+
+#include "la/vector_ops.hpp"
+#include "util/assert.hpp"
+
+namespace ssp {
+
+FiedlerResult fiedler_vector(const CsrMatrix& l, const LinOp& solve, Rng& rng,
+                             const FiedlerOptions& opts) {
+  SSP_REQUIRE(l.rows() == l.cols(), "fiedler: matrix not square");
+  const Index n = l.rows();
+  SSP_REQUIRE(n >= 2, "fiedler: need >= 2 vertices");
+
+  Vec x = random_probe_vector(n, rng);
+  Vec y(static_cast<std::size_t>(n));
+
+  FiedlerResult result;
+  double prev = 0.0;
+  for (Index it = 1; it <= opts.max_iterations; ++it) {
+    solve(x, y);  // y ≈ L⁺ x — amplifies the smallest nonzero eigenspace
+    project_out_mean(y);
+    const double ynorm = norm2(y);
+    SSP_ASSERT(ynorm > 0.0, "fiedler: inverse iteration collapsed to zero");
+    scale(y, 1.0 / ynorm);
+    x = y;
+    const double lambda = l.quadratic(x);  // Rayleigh quotient (unit x)
+    result.iterations = it;
+    result.eigenvalue = lambda;
+    if (it > 1 &&
+        std::abs(lambda - prev) <= opts.rel_tolerance * std::abs(lambda)) {
+      break;
+    }
+    prev = lambda;
+  }
+  result.vector = std::move(x);
+  return result;
+}
+
+}  // namespace ssp

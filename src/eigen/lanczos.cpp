@@ -1,0 +1,172 @@
+#include "eigen/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/tridiagonal_eigen.hpp"
+#include "la/vector_ops.hpp"
+#include "util/assert.hpp"
+
+namespace ssp {
+
+namespace {
+
+/// Generic Lanczos in a (possibly non-Euclidean) inner product.
+/// `op` applies the B-self-adjoint operator; `b_product(x, out)` computes
+/// B x (pass the identity copy for the Euclidean case). Returns the
+/// tridiagonal coefficients and, when `basis` is non-null, the B-orthonormal
+/// Krylov basis vectors.
+struct LanczosTridiag {
+  Vec alpha;
+  Vec beta;  // size alpha.size()-1
+};
+
+LanczosTridiag lanczos_b_inner(const LinOp& op, const LinOp& b_product,
+                               Index n, Index steps, Rng& rng,
+                               std::vector<Vec>* basis) {
+  SSP_REQUIRE(n >= 2, "lanczos: need dimension >= 2");
+  SSP_REQUIRE(steps >= 1, "lanczos: need >= 1 step");
+  steps = std::min<Index>(steps, n - 1);
+
+  Vec q = random_probe_vector(n, rng);
+  Vec bq(static_cast<std::size_t>(n));
+  b_product(q, bq);
+  double qbq = dot(q, bq);
+  SSP_ASSERT(qbq > 0.0, "lanczos: start vector B-degenerate");
+  scale(q, 1.0 / std::sqrt(qbq));
+  scale(bq, 1.0 / std::sqrt(qbq));
+
+  std::vector<Vec> qs;   // B-orthonormal basis
+  std::vector<Vec> bqs;  // B * basis vectors (for reorthogonalization)
+  Vec w(static_cast<std::size_t>(n));
+  LanczosTridiag t;
+
+  for (Index j = 0; j < steps; ++j) {
+    qs.push_back(q);
+    bqs.push_back(bq);
+
+    op(q, w);
+    project_out_mean(w);
+    // alpha_j = <Op q, q>_B = (Op q)^T B q.
+    const double alpha = dot(w, bq);
+    t.alpha.push_back(alpha);
+
+    // w -= alpha q (+ beta q_prev handled by full reorthogonalization).
+    // Full B-reorthogonalization (twice for stability).
+    for (int pass = 0; pass < 2; ++pass) {
+      for (std::size_t i = 0; i < qs.size(); ++i) {
+        const double c = dot(w, bqs[i]);
+        axpy(-c, qs[i], w);
+      }
+    }
+    Vec bw(static_cast<std::size_t>(n));
+    b_product(w, bw);
+    const double wbw = dot(w, bw);
+    if (wbw <= 1e-28) {  // happy breakdown: Krylov space exhausted
+      break;
+    }
+    const double beta = std::sqrt(wbw);
+    if (j + 1 < steps) t.beta.push_back(beta);
+    q = w;
+    scale(q, 1.0 / beta);
+    bq = bw;
+    scale(bq, 1.0 / beta);
+  }
+  // Trim beta to alpha.size()-1 (breakdown cases).
+  if (!t.alpha.empty() && t.beta.size() >= t.alpha.size()) {
+    t.beta.resize(t.alpha.size() - 1);
+  }
+  if (basis != nullptr) *basis = std::move(qs);
+  return t;
+}
+
+}  // namespace
+
+PencilEigenEstimate pencil_extreme_eigenvalues(const CsrMatrix& lg,
+                                               const CsrMatrix& lp,
+                                               const LinOp& solve_p,
+                                               Index steps, Rng& rng) {
+  SSP_REQUIRE(lg.rows() == lg.cols() && lp.rows() == lp.cols() &&
+                  lg.rows() == lp.rows(),
+              "pencil lanczos: dimension mismatch");
+  const Index n = lg.rows();
+  Vec tmp;
+  const LinOp op = [&](std::span<const double> x, std::span<double> y) {
+    // y = L_P^+ (L_G x)
+    Vec gx = lg.multiply(x);
+    project_out_mean(gx);
+    solve_p(gx, y);
+    project_out_mean(y);
+  };
+  const LinOp b_product = make_csr_op(lp);
+  const LanczosTridiag t = lanczos_b_inner(op, b_product, n, steps, rng,
+                                           nullptr);
+  PencilEigenEstimate est;
+  est.steps = static_cast<Index>(t.alpha.size());
+  if (t.alpha.empty()) return est;
+  const Vec ritz = tridiagonal_eigenvalues(t.alpha, t.beta);
+  est.lambda_min = ritz.front();
+  est.lambda_max = ritz.back();
+  return est;
+}
+
+double pencil_lambda_min_reverse(const CsrMatrix& lp, const CsrMatrix& lg,
+                                 const LinOp& solve_g, Index steps, Rng& rng) {
+  const LinOp op = [&](std::span<const double> x, std::span<double> y) {
+    Vec px = lp.multiply(x);
+    project_out_mean(px);
+    solve_g(px, y);
+    project_out_mean(y);
+  };
+  const LinOp b_product = make_csr_op(lg);
+  const LanczosTridiag t =
+      lanczos_b_inner(op, b_product, lg.rows(), steps, rng, nullptr);
+  SSP_ASSERT(!t.alpha.empty(), "reverse pencil lanczos: no steps taken");
+  const Vec ritz = tridiagonal_eigenvalues(t.alpha, t.beta);
+  const double mu_max = ritz.back();
+  SSP_ASSERT(mu_max > 0.0, "reverse pencil lanczos: nonpositive Ritz value");
+  return 1.0 / mu_max;
+}
+
+EigenPairs smallest_laplacian_eigenpairs(Index n, Index k, const LinOp& solve,
+                                         Index max_steps, Rng& rng) {
+  SSP_REQUIRE(n >= 2, "eigenpairs: need >= 2 vertices");
+  SSP_REQUIRE(k >= 1 && k < n, "eigenpairs: k must be in [1, n)");
+  max_steps = std::min<Index>(std::max<Index>(max_steps, 2 * k + 8), n - 1);
+
+  const LinOp op = [&](std::span<const double> x, std::span<double> y) {
+    solve(x, y);
+    project_out_mean(y);
+  };
+  // Euclidean inner product: B = I.
+  const LinOp identity = [](std::span<const double> x, std::span<double> y) {
+    std::copy(x.begin(), x.end(), y.begin());
+  };
+
+  std::vector<Vec> basis;
+  const LanczosTridiag t =
+      lanczos_b_inner(op, identity, n, max_steps, rng, &basis);
+  SSP_ASSERT(!t.alpha.empty(), "eigenpairs: no Lanczos steps taken");
+  const TridiagonalEigen te = tridiagonal_eigen(t.alpha, t.beta);
+  const Index m = static_cast<Index>(te.eigenvalues.size());
+
+  // Ritz values of L^+ descending = smallest λ of L ascending.
+  EigenPairs out;
+  const Index take = std::min<Index>(k, m);
+  for (Index idx = 0; idx < take; ++idx) {
+    const Index col = m - 1 - idx;  // largest μ first
+    const double mu = te.eigenvalues[static_cast<std::size_t>(col)];
+    if (mu <= 0.0) break;  // spurious/nullspace Ritz values
+    out.values.push_back(1.0 / mu);
+    Vec v(static_cast<std::size_t>(n), 0.0);
+    for (Index j = 0; j < m; ++j) {
+      axpy(te.vectors(j, col), basis[static_cast<std::size_t>(j)], v);
+    }
+    project_out_mean(v);
+    normalize(v);
+    out.vectors.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace ssp

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file lanczos.hpp
+/// Lanczos eigensolvers:
+///
+/// * `pencil_extreme_eigenvalues` — Lanczos in the L_P inner product on the
+///   operator L_P⁺ L_G (self-adjoint there), giving Ritz estimates of the
+///   extreme generalized eigenvalues. This is the repo's "exact" reference
+///   for the paper's Table 1 (standing in for MATLAB `eigs`).
+/// * `smallest_laplacian_eigenpairs` — inverse Lanczos on L⁺ with the
+///   constant vector deflated: the first k nontrivial eigenpairs used by
+///   spectral drawing (Fig. 1), partitioning and the Table 4 eigensolver
+///   timings.
+///
+/// Full reorthogonalization is used throughout (basis sizes stay small).
+
+#include <vector>
+
+#include "eigen/operators.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+
+struct PencilEigenEstimate {
+  double lambda_max = 0.0;
+  double lambda_min = 0.0;
+  Index steps = 0;  ///< Lanczos steps actually performed
+};
+
+/// Extreme generalized eigenvalues of L_G u = λ L_P u restricted to 1⊥.
+/// `solve_p` applies L_P⁺; `lp`/`lg` provide the products for inner
+/// products. `steps` bounds the Krylov dimension.
+[[nodiscard]] PencilEigenEstimate pencil_extreme_eigenvalues(
+    const CsrMatrix& lg, const CsrMatrix& lp, const LinOp& solve_p,
+    Index steps, Rng& rng);
+
+/// λ_min of the pencil via the reversed pencil: the largest eigenvalue μ of
+/// L_G⁺ L_P satisfies λ_min = 1/μ. Needs a solver for L_G. More accurate
+/// than reading λ_min off the forward Lanczos (smallest pencil eigenvalues
+/// are clustered, as the paper notes in §3.6.2).
+[[nodiscard]] double pencil_lambda_min_reverse(const CsrMatrix& lp,
+                                               const CsrMatrix& lg,
+                                               const LinOp& solve_g,
+                                               Index steps, Rng& rng);
+
+struct EigenPairs {
+  Vec values;                ///< ascending, nontrivial (λ > 0)
+  std::vector<Vec> vectors;  ///< aligned with values
+};
+
+/// k smallest nontrivial Laplacian eigenpairs via inverse Lanczos: operator
+/// L⁺ (through `solve`), constant nullspace deflated, `max_steps` Krylov
+/// dimension (clamped to n−1; a practical choice is max(2k+20, 40)).
+[[nodiscard]] EigenPairs smallest_laplacian_eigenpairs(Index n, Index k,
+                                                       const LinOp& solve,
+                                                       Index max_steps,
+                                                       Rng& rng);
+
+}  // namespace ssp

@@ -1,0 +1,43 @@
+#include "eigen/operators.hpp"
+
+#include "la/vector_ops.hpp"
+
+namespace ssp {
+
+LinOp make_csr_op(const CsrMatrix& a) {
+  return [&a](std::span<const double> x, std::span<double> y) {
+    a.multiply(x, y);
+  };
+}
+
+LinOp make_tree_solver_op(const TreeSolver& solver) {
+  return [&solver](std::span<const double> x, std::span<double> y) {
+    solver.solve(x, y);
+  };
+}
+
+LinOp make_cholesky_op(const SparseCholesky& chol) {
+  return [&chol](std::span<const double> x, std::span<double> y) {
+    chol.solve(x, y);
+  };
+}
+
+LinOp make_pcg_op(const CsrMatrix& a, const Preconditioner& m,
+                  PcgOptions opts, Index* total_iterations) {
+  return [&a, &m, opts, total_iterations](std::span<const double> x,
+                                          std::span<double> y) {
+    fill(y, 0.0);
+    const PcgResult res = pcg_solve(a, x, y, m, opts);
+    if (total_iterations != nullptr) *total_iterations += res.iterations;
+  };
+}
+
+LinOp make_amg_op(const AmgHierarchy& amg, double rel_tol, Index max_cycles) {
+  return [&amg, rel_tol, max_cycles](std::span<const double> x,
+                                     std::span<double> y) {
+    fill(y, 0.0);
+    amg.solve(x, y, rel_tol, max_cycles);
+  };
+}
+
+}  // namespace ssp

@@ -1,0 +1,86 @@
+#include "eigen/power_iteration.hpp"
+
+#include <cmath>
+
+#include "la/vector_ops.hpp"
+#include "util/assert.hpp"
+
+namespace ssp {
+
+PowerResult power_iteration(const LinOp& apply, Index n, Rng& rng,
+                            const PowerOptions& opts) {
+  SSP_REQUIRE(n >= 1, "power_iteration: empty operator");
+  SSP_REQUIRE(opts.max_iterations >= 1, "power_iteration: need >= 1 iteration");
+
+  Vec h;
+  if (opts.project_constants) {
+    h = random_probe_vector(n, rng);
+  } else {
+    h = rng.rademacher_vector(n);
+    normalize(h);
+  }
+  Vec y(static_cast<std::size_t>(n));
+
+  PowerResult result;
+  double prev = 0.0;
+  for (Index it = 1; it <= opts.max_iterations; ++it) {
+    apply(h, y);
+    if (opts.project_constants) project_out_mean(y);
+    const double lambda = dot(h, y);  // Rayleigh quotient (h normalized)
+    result.iterations = it;
+    result.eigenvalue = lambda;
+    const double ynorm = norm2(y);
+    if (ynorm == 0.0) break;  // h in the nullspace; eigenvalue 0
+    scale(y, 1.0 / ynorm);
+    h = y;
+    if (it > 1 &&
+        std::abs(lambda - prev) <= opts.rel_tolerance * std::abs(lambda)) {
+      break;
+    }
+    prev = lambda;
+  }
+  result.vector = std::move(h);
+  return result;
+}
+
+PowerResult generalized_power_iteration(const CsrMatrix& lg,
+                                        const LinOp& solve_p, Rng& rng,
+                                        const PowerOptions& opts) {
+  const Index n = lg.rows();
+  SSP_REQUIRE(lg.rows() == lg.cols(), "generalized power: L_G not square");
+  SSP_REQUIRE(n >= 2, "generalized power: need >= 2 vertices");
+
+  Vec h = random_probe_vector(n, rng);
+
+  Vec gh(static_cast<std::size_t>(n));   // L_G h
+  Vec hn(static_cast<std::size_t>(n));   // next iterate L_P^+ L_G h
+  PowerResult result;
+  double prev = 0.0;
+  for (Index it = 1; it <= opts.max_iterations; ++it) {
+    lg.multiply(h, gh);
+    solve_p(gh, hn);
+    project_out_mean(hn);
+    // Rayleigh quotient of the pencil at hn:
+    //   λ ≈ (hnᵀ L_G hn) / (hnᵀ L_P hn), and hnᵀ L_P hn = hnᵀ L_G h
+    // because L_P hn = L_P L_P⁺ L_G h = (projected) L_G h.
+    const double denom = dot(hn, gh);
+    const double numer = lg.quadratic(hn);
+    result.iterations = it;
+    if (denom <= 0.0) break;  // numerical degeneracy; keep last estimate
+    const double lambda = numer / denom;
+    result.eigenvalue = lambda;
+    const double nrm = norm2(hn);
+    if (nrm == 0.0) break;
+    h = hn;
+    scale(h, 1.0 / nrm);
+    if (it > 1 && std::abs(lambda - prev) <=
+                      opts.rel_tolerance * std::abs(lambda)) {
+      break;
+    }
+    prev = lambda;
+  }
+  result.vector = std::move(h);
+  return result;
+}
+
+}  // namespace ssp

@@ -1,0 +1,96 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+ComponentLabels connected_components(const Graph& g) {
+  SSP_REQUIRE(g.finalized(), "connected_components: graph must be finalized");
+  const Vertex n = g.num_vertices();
+  ComponentLabels out;
+  out.label.assign(static_cast<std::size_t>(n), kInvalidVertex);
+  std::vector<Vertex> stack;
+  for (Vertex s = 0; s < n; ++s) {
+    if (out.label[static_cast<std::size_t>(s)] != kInvalidVertex) continue;
+    const Vertex comp = out.num_components++;
+    stack.push_back(s);
+    out.label[static_cast<std::size_t>(s)] = comp;
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (const auto item : g.neighbors(v)) {
+        if (out.label[static_cast<std::size_t>(item.neighbor)] ==
+            kInvalidVertex) {
+          out.label[static_cast<std::size_t>(item.neighbor)] = comp;
+          stack.push_back(item.neighbor);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return false;
+  return connected_components(g).num_components == 1;
+}
+
+Graph largest_component(const Graph& g, std::vector<Vertex>* new_to_old) {
+  const ComponentLabels cl = connected_components(g);
+  SSP_REQUIRE(cl.num_components > 0, "largest_component: empty graph");
+
+  std::vector<Index> sizes(static_cast<std::size_t>(cl.num_components), 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    ++sizes[static_cast<std::size_t>(cl.label[static_cast<std::size_t>(v)])];
+  }
+  const Vertex best = static_cast<Vertex>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+
+  std::vector<Vertex> old_to_new(static_cast<std::size_t>(g.num_vertices()),
+                                 kInvalidVertex);
+  std::vector<Vertex> back;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (cl.label[static_cast<std::size_t>(v)] == best) {
+      old_to_new[static_cast<std::size_t>(v)] =
+          static_cast<Vertex>(back.size());
+      back.push_back(v);
+    }
+  }
+  Graph out(static_cast<Vertex>(back.size()));
+  for (const Edge& e : g.edges()) {
+    const Vertex nu = old_to_new[static_cast<std::size_t>(e.u)];
+    const Vertex nv = old_to_new[static_cast<std::size_t>(e.v)];
+    if (nu != kInvalidVertex && nv != kInvalidVertex) {
+      out.add_edge(nu, nv, e.weight);
+    }
+  }
+  out.finalize();
+  if (new_to_old != nullptr) *new_to_old = std::move(back);
+  return out;
+}
+
+Index connect_components(Graph& g, double link_weight) {
+  g.finalize();
+  const ComponentLabels cl = connected_components(g);
+  if (cl.num_components <= 1) return 0;
+  std::vector<Vertex> representative(
+      static_cast<std::size_t>(cl.num_components), kInvalidVertex);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    auto& rep =
+        representative[static_cast<std::size_t>(cl.label[static_cast<std::size_t>(v)])];
+    if (rep == kInvalidVertex) rep = v;
+  }
+  Index added = 0;
+  for (Vertex c = 1; c < cl.num_components; ++c) {
+    g.add_edge(representative[static_cast<std::size_t>(c - 1)],
+               representative[static_cast<std::size_t>(c)], link_weight);
+    ++added;
+  }
+  g.finalize();
+  return added;
+}
+
+}  // namespace ssp

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file connectivity.hpp
+/// Connected-component analysis. The sparsification pipeline requires a
+/// connected input graph (spanning tree + pencil spectra are defined on one
+/// component); `largest_component` extracts a usable graph from arbitrary
+/// inputs such as Matrix Market files.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace ssp {
+
+/// Labels each vertex with a component id in [0, num_components).
+/// The graph must be finalized.
+struct ComponentLabels {
+  std::vector<Vertex> label;  ///< per-vertex component id
+  Vertex num_components = 0;
+};
+
+[[nodiscard]] ComponentLabels connected_components(const Graph& g);
+
+/// True when the graph has exactly one connected component (and >= 1 vertex).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Extracts the largest connected component as a new graph with compacted
+/// vertex ids. When `new_to_old` is non-null it receives, for each new
+/// vertex, the original vertex id.
+[[nodiscard]] Graph largest_component(const Graph& g,
+                                      std::vector<Vertex>* new_to_old = nullptr);
+
+/// Makes `g` connected by linking consecutive component representatives with
+/// edges of weight `link_weight`. Returns the number of edges added.
+Index connect_components(Graph& g, double link_weight = 1.0);
+
+}  // namespace ssp

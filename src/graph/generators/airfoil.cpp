@@ -1,0 +1,78 @@
+#include "graph/generators/airfoil.hpp"
+
+#include <cmath>
+#include <complex>
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+Mesh2d joukowski_airfoil_mesh(Vertex n_radial, Vertex n_around) {
+  SSP_REQUIRE(n_radial >= 2, "airfoil mesh needs >= 2 rings");
+  SSP_REQUIRE(n_around >= 8, "airfoil mesh needs >= 8 points per ring");
+
+  // Circle-plane parameters: the generating circle passes through ζ = c
+  // (sharp trailing edge) and is offset to produce thickness and camber.
+  const double c = 1.0;
+  const std::complex<double> center(-0.08, 0.06);
+  const double r0 = std::abs(std::complex<double>(c, 0.0) - center);
+  const double r1 = 6.0;  // far-field radius
+
+  Mesh2d mesh;
+  const Vertex n = n_radial * n_around;
+  mesh.graph = Graph(n);
+  mesh.x.resize(static_cast<std::size_t>(n));
+  mesh.y.resize(static_cast<std::size_t>(n));
+
+  auto id = [n_around](Vertex ring, Vertex k) {
+    return ring * n_around + k;
+  };
+
+  for (Vertex ring = 0; ring < n_radial; ++ring) {
+    // Geometric radial grading clusters rings near the airfoil surface.
+    const double t = static_cast<double>(ring) /
+                     static_cast<double>(n_radial - 1);
+    const double r = r0 * std::pow(r1 / r0, t);
+    for (Vertex k = 0; k < n_around; ++k) {
+      const double theta =
+          2.0 * M_PI * static_cast<double>(k) / static_cast<double>(n_around);
+      const std::complex<double> zeta =
+          center + std::polar(r, theta);
+      const std::complex<double> z = zeta + (c * c) / zeta;
+      mesh.x[static_cast<std::size_t>(id(ring, k))] = z.real();
+      mesh.y[static_cast<std::size_t>(id(ring, k))] = z.imag();
+    }
+  }
+
+  auto add = [&mesh](Vertex a, Vertex b) {
+    const double dx = mesh.x[static_cast<std::size_t>(a)] -
+                      mesh.x[static_cast<std::size_t>(b)];
+    const double dy = mesh.y[static_cast<std::size_t>(a)] -
+                      mesh.y[static_cast<std::size_t>(b)];
+    const double len = std::sqrt(dx * dx + dy * dy);
+    // Coincident mapped points (numerically possible only at the trailing
+    // edge cusp) get a strong finite weight instead of infinity.
+    const double w = len > 1e-12 ? 1.0 / len : 1e12;
+    mesh.graph.add_edge(a, b, w);
+  };
+
+  for (Vertex ring = 0; ring < n_radial; ++ring) {
+    for (Vertex k = 0; k < n_around; ++k) {
+      const Vertex k_next = static_cast<Vertex>((k + 1) % n_around);
+      add(id(ring, k), id(ring, k_next));  // circumferential
+      if (ring + 1 < n_radial) {
+        add(id(ring, k), id(ring + 1, k));  // radial
+        // Triangulating diagonal, alternating orientation.
+        if ((ring + k) % 2 == 0) {
+          add(id(ring, k), id(ring + 1, k_next));
+        } else {
+          add(id(ring, k_next), id(ring + 1, k));
+        }
+      }
+    }
+  }
+  mesh.graph.finalize();
+  return mesh;
+}
+
+}  // namespace ssp

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file airfoil.hpp
+/// Structured finite-element mesh around a Joukowski airfoil — the proxy
+/// for the paper's `airfoil` graph (Fig. 1 spectral drawings) and for the
+/// FE matrices of Tables 1 and 4.
+///
+/// Construction: an O-mesh in the circle plane (annulus r ∈ [r0, r1],
+/// θ ∈ [0, 2π)) is mapped through the Joukowski transform
+/// z = ζ + c²/ζ with the circle offset so its image is a cambered airfoil.
+/// Grid cells are triangulated; edge weights are inverse Euclidean lengths
+/// (the standard 1/h FE stiffness surrogate), so cells crowded near the
+/// trailing edge get strong weights — the same weight heterogeneity real FE
+/// matrices show.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ssp {
+
+/// A generated mesh: the graph plus 2-D coordinates (for drawing tests and
+/// the Fig. 1 bench output).
+struct Mesh2d {
+  Graph graph;
+  std::vector<double> x;  ///< per-vertex x coordinate
+  std::vector<double> y;  ///< per-vertex y coordinate
+};
+
+/// O-mesh with `n_radial` rings × `n_around` points per ring
+/// (n_radial >= 2, n_around >= 8). Vertices: n_radial * n_around.
+[[nodiscard]] Mesh2d joukowski_airfoil_mesh(Vertex n_radial, Vertex n_around);
+
+}  // namespace ssp

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file community.hpp
+/// Graphs with planted community structure — ground truth for the spectral
+/// partitioning experiments (Table 3) and clustering tests.
+
+#include "graph/generators/weights.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+
+/// Planted-partition (stochastic block) model with `communities` equal-size
+/// blocks: intra-block edge probability `p_in`, inter-block `p_out`
+/// (p_in > p_out gives a detectable partition). The graph is made connected
+/// by a within-block path plus one bridge per consecutive block pair, so
+/// spectral bisection has a well-defined answer.
+[[nodiscard]] Graph planted_partition(Vertex n, Vertex communities,
+                                      double p_in, double p_out, Rng& rng,
+                                      const WeightModel& w =
+                                          WeightModel::unit());
+
+/// Two dense blobs joined by `bridge_edges` weak edges — the textbook
+/// bisection benchmark. Blob size `n_half` each.
+[[nodiscard]] Graph dumbbell_graph(Vertex n_half, Index bridge_edges,
+                                   double bridge_weight, Rng& rng);
+
+}  // namespace ssp

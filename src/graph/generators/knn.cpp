@@ -1,0 +1,98 @@
+#include "graph/generators/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "graph/connectivity.hpp"
+#include "util/assert.hpp"
+
+namespace ssp {
+
+Graph knn_graph(const PointCloud& pc, Index k, KnnWeight weight,
+                bool ensure_connected) {
+  SSP_REQUIRE(pc.n >= 2, "knn_graph: need at least two points");
+  SSP_REQUIRE(k >= 1 && k < pc.n, "knn_graph: k must be in [1, n)");
+
+  const Index n = pc.n;
+  // Collect k nearest neighbors per point (brute force with partial sort).
+  std::vector<std::pair<double, Vertex>> cand(static_cast<std::size_t>(n));
+  std::map<std::pair<Vertex, Vertex>, double> edges;  // unordered pair -> d²
+  double mean_knn_d2 = 0.0;
+  Index count_knn = 0;
+
+  for (Index i = 0; i < n; ++i) {
+    cand.clear();
+    for (Index j = 0; j < n; ++j) {
+      if (j == i) continue;
+      cand.emplace_back(squared_distance(pc, i, j), static_cast<Vertex>(j));
+    }
+    std::nth_element(cand.begin(), cand.begin() + (k - 1), cand.end());
+    for (Index t = 0; t < k; ++t) {
+      const auto& [d2, j] = cand[static_cast<std::size_t>(t)];
+      const Vertex lo = std::min(static_cast<Vertex>(i), j);
+      const Vertex hi = std::max(static_cast<Vertex>(i), j);
+      edges[{lo, hi}] = d2;
+      mean_knn_d2 += d2;
+      ++count_knn;
+    }
+  }
+  mean_knn_d2 /= static_cast<double>(std::max<Index>(count_knn, 1));
+  const double sigma2 = std::max(mean_knn_d2, 1e-300);
+
+  auto edge_weight = [&](double d2) {
+    switch (weight) {
+      case KnnWeight::kUnit:
+        return 1.0;
+      case KnnWeight::kInverseDistance:
+        return 1.0 / (std::sqrt(d2) + 1e-12);
+      case KnnWeight::kGaussianSimilarity:
+        // Floor keeps weights strictly positive as Graph requires.
+        return std::max(std::exp(-d2 / (2.0 * sigma2)), 1e-12);
+    }
+    return 1.0;
+  };
+
+  Graph g(static_cast<Vertex>(n));
+  for (const auto& [uv, d2] : edges) {
+    g.add_edge(uv.first, uv.second, edge_weight(d2));
+  }
+  g.finalize();
+
+  if (ensure_connected && !is_connected(g)) {
+    // Link each non-root component to component 0 through the globally
+    // closest representative pair (exact search restricted to 64 random
+    // members per component for large clouds).
+    const ComponentLabels cl = connected_components(g);
+    std::vector<std::vector<Vertex>> members(
+        static_cast<std::size_t>(cl.num_components));
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      auto& m = members[static_cast<std::size_t>(
+          cl.label[static_cast<std::size_t>(v)])];
+      if (m.size() < 64) m.push_back(v);
+    }
+    for (Vertex c = 1; c < cl.num_components; ++c) {
+      double best = std::numeric_limits<double>::infinity();
+      Vertex bu = members[0].front();
+      Vertex bv = members[static_cast<std::size_t>(c)].front();
+      for (Vertex u : members[0]) {
+        for (Vertex v : members[static_cast<std::size_t>(c)]) {
+          const double d2 = squared_distance(pc, u, v);
+          if (d2 < best) {
+            best = d2;
+            bu = u;
+            bv = v;
+          }
+        }
+      }
+      g.add_edge(bu, bv, edge_weight(best));
+    }
+    g.finalize();
+    SSP_ASSERT(is_connected(g), "knn_graph: connectivity repair failed");
+  }
+  return g;
+}
+
+}  // namespace ssp

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file knn.hpp
+/// k-nearest-neighbor similarity graphs over point clouds (paper's
+/// `RCV-80NN` proxy and general machine-learning workloads).
+
+#include "graph/generators/points.hpp"
+#include "graph/graph.hpp"
+
+namespace ssp {
+
+/// How kNN edges are weighted.
+enum class KnnWeight {
+  kUnit,                ///< 1.0
+  kInverseDistance,     ///< 1 / (dist + eps)
+  kGaussianSimilarity,  ///< exp(-dist² / (2 s²)), s = mean kNN distance
+};
+
+/// Builds the symmetrized (union) k-nearest-neighbor graph of `pc`
+/// (brute-force O(n² d); intended for n up to a few 10⁴). Parallel edges
+/// from mutual neighbors are merged keeping one edge. When
+/// `ensure_connected` is set, components are linked through their closest
+/// representative pair so the pipeline's connected-input requirement holds.
+[[nodiscard]] Graph knn_graph(const PointCloud& pc, Index k,
+                              KnnWeight weight = KnnWeight::kGaussianSimilarity,
+                              bool ensure_connected = true);
+
+}  // namespace ssp

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file lattice.hpp
+/// Regular lattice generators — proxies for the paper's circuit and FE mesh
+/// matrices (`G3_circuit`, `thermal2`, `ecology2`, `tmt_sym`,
+/// `parabolic_fem`, and the synthesized `mesh_1M/4M/9M` of Table 3).
+
+#include "graph/generators/weights.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+
+/// nx × ny 4-neighbor grid. Connected for nx, ny >= 1. Vertex (i, j) has
+/// id i*ny + j.
+[[nodiscard]] Graph grid_2d(Vertex nx, Vertex ny,
+                            const WeightModel& w = WeightModel::unit(),
+                            Rng* rng = nullptr);
+
+/// nx × ny grid with 8-neighbor (king-move) connectivity.
+[[nodiscard]] Graph grid_2d_8(Vertex nx, Vertex ny,
+                              const WeightModel& w = WeightModel::unit(),
+                              Rng* rng = nullptr);
+
+/// nx × ny grid with one diagonal per cell (FE-style triangulated mesh).
+[[nodiscard]] Graph triangulated_grid(Vertex nx, Vertex ny,
+                                      const WeightModel& w = WeightModel::unit(),
+                                      Rng* rng = nullptr);
+
+/// nx × ny × nz 6-neighbor grid.
+[[nodiscard]] Graph grid_3d(Vertex nx, Vertex ny, Vertex nz,
+                            const WeightModel& w = WeightModel::unit(),
+                            Rng* rng = nullptr);
+
+/// nx × ny torus (grid with wraparound) — no boundary effects.
+[[nodiscard]] Graph torus_2d(Vertex nx, Vertex ny,
+                             const WeightModel& w = WeightModel::unit(),
+                             Rng* rng = nullptr);
+
+/// nx × ny × nz 3-D torus (6-neighbor with wraparound) — FE-solid-like
+/// connectivity with no boundary vertices.
+[[nodiscard]] Graph torus_3d(Vertex nx, Vertex ny, Vertex nz,
+                             const WeightModel& w = WeightModel::unit(),
+                             Rng* rng = nullptr);
+
+/// Path on n vertices.
+[[nodiscard]] Graph path_graph(Vertex n,
+                               const WeightModel& w = WeightModel::unit(),
+                               Rng* rng = nullptr);
+
+/// Cycle on n (>= 3) vertices.
+[[nodiscard]] Graph cycle_graph(Vertex n,
+                                const WeightModel& w = WeightModel::unit(),
+                                Rng* rng = nullptr);
+
+/// Star with n-1 leaves.
+[[nodiscard]] Graph star_graph(Vertex n,
+                               const WeightModel& w = WeightModel::unit(),
+                               Rng* rng = nullptr);
+
+/// Complete graph K_n (n small; quadratic size).
+[[nodiscard]] Graph complete_graph(Vertex n,
+                                   const WeightModel& w = WeightModel::unit(),
+                                   Rng* rng = nullptr);
+
+}  // namespace ssp

@@ -1,0 +1,55 @@
+#include "graph/generators/points.hpp"
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+double squared_distance(const PointCloud& pc, Index i, Index j) {
+  SSP_DASSERT(i >= 0 && i < pc.n && j >= 0 && j < pc.n, "point index");
+  const double* a = pc.point(i);
+  const double* b = pc.point(j);
+  double s = 0.0;
+  for (Index k = 0; k < pc.dim; ++k) {
+    const double d = a[k] - b[k];
+    s += d * d;
+  }
+  return s;
+}
+
+PointCloud uniform_points(Index n, Index dim, Rng& rng) {
+  SSP_REQUIRE(n >= 0 && dim >= 1, "uniform_points: bad sizes");
+  PointCloud pc;
+  pc.n = n;
+  pc.dim = dim;
+  pc.coords.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(dim));
+  for (auto& c : pc.coords) c = rng.uniform();
+  return pc;
+}
+
+PointCloud gaussian_mixture_points(Index n, Index dim, Index k, double spread,
+                                   Rng& rng) {
+  SSP_REQUIRE(n >= 0 && dim >= 1 && k >= 1, "gaussian_mixture_points: bad sizes");
+  SSP_REQUIRE(spread > 0.0, "gaussian_mixture_points: spread must be positive");
+  std::vector<double> centers(static_cast<std::size_t>(k) *
+                              static_cast<std::size_t>(dim));
+  for (auto& c : centers) c = rng.uniform();
+
+  PointCloud pc;
+  pc.n = n;
+  pc.dim = dim;
+  pc.coords.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(dim));
+  for (Index i = 0; i < n; ++i) {
+    const Index cluster = i % k;
+    for (Index d = 0; d < dim; ++d) {
+      pc.coords[static_cast<std::size_t>(i) * static_cast<std::size_t>(dim) +
+                static_cast<std::size_t>(d)] =
+          centers[static_cast<std::size_t>(cluster) *
+                      static_cast<std::size_t>(dim) +
+                  static_cast<std::size_t>(d)] +
+          spread * rng.normal();
+    }
+  }
+  return pc;
+}
+
+}  // namespace ssp

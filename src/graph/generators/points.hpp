@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file points.hpp
+/// Synthetic point clouds feeding the kNN graph generator — the proxy for
+/// the paper's `RCV-80NN` (80-nearest-neighbor text corpus graph) and
+/// protein-structure matrices.
+
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ssp {
+
+/// n points in d dimensions, row-major: coords[i*dim + k].
+struct PointCloud {
+  Index n = 0;
+  Index dim = 0;
+  std::vector<double> coords;
+
+  [[nodiscard]] const double* point(Index i) const {
+    return coords.data() + static_cast<std::size_t>(i) *
+                               static_cast<std::size_t>(dim);
+  }
+};
+
+/// Squared Euclidean distance between points i and j of the cloud.
+[[nodiscard]] double squared_distance(const PointCloud& pc, Index i, Index j);
+
+/// Uniform points in the unit cube [0,1]^d.
+[[nodiscard]] PointCloud uniform_points(Index n, Index dim, Rng& rng);
+
+/// Gaussian-mixture cloud: `k` cluster centers uniform in the unit cube,
+/// points assigned round-robin, isotropic per-cluster stddev `spread`.
+/// This mimics clustered document-embedding data (RCV corpus).
+[[nodiscard]] PointCloud gaussian_mixture_points(Index n, Index dim, Index k,
+                                                 double spread, Rng& rng);
+
+}  // namespace ssp

@@ -1,0 +1,148 @@
+#include "graph/generators/random_graphs.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+namespace {
+
+double next_weight(const WeightModel& w, Rng& rng) {
+  return w.kind == WeightModel::Kind::kUnit ? 1.0 : draw_weight(w, rng);
+}
+
+}  // namespace
+
+Graph barabasi_albert(Vertex n, Vertex m, Rng& rng, const WeightModel& w) {
+  SSP_REQUIRE(m >= 1, "barabasi_albert: m must be >= 1");
+  SSP_REQUIRE(n > m, "barabasi_albert: n must exceed m");
+  Graph g(n);
+  // `targets` holds one entry per edge endpoint — sampling uniformly from it
+  // realizes degree-proportional attachment.
+  std::vector<Vertex> endpoint_pool;
+  endpoint_pool.reserve(static_cast<std::size_t>(2) *
+                        static_cast<std::size_t>(n) *
+                        static_cast<std::size_t>(m));
+
+  // Seed: clique on the first m+1 vertices.
+  for (Vertex i = 0; i <= m; ++i) {
+    for (Vertex j = i + 1; j <= m; ++j) {
+      g.add_edge(i, j, next_weight(w, rng));
+      endpoint_pool.push_back(i);
+      endpoint_pool.push_back(j);
+    }
+  }
+
+  std::vector<Vertex> chosen;
+  for (Vertex v = m + 1; v < n; ++v) {
+    chosen.clear();
+    // Sample m distinct existing vertices ∝ degree.
+    std::set<Vertex> distinct;
+    int guard = 0;
+    while (static_cast<Vertex>(distinct.size()) < m) {
+      const auto idx = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(endpoint_pool.size()) - 1));
+      distinct.insert(endpoint_pool[idx]);
+      // Degenerate pools (tiny graphs) cannot stall: fall back to uniform.
+      if (++guard > 64 * m) {
+        for (Vertex u = 0; u < v && static_cast<Vertex>(distinct.size()) < m;
+             ++u) {
+          distinct.insert(u);
+        }
+      }
+    }
+    for (Vertex target : distinct) {
+      g.add_edge(v, target, next_weight(w, rng));
+      endpoint_pool.push_back(v);
+      endpoint_pool.push_back(target);
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Graph watts_strogatz(Vertex n, Vertex k, double beta, Rng& rng,
+                     const WeightModel& w) {
+  SSP_REQUIRE(n >= 4, "watts_strogatz: n must be >= 4");
+  SSP_REQUIRE(k >= 2 && k % 2 == 0, "watts_strogatz: k must be even >= 2");
+  SSP_REQUIRE(k < n, "watts_strogatz: k must be < n");
+  SSP_REQUIRE(beta >= 0.0 && beta <= 1.0, "watts_strogatz: beta in [0,1]");
+
+  Graph g(n);
+  std::set<std::pair<Vertex, Vertex>> present;
+  auto key = [](Vertex a, Vertex b) {
+    return std::make_pair(std::min(a, b), std::max(a, b));
+  };
+  auto try_add = [&](Vertex a, Vertex b) {
+    if (a == b) return false;
+    const auto kk = key(a, b);
+    if (present.count(kk) != 0) return false;
+    present.insert(kk);
+    g.add_edge(a, b, next_weight(w, rng));
+    return true;
+  };
+
+  for (Vertex i = 0; i < n; ++i) {
+    for (Vertex d = 1; d <= k / 2; ++d) {
+      const Vertex j = static_cast<Vertex>((i + d) % n);
+      if (d == 1) {
+        try_add(i, j);  // base ring is never rewired -> connected
+        continue;
+      }
+      if (rng.uniform() < beta) {
+        // Rewire to a uniform random non-duplicate target.
+        bool added = false;
+        for (int attempt = 0; attempt < 32 && !added; ++attempt) {
+          const auto t = static_cast<Vertex>(rng.uniform_int(0, n - 1));
+          added = try_add(i, t);
+        }
+        if (!added) try_add(i, j);  // fall back to lattice edge
+      } else {
+        try_add(i, j);
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Graph erdos_renyi_connected(Vertex n, EdgeId m, Rng& rng,
+                            const WeightModel& w) {
+  SSP_REQUIRE(n >= 2, "erdos_renyi_connected: n must be >= 2");
+  SSP_REQUIRE(m >= n - 1, "erdos_renyi_connected: need m >= n-1 edges");
+  Graph g(n);
+  std::set<std::pair<Vertex, Vertex>> present;
+  auto key = [](Vertex a, Vertex b) {
+    return std::make_pair(std::min(a, b), std::max(a, b));
+  };
+
+  // Uniform random attachment tree (random recursive tree): connected base.
+  for (Vertex v = 1; v < n; ++v) {
+    const auto parent = static_cast<Vertex>(rng.uniform_int(0, v - 1));
+    present.insert(key(v, parent));
+    g.add_edge(v, parent, next_weight(w, rng));
+  }
+  // Fill with uniform random distinct edges.
+  EdgeId added = n - 1;
+  const EdgeId max_possible =
+      static_cast<EdgeId>(n) * (static_cast<EdgeId>(n) - 1) / 2;
+  SSP_REQUIRE(m <= max_possible, "erdos_renyi_connected: m exceeds simple-graph bound");
+  while (added < m) {
+    const auto a = static_cast<Vertex>(rng.uniform_int(0, n - 1));
+    const auto b = static_cast<Vertex>(rng.uniform_int(0, n - 1));
+    if (a == b) continue;
+    const auto kk = key(a, b);
+    if (present.count(kk) != 0) continue;
+    present.insert(kk);
+    g.add_edge(a, b, next_weight(w, rng));
+    ++added;
+  }
+  g.finalize();
+  return g;
+}
+
+}  // namespace ssp

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file random_graphs.hpp
+/// Random-graph models — proxies for the paper's social / data networks
+/// (`coAuthorsDBLP` → preferential attachment, `appu` → dense uniform
+/// random graph) and for adversarial test inputs.
+
+#include "graph/generators/weights.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+
+/// Barabási–Albert preferential attachment: starts from a small clique and
+/// attaches each new vertex to `m` existing vertices chosen proportionally
+/// to degree. Connected by construction; power-law degree tail like
+/// collaboration networks.
+[[nodiscard]] Graph barabasi_albert(Vertex n, Vertex m, Rng& rng,
+                                    const WeightModel& w = WeightModel::unit());
+
+/// Watts–Strogatz small world: ring lattice of even degree `k`, each edge
+/// rewired with probability `beta`. Connectivity is enforced by keeping the
+/// base ring intact (only the "far" endpoint rewires).
+[[nodiscard]] Graph watts_strogatz(Vertex n, Vertex k, double beta, Rng& rng,
+                                   const WeightModel& w = WeightModel::unit());
+
+/// Erdős–Rényi G(n, m): uniform random simple edges on top of a uniform
+/// random spanning tree, so the result is always connected (matching the
+/// paper's assumption of connected inputs).
+[[nodiscard]] Graph erdos_renyi_connected(Vertex n, EdgeId m, Rng& rng,
+                                          const WeightModel& w =
+                                              WeightModel::unit());
+
+}  // namespace ssp

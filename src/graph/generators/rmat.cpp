@@ -1,0 +1,74 @@
+#include "graph/generators/rmat.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "graph/connectivity.hpp"
+#include "util/assert.hpp"
+
+namespace ssp {
+
+Graph rmat_graph(int scale, Index edge_factor, Rng& rng,
+                 const RmatOptions& opts, const WeightModel& w) {
+  SSP_REQUIRE(scale >= 2 && scale <= 28, "rmat: scale must be in [2, 28]");
+  SSP_REQUIRE(edge_factor >= 1, "rmat: edge_factor must be >= 1");
+  const double psum = opts.a + opts.b + opts.c + opts.d;
+  SSP_REQUIRE(std::abs(psum - 1.0) < 1e-6,
+              "rmat: quadrant probabilities must sum to 1");
+  SSP_REQUIRE(opts.noise >= 0.0 && opts.noise < 1.0,
+              "rmat: noise must be in [0, 1)");
+
+  const Vertex n = static_cast<Vertex>(Vertex{1} << scale);
+  const EdgeId target = static_cast<EdgeId>(edge_factor) * n;
+
+  std::set<std::pair<Vertex, Vertex>> present;
+  Graph g(n);
+  auto wdraw = [&] {
+    return w.kind == WeightModel::Kind::kUnit ? 1.0 : draw_weight(w, rng);
+  };
+
+  EdgeId attempts = 0;
+  const EdgeId max_attempts = target * 8;
+  while (static_cast<EdgeId>(present.size()) < target &&
+         attempts < max_attempts) {
+    ++attempts;
+    Vertex u = 0;
+    Vertex v = 0;
+    for (int level = 0; level < scale; ++level) {
+      // Per-level multiplicative noise on the quadrant probabilities.
+      const double f = 1.0 + opts.noise * (2.0 * rng.uniform() - 1.0);
+      double pa = opts.a * f;
+      double pb = opts.b / f;
+      double pc = opts.c / f;
+      double pd = opts.d * f;
+      const double norm = pa + pb + pc + pd;
+      pa /= norm;
+      pb /= norm;
+      pc /= norm;
+      const double r = rng.uniform();
+      const Vertex bit = static_cast<Vertex>(Vertex{1} << (scale - 1 - level));
+      if (r < pa) {
+        // top-left: nothing
+      } else if (r < pa + pb) {
+        v |= bit;
+      } else if (r < pa + pb + pc) {
+        u |= bit;
+      } else {
+        u |= bit;
+        v |= bit;
+      }
+    }
+    if (u == v) continue;
+    const Vertex lo = std::min(u, v);
+    const Vertex hi = std::max(u, v);
+    if (present.insert({lo, hi}).second) {
+      g.add_edge(lo, hi, wdraw());
+    }
+  }
+  g.finalize();
+  return largest_component(g);
+}
+
+}  // namespace ssp

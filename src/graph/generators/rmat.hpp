@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file rmat.hpp
+/// R-MAT (recursive matrix) generator [Chakrabarti–Zhan–Faloutsos] — the
+/// standard scale-free + community-structured random graph model behind
+/// the Graph500 benchmark. Complements Barabási–Albert for the paper's
+/// social/data-network experiments: R-MAT graphs additionally exhibit the
+/// hierarchical clustering real networks show.
+
+#include "graph/generators/weights.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+
+struct RmatOptions {
+  /// Quadrant probabilities (must sum to ~1; classic Graph500 values).
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  double d = 0.05;
+  /// Perturb quadrant probabilities per level (reduces degree artifacts).
+  double noise = 0.1;
+};
+
+/// Generates an R-MAT graph with 2^scale vertices and ~edge_factor·2^scale
+/// distinct edges, restricted to its largest connected component (isolated
+/// vertices are common in R-MAT). Self-loops and duplicates are dropped.
+[[nodiscard]] Graph rmat_graph(int scale, Index edge_factor, Rng& rng,
+                               const RmatOptions& opts = {},
+                               const WeightModel& w = WeightModel::unit());
+
+}  // namespace ssp

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file weights.hpp
+/// Edge-weight models shared by the synthetic generators. The paper's test
+/// matrices carry either unit weights (pattern files), physical coefficients
+/// spanning decades (circuit/thermal conductances), or similarity values
+/// (kNN graphs); the three models below cover those regimes.
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+
+/// Distribution from which a generator draws edge weights.
+struct WeightModel {
+  enum class Kind {
+    kUnit,        ///< all weights 1.0
+    kUniform,     ///< Uniform[lo, hi]
+    kLogUniform,  ///< exp(Uniform[log lo, log hi]) — decade-spanning weights
+  };
+  Kind kind = Kind::kUnit;
+  double lo = 1.0;
+  double hi = 1.0;
+
+  [[nodiscard]] static WeightModel unit() { return {}; }
+  [[nodiscard]] static WeightModel uniform(double lo, double hi) {
+    return {Kind::kUniform, lo, hi};
+  }
+  [[nodiscard]] static WeightModel log_uniform(double lo, double hi) {
+    return {Kind::kLogUniform, lo, hi};
+  }
+};
+
+/// Draws one weight from the model.
+[[nodiscard]] inline double draw_weight(const WeightModel& m, Rng& rng) {
+  switch (m.kind) {
+    case WeightModel::Kind::kUnit:
+      return 1.0;
+    case WeightModel::Kind::kUniform:
+      SSP_REQUIRE(m.lo > 0.0 && m.hi >= m.lo, "invalid uniform weight range");
+      return rng.uniform(m.lo, m.hi);
+    case WeightModel::Kind::kLogUniform: {
+      SSP_REQUIRE(m.lo > 0.0 && m.hi >= m.lo,
+                  "invalid log-uniform weight range");
+      const double u = rng.uniform(std::log(m.lo), std::log(m.hi));
+      return std::exp(u);
+    }
+  }
+  return 1.0;  // unreachable
+}
+
+}  // namespace ssp

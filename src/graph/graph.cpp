@@ -1,0 +1,118 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace ssp {
+
+Graph::Graph(Vertex n) : n_(n) {
+  SSP_REQUIRE(n >= 0, "vertex count must be non-negative");
+}
+
+void Graph::check_vertex(Vertex v) const {
+  SSP_REQUIRE(v >= 0 && v < n_, "vertex id out of range");
+}
+
+EdgeId Graph::add_edge(Vertex u, Vertex v, double w) {
+  check_vertex(u);
+  check_vertex(v);
+  SSP_REQUIRE(u != v, "self-loops are not allowed");
+  SSP_REQUIRE(w > 0.0 && std::isfinite(w), "edge weight must be positive and finite");
+  edges_.push_back(Edge{u, v, w});
+  finalized_ = false;
+  return static_cast<EdgeId>(edges_.size()) - 1;
+}
+
+const Edge& Graph::edge(EdgeId e) const {
+  SSP_REQUIRE(e >= 0 && e < num_edges(), "edge id out of range");
+  return edges_[static_cast<std::size_t>(e)];
+}
+
+void Graph::finalize() {
+  if (finalized_) return;
+  const auto n = static_cast<std::size_t>(n_);
+  adj_ptr_.assign(n + 1, 0);
+  for (const Edge& e : edges_) {
+    ++adj_ptr_[static_cast<std::size_t>(e.u) + 1];
+    ++adj_ptr_[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) adj_ptr_[i + 1] += adj_ptr_[i];
+  const auto dir_entries = static_cast<std::size_t>(adj_ptr_[n]);
+  adj_nbr_.resize(dir_entries);
+  adj_eid_.resize(dir_entries);
+  adj_w_.resize(dir_entries);
+  std::vector<Index> slot(adj_ptr_.begin(), adj_ptr_.end() - 1);
+  for (EdgeId id = 0; id < num_edges(); ++id) {
+    const Edge& e = edges_[static_cast<std::size_t>(id)];
+    auto put = [&](Vertex from, Vertex to) {
+      const auto pos = static_cast<std::size_t>(slot[static_cast<std::size_t>(from)]++);
+      adj_nbr_[pos] = to;
+      adj_eid_[pos] = id;
+      adj_w_[pos] = e.weight;
+    };
+    put(e.u, e.v);
+    put(e.v, e.u);
+  }
+  weighted_degree_.assign(n, 0.0);
+  for (const Edge& e : edges_) {
+    weighted_degree_[static_cast<std::size_t>(e.u)] += e.weight;
+    weighted_degree_[static_cast<std::size_t>(e.v)] += e.weight;
+  }
+  finalized_ = true;
+}
+
+void Graph::coalesce_parallel_edges() {
+  std::map<std::pair<Vertex, Vertex>, double> merged;
+  for (const Edge& e : edges_) {
+    const auto key = std::minmax(e.u, e.v);
+    merged[{key.first, key.second}] += e.weight;
+  }
+  edges_.clear();
+  edges_.reserve(merged.size());
+  for (const auto& [uv, w] : merged) {
+    edges_.push_back(Edge{uv.first, uv.second, w});
+  }
+  finalized_ = false;
+}
+
+Graph::NeighborRange Graph::neighbors(Vertex v) const {
+  SSP_REQUIRE(finalized_, "call finalize() before neighbors()");
+  check_vertex(v);
+  const auto b = static_cast<std::size_t>(adj_ptr_[static_cast<std::size_t>(v)]);
+  const auto e = static_cast<std::size_t>(adj_ptr_[static_cast<std::size_t>(v) + 1]);
+  return NeighborRange(adj_nbr_.data() + b, adj_eid_.data() + b,
+                       adj_w_.data() + b, e - b);
+}
+
+Index Graph::degree(Vertex v) const {
+  SSP_REQUIRE(finalized_, "call finalize() before degree()");
+  check_vertex(v);
+  return adj_ptr_[static_cast<std::size_t>(v) + 1] -
+         adj_ptr_[static_cast<std::size_t>(v)];
+}
+
+double Graph::weighted_degree(Vertex v) const {
+  SSP_REQUIRE(finalized_, "call finalize() before weighted_degree()");
+  check_vertex(v);
+  return weighted_degree_[static_cast<std::size_t>(v)];
+}
+
+double Graph::total_weight() const {
+  double s = 0.0;
+  for (const Edge& e : edges_) s += e.weight;
+  return s;
+}
+
+Graph Graph::edge_subgraph(std::span<const EdgeId> edge_ids) const {
+  Graph out(n_);
+  out.edges_.reserve(edge_ids.size());
+  for (EdgeId id : edge_ids) {
+    const Edge& e = edge(id);
+    out.edges_.push_back(e);
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace ssp

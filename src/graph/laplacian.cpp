@@ -1,0 +1,85 @@
+#include "graph/laplacian.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+CsrMatrix laplacian(const Graph& g) {
+  const Index n = g.num_vertices();
+  std::vector<Triplet> ts;
+  ts.reserve(static_cast<std::size_t>(g.num_edges()) * 4);
+  for (const Edge& e : g.edges()) {
+    ts.push_back({e.u, e.v, -e.weight});
+    ts.push_back({e.v, e.u, -e.weight});
+    ts.push_back({e.u, e.u, e.weight});
+    ts.push_back({e.v, e.v, e.weight});
+  }
+  return CsrMatrix::from_triplets(n, n, ts);
+}
+
+CsrMatrix adjacency_matrix(const Graph& g) {
+  const Index n = g.num_vertices();
+  std::vector<Triplet> ts;
+  ts.reserve(static_cast<std::size_t>(g.num_edges()) * 2);
+  for (const Edge& e : g.edges()) {
+    ts.push_back({e.u, e.v, e.weight});
+    ts.push_back({e.v, e.u, e.weight});
+  }
+  return CsrMatrix::from_triplets(n, n, ts);
+}
+
+Graph graph_from_laplacian(const CsrMatrix& l, double tol) {
+  SSP_REQUIRE(l.rows() == l.cols(), "graph_from_laplacian: matrix not square");
+  Graph g(static_cast<Vertex>(l.rows()));
+  for (Index r = 0; r < l.rows(); ++r) {
+    const auto cols = l.row_cols(r);
+    const auto vals = l.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const Index c = cols[k];
+      if (c <= r) continue;  // use strict upper triangle once
+      const double v = vals[k];
+      if (v == 0.0) continue;
+      SSP_REQUIRE(v <= tol, "graph_from_laplacian: positive off-diagonal");
+      const double w = std::abs(v);
+      if (w > 0.0) {
+        g.add_edge(static_cast<Vertex>(r), static_cast<Vertex>(c), w);
+      }
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Graph graph_from_matrix(const CsrMatrix& a, bool unit_weights) {
+  SSP_REQUIRE(a.rows() == a.cols(), "graph_from_matrix: matrix not square");
+  Graph g(static_cast<Vertex>(a.rows()));
+  for (Index r = 0; r < a.rows(); ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const Index c = cols[k];
+      if (c >= r) continue;  // strict lower triangle per the paper's rule
+      const double w = unit_weights ? 1.0 : std::abs(vals[k]);
+      if (w > 0.0) {
+        g.add_edge(static_cast<Vertex>(r), static_cast<Vertex>(c), w);
+      }
+    }
+  }
+  g.coalesce_parallel_edges();
+  g.finalize();
+  return g;
+}
+
+Vec weighted_degrees(const Graph& g) {
+  Vec d(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  for (const Edge& e : g.edges()) {
+    d[static_cast<std::size_t>(e.u)] += e.weight;
+    d[static_cast<std::size_t>(e.v)] += e.weight;
+  }
+  return d;
+}
+
+}  // namespace ssp

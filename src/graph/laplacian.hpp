@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file laplacian.hpp
+/// Graph ↔ matrix conversions.
+///
+/// `laplacian(g)` assembles the SDD graph Laplacian of paper Eq. (1):
+///   L(p,q) = -w(p,q) for edges, L(p,p) = weighted degree, else 0.
+///
+/// `graph_from_matrix` implements the paper's §4 conversion rule for general
+/// sparse matrices: "each edge weight [is] the absolute value of each
+/// nonzero entry in the lower triangular matrix; if edge weights are not
+/// available [pattern matrix], a unit edge weight will be assigned".
+
+#include "graph/graph.hpp"
+#include "la/csr_matrix.hpp"
+
+namespace ssp {
+
+/// Graph Laplacian L = D - W (symmetric, rows sum to zero).
+[[nodiscard]] CsrMatrix laplacian(const Graph& g);
+
+/// Weighted adjacency matrix W.
+[[nodiscard]] CsrMatrix adjacency_matrix(const Graph& g);
+
+/// Inverse of `laplacian`: off-diagonal entries become edges with weight
+/// |L(i,j)| for i < j. Diagonal entries are ignored (recomputed by the
+/// Laplacian identity). Throws when L is not square or has positive
+/// off-diagonal entries beyond `tol`.
+[[nodiscard]] Graph graph_from_laplacian(const CsrMatrix& l,
+                                         double tol = 1e-9);
+
+/// Paper §4 rule for arbitrary (square) sparse matrices: each strict
+/// lower-triangular nonzero (i, j), i > j, becomes the edge {i, j} with
+/// weight |a_ij| (or 1.0 when `unit_weights` is set, matching
+/// pattern-only matrix files). Self-loops (diagonal) are discarded and
+/// duplicate edges coalesced.
+[[nodiscard]] Graph graph_from_matrix(const CsrMatrix& a,
+                                      bool unit_weights = false);
+
+/// L(p,p) for all p as a vector (weighted degrees).
+[[nodiscard]] Vec weighted_degrees(const Graph& g);
+
+}  // namespace ssp

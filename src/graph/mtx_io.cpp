@@ -1,0 +1,152 @@
+#include "graph/mtx_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/connectivity.hpp"
+#include "graph/laplacian.hpp"
+#include "util/assert.hpp"
+
+namespace ssp {
+
+namespace {
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::runtime_error("matrix market: " + msg);
+}
+
+struct Header {
+  bool pattern = false;
+  bool symmetric = false;
+  bool skew = false;
+};
+
+Header parse_header(const std::string& line) {
+  std::istringstream is(line);
+  std::string banner, object, format, field, symmetry;
+  is >> banner >> object >> format >> field >> symmetry;
+  if (to_lower(banner) != "%%matrixmarket") fail("missing %%MatrixMarket banner");
+  if (to_lower(object) != "matrix") fail("only 'matrix' objects supported");
+  if (to_lower(format) != "coordinate") fail("only 'coordinate' format supported");
+  Header h;
+  const std::string f = to_lower(field);
+  if (f == "pattern") {
+    h.pattern = true;
+  } else if (f != "real" && f != "integer") {
+    fail("unsupported field type '" + field + "'");
+  }
+  const std::string s = to_lower(symmetry);
+  if (s == "symmetric") {
+    h.symmetric = true;
+  } else if (s == "skew-symmetric") {
+    h.symmetric = true;
+    h.skew = true;
+  } else if (s != "general") {
+    fail("unsupported symmetry '" + symmetry + "'");
+  }
+  return h;
+}
+
+}  // namespace
+
+CsrMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) fail("empty stream");
+  const Header h = parse_header(line);
+
+  // Skip comments / blanks to the size line.
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    break;
+  }
+  std::istringstream sizes(line);
+  Index rows = 0, cols = 0, nnz = 0;
+  if (!(sizes >> rows >> cols >> nnz)) fail("malformed size line");
+  if (rows < 0 || cols < 0 || nnz < 0) fail("negative sizes");
+
+  std::vector<Triplet> ts;
+  ts.reserve(static_cast<std::size_t>(h.symmetric ? 2 * nnz : nnz));
+  Index seen = 0;
+  while (seen < nnz) {
+    if (!std::getline(in, line)) fail("unexpected end of data");
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream es(line);
+    Index r = 0, c = 0;
+    double v = 1.0;
+    if (!(es >> r >> c)) fail("malformed entry line");
+    if (!h.pattern && !(es >> v)) fail("missing value");
+    if (r < 1 || r > rows || c < 1 || c > cols) fail("entry index out of range");
+    ts.push_back({r - 1, c - 1, v});
+    if (h.symmetric && r != c) {
+      ts.push_back({c - 1, r - 1, h.skew ? -v : v});
+    }
+    ++seen;
+  }
+  return CsrMatrix::from_triplets(rows, cols, ts);
+}
+
+CsrMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const CsrMatrix& a) {
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.rows() << ' ' << a.cols() << ' ' << a.nnz() << '\n';
+  out.precision(17);
+  for (Index r = 0; r < a.rows(); ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      out << (r + 1) << ' ' << (cols[k] + 1) << ' ' << vals[k] << '\n';
+    }
+  }
+}
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& a) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+  write_matrix_market(out, a);
+}
+
+Graph load_graph_mtx(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
+  // Peek at the header to learn whether values exist.
+  std::string first;
+  if (!std::getline(in, first)) throw std::runtime_error("empty file");
+  const bool pattern =
+      to_lower(first).find("pattern") != std::string::npos;
+  in.seekg(0);
+  const CsrMatrix a = read_matrix_market(in);
+  const Graph g = graph_from_matrix(a, pattern);
+  return largest_component(g);
+}
+
+void save_graph_mtx(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+  out << "%%MatrixMarket matrix coordinate real symmetric\n";
+  out << g.num_vertices() << ' ' << g.num_vertices() << ' ' << g.num_edges()
+      << '\n';
+  out.precision(17);
+  for (const Edge& e : g.edges()) {
+    const Vertex lo = std::min(e.u, e.v);
+    const Vertex hi = std::max(e.u, e.v);
+    out << (hi + 1) << ' ' << (lo + 1) << ' ' << e.weight << '\n';
+  }
+}
+
+}  // namespace ssp

@@ -1,0 +1,244 @@
+#include "la/csr_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+CsrMatrix::CsrMatrix(Index rows, Index cols, std::vector<Index> row_ptr,
+                     std::vector<Vertex> col_idx, std::vector<double> values)
+    : rows_(rows),
+      cols_(cols),
+      row_ptr_(std::move(row_ptr)),
+      col_idx_(std::move(col_idx)),
+      values_(std::move(values)) {
+  SSP_REQUIRE(rows_ >= 0 && cols_ >= 0, "negative dimensions");
+  SSP_REQUIRE(row_ptr_.size() == static_cast<std::size_t>(rows_) + 1,
+              "row_ptr size must be rows+1");
+  SSP_REQUIRE(col_idx_.size() == values_.size(),
+              "col_idx/values size mismatch");
+  SSP_REQUIRE(row_ptr_.front() == 0 &&
+                  row_ptr_.back() == static_cast<Index>(col_idx_.size()),
+              "row_ptr endpoints invalid");
+  for (Index r = 0; r < rows_; ++r) {
+    SSP_REQUIRE(row_ptr_[static_cast<std::size_t>(r)] <=
+                    row_ptr_[static_cast<std::size_t>(r) + 1],
+                "row_ptr must be non-decreasing");
+  }
+}
+
+CsrMatrix CsrMatrix::from_triplets(Index rows, Index cols,
+                                   std::span<const Triplet> ts) {
+  SSP_REQUIRE(rows >= 0 && cols >= 0, "negative dimensions");
+  for (const auto& t : ts) {
+    SSP_REQUIRE(t.row >= 0 && t.row < rows && t.col >= 0 && t.col < cols,
+                "triplet index out of range");
+  }
+  // Counting sort by row, then sort each row's slice by column and coalesce.
+  std::vector<Index> counts(static_cast<std::size_t>(rows) + 1, 0);
+  for (const auto& t : ts) ++counts[static_cast<std::size_t>(t.row) + 1];
+  for (Index r = 0; r < rows; ++r) {
+    counts[static_cast<std::size_t>(r) + 1] +=
+        counts[static_cast<std::size_t>(r)];
+  }
+  std::vector<Index> slot = counts;  // running insert positions
+  std::vector<Vertex> cols_tmp(ts.size());
+  std::vector<double> vals_tmp(ts.size());
+  for (const auto& t : ts) {
+    const auto pos =
+        static_cast<std::size_t>(slot[static_cast<std::size_t>(t.row)]++);
+    cols_tmp[pos] = static_cast<Vertex>(t.col);
+    vals_tmp[pos] = t.value;
+  }
+
+  std::vector<Index> row_ptr(static_cast<std::size_t>(rows) + 1, 0);
+  std::vector<Vertex> col_idx;
+  std::vector<double> values;
+  col_idx.reserve(ts.size());
+  values.reserve(ts.size());
+
+  std::vector<std::pair<Vertex, double>> row_buf;
+  for (Index r = 0; r < rows; ++r) {
+    const auto begin = static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]);
+    const auto end =
+        static_cast<std::size_t>(counts[static_cast<std::size_t>(r) + 1]);
+    row_buf.clear();
+    for (std::size_t i = begin; i < end; ++i) {
+      row_buf.emplace_back(cols_tmp[i], vals_tmp[i]);
+    }
+    std::sort(row_buf.begin(), row_buf.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (std::size_t i = 0; i < row_buf.size();) {
+      const Vertex c = row_buf[i].first;
+      double sum = 0.0;
+      while (i < row_buf.size() && row_buf[i].first == c) {
+        sum += row_buf[i].second;
+        ++i;
+      }
+      col_idx.push_back(c);
+      values.push_back(sum);
+    }
+    row_ptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<Index>(col_idx.size());
+  }
+  return CsrMatrix(rows, cols, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+CsrMatrix CsrMatrix::identity(Index n) {
+  std::vector<Index> row_ptr(static_cast<std::size_t>(n) + 1);
+  std::vector<Vertex> col_idx(static_cast<std::size_t>(n));
+  std::vector<double> values(static_cast<std::size_t>(n), 1.0);
+  for (Index i = 0; i <= n; ++i) row_ptr[static_cast<std::size_t>(i)] = i;
+  for (Index i = 0; i < n; ++i) {
+    col_idx[static_cast<std::size_t>(i)] = static_cast<Vertex>(i);
+  }
+  return CsrMatrix(n, n, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+void CsrMatrix::multiply(std::span<const double> x,
+                         std::span<double> y) const {
+  SSP_REQUIRE(static_cast<Index>(x.size()) == cols_, "multiply: x size");
+  SSP_REQUIRE(static_cast<Index>(y.size()) == rows_, "multiply: y size");
+  for (Index r = 0; r < rows_; ++r) {
+    const Index b = row_ptr_[static_cast<std::size_t>(r)];
+    const Index e = row_ptr_[static_cast<std::size_t>(r) + 1];
+    double s = 0.0;
+    for (Index k = b; k < e; ++k) {
+      s += values_[static_cast<std::size_t>(k)] *
+           x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = s;
+  }
+}
+
+Vec CsrMatrix::multiply(std::span<const double> x) const {
+  Vec y(static_cast<std::size_t>(rows_));
+  multiply(x, y);
+  return y;
+}
+
+double CsrMatrix::bilinear(std::span<const double> x,
+                           std::span<const double> y) const {
+  SSP_REQUIRE(static_cast<Index>(x.size()) == rows_, "bilinear: x size");
+  const Vec ay = multiply(y);
+  return dot(x, ay);
+}
+
+double CsrMatrix::quadratic(std::span<const double> x) const {
+  return bilinear(x, x);
+}
+
+CsrMatrix CsrMatrix::transpose() const {
+  std::vector<Index> row_ptr(static_cast<std::size_t>(cols_) + 1, 0);
+  for (Vertex c : col_idx_) ++row_ptr[static_cast<std::size_t>(c) + 1];
+  for (Index c = 0; c < cols_; ++c) {
+    row_ptr[static_cast<std::size_t>(c) + 1] +=
+        row_ptr[static_cast<std::size_t>(c)];
+  }
+  std::vector<Index> slot(row_ptr.begin(), row_ptr.end() - 1);
+  std::vector<Vertex> col_idx(col_idx_.size());
+  std::vector<double> values(values_.size());
+  for (Index r = 0; r < rows_; ++r) {
+    for (Index k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      const auto c =
+          static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)]);
+      const auto pos = static_cast<std::size_t>(slot[c]++);
+      col_idx[pos] = static_cast<Vertex>(r);
+      values[pos] = values_[static_cast<std::size_t>(k)];
+    }
+  }
+  return CsrMatrix(cols_, rows_, std::move(row_ptr), std::move(col_idx),
+                   std::move(values));
+}
+
+Vec CsrMatrix::diagonal() const {
+  const Index n = std::min(rows_, cols_);
+  Vec d(static_cast<std::size_t>(n), 0.0);
+  for (Index r = 0; r < n; ++r) {
+    d[static_cast<std::size_t>(r)] = at(r, r);
+  }
+  return d;
+}
+
+void CsrMatrix::drop_explicit_zeros() {
+  std::vector<Index> new_ptr(static_cast<std::size_t>(rows_) + 1, 0);
+  std::vector<Vertex> new_cols;
+  std::vector<double> new_vals;
+  new_cols.reserve(col_idx_.size());
+  new_vals.reserve(values_.size());
+  for (Index r = 0; r < rows_; ++r) {
+    for (Index k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      if (values_[static_cast<std::size_t>(k)] != 0.0) {
+        new_cols.push_back(col_idx_[static_cast<std::size_t>(k)]);
+        new_vals.push_back(values_[static_cast<std::size_t>(k)]);
+      }
+    }
+    new_ptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<Index>(new_cols.size());
+  }
+  row_ptr_ = std::move(new_ptr);
+  col_idx_ = std::move(new_cols);
+  values_ = std::move(new_vals);
+}
+
+bool CsrMatrix::is_symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  const CsrMatrix t = transpose();
+  if (t.nnz() != nnz()) return false;
+  for (Index r = 0; r < rows_; ++r) {
+    const auto a_cols = row_cols(r);
+    const auto b_cols = t.row_cols(r);
+    if (a_cols.size() != b_cols.size()) return false;
+    const auto a_vals = row_vals(r);
+    const auto b_vals = t.row_vals(r);
+    for (std::size_t i = 0; i < a_cols.size(); ++i) {
+      if (a_cols[i] != b_cols[i]) return false;
+      if (std::abs(a_vals[i] - b_vals[i]) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::span<const Vertex> CsrMatrix::row_cols(Index r) const {
+  SSP_REQUIRE(r >= 0 && r < rows_, "row index out of range");
+  const auto b = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(r)]);
+  const auto e =
+      static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(r) + 1]);
+  return {col_idx_.data() + b, e - b};
+}
+
+std::span<const double> CsrMatrix::row_vals(Index r) const {
+  SSP_REQUIRE(r >= 0 && r < rows_, "row index out of range");
+  const auto b = static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(r)]);
+  const auto e =
+      static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(r) + 1]);
+  return {values_.data() + b, e - b};
+}
+
+double CsrMatrix::at(Index r, Index c) const {
+  SSP_REQUIRE(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+              "at: index out of range");
+  const auto cols = row_cols(r);
+  const auto vals = row_vals(r);
+  const auto it =
+      std::lower_bound(cols.begin(), cols.end(), static_cast<Vertex>(c));
+  if (it != cols.end() && *it == static_cast<Vertex>(c)) {
+    return vals[static_cast<std::size_t>(it - cols.begin())];
+  }
+  return 0.0;
+}
+
+double CsrMatrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : values_) s += v * v;
+  return std::sqrt(s);
+}
+
+}  // namespace ssp

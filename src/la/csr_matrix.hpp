@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file csr_matrix.hpp
+/// Compressed-sparse-row matrix. This is the single sparse-matrix type used
+/// across the library: graph Laplacians, AMG Galerkin products, and the
+/// Cholesky front-end all speak CSR.
+///
+/// Conventions:
+///  * Row offsets are 64-bit (`Index`), column indices 32-bit (`Vertex`-sized)
+///    — adjacency of multi-million-node meshes stays compact.
+///  * Within each row the column indices are strictly increasing and
+///    duplicates have been summed (`from_triplets` coalesces).
+
+#include <span>
+#include <vector>
+
+#include "la/vector_ops.hpp"
+#include "util/types.hpp"
+
+namespace ssp {
+
+/// One (row, col, value) entry for assembly.
+struct Triplet {
+  Index row = 0;
+  Index col = 0;
+  double value = 0.0;
+};
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds a rows×cols matrix from unsorted triplets; duplicate (r,c) pairs
+  /// are summed; entries that sum to exactly zero are kept (callers that
+  /// want dropping can call `drop_explicit_zeros`).
+  [[nodiscard]] static CsrMatrix from_triplets(Index rows, Index cols,
+                                               std::span<const Triplet> ts);
+
+  /// Identity matrix of size n.
+  [[nodiscard]] static CsrMatrix identity(Index n);
+
+  [[nodiscard]] Index rows() const { return rows_; }
+  [[nodiscard]] Index cols() const { return cols_; }
+  [[nodiscard]] Index nnz() const {
+    return static_cast<Index>(col_idx_.size());
+  }
+
+  /// y = A x. `x.size()==cols`, `y.size()==rows`; aliasing is not allowed.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// Convenience allocating form of multiply.
+  [[nodiscard]] Vec multiply(std::span<const double> x) const;
+
+  /// x^T A y for square symmetric use-cases (sizes must match rows/cols).
+  [[nodiscard]] double bilinear(std::span<const double> x,
+                                std::span<const double> y) const;
+
+  /// x^T A x.
+  [[nodiscard]] double quadratic(std::span<const double> x) const;
+
+  /// A^T as a new matrix.
+  [[nodiscard]] CsrMatrix transpose() const;
+
+  /// Main diagonal (length min(rows, cols)); absent entries are 0.
+  [[nodiscard]] Vec diagonal() const;
+
+  /// Removes stored entries with value exactly 0.
+  void drop_explicit_zeros();
+
+  /// True when the matrix equals its transpose up to `tol` (entrywise).
+  [[nodiscard]] bool is_symmetric(double tol = 0.0) const;
+
+  /// Row accessors.
+  [[nodiscard]] std::span<const Index> row_ptr() const { return row_ptr_; }
+  [[nodiscard]] std::span<const Vertex> col_idx() const { return col_idx_; }
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+  [[nodiscard]] std::span<const Vertex> row_cols(Index r) const;
+  [[nodiscard]] std::span<const double> row_vals(Index r) const;
+
+  /// Entry lookup by binary search within the row; 0.0 when absent.
+  [[nodiscard]] double at(Index r, Index c) const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double frobenius_norm() const;
+
+  /// Direct constructor from raw CSR arrays (validated).
+  CsrMatrix(Index rows, Index cols, std::vector<Index> row_ptr,
+            std::vector<Vertex> col_idx, std::vector<double> values);
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Index> row_ptr_;  // size rows_+1
+  std::vector<Vertex> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace ssp

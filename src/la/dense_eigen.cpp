@@ -1,0 +1,134 @@
+#include "la/dense_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+namespace {
+
+double offdiagonal_norm(const DenseMatrix& a) {
+  double s = 0.0;
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index j = 0; j < a.cols(); ++j) {
+      if (i != j) s += a(i, j) * a(i, j);
+    }
+  }
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+DenseEigen dense_symmetric_eigen(const DenseMatrix& a_in, double tol,
+                                 int max_sweeps) {
+  SSP_REQUIRE(a_in.rows() == a_in.cols(), "eigen: matrix must be square");
+  const Index n = a_in.rows();
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i + 1; j < n; ++j) {
+      SSP_REQUIRE(std::abs(a_in(i, j) - a_in(j, i)) <=
+                      1e-10 * (1.0 + std::abs(a_in(i, j))),
+                  "eigen: matrix must be symmetric");
+    }
+  }
+
+  DenseMatrix a = a_in;
+  DenseMatrix v = DenseMatrix::identity(n);
+  double fro = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) fro += a(i, j) * a(i, j);
+  }
+  fro = std::sqrt(fro);
+  const double threshold = tol * std::max(fro, 1e-300);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    if (offdiagonal_norm(a) <= threshold) break;
+    for (Index p = 0; p < n - 1; ++p) {
+      for (Index q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= threshold / static_cast<double>(n)) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0)
+                             ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                             : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // A <- J^T A J with J the (p,q) rotation.
+        for (Index k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (Index k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (Index k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort ascending by eigenvalue, permuting columns of v.
+  std::vector<Index> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), Index{0});
+  std::sort(perm.begin(), perm.end(),
+            [&](Index x, Index y) { return a(x, x) < a(y, y); });
+
+  DenseEigen out;
+  out.eigenvalues.resize(static_cast<std::size_t>(n));
+  out.vectors = DenseMatrix(n, n);
+  for (Index j = 0; j < n; ++j) {
+    const Index src = perm[static_cast<std::size_t>(j)];
+    out.eigenvalues[static_cast<std::size_t>(j)] = a(src, src);
+    for (Index i = 0; i < n; ++i) out.vectors(i, j) = v(i, src);
+  }
+  return out;
+}
+
+Vec dense_generalized_eigenvalues(const DenseMatrix& a, const DenseMatrix& b,
+                                  double null_tol) {
+  SSP_REQUIRE(a.rows() == a.cols() && b.rows() == b.cols() &&
+                  a.rows() == b.rows(),
+              "generalized eigen: dimension mismatch");
+  const Index n = a.rows();
+  const DenseEigen eb = dense_symmetric_eigen(b);
+  const double bmax = std::max(std::abs(eb.eigenvalues.front()),
+                               std::abs(eb.eigenvalues.back()));
+  SSP_REQUIRE(bmax > 0.0, "generalized eigen: B is zero");
+
+  // Columns of S = B^{+1/2} restricted to range(B).
+  std::vector<Index> keep;
+  for (Index j = 0; j < n; ++j) {
+    if (eb.eigenvalues[static_cast<std::size_t>(j)] > null_tol * bmax) {
+      keep.push_back(j);
+    }
+  }
+  const Index m = static_cast<Index>(keep.size());
+  // W(i,k) = v_k(i) / sqrt(mu_k)  for kept eigenpairs (n x m).
+  DenseMatrix w(n, m);
+  for (Index k = 0; k < m; ++k) {
+    const Index j = keep[static_cast<std::size_t>(k)];
+    const double inv_sqrt =
+        1.0 / std::sqrt(eb.eigenvalues[static_cast<std::size_t>(j)]);
+    for (Index i = 0; i < n; ++i) w(i, k) = eb.vectors(i, j) * inv_sqrt;
+  }
+  // M = W^T A W  (m x m, symmetric).
+  const DenseMatrix aw = a.multiply(w);
+  const DenseMatrix mmat = w.transpose().multiply(aw);
+  DenseEigen em = dense_symmetric_eigen(mmat);
+  return em.eigenvalues;
+}
+
+}  // namespace ssp

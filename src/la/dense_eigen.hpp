@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file dense_eigen.hpp
+/// Dense symmetric eigensolver (cyclic Jacobi rotations) and a dense
+/// generalized eigensolver for the pencil (A, B) with B symmetric positive
+/// semi-definite sharing A's nullspace.
+///
+/// These are the *reference oracles* the test suite uses to validate the
+/// sparse Lanczos/power-iteration code and the paper's estimators on small
+/// graphs. O(n^3) — intended for n up to a few hundred.
+
+#include <vector>
+
+#include "la/dense_matrix.hpp"
+#include "util/types.hpp"
+
+namespace ssp {
+
+/// Result of a dense symmetric eigendecomposition A = V diag(w) V^T.
+struct DenseEigen {
+  Vec eigenvalues;     ///< ascending
+  DenseMatrix vectors; ///< column j is the eigenvector of eigenvalues[j]
+};
+
+/// Full eigendecomposition of a symmetric matrix by cyclic Jacobi.
+/// Off-diagonal convergence threshold `tol` is relative to the Frobenius
+/// norm. Throws std::invalid_argument when `a` is not square/symmetric.
+[[nodiscard]] DenseEigen dense_symmetric_eigen(const DenseMatrix& a,
+                                               double tol = 1e-13,
+                                               int max_sweeps = 100);
+
+/// Generalized eigenvalues of the pencil `A u = λ B u` restricted to the
+/// complement of the common nullspace of A and B (for graph Laplacians: the
+/// all-ones vector). Implemented by eigendecomposing B, forming
+/// `M = B^{+1/2} A B^{+1/2}` on the range of B, and eigendecomposing M.
+/// Eigenvalues whose B-eigenvalue is below `null_tol` (relative) are treated
+/// as nullspace directions and skipped.
+/// \returns ascending finite generalized eigenvalues.
+[[nodiscard]] Vec dense_generalized_eigenvalues(const DenseMatrix& a,
+                                                const DenseMatrix& b,
+                                                double null_tol = 1e-9);
+
+}  // namespace ssp

@@ -1,0 +1,131 @@
+#include "la/dense_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+DenseMatrix::DenseMatrix(Index rows, Index cols, double value)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+            value) {
+  SSP_REQUIRE(rows >= 0 && cols >= 0, "negative dimensions");
+}
+
+DenseMatrix DenseMatrix::from_csr(const CsrMatrix& a, Index max_dim) {
+  SSP_REQUIRE(a.rows() <= max_dim && a.cols() <= max_dim,
+              "matrix too large to densify");
+  DenseMatrix d(a.rows(), a.cols());
+  for (Index r = 0; r < a.rows(); ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      d(r, cols[k]) = vals[k];
+    }
+  }
+  return d;
+}
+
+DenseMatrix DenseMatrix::identity(Index n) {
+  DenseMatrix d(n, n);
+  for (Index i = 0; i < n; ++i) d(i, i) = 1.0;
+  return d;
+}
+
+double& DenseMatrix::operator()(Index r, Index c) {
+  SSP_DASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_, "index");
+  return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+               static_cast<std::size_t>(c)];
+}
+
+double DenseMatrix::operator()(Index r, Index c) const {
+  SSP_DASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_, "index");
+  return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+               static_cast<std::size_t>(c)];
+}
+
+void DenseMatrix::multiply(std::span<const double> x,
+                           std::span<double> y) const {
+  SSP_REQUIRE(static_cast<Index>(x.size()) == cols_, "multiply: x size");
+  SSP_REQUIRE(static_cast<Index>(y.size()) == rows_, "multiply: y size");
+  for (Index r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (Index c = 0; c < cols_; ++c) s += (*this)(r, c) * x[static_cast<std::size_t>(c)];
+    y[static_cast<std::size_t>(r)] = s;
+  }
+}
+
+Vec DenseMatrix::multiply(std::span<const double> x) const {
+  Vec y(static_cast<std::size_t>(rows_));
+  multiply(x, y);
+  return y;
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& b) const {
+  SSP_REQUIRE(cols_ == b.rows_, "multiply: inner dimension mismatch");
+  DenseMatrix out(rows_, b.cols_);
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (Index j = 0; j < b.cols_; ++j) {
+        out(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::transpose() const {
+  DenseMatrix out(cols_, rows_);
+  for (Index r = 0; r < rows_; ++r) {
+    for (Index c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+void DenseMatrix::cholesky_in_place() {
+  SSP_REQUIRE(rows_ == cols_, "cholesky: matrix must be square");
+  for (Index j = 0; j < cols_; ++j) {
+    double d = (*this)(j, j);
+    for (Index k = 0; k < j; ++k) d -= (*this)(j, k) * (*this)(j, k);
+    if (d <= 0.0) {
+      throw std::runtime_error("dense Cholesky: matrix is not SPD (pivot " +
+                               std::to_string(j) + " = " + std::to_string(d) +
+                               ")");
+    }
+    const double ljj = std::sqrt(d);
+    (*this)(j, j) = ljj;
+    for (Index i = j + 1; i < rows_; ++i) {
+      double s = (*this)(i, j);
+      for (Index k = 0; k < j; ++k) s -= (*this)(i, k) * (*this)(j, k);
+      (*this)(i, j) = s / ljj;
+    }
+  }
+}
+
+Vec DenseMatrix::cholesky_solve(std::span<const double> b) const {
+  SSP_REQUIRE(rows_ == cols_, "cholesky_solve: matrix must be square");
+  SSP_REQUIRE(static_cast<Index>(b.size()) == rows_, "cholesky_solve: b size");
+  Vec x(b.begin(), b.end());
+  // Forward: L y = b.
+  for (Index i = 0; i < rows_; ++i) {
+    double s = x[static_cast<std::size_t>(i)];
+    for (Index k = 0; k < i; ++k) s -= (*this)(i, k) * x[static_cast<std::size_t>(k)];
+    x[static_cast<std::size_t>(i)] = s / (*this)(i, i);
+  }
+  // Backward: L^T x = y.
+  for (Index i = rows_ - 1; i >= 0; --i) {
+    double s = x[static_cast<std::size_t>(i)];
+    for (Index k = i + 1; k < rows_; ++k) {
+      s -= (*this)(k, i) * x[static_cast<std::size_t>(k)];
+    }
+    x[static_cast<std::size_t>(i)] = s / (*this)(i, i);
+  }
+  return x;
+}
+
+}  // namespace ssp

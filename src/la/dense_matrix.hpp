@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file dense_matrix.hpp
+/// Small dense matrices. Used only as a *test oracle* (dense eigensolver for
+/// tiny graphs) and for the coarsest level of the AMG hierarchy — never on
+/// large problems.
+
+#include <span>
+#include <vector>
+
+#include "la/csr_matrix.hpp"
+#include "util/types.hpp"
+
+namespace ssp {
+
+/// Row-major dense matrix.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(Index rows, Index cols, double value = 0.0);
+
+  /// Densifies a sparse matrix (guards against accidentally huge inputs).
+  [[nodiscard]] static DenseMatrix from_csr(const CsrMatrix& a,
+                                            Index max_dim = 4096);
+
+  [[nodiscard]] static DenseMatrix identity(Index n);
+
+  [[nodiscard]] Index rows() const { return rows_; }
+  [[nodiscard]] Index cols() const { return cols_; }
+
+  [[nodiscard]] double& operator()(Index r, Index c);
+  [[nodiscard]] double operator()(Index r, Index c) const;
+
+  /// y = A x.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+  [[nodiscard]] Vec multiply(std::span<const double> x) const;
+
+  [[nodiscard]] DenseMatrix multiply(const DenseMatrix& b) const;
+  [[nodiscard]] DenseMatrix transpose() const;
+
+  /// In-place Cholesky factorization A = L L^T of an SPD matrix; the lower
+  /// triangle is overwritten with L. Throws std::runtime_error when a pivot
+  /// is not positive (matrix not SPD).
+  void cholesky_in_place();
+
+  /// Solves L L^T x = b given `this` holds the Cholesky factor in its lower
+  /// triangle (as produced by cholesky_in_place()).
+  [[nodiscard]] Vec cholesky_solve(std::span<const double> b) const;
+
+  [[nodiscard]] std::span<const double> data() const { return data_; }
+  [[nodiscard]] std::span<double> data() { return data_; }
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace ssp

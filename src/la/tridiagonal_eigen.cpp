@@ -1,0 +1,131 @@
+#include "la/tridiagonal_eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+namespace {
+
+double hypot2(double a, double b) { return std::hypot(a, b); }
+
+/// Implicit-shift QL on (d, e); when `z` is non-null, accumulates the
+/// rotations into its columns (z must start as identity or any orthogonal
+/// basis to rotate).
+void tql2_core(Vec& d, Vec& e, DenseMatrix* z) {
+  const Index n = static_cast<Index>(d.size());
+  if (n <= 1) return;
+  // e is shifted so that e[i] couples d[i] and d[i+1]; internally use the
+  // classic convention e[0..n-2] valid, with a zero sentinel at the end.
+  e.push_back(0.0);
+
+  for (Index l = 0; l < n; ++l) {
+    int iter = 0;
+    Index m = 0;
+    do {
+      for (m = l; m < n - 1; ++m) {
+        const double dd = std::abs(d[static_cast<std::size_t>(m)]) +
+                          std::abs(d[static_cast<std::size_t>(m) + 1]);
+        if (std::abs(e[static_cast<std::size_t>(m)]) <=
+            1e-16 * dd) {
+          break;
+        }
+      }
+      if (m != l) {
+        if (++iter == 50) {
+          throw std::runtime_error("tridiagonal QL: no convergence");
+        }
+        double g = (d[static_cast<std::size_t>(l) + 1] -
+                    d[static_cast<std::size_t>(l)]) /
+                   (2.0 * e[static_cast<std::size_t>(l)]);
+        double r = hypot2(g, 1.0);
+        g = d[static_cast<std::size_t>(m)] - d[static_cast<std::size_t>(l)] +
+            e[static_cast<std::size_t>(l)] /
+                (g + (g >= 0.0 ? std::abs(r) : -std::abs(r)));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        for (Index i = m - 1; i >= l; --i) {
+          double f = s * e[static_cast<std::size_t>(i)];
+          const double b = c * e[static_cast<std::size_t>(i)];
+          r = hypot2(f, g);
+          e[static_cast<std::size_t>(i) + 1] = r;
+          if (r == 0.0) {
+            d[static_cast<std::size_t>(i) + 1] -= p;
+            e[static_cast<std::size_t>(m)] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[static_cast<std::size_t>(i) + 1] - p;
+          r = (d[static_cast<std::size_t>(i)] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[static_cast<std::size_t>(i) + 1] = g + p;
+          g = c * r - b;
+          if (z != nullptr) {
+            for (Index k = 0; k < z->rows(); ++k) {
+              f = (*z)(k, i + 1);
+              (*z)(k, i + 1) = s * (*z)(k, i) + c * f;
+              (*z)(k, i) = c * (*z)(k, i) - s * f;
+            }
+          }
+        }
+        if (r == 0.0 && m - 1 >= l) continue;
+        d[static_cast<std::size_t>(l)] -= p;
+        e[static_cast<std::size_t>(l)] = g;
+        e[static_cast<std::size_t>(m)] = 0.0;
+      }
+    } while (m != l);
+  }
+  e.pop_back();
+}
+
+}  // namespace
+
+TridiagonalEigen tridiagonal_eigen(const Vec& diag, const Vec& offdiag) {
+  const Index n = static_cast<Index>(diag.size());
+  SSP_REQUIRE(n == 0 || static_cast<Index>(offdiag.size()) == n - 1,
+              "tridiagonal_eigen: offdiag must have length n-1");
+  TridiagonalEigen out;
+  if (n == 0) {
+    out.vectors = DenseMatrix(0, 0);
+    return out;
+  }
+  Vec d = diag;
+  Vec e = offdiag;
+  DenseMatrix z = DenseMatrix::identity(n);
+  tql2_core(d, e, &z);
+
+  // Sort ascending.
+  std::vector<Index> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), Index{0});
+  std::sort(perm.begin(), perm.end(), [&](Index a, Index b) {
+    return d[static_cast<std::size_t>(a)] < d[static_cast<std::size_t>(b)];
+  });
+  out.eigenvalues.resize(static_cast<std::size_t>(n));
+  out.vectors = DenseMatrix(n, n);
+  for (Index j = 0; j < n; ++j) {
+    const Index src = perm[static_cast<std::size_t>(j)];
+    out.eigenvalues[static_cast<std::size_t>(j)] =
+        d[static_cast<std::size_t>(src)];
+    for (Index i = 0; i < n; ++i) out.vectors(i, j) = z(i, src);
+  }
+  return out;
+}
+
+Vec tridiagonal_eigenvalues(const Vec& diag, const Vec& offdiag) {
+  const Index n = static_cast<Index>(diag.size());
+  SSP_REQUIRE(n == 0 || static_cast<Index>(offdiag.size()) == n - 1,
+              "tridiagonal_eigenvalues: offdiag must have length n-1");
+  Vec d = diag;
+  Vec e = offdiag;
+  tql2_core(d, e, nullptr);
+  std::sort(d.begin(), d.end());
+  return d;
+}
+
+}  // namespace ssp

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file tridiagonal_eigen.hpp
+/// Eigensolver for symmetric tridiagonal matrices — the reduction step of
+/// the Lanczos process (eigen/lanczos.hpp) produces exactly such matrices.
+/// Implements the implicit-shift QL algorithm (EISPACK `tql2` lineage).
+
+#include <vector>
+
+#include "la/dense_matrix.hpp"
+#include "util/types.hpp"
+
+namespace ssp {
+
+/// Eigendecomposition of the symmetric tridiagonal matrix with main diagonal
+/// `diag` (length n) and sub/super-diagonal `offdiag` (length n-1; empty
+/// when n <= 1).
+struct TridiagonalEigen {
+  Vec eigenvalues;      ///< ascending
+  DenseMatrix vectors;  ///< column j = eigenvector of eigenvalues[j]
+};
+
+/// Full eigendecomposition; throws std::invalid_argument on size mismatch
+/// and std::runtime_error when the QL iteration fails to converge (does not
+/// happen for well-formed input).
+[[nodiscard]] TridiagonalEigen tridiagonal_eigen(const Vec& diag,
+                                                 const Vec& offdiag);
+
+/// Eigenvalues only (same algorithm, skips eigenvector accumulation).
+[[nodiscard]] Vec tridiagonal_eigenvalues(const Vec& diag, const Vec& offdiag);
+
+}  // namespace ssp

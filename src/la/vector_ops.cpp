@@ -1,0 +1,98 @@
+#include "la/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  SSP_REQUIRE(x.size() == y.size(), "dot: size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+
+double norm_inf(std::span<const double> x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void axpy(double a, std::span<const double> x, std::span<double> y) {
+  SSP_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+void scale(std::span<double> x, double a) {
+  for (double& v : x) v *= a;
+}
+
+void fill(std::span<double> x, double a) {
+  std::fill(x.begin(), x.end(), a);
+}
+
+double mean(std::span<const double> x) {
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : x) s += v;
+  return s / static_cast<double>(x.size());
+}
+
+void project_out_mean(std::span<double> x) {
+  const double m = mean(x);
+  for (double& v : x) v -= m;
+}
+
+void normalize(std::span<double> x) {
+  const double n = norm2(x);
+  SSP_REQUIRE(n > 0.0, "normalize: zero vector");
+  scale(x, 1.0 / n);
+}
+
+Vec subtract(std::span<const double> x, std::span<const double> y) {
+  SSP_REQUIRE(x.size() == y.size(), "subtract: size mismatch");
+  Vec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+  return out;
+}
+
+Vec add(std::span<const double> x, std::span<const double> y) {
+  SSP_REQUIRE(x.size() == y.size(), "add: size mismatch");
+  Vec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + y[i];
+  return out;
+}
+
+double relative_error(std::span<const double> x, std::span<const double> y) {
+  SSP_REQUIRE(x.size() == y.size(), "relative_error: size mismatch");
+  const Vec d = subtract(x, y);
+  const double denom = std::max(norm2(y), 1e-300);
+  return norm2(d) / denom;
+}
+
+Vec random_probe_vector(Index n, Rng& rng) {
+  SSP_REQUIRE(n >= 2, "random_probe_vector: need n >= 2");
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    Vec v = attempt < 4 ? rng.rademacher_vector(n) : rng.normal_vector(n);
+    project_out_mean(v);
+    const double nrm = norm2(v);
+    if (nrm > 1e-12) {
+      scale(v, 1.0 / nrm);
+      return v;
+    }
+  }
+  // Deterministic fallback: e_0 - e_1 projected (never zero for n >= 2).
+  Vec v(static_cast<std::size_t>(n), 0.0);
+  v[0] = 1.0;
+  v[1] = -1.0;
+  project_out_mean(v);
+  normalize(v);
+  return v;
+}
+
+}  // namespace ssp

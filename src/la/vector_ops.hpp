@@ -1,0 +1,68 @@
+#pragma once
+
+/// \file vector_ops.hpp
+/// Dense vector kernels. Vectors are plain `std::vector<double>`; every
+/// routine also has a `std::span` form so callers can operate on sub-ranges
+/// without copies.
+///
+/// The spectral-sparsification pipeline works exclusively in the subspace
+/// orthogonal to the all-ones vector (the common nullspace of connected
+/// graph Laplacians); `project_out_mean` implements that projection and is
+/// used after every operator application.
+
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ssp {
+
+using Vec = std::vector<double>;
+
+/// Inner product <x, y>. Sizes must match.
+[[nodiscard]] double dot(std::span<const double> x, std::span<const double> y);
+
+/// Euclidean norm ||x||_2.
+[[nodiscard]] double norm2(std::span<const double> x);
+
+/// Infinity norm ||x||_inf.
+[[nodiscard]] double norm_inf(std::span<const double> x);
+
+/// y += a*x.
+void axpy(double a, std::span<const double> x, std::span<double> y);
+
+/// x *= a.
+void scale(std::span<double> x, double a);
+
+/// x := a (fill).
+void fill(std::span<double> x, double a);
+
+/// Arithmetic mean of x (0 for empty).
+[[nodiscard]] double mean(std::span<const double> x);
+
+/// Subtracts the mean from every entry: x := (I - (1/n) 11^T) x.
+void project_out_mean(std::span<double> x);
+
+/// Normalizes x to unit Euclidean norm. Throws std::invalid_argument when
+/// ||x|| is zero (no direction to normalize).
+void normalize(std::span<double> x);
+
+/// Returns x - y.
+[[nodiscard]] Vec subtract(std::span<const double> x, std::span<const double> y);
+
+/// Returns x + y.
+[[nodiscard]] Vec add(std::span<const double> x, std::span<const double> y);
+
+/// Relative Euclidean distance ||x - y|| / max(||y||, eps).
+[[nodiscard]] double relative_error(std::span<const double> x,
+                                    std::span<const double> y);
+
+class Rng;
+
+/// Zero-mean unit-norm random probe vector (Rademacher entries). Redraws —
+/// falling back to Gaussian entries — when the mean-projection annihilates
+/// the draw, which happens with probability 2^{1−n} for ±1 vectors (certain
+/// failure mode for n = 2).
+[[nodiscard]] Vec random_probe_vector(Index n, Rng& rng);
+
+}  // namespace ssp

@@ -1,0 +1,42 @@
+#include "partition/metrics.hpp"
+
+#include <algorithm>
+
+#include "partition/sign_cut.hpp"
+#include "util/assert.hpp"
+
+namespace ssp {
+
+CutMetrics evaluate_cut(const Graph& g, std::span<const std::uint8_t> side) {
+  SSP_REQUIRE(g.finalized(), "evaluate_cut: graph must be finalized");
+  SSP_REQUIRE(static_cast<Index>(side.size()) == g.num_vertices(),
+              "evaluate_cut: partition size mismatch");
+  CutMetrics m;
+  double vol_pos = 0.0;
+  double vol_neg = 0.0;
+  std::size_t n_pos = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    if (side[static_cast<std::size_t>(v)] != 0) {
+      vol_pos += g.weighted_degree(v);
+      ++n_pos;
+    } else {
+      vol_neg += g.weighted_degree(v);
+    }
+  }
+  SSP_REQUIRE(n_pos > 0 && n_pos < static_cast<std::size_t>(g.num_vertices()),
+              "evaluate_cut: one side of the partition is empty");
+
+  for (const Edge& e : g.edges()) {
+    if (side[static_cast<std::size_t>(e.u)] !=
+        side[static_cast<std::size_t>(e.v)]) {
+      m.cut_weight += e.weight;
+      ++m.cut_edges;
+    }
+  }
+  m.balance = sign_balance(side);
+  const double vol_min = std::max(std::min(vol_pos, vol_neg), 1e-300);
+  m.conductance = m.cut_weight / vol_min;
+  return m;
+}
+
+}  // namespace ssp

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Cut-quality metrics for two-way partitions.
+
+#include <cstdint>
+#include <span>
+
+#include "graph/graph.hpp"
+
+namespace ssp {
+
+struct CutMetrics {
+  double cut_weight = 0.0;   ///< Σ w(e) over edges crossing the cut
+  Index cut_edges = 0;       ///< number of crossing edges
+  double balance = 0.0;      ///< |V₊|/|V₋|
+  /// cut_weight / min(vol₊, vol₋) with vol = Σ weighted degree — the
+  /// conductance Φ of the cut.
+  double conductance = 0.0;
+};
+
+/// Evaluates a 0/1 partition of g's vertices. Throws when a side is empty
+/// or sizes mismatch.
+[[nodiscard]] CutMetrics evaluate_cut(const Graph& g,
+                                      std::span<const std::uint8_t> side);
+
+}  // namespace ssp

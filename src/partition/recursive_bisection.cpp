@@ -1,0 +1,139 @@
+#include "partition/recursive_bisection.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/connectivity.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace ssp {
+
+namespace {
+
+/// A part pending further splitting: its vertices (original ids).
+struct Part {
+  std::vector<Vertex> vertices;
+};
+
+/// Builds the induced subgraph on `vertices`; returns it plus the local→
+/// original vertex map (the induced graph may be disconnected — callers
+/// bisect its largest component and keep the rest with side 0).
+Graph induced_subgraph(const Graph& g, std::span<const Vertex> vertices,
+                       std::vector<Vertex>& local_to_orig) {
+  std::vector<Vertex> orig_to_local(
+      static_cast<std::size_t>(g.num_vertices()), kInvalidVertex);
+  local_to_orig.assign(vertices.begin(), vertices.end());
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    orig_to_local[static_cast<std::size_t>(vertices[i])] =
+        static_cast<Vertex>(i);
+  }
+  Graph sub(static_cast<Vertex>(vertices.size()));
+  for (const Edge& e : g.edges()) {
+    const Vertex lu = orig_to_local[static_cast<std::size_t>(e.u)];
+    const Vertex lv = orig_to_local[static_cast<std::size_t>(e.v)];
+    if (lu != kInvalidVertex && lv != kInvalidVertex) {
+      sub.add_edge(lu, lv, e.weight);
+    }
+  }
+  sub.finalize();
+  return sub;
+}
+
+}  // namespace
+
+RecursiveBisectionResult recursive_bisection(
+    const Graph& g, const RecursiveBisectionOptions& opts) {
+  SSP_REQUIRE(g.finalized(), "recursive_bisection: graph must be finalized");
+  SSP_REQUIRE(opts.num_parts >= 2, "recursive_bisection: need >= 2 parts");
+  SSP_REQUIRE(opts.min_part_size >= 4,
+              "recursive_bisection: min_part_size must be >= 4");
+  SSP_REQUIRE(is_connected(g), "recursive_bisection: graph must be connected");
+
+  const WallTimer timer;
+  RecursiveBisectionResult out;
+  out.assignment.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+
+  // Worklist ordered by size: always split the largest remaining part.
+  auto size_cmp = [](const Part& a, const Part& b) {
+    return a.vertices.size() < b.vertices.size();
+  };
+  std::priority_queue<Part, std::vector<Part>, decltype(size_cmp)> work(
+      size_cmp);
+  {
+    Part all;
+    all.vertices.resize(static_cast<std::size_t>(g.num_vertices()));
+    for (Vertex v = 0; v < g.num_vertices(); ++v) {
+      all.vertices[static_cast<std::size_t>(v)] = v;
+    }
+    work.push(std::move(all));
+  }
+  Index parts_made = 1;
+  Vertex next_label = 1;
+
+  while (parts_made < opts.num_parts && !work.empty()) {
+    Part part = work.top();
+    work.pop();
+    if (static_cast<Index>(part.vertices.size()) <
+        2 * opts.min_part_size) {
+      continue;  // too small to split; label stays
+    }
+    std::vector<Vertex> local_to_orig;
+    const Graph sub = induced_subgraph(g, part.vertices, local_to_orig);
+    // Bisect the largest component of the induced subgraph; stragglers in
+    // other components keep the part's current label.
+    std::vector<Vertex> comp_to_sub;
+    const Graph comp = largest_component(sub, &comp_to_sub);
+    if (comp.num_vertices() < 2 * static_cast<Vertex>(opts.min_part_size)) {
+      continue;
+    }
+    BisectionResult cut;
+    try {
+      cut = spectral_bisection(comp, opts.bisection);
+    } catch (const std::exception&) {
+      continue;  // degenerate piece; leave unsplit
+    }
+
+    Part side1;
+    Part side0;
+    for (Vertex c = 0; c < comp.num_vertices(); ++c) {
+      const Vertex orig = local_to_orig[static_cast<std::size_t>(
+          comp_to_sub[static_cast<std::size_t>(c)])];
+      if (cut.partition[static_cast<std::size_t>(c)] != 0) {
+        side1.vertices.push_back(orig);
+      } else {
+        side0.vertices.push_back(orig);
+      }
+    }
+    if (side1.vertices.empty() || side0.vertices.empty()) continue;
+    for (Vertex v : side1.vertices) {
+      out.assignment[static_cast<std::size_t>(v)] = next_label;
+    }
+    ++next_label;
+    ++parts_made;
+    work.push(std::move(side0));
+    work.push(std::move(side1));
+  }
+
+  // Compact labels and compute the cut weight.
+  std::vector<Vertex> remap(static_cast<std::size_t>(next_label),
+                            kInvalidVertex);
+  Vertex compact = 0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    auto& m = remap[static_cast<std::size_t>(
+        out.assignment[static_cast<std::size_t>(v)])];
+    if (m == kInvalidVertex) m = compact++;
+    out.assignment[static_cast<std::size_t>(v)] = m;
+  }
+  out.parts = compact;
+  for (const Edge& e : g.edges()) {
+    if (out.assignment[static_cast<std::size_t>(e.u)] !=
+        out.assignment[static_cast<std::size_t>(e.v)]) {
+      out.total_cut_weight += e.weight;
+    }
+  }
+  out.seconds = timer.seconds();
+  return out;
+}
+
+}  // namespace ssp

@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file recursive_bisection.hpp
+/// Recursive spectral bisection: k-way partitioning by repeatedly
+/// bisecting the largest part with Fiedler sign cuts — the classic
+/// Chaco-lineage alternative to the k-means embedding of
+/// spectral_clustering.hpp. Each sub-bisection runs on the induced
+/// subgraph (largest connected component) with the same direct /
+/// sparsifier-PCG solver choices as spectral_bisection.
+
+#include "partition/spectral_bisection.hpp"
+
+namespace ssp {
+
+struct RecursiveBisectionOptions {
+  Index num_parts = 4;  ///< target part count (>= 2; need not be a power of 2)
+  BisectionOptions bisection;  ///< solver configuration per cut
+  /// Parts smaller than this are never split further.
+  Index min_part_size = 8;
+};
+
+struct RecursiveBisectionResult {
+  std::vector<Vertex> assignment;  ///< per-vertex part id in [0, parts)
+  Index parts = 0;                 ///< parts actually produced
+  double total_cut_weight = 0.0;   ///< Σ w(e) over edges between parts
+  double seconds = 0.0;
+};
+
+/// Partitions a connected graph into (up to) `num_parts` parts.
+[[nodiscard]] RecursiveBisectionResult recursive_bisection(
+    const Graph& g, const RecursiveBisectionOptions& opts = {});
+
+}  // namespace ssp

@@ -1,0 +1,39 @@
+#include "partition/sign_cut.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+std::vector<std::uint8_t> sign_cut(std::span<const double> vec) {
+  std::vector<std::uint8_t> side(vec.size());
+  for (std::size_t i = 0; i < vec.size(); ++i) {
+    side[i] = vec[i] >= 0.0 ? 1 : 0;
+  }
+  return side;
+}
+
+double sign_balance(std::span<const std::uint8_t> side) {
+  std::size_t pos = 0;
+  for (std::uint8_t s : side) pos += s;
+  const std::size_t neg = side.size() - pos;
+  if (neg == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(pos) / static_cast<double>(neg);
+}
+
+double sign_disagreement(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b) {
+  SSP_REQUIRE(a.size() == b.size(), "sign_disagreement: size mismatch");
+  SSP_REQUIRE(!a.empty(), "sign_disagreement: empty partitions");
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) ++diff;
+  }
+  const std::size_t same_flip = a.size() - diff;
+  return static_cast<double>(std::min(diff, same_flip)) /
+         static_cast<double>(a.size());
+}
+
+}  // namespace ssp

@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file sign_cut.hpp
+/// Sign-cut partitioning from an (approximate) Fiedler vector — the method
+/// of the paper's Table 3 ("partitioned into two pieces using sign cut
+/// method [18] according to the approximate Fiedler vectors").
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ssp {
+
+/// side[v] = 1 when vec[v] >= 0, else 0.
+[[nodiscard]] std::vector<std::uint8_t> sign_cut(std::span<const double> vec);
+
+/// |V₊| / |V₋| — the balance ratio reported in Table 3. Returns +inf when
+/// the negative side is empty.
+[[nodiscard]] double sign_balance(std::span<const std::uint8_t> side);
+
+/// Fraction of vertices whose side differs between two partitions, taking
+/// the better of the two global sign flips — the paper's Rel.Err metric
+/// |V_dif|/|V| (Fiedler vectors are defined up to sign).
+[[nodiscard]] double sign_disagreement(std::span<const std::uint8_t> a,
+                                       std::span<const std::uint8_t> b);
+
+}  // namespace ssp

@@ -1,0 +1,243 @@
+#include "partition/spectral_clustering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "eigen/lanczos.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/laplacian.hpp"
+#include "la/vector_ops.hpp"
+#include "solver/pcg.hpp"
+#include "solver/preconditioner.hpp"
+#include "tree/kruskal.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace ssp {
+
+namespace {
+
+/// Row-major n×k spectral embedding built from eigenvectors.
+struct Embedding {
+  Index n = 0;
+  Index k = 0;
+  Vec coords;  // coords[v*k + j]
+
+  [[nodiscard]] double sq_dist_to(Index v, std::span<const double> center) const {
+    double s = 0.0;
+    for (Index j = 0; j < k; ++j) {
+      const double d =
+          coords[static_cast<std::size_t>(v * k + j)] - center[static_cast<std::size_t>(j)];
+      s += d * d;
+    }
+    return s;
+  }
+};
+
+struct KmeansResult {
+  std::vector<Vertex> assignment;
+  double objective = std::numeric_limits<double>::infinity();
+};
+
+KmeansResult kmeans_once(const Embedding& emb, Index k, Index iterations,
+                         Rng& rng) {
+  const Index n = emb.n;
+  // k-means++ seeding.
+  std::vector<Vec> centers;
+  centers.reserve(static_cast<std::size_t>(k));
+  {
+    const auto first = static_cast<Index>(rng.uniform_int(0, n - 1));
+    centers.emplace_back(emb.coords.begin() + first * emb.k,
+                         emb.coords.begin() + (first + 1) * emb.k);
+    Vec d2(static_cast<std::size_t>(n));
+    while (static_cast<Index>(centers.size()) < k) {
+      double total = 0.0;
+      for (Index v = 0; v < n; ++v) {
+        double best = std::numeric_limits<double>::infinity();
+        for (const Vec& c : centers) {
+          best = std::min(best, emb.sq_dist_to(v, c));
+        }
+        d2[static_cast<std::size_t>(v)] = best;
+        total += best;
+      }
+      if (total <= 0.0) {
+        // All points coincide with centers; duplicate one.
+        centers.push_back(centers.front());
+        continue;
+      }
+      double pick = rng.uniform() * total;
+      Index chosen = n - 1;
+      for (Index v = 0; v < n; ++v) {
+        pick -= d2[static_cast<std::size_t>(v)];
+        if (pick <= 0.0) {
+          chosen = v;
+          break;
+        }
+      }
+      centers.emplace_back(emb.coords.begin() + chosen * emb.k,
+                           emb.coords.begin() + (chosen + 1) * emb.k);
+    }
+  }
+
+  KmeansResult res;
+  res.assignment.assign(static_cast<std::size_t>(n), 0);
+  std::vector<Index> counts(static_cast<std::size_t>(k));
+  for (Index it = 0; it < iterations; ++it) {
+    bool changed = false;
+    // Assignment step.
+    for (Index v = 0; v < n; ++v) {
+      Index best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (Index c = 0; c < k; ++c) {
+        const double d = emb.sq_dist_to(v, centers[static_cast<std::size_t>(c)]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (res.assignment[static_cast<std::size_t>(v)] !=
+          static_cast<Vertex>(best)) {
+        res.assignment[static_cast<std::size_t>(v)] =
+            static_cast<Vertex>(best);
+        changed = true;
+      }
+    }
+    // Update step.
+    for (Vec& c : centers) fill(c, 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (Index v = 0; v < n; ++v) {
+      const auto c = static_cast<std::size_t>(res.assignment[static_cast<std::size_t>(v)]);
+      ++counts[c];
+      for (Index j = 0; j < emb.k; ++j) {
+        centers[c][static_cast<std::size_t>(j)] +=
+            emb.coords[static_cast<std::size_t>(v * emb.k + j)];
+      }
+    }
+    for (Index c = 0; c < k; ++c) {
+      if (counts[static_cast<std::size_t>(c)] == 0) {
+        // Re-seed an empty cluster at a random point.
+        const auto v = static_cast<Index>(rng.uniform_int(0, n - 1));
+        std::copy(emb.coords.begin() + v * emb.k,
+                  emb.coords.begin() + (v + 1) * emb.k,
+                  centers[static_cast<std::size_t>(c)].begin());
+        continue;
+      }
+      scale(centers[static_cast<std::size_t>(c)],
+            1.0 / static_cast<double>(counts[static_cast<std::size_t>(c)]));
+    }
+    if (!changed) break;
+  }
+  // Objective.
+  res.objective = 0.0;
+  for (Index v = 0; v < n; ++v) {
+    res.objective += emb.sq_dist_to(
+        v, centers[static_cast<std::size_t>(
+               res.assignment[static_cast<std::size_t>(v)])]);
+  }
+  return res;
+}
+
+}  // namespace
+
+SpectralClusteringResult spectral_clustering(
+    const Graph& g, const LinOp& solve,
+    const SpectralClusteringOptions& opts) {
+  SSP_REQUIRE(g.finalized(), "clustering: graph must be finalized");
+  SSP_REQUIRE(opts.num_clusters >= 2, "clustering: need k >= 2");
+  SSP_REQUIRE(opts.num_clusters < g.num_vertices(),
+              "clustering: k must be < |V|");
+  SSP_REQUIRE(opts.kmeans_restarts >= 1, "clustering: need >= 1 restart");
+
+  const Index n = g.num_vertices();
+  const Index k = opts.num_clusters;
+  Rng rng(opts.seed);
+
+  SpectralClusteringResult out;
+  {
+    const WallTimer t;
+    const Index steps =
+        opts.lanczos_steps > 0 ? opts.lanczos_steps : 3 * k + 20;
+    const EigenPairs pairs =
+        smallest_laplacian_eigenpairs(n, k, solve, steps, rng);
+    SSP_ASSERT(!pairs.vectors.empty(), "clustering: eigensolver failed");
+    out.eigenvalues = pairs.values;
+    out.eigensolver_seconds = t.seconds();
+
+    // Build the n×k' embedding (k' = pairs found; may be < k on tiny
+    // graphs).
+    Embedding emb;
+    emb.n = n;
+    emb.k = static_cast<Index>(pairs.vectors.size());
+    emb.coords.resize(static_cast<std::size_t>(n * emb.k));
+    for (Index j = 0; j < emb.k; ++j) {
+      const Vec& u = pairs.vectors[static_cast<std::size_t>(j)];
+      for (Index v = 0; v < n; ++v) {
+        emb.coords[static_cast<std::size_t>(v * emb.k + j)] =
+            u[static_cast<std::size_t>(v)];
+      }
+    }
+
+    const WallTimer tk;
+    KmeansResult best;
+    for (Index r = 0; r < opts.kmeans_restarts; ++r) {
+      KmeansResult attempt =
+          kmeans_once(emb, k, opts.kmeans_iterations, rng);
+      if (attempt.objective < best.objective) best = std::move(attempt);
+    }
+    out.assignment = std::move(best.assignment);
+    out.kmeans_objective = best.objective;
+    out.kmeans_seconds = tk.seconds();
+  }
+  return out;
+}
+
+SpectralClusteringResult spectral_clustering(
+    const Graph& g, const SpectralClusteringOptions& opts) {
+  SSP_REQUIRE(is_connected(g), "clustering: graph must be connected");
+  const CsrMatrix l = laplacian(g);
+  const SpanningTree tree = max_weight_spanning_tree(g);
+  const TreePreconditioner precond(tree);
+  const LinOp solve = make_pcg_op(
+      l, precond,
+      {.max_iterations = 3000,
+       .rel_tolerance = opts.solver_tolerance,
+       .project_constants = true});
+  return spectral_clustering(g, solve, opts);
+}
+
+double normalized_mutual_information(std::span<const Vertex> a,
+                                     std::span<const Vertex> b) {
+  SSP_REQUIRE(a.size() == b.size() && !a.empty(),
+              "nmi: assignments must be non-empty and equal-sized");
+  const double n = static_cast<double>(a.size());
+  std::map<Vertex, double> pa;
+  std::map<Vertex, double> pb;
+  std::map<std::pair<Vertex, Vertex>, double> pab;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    pa[a[i]] += 1.0;
+    pb[b[i]] += 1.0;
+    pab[{a[i], b[i]}] += 1.0;
+  }
+  double ha = 0.0;
+  for (auto& [label, c] : pa) {
+    c /= n;
+    ha -= c * std::log(c);
+  }
+  double hb = 0.0;
+  for (auto& [label, c] : pb) {
+    c /= n;
+    hb -= c * std::log(c);
+  }
+  double mi = 0.0;
+  for (auto& [labels, c] : pab) {
+    c /= n;
+    mi += c * std::log(c / (pa[labels.first] * pb[labels.second]));
+  }
+  if (ha <= 0.0 && hb <= 0.0) return 1.0;  // both single-cluster
+  const double denom = std::sqrt(std::max(ha, 1e-300) * std::max(hb, 1e-300));
+  return std::clamp(mi / denom, 0.0, 1.0);
+}
+
+}  // namespace ssp

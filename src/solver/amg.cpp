@@ -1,0 +1,289 @@
+#include "solver/amg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/vector_ops.hpp"
+#include "util/assert.hpp"
+
+namespace ssp {
+
+namespace {
+
+/// Greedy heavy-edge aggregation. Returns (aggregate labels, #aggregates).
+std::pair<std::vector<Vertex>, Index> aggregate_heavy_edge(
+    const CsrMatrix& a) {
+  const Index n = a.rows();
+  std::vector<Vertex> agg(static_cast<std::size_t>(n), kInvalidVertex);
+  Index next_agg = 0;
+
+  // Pass 1: pair each unaggregated vertex with its strongest unaggregated
+  // neighbor.
+  for (Index v = 0; v < n; ++v) {
+    if (agg[static_cast<std::size_t>(v)] != kInvalidVertex) continue;
+    const auto cols = a.row_cols(v);
+    const auto vals = a.row_vals(v);
+    Vertex best = kInvalidVertex;
+    double best_w = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const Vertex u = cols[k];
+      if (u == v || agg[static_cast<std::size_t>(u)] != kInvalidVertex) {
+        continue;
+      }
+      const double w = std::abs(vals[k]);
+      if (w > best_w) {
+        best_w = w;
+        best = u;
+      }
+    }
+    agg[static_cast<std::size_t>(v)] = static_cast<Vertex>(next_agg);
+    if (best != kInvalidVertex) {
+      agg[static_cast<std::size_t>(best)] = static_cast<Vertex>(next_agg);
+    }
+    ++next_agg;
+  }
+  // Pass 2: absorb remaining singleton aggregates into their strongest
+  // neighboring aggregate when it reduces the aggregate count. (Every
+  // vertex is labelled after pass 1; this pass merges 1-vertex aggregates.)
+  std::vector<Index> agg_size(static_cast<std::size_t>(next_agg), 0);
+  for (Index v = 0; v < n; ++v) {
+    ++agg_size[static_cast<std::size_t>(agg[static_cast<std::size_t>(v)])];
+  }
+  for (Index v = 0; v < n; ++v) {
+    const Vertex mine = agg[static_cast<std::size_t>(v)];
+    if (agg_size[static_cast<std::size_t>(mine)] != 1) continue;
+    const auto cols = a.row_cols(v);
+    const auto vals = a.row_vals(v);
+    Vertex best_agg = kInvalidVertex;
+    double best_w = 0.0;
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      const Vertex u = cols[k];
+      if (u == v) continue;
+      const double w = std::abs(vals[k]);
+      if (w > best_w) {
+        best_w = w;
+        best_agg = agg[static_cast<std::size_t>(u)];
+      }
+    }
+    if (best_agg != kInvalidVertex && best_agg != mine) {
+      agg[static_cast<std::size_t>(v)] = best_agg;
+      --agg_size[static_cast<std::size_t>(mine)];
+      ++agg_size[static_cast<std::size_t>(best_agg)];
+    }
+  }
+  // Compact aggregate ids (some may have emptied in pass 2).
+  std::vector<Vertex> remap(static_cast<std::size_t>(next_agg),
+                            kInvalidVertex);
+  Index compact = 0;
+  for (Index v = 0; v < n; ++v) {
+    const Vertex g = agg[static_cast<std::size_t>(v)];
+    if (remap[static_cast<std::size_t>(g)] == kInvalidVertex) {
+      remap[static_cast<std::size_t>(g)] = static_cast<Vertex>(compact++);
+    }
+    agg[static_cast<std::size_t>(v)] = remap[static_cast<std::size_t>(g)];
+  }
+  return {std::move(agg), compact};
+}
+
+/// Galerkin triple product with piecewise-constant prolongation:
+/// A_c(I, J) = Σ_{agg(i)=I, agg(j)=J} A(i, j).
+CsrMatrix galerkin_coarse(const CsrMatrix& a, std::span<const Vertex> agg,
+                          Index coarse_n) {
+  std::vector<Triplet> ts;
+  ts.reserve(static_cast<std::size_t>(a.nnz()));
+  for (Index r = 0; r < a.rows(); ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    const Vertex ar = agg[static_cast<std::size_t>(r)];
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      ts.push_back({ar, agg[static_cast<std::size_t>(cols[k])], vals[k]});
+    }
+  }
+  CsrMatrix coarse = CsrMatrix::from_triplets(coarse_n, coarse_n, ts);
+  coarse.drop_explicit_zeros();
+  return coarse;
+}
+
+}  // namespace
+
+AmgHierarchy AmgHierarchy::build(const CsrMatrix& a, const AmgOptions& opts) {
+  SSP_REQUIRE(a.rows() == a.cols(), "amg: matrix not square");
+  SSP_REQUIRE(a.rows() >= 1, "amg: empty matrix");
+  AmgHierarchy h;
+  h.opts_ = opts;
+  h.laplacian_mode_ = opts.laplacian_mode;
+
+  CsrMatrix current = a;
+  for (Index level = 0; level < opts.max_levels; ++level) {
+    Level lv;
+    lv.a = std::move(current);
+    lv.inv_diag = lv.a.diagonal();
+    for (double& d : lv.inv_diag) {
+      SSP_REQUIRE(d > 0.0, "amg: non-positive diagonal");
+      d = 1.0 / d;
+    }
+    const Index n = lv.a.rows();
+    if (n <= opts.coarse_size || level == opts.max_levels - 1) {
+      h.levels_.push_back(std::move(lv));
+      break;
+    }
+    auto [agg, coarse_n] = aggregate_heavy_edge(lv.a);
+    if (coarse_n >= n) {
+      // No coarsening progress (e.g. diagonal matrix): stop here.
+      h.levels_.push_back(std::move(lv));
+      break;
+    }
+    CsrMatrix coarse = galerkin_coarse(lv.a, agg, coarse_n);
+    lv.aggregate = std::move(agg);
+    lv.coarse_n = coarse_n;
+    h.levels_.push_back(std::move(lv));
+    current = std::move(coarse);
+  }
+
+  // Dense coarse solve with tiny Tikhonov regularization (handles the
+  // singular Laplacian; solutions are re-centered after the solve).
+  const Level& last = h.levels_.back();
+  DenseMatrix dense = DenseMatrix::from_csr(last.a, /*max_dim=*/8192);
+  double dmax = 0.0;
+  for (Index i = 0; i < dense.rows(); ++i) {
+    dmax = std::max(dmax, dense(i, i));
+  }
+  const double shift =
+      h.laplacian_mode_ ? std::max(dmax, 1.0) * 1e-10 : 0.0;
+  for (Index i = 0; i < dense.rows(); ++i) dense(i, i) += shift;
+  dense.cholesky_in_place();
+  h.coarse_factor_ = std::move(dense);
+  return h;
+}
+
+void AmgHierarchy::smooth(const Level& lv, std::span<const double> b,
+                          std::span<double> x, int sweeps) const {
+  const Index n = lv.a.rows();
+  if (opts_.smoother == AmgOptions::Smoother::kJacobi) {
+    Vec r(static_cast<std::size_t>(n));
+    for (int s = 0; s < sweeps; ++s) {
+      lv.a.multiply(x, r);
+      for (Index i = 0; i < n; ++i) {
+        x[static_cast<std::size_t>(i)] +=
+            opts_.jacobi_weight *
+            (b[static_cast<std::size_t>(i)] - r[static_cast<std::size_t>(i)]) *
+            lv.inv_diag[static_cast<std::size_t>(i)];
+      }
+    }
+    return;
+  }
+  // Symmetric Gauss–Seidel: one forward sweep followed by one backward
+  // sweep per requested "sweep" (keeps the smoother — and hence the
+  // V-cycle — symmetric).
+  auto gs_pass = [&](bool forward) {
+    const Index begin = forward ? 0 : n - 1;
+    const Index end = forward ? n : -1;
+    const Index step = forward ? 1 : -1;
+    for (Index i = begin; i != end; i += step) {
+      const auto cols = lv.a.row_cols(i);
+      const auto vals = lv.a.row_vals(i);
+      double s = b[static_cast<std::size_t>(i)];
+      double diag = 0.0;
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        const Index j = cols[k];
+        if (j == i) {
+          diag = vals[k];
+        } else {
+          s -= vals[k] * x[static_cast<std::size_t>(j)];
+        }
+      }
+      SSP_DASSERT(diag > 0.0, "amg: zero diagonal in GS sweep");
+      x[static_cast<std::size_t>(i)] = s / diag;
+    }
+  };
+  for (int s = 0; s < sweeps; ++s) {
+    gs_pass(true);
+    gs_pass(false);
+  }
+}
+
+void AmgHierarchy::cycle_at(std::size_t level, std::span<const double> b,
+                            std::span<double> x) const {
+  const Level& lv = levels_[level];
+  if (level + 1 == levels_.size()) {
+    // Coarsest: dense (regularized) Cholesky.
+    Vec xb = coarse_factor_.cholesky_solve(b);
+    std::copy(xb.begin(), xb.end(), x.begin());
+    if (laplacian_mode_) project_out_mean(x);
+    return;
+  }
+  smooth(lv, b, x, opts_.pre_sweeps);
+
+  // Coarse-grid correction.
+  const Index n = lv.a.rows();
+  Vec r(static_cast<std::size_t>(n));
+  lv.a.multiply(x, r);
+  for (Index i = 0; i < n; ++i) {
+    r[static_cast<std::size_t>(i)] =
+        b[static_cast<std::size_t>(i)] - r[static_cast<std::size_t>(i)];
+  }
+  Vec rc(static_cast<std::size_t>(lv.coarse_n), 0.0);
+  for (Index i = 0; i < n; ++i) {
+    rc[static_cast<std::size_t>(lv.aggregate[static_cast<std::size_t>(i)])] +=
+        r[static_cast<std::size_t>(i)];
+  }
+  Vec xc(static_cast<std::size_t>(lv.coarse_n), 0.0);
+  cycle_at(level + 1, rc, xc);
+  for (Index i = 0; i < n; ++i) {
+    x[static_cast<std::size_t>(i)] +=
+        xc[static_cast<std::size_t>(lv.aggregate[static_cast<std::size_t>(i)])];
+  }
+
+  smooth(lv, b, x, opts_.post_sweeps);
+}
+
+void AmgHierarchy::vcycle(std::span<const double> b,
+                          std::span<double> x) const {
+  SSP_REQUIRE(!levels_.empty(), "amg: hierarchy not built");
+  SSP_REQUIRE(static_cast<Index>(b.size()) == size() &&
+                  static_cast<Index>(x.size()) == size(),
+              "amg: size mismatch");
+  if (laplacian_mode_) {
+    Vec bp(b.begin(), b.end());
+    project_out_mean(bp);
+    cycle_at(0, bp, x);
+    project_out_mean(x);
+  } else {
+    cycle_at(0, b, x);
+  }
+}
+
+Index AmgHierarchy::solve(std::span<const double> b, std::span<double> x,
+                          double rel_tol, Index max_cycles) const {
+  const CsrMatrix& a = levels_.front().a;
+  Vec bp(b.begin(), b.end());
+  if (laplacian_mode_) project_out_mean(bp);
+  const double bnorm = norm2(bp);
+  if (bnorm == 0.0) {
+    fill(x, 0.0);
+    return 0;
+  }
+  Vec r(static_cast<std::size_t>(size()));
+  for (Index cycle = 1; cycle <= max_cycles; ++cycle) {
+    vcycle(bp, x);
+    a.multiply(x, r);
+    for (std::size_t i = 0; i < r.size(); ++i) r[i] = bp[i] - r[i];
+    if (norm2(r) <= rel_tol * bnorm) return cycle;
+  }
+  return max_cycles;
+}
+
+double AmgHierarchy::operator_complexity() const {
+  if (levels_.empty()) return 0.0;
+  double total = 0.0;
+  for (const Level& lv : levels_) total += static_cast<double>(lv.a.nnz());
+  return total / static_cast<double>(levels_.front().a.nnz());
+}
+
+void AmgPreconditioner::apply(std::span<const double> r,
+                              std::span<double> z) const {
+  fill(z, 0.0);
+  amg_->vcycle(r, z);
+}
+
+}  // namespace ssp

@@ -1,0 +1,296 @@
+#include "solver/cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "la/vector_ops.hpp"
+#include "solver/ordering.hpp"
+#include "util/assert.hpp"
+
+namespace ssp {
+
+namespace {
+
+/// Pattern of row k of the Cholesky factor via elimination-tree reach
+/// (CSparse `cs_ereach`): for every entry A(k, i) with i < k, walk up the
+/// etree until hitting an already-marked vertex, collecting the path. The
+/// returned range s[top..n) lists the pattern in topological order.
+Index ereach(const CsrMatrix& a, Index k, std::span<const Vertex> parent,
+             std::span<Vertex> s, std::span<Vertex> w, Vertex mark) {
+  Index top = a.rows();
+  w[static_cast<std::size_t>(k)] = mark;
+  std::vector<Vertex> stack;  // short etree-path buffer
+  for (Vertex i : a.row_cols(k)) {
+    if (i >= k) continue;
+    stack.clear();
+    Vertex x = i;
+    while (x != kInvalidVertex && w[static_cast<std::size_t>(x)] != mark) {
+      stack.push_back(x);
+      w[static_cast<std::size_t>(x)] = mark;
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    while (!stack.empty()) {
+      s[static_cast<std::size_t>(--top)] = stack.back();
+      stack.pop_back();
+    }
+  }
+  return top;
+}
+
+}  // namespace
+
+std::vector<Vertex> elimination_tree(const CsrMatrix& a) {
+  SSP_REQUIRE(a.rows() == a.cols(), "etree: matrix not square");
+  const Index n = a.rows();
+  std::vector<Vertex> parent(static_cast<std::size_t>(n), kInvalidVertex);
+  std::vector<Vertex> ancestor(static_cast<std::size_t>(n), kInvalidVertex);
+  for (Index k = 0; k < n; ++k) {
+    for (Vertex i : a.row_cols(k)) {
+      Vertex x = i;
+      while (x != kInvalidVertex && x < static_cast<Vertex>(k)) {
+        const Vertex next = ancestor[static_cast<std::size_t>(x)];
+        ancestor[static_cast<std::size_t>(x)] = static_cast<Vertex>(k);
+        if (next == kInvalidVertex) {
+          parent[static_cast<std::size_t>(x)] = static_cast<Vertex>(k);
+          break;
+        }
+        x = next;
+      }
+    }
+  }
+  return parent;
+}
+
+SparseCholesky SparseCholesky::factor_impl(const CsrMatrix& a,
+                                           const CholeskyOptions& opts) {
+  const Index n = a.rows();
+  SparseCholesky c;
+  c.n_ = n;
+  c.outer_n_ = n;
+
+  switch (opts.ordering) {
+    case CholeskyOptions::Ordering::kNatural:
+      c.order_ = natural_ordering(n);
+      break;
+    case CholeskyOptions::Ordering::kRcm:
+      c.order_ = rcm_ordering(a);
+      break;
+    case CholeskyOptions::Ordering::kMinDegree:
+      c.order_ = min_degree_ordering(a);
+      break;
+  }
+  c.inverse_order_.assign(static_cast<std::size_t>(n), kInvalidVertex);
+  for (Index i = 0; i < n; ++i) {
+    c.inverse_order_[static_cast<std::size_t>(
+        c.order_[static_cast<std::size_t>(i)])] = static_cast<Vertex>(i);
+  }
+  CsrMatrix ap = permute_symmetric(a, c.order_);
+  const std::vector<Vertex> parent = elimination_tree(ap);
+
+  // Symbolic pass: column counts via per-row ereach.
+  std::vector<Vertex> s(static_cast<std::size_t>(n));
+  std::vector<Vertex> w(static_cast<std::size_t>(n), kInvalidVertex);
+  std::vector<Index> col_count(static_cast<std::size_t>(n), 1);  // diagonal
+  for (Index k = 0; k < n; ++k) {
+    const Index top = ereach(ap, k, parent, s, w, static_cast<Vertex>(k));
+    for (Index t = top; t < n; ++t) {
+      ++col_count[static_cast<std::size_t>(s[static_cast<std::size_t>(t)])];
+    }
+  }
+
+  c.col_ptr_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (Index j = 0; j < n; ++j) {
+    c.col_ptr_[static_cast<std::size_t>(j) + 1] =
+        c.col_ptr_[static_cast<std::size_t>(j)] +
+        col_count[static_cast<std::size_t>(j)];
+  }
+  const Index lnz = c.col_ptr_[static_cast<std::size_t>(n)];
+  c.rows_.assign(static_cast<std::size_t>(lnz), 0);
+  c.values_.assign(static_cast<std::size_t>(lnz), 0.0);
+
+  // next_[j]: next free slot in column j. Slot 0 of each column = diagonal.
+  std::vector<Index> next(static_cast<std::size_t>(n));
+  for (Index j = 0; j < n; ++j) {
+    const Index head = c.col_ptr_[static_cast<std::size_t>(j)];
+    c.rows_[static_cast<std::size_t>(head)] = static_cast<Vertex>(j);
+    next[static_cast<std::size_t>(j)] = head + 1;
+  }
+
+  // Numeric up-looking pass.
+  std::fill(w.begin(), w.end(), kInvalidVertex);
+  Vec x(static_cast<std::size_t>(n), 0.0);
+  for (Index k = 0; k < n; ++k) {
+    const Index top = ereach(ap, k, parent, s, w, static_cast<Vertex>(k));
+    // Scatter row k of A (strictly-lower part) into x; diagonal into d.
+    double d = opts.diagonal_shift;
+    {
+      const auto cols = ap.row_cols(k);
+      const auto vals = ap.row_vals(k);
+      for (std::size_t t = 0; t < cols.size(); ++t) {
+        if (cols[t] < k) {
+          x[static_cast<std::size_t>(cols[t])] = vals[t];
+        } else if (cols[t] == k) {
+          d += vals[t];
+        }
+      }
+    }
+    // Sparse triangular solve over the pattern (topological order).
+    for (Index t = top; t < n; ++t) {
+      const Vertex j = s[static_cast<std::size_t>(t)];
+      const Index jhead = c.col_ptr_[static_cast<std::size_t>(j)];
+      const double ljj = c.values_[static_cast<std::size_t>(jhead)];
+      const double lkj = x[static_cast<std::size_t>(j)] / ljj;
+      x[static_cast<std::size_t>(j)] = 0.0;
+      for (Index p = jhead + 1; p < next[static_cast<std::size_t>(j)]; ++p) {
+        x[static_cast<std::size_t>(c.rows_[static_cast<std::size_t>(p)])] -=
+            c.values_[static_cast<std::size_t>(p)] * lkj;
+      }
+      d -= lkj * lkj;
+      const Index slot = next[static_cast<std::size_t>(j)]++;
+      c.rows_[static_cast<std::size_t>(slot)] = static_cast<Vertex>(k);
+      c.values_[static_cast<std::size_t>(slot)] = lkj;
+    }
+    if (d <= 0.0) {
+      throw std::runtime_error(
+          "sparse Cholesky: non-positive pivot at column " +
+          std::to_string(k) + " (matrix not SPD)");
+    }
+    c.values_[static_cast<std::size_t>(
+        c.col_ptr_[static_cast<std::size_t>(k)])] = std::sqrt(d);
+  }
+
+  Index tril_nnz = 0;
+  for (Index r = 0; r < n; ++r) {
+    for (Vertex cidx : ap.row_cols(r)) {
+      if (cidx <= r) ++tril_nnz;
+    }
+  }
+  c.fill_ratio_ = tril_nnz > 0 ? static_cast<double>(lnz) /
+                                     static_cast<double>(tril_nnz)
+                               : 1.0;
+  return c;
+}
+
+SparseCholesky SparseCholesky::factor(const CsrMatrix& a,
+                                      const CholeskyOptions& opts) {
+  SSP_REQUIRE(a.rows() == a.cols(), "cholesky: matrix not square");
+  SSP_REQUIRE(a.rows() >= 1, "cholesky: empty matrix");
+  return factor_impl(a, opts);
+}
+
+SparseCholesky SparseCholesky::factor_laplacian(const CsrMatrix& l,
+                                                const CholeskyOptions& opts,
+                                                Index pin) {
+  SSP_REQUIRE(l.rows() == l.cols(), "cholesky: matrix not square");
+  const Index n = l.rows();
+  SSP_REQUIRE(n >= 2, "cholesky: Laplacian needs >= 2 vertices");
+  if (pin < 0) pin = n - 1;
+  SSP_REQUIRE(pin < n, "cholesky: pin out of range");
+
+  // Build the grounded matrix (drop row/col `pin`, compact indices).
+  std::vector<Triplet> ts;
+  ts.reserve(static_cast<std::size_t>(l.nnz()));
+  auto compact = [pin](Index i) { return i < pin ? i : i - 1; };
+  for (Index r = 0; r < n; ++r) {
+    if (r == pin) continue;
+    const auto cols = l.row_cols(r);
+    const auto vals = l.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      if (cols[k] == pin) continue;
+      ts.push_back({compact(r), compact(cols[k]), vals[k]});
+    }
+  }
+  const CsrMatrix grounded = CsrMatrix::from_triplets(n - 1, n - 1, ts);
+  SparseCholesky c = factor_impl(grounded, opts);
+  c.outer_n_ = n;
+  c.laplacian_mode_ = true;
+  c.pin_ = pin;
+  return c;
+}
+
+void SparseCholesky::solve(std::span<const double> b,
+                           std::span<double> x) const {
+  SSP_REQUIRE(static_cast<Index>(b.size()) == outer_n_, "cholesky solve: b size");
+  SSP_REQUIRE(static_cast<Index>(x.size()) == outer_n_, "cholesky solve: x size");
+
+  Vec rhs;
+  if (laplacian_mode_) {
+    // Project onto range(L) and drop the grounded entry.
+    Vec bp(b.begin(), b.end());
+    project_out_mean(bp);
+    rhs.resize(static_cast<std::size_t>(n_));
+    Index t = 0;
+    for (Index i = 0; i < outer_n_; ++i) {
+      if (i == pin_) continue;
+      rhs[static_cast<std::size_t>(t++)] = bp[static_cast<std::size_t>(i)];
+    }
+  } else {
+    rhs.assign(b.begin(), b.end());
+  }
+
+  // Apply permutation: y[new] = rhs[order[new]].
+  Vec y(static_cast<std::size_t>(n_));
+  for (Index i = 0; i < n_; ++i) {
+    y[static_cast<std::size_t>(i)] =
+        rhs[static_cast<std::size_t>(order_[static_cast<std::size_t>(i)])];
+  }
+
+  // Forward solve L z = y (CSC, diagonal first per column).
+  for (Index j = 0; j < n_; ++j) {
+    const Index head = col_ptr_[static_cast<std::size_t>(j)];
+    const Index tail = col_ptr_[static_cast<std::size_t>(j) + 1];
+    const double zj = y[static_cast<std::size_t>(j)] /
+                      values_[static_cast<std::size_t>(head)];
+    y[static_cast<std::size_t>(j)] = zj;
+    for (Index p = head + 1; p < tail; ++p) {
+      y[static_cast<std::size_t>(rows_[static_cast<std::size_t>(p)])] -=
+          values_[static_cast<std::size_t>(p)] * zj;
+    }
+  }
+  // Backward solve L^T w = z.
+  for (Index j = n_ - 1; j >= 0; --j) {
+    const Index head = col_ptr_[static_cast<std::size_t>(j)];
+    const Index tail = col_ptr_[static_cast<std::size_t>(j) + 1];
+    double s = y[static_cast<std::size_t>(j)];
+    for (Index p = head + 1; p < tail; ++p) {
+      s -= values_[static_cast<std::size_t>(p)] *
+           y[static_cast<std::size_t>(rows_[static_cast<std::size_t>(p)])];
+    }
+    y[static_cast<std::size_t>(j)] = s / values_[static_cast<std::size_t>(head)];
+  }
+
+  // Undo permutation; re-expand and re-center in Laplacian mode.
+  if (laplacian_mode_) {
+    Vec xg(static_cast<std::size_t>(n_));
+    for (Index i = 0; i < n_; ++i) {
+      xg[static_cast<std::size_t>(order_[static_cast<std::size_t>(i)])] =
+          y[static_cast<std::size_t>(i)];
+    }
+    Index t = 0;
+    for (Index i = 0; i < outer_n_; ++i) {
+      x[static_cast<std::size_t>(i)] =
+          (i == pin_) ? 0.0 : xg[static_cast<std::size_t>(t++)];
+    }
+    project_out_mean(x);
+  } else {
+    for (Index i = 0; i < n_; ++i) {
+      x[static_cast<std::size_t>(order_[static_cast<std::size_t>(i)])] =
+          y[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+Vec SparseCholesky::solve(std::span<const double> b) const {
+  Vec x(static_cast<std::size_t>(outer_n_));
+  solve(b, x);
+  return x;
+}
+
+std::size_t SparseCholesky::memory_bytes() const {
+  return rows_.size() * sizeof(Vertex) + values_.size() * sizeof(double) +
+         col_ptr_.size() * sizeof(Index) +
+         (order_.size() + inverse_order_.size()) * sizeof(Vertex);
+}
+
+}  // namespace ssp

@@ -1,0 +1,146 @@
+#include "solver/ichol.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+IncompleteCholesky::IncompleteCholesky(const CsrMatrix& a, double shift0,
+                                       int max_retries) {
+  SSP_REQUIRE(a.rows() == a.cols(), "ic0: matrix not square");
+  SSP_REQUIRE(a.rows() >= 1, "ic0: empty matrix");
+  n_ = a.rows();
+
+  double shift = shift0;
+  double dmax = 0.0;
+  for (double d : a.diagonal()) dmax = std::max(dmax, d);
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
+    if (try_factor(a, shift)) {
+      shift_used_ = shift;
+      return;
+    }
+    shift = (shift == 0.0) ? 1e-6 * std::max(dmax, 1.0) : shift * 10.0;
+  }
+  throw std::runtime_error("ic0: breakdown persists after shift retries");
+}
+
+bool IncompleteCholesky::try_factor(const CsrMatrix& a, double shift) {
+  // Build the strict-lower pattern row by row; values filled during the
+  // IKJ-style incomplete factorization.
+  row_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  cols_.clear();
+  values_.clear();
+  diag_.assign(static_cast<std::size_t>(n_), 0.0);
+
+  for (Index r = 0; r < n_; ++r) {
+    const auto rc = a.row_cols(r);
+    for (Vertex c : rc) {
+      if (c < r) cols_.push_back(c);
+    }
+    row_ptr_[static_cast<std::size_t>(r) + 1] =
+        static_cast<Index>(cols_.size());
+  }
+  values_.assign(cols_.size(), 0.0);
+
+  // Scatter workspace over columns of the current row.
+  Vec work(static_cast<std::size_t>(n_), 0.0);
+
+  for (Index r = 0; r < n_; ++r) {
+    const Index rb = row_ptr_[static_cast<std::size_t>(r)];
+    const Index re = row_ptr_[static_cast<std::size_t>(r) + 1];
+    // Scatter A's strict lower row + diagonal.
+    double d = shift;
+    {
+      const auto rc = a.row_cols(r);
+      const auto rv = a.row_vals(r);
+      for (std::size_t k = 0; k < rc.size(); ++k) {
+        if (rc[k] < r) {
+          work[static_cast<std::size_t>(rc[k])] = rv[k];
+        } else if (rc[k] == r) {
+          d += rv[k];
+        }
+      }
+    }
+    // Process pattern columns in increasing order (CSR rows are sorted):
+    // L(r,j) = (A(r,j) − Σ_{i<j} L(r,i)·L(j,i)) / L(j,j). The subtraction
+    // is realized by walking, for each finished column i in this row, the
+    // later entries L(j,i)… equivalently we walk column lists.
+    for (Index k = rb; k < re; ++k) {
+      const Vertex j = cols_[static_cast<std::size_t>(k)];
+      double v = work[static_cast<std::size_t>(j)];
+      // Subtract Σ L(r,i) L(j,i) over shared earlier columns: iterate this
+      // row's already-computed entries i < j and look them up in row j.
+      // Rows are short (IC0 pattern), so a merge over two sorted lists.
+      const Index jb = row_ptr_[static_cast<std::size_t>(j)];
+      const Index je = row_ptr_[static_cast<std::size_t>(j) + 1];
+      Index pr = rb;
+      Index pj = jb;
+      while (pr < k && pj < je) {
+        const Vertex cr = cols_[static_cast<std::size_t>(pr)];
+        const Vertex cj = cols_[static_cast<std::size_t>(pj)];
+        if (cr == cj) {
+          v -= values_[static_cast<std::size_t>(pr)] *
+               values_[static_cast<std::size_t>(pj)];
+          ++pr;
+          ++pj;
+        } else if (cr < cj) {
+          ++pr;
+        } else {
+          ++pj;
+        }
+      }
+      const double ljj = diag_[static_cast<std::size_t>(j)];
+      SSP_DASSERT(ljj > 0.0, "ic0: zero pivot encountered late");
+      const double lrj = v / ljj;
+      values_[static_cast<std::size_t>(k)] = lrj;
+      d -= lrj * lrj;
+      work[static_cast<std::size_t>(j)] = 0.0;
+    }
+    // Clear any scattered A entries that were not in the (identical)
+    // pattern — none by construction, but reset defensively for entries
+    // whose value stayed untouched.
+    {
+      const auto rc = a.row_cols(r);
+      for (Vertex c : rc) {
+        if (c < r) work[static_cast<std::size_t>(c)] = 0.0;
+      }
+    }
+    if (d <= 0.0) return false;  // breakdown -> caller retries with shift
+    diag_[static_cast<std::size_t>(r)] = std::sqrt(d);
+  }
+  return true;
+}
+
+void IncompleteCholesky::apply(std::span<const double> r,
+                               std::span<double> z) const {
+  SSP_REQUIRE(static_cast<Index>(r.size()) == n_ &&
+                  static_cast<Index>(z.size()) == n_,
+              "ic0: size mismatch");
+  // Forward solve L y = r (strict-lower rows + diag_).
+  std::copy(r.begin(), r.end(), z.begin());
+  for (Index i = 0; i < n_; ++i) {
+    double s = z[static_cast<std::size_t>(i)];
+    for (Index k = row_ptr_[static_cast<std::size_t>(i)];
+         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+      s -= values_[static_cast<std::size_t>(k)] *
+           z[static_cast<std::size_t>(cols_[static_cast<std::size_t>(k)])];
+    }
+    z[static_cast<std::size_t>(i)] = s / diag_[static_cast<std::size_t>(i)];
+  }
+  // Backward solve Lᵀ z = y.
+  for (Index i = n_ - 1; i >= 0; --i) {
+    const double zi =
+        z[static_cast<std::size_t>(i)] / diag_[static_cast<std::size_t>(i)];
+    z[static_cast<std::size_t>(i)] = zi;
+    for (Index k = row_ptr_[static_cast<std::size_t>(i)];
+         k < row_ptr_[static_cast<std::size_t>(i) + 1]; ++k) {
+      z[static_cast<std::size_t>(cols_[static_cast<std::size_t>(k)])] -=
+          values_[static_cast<std::size_t>(k)] * zi;
+    }
+  }
+}
+
+}  // namespace ssp

@@ -1,0 +1,185 @@
+#include "solver/ordering.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+namespace {
+
+/// BFS from `start` over the symmetric pattern; returns (order, last level
+/// start) where order is the BFS visit sequence restricted to the start's
+/// component.
+std::pair<std::vector<Vertex>, std::size_t> bfs_levels(const CsrMatrix& a,
+                                                       Vertex start) {
+  const Index n = a.rows();
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<Vertex> order;
+  order.reserve(static_cast<std::size_t>(n));
+  order.push_back(start);
+  visited[static_cast<std::size_t>(start)] = 1;
+  std::size_t level_begin = 0;
+  std::size_t last_level_begin = 0;
+  while (level_begin < order.size()) {
+    const std::size_t level_end = order.size();
+    last_level_begin = level_begin;
+    for (std::size_t i = level_begin; i < level_end; ++i) {
+      const Vertex v = order[i];
+      for (Vertex u : a.row_cols(v)) {
+        if (u != v && visited[static_cast<std::size_t>(u)] == 0) {
+          visited[static_cast<std::size_t>(u)] = 1;
+          order.push_back(u);
+        }
+      }
+    }
+    if (order.size() == level_end) break;
+    level_begin = level_end;
+  }
+  return {std::move(order), last_level_begin};
+}
+
+}  // namespace
+
+std::vector<Vertex> natural_ordering(Index n) {
+  std::vector<Vertex> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), Vertex{0});
+  return order;
+}
+
+std::vector<Vertex> rcm_ordering(const CsrMatrix& a) {
+  SSP_REQUIRE(a.rows() == a.cols(), "rcm: matrix not square");
+  const Index n = a.rows();
+  std::vector<char> done(static_cast<std::size_t>(n), 0);
+  std::vector<Vertex> result;
+  result.reserve(static_cast<std::size_t>(n));
+
+  auto degree = [&](Vertex v) {
+    return static_cast<Index>(a.row_cols(v).size());
+  };
+
+  for (Vertex seed = 0; seed < n; ++seed) {
+    if (done[static_cast<std::size_t>(seed)] != 0) continue;
+    // Pseudo-peripheral start: double BFS from the component's seed.
+    auto [first_pass, last_begin] = bfs_levels(a, seed);
+    Vertex start = first_pass[last_begin];
+    for (std::size_t i = last_begin; i < first_pass.size(); ++i) {
+      if (degree(first_pass[i]) < degree(start)) start = first_pass[i];
+    }
+
+    // Cuthill–McKee: BFS, expanding neighbors in ascending-degree order.
+    std::vector<Vertex> cm;
+    cm.reserve(first_pass.size());
+    cm.push_back(start);
+    done[static_cast<std::size_t>(start)] = 1;
+    std::vector<Vertex> nbrs;
+    for (std::size_t head = 0; head < cm.size(); ++head) {
+      nbrs.clear();
+      for (Vertex u : a.row_cols(cm[head])) {
+        if (u != cm[head] && done[static_cast<std::size_t>(u)] == 0) {
+          done[static_cast<std::size_t>(u)] = 1;
+          nbrs.push_back(u);
+        }
+      }
+      std::sort(nbrs.begin(), nbrs.end(), [&](Vertex x, Vertex y) {
+        const Index dx = degree(x);
+        const Index dy = degree(y);
+        return dx != dy ? dx < dy : x < y;
+      });
+      cm.insert(cm.end(), nbrs.begin(), nbrs.end());
+    }
+    // Reverse within the component.
+    result.insert(result.end(), cm.rbegin(), cm.rend());
+  }
+  SSP_ASSERT(static_cast<Index>(result.size()) == n, "rcm: lost vertices");
+  return result;
+}
+
+std::vector<Vertex> min_degree_ordering(const CsrMatrix& a) {
+  SSP_REQUIRE(a.rows() == a.cols(), "min_degree: matrix not square");
+  const Index n = a.rows();
+  std::vector<std::unordered_set<Vertex>> adj(static_cast<std::size_t>(n));
+  for (Index r = 0; r < n; ++r) {
+    for (Vertex c : a.row_cols(r)) {
+      if (c != r) {
+        adj[static_cast<std::size_t>(r)].insert(c);
+      }
+    }
+  }
+
+  using HeapItem = std::pair<Index, Vertex>;  // (degree, vertex)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (Vertex v = 0; v < n; ++v) {
+    heap.emplace(static_cast<Index>(adj[static_cast<std::size_t>(v)].size()),
+                 v);
+  }
+  std::vector<char> eliminated(static_cast<std::size_t>(n), 0);
+  std::vector<Vertex> order;
+  order.reserve(static_cast<std::size_t>(n));
+
+  while (!heap.empty()) {
+    const auto [deg, v] = heap.top();
+    heap.pop();
+    if (eliminated[static_cast<std::size_t>(v)] != 0) continue;
+    if (deg != static_cast<Index>(adj[static_cast<std::size_t>(v)].size())) {
+      // Stale entry: reinsert with the current degree.
+      heap.emplace(
+          static_cast<Index>(adj[static_cast<std::size_t>(v)].size()), v);
+      continue;
+    }
+    eliminated[static_cast<std::size_t>(v)] = 1;
+    order.push_back(v);
+    // Form the elimination clique among v's remaining neighbors.
+    std::vector<Vertex> nbrs(adj[static_cast<std::size_t>(v)].begin(),
+                             adj[static_cast<std::size_t>(v)].end());
+    for (Vertex u : nbrs) adj[static_cast<std::size_t>(u)].erase(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j) {
+        const Vertex x = nbrs[i];
+        const Vertex y = nbrs[j];
+        if (adj[static_cast<std::size_t>(x)].insert(y).second) {
+          adj[static_cast<std::size_t>(y)].insert(x);
+        }
+      }
+    }
+    for (Vertex u : nbrs) {
+      heap.emplace(static_cast<Index>(adj[static_cast<std::size_t>(u)].size()),
+                   u);
+    }
+    adj[static_cast<std::size_t>(v)].clear();
+  }
+  SSP_ASSERT(static_cast<Index>(order.size()) == n, "min_degree: lost vertices");
+  return order;
+}
+
+CsrMatrix permute_symmetric(const CsrMatrix& a,
+                            std::span<const Vertex> order) {
+  SSP_REQUIRE(a.rows() == a.cols(), "permute_symmetric: matrix not square");
+  const Index n = a.rows();
+  SSP_REQUIRE(static_cast<Index>(order.size()) == n,
+              "permute_symmetric: order size mismatch");
+  std::vector<Vertex> inverse(static_cast<std::size_t>(n), kInvalidVertex);
+  for (Index i = 0; i < n; ++i) {
+    const Vertex old = order[static_cast<std::size_t>(i)];
+    SSP_REQUIRE(old >= 0 && old < n && inverse[static_cast<std::size_t>(old)] ==
+                                           kInvalidVertex,
+                "permute_symmetric: not a permutation");
+    inverse[static_cast<std::size_t>(old)] = static_cast<Vertex>(i);
+  }
+  std::vector<Triplet> ts;
+  ts.reserve(static_cast<std::size_t>(a.nnz()));
+  for (Index r = 0; r < n; ++r) {
+    const auto cols = a.row_cols(r);
+    const auto vals = a.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      ts.push_back({inverse[static_cast<std::size_t>(r)],
+                    inverse[static_cast<std::size_t>(cols[k])], vals[k]});
+    }
+  }
+  return CsrMatrix::from_triplets(n, n, ts);
+}
+
+}  // namespace ssp

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file ordering.hpp
+/// Fill-reducing orderings for the sparse Cholesky factorization.
+///
+/// * Reverse Cuthill–McKee (default): bandwidth-reducing BFS ordering from
+///   a pseudo-peripheral vertex — effective on the mesh matrices of the
+///   paper's Table 3 direct-solver baseline.
+/// * Greedy minimum degree: eliminates the minimum-degree vertex and forms
+///   the fill clique among its neighbors. Quadratic worst case; intended
+///   for moderate problem sizes and the ordering ablation.
+
+#include <span>
+#include <vector>
+
+#include "la/csr_matrix.hpp"
+#include "util/types.hpp"
+
+namespace ssp {
+
+/// Result convention: `order[new_index] = old_index` (a permutation of
+/// 0..n-1). Symmetric pattern is assumed (only the pattern is read).
+[[nodiscard]] std::vector<Vertex> rcm_ordering(const CsrMatrix& a);
+
+[[nodiscard]] std::vector<Vertex> min_degree_ordering(const CsrMatrix& a);
+
+/// Identity ordering (natural).
+[[nodiscard]] std::vector<Vertex> natural_ordering(Index n);
+
+/// Symmetric permutation: B(i, j) = A(order[i], order[j]).
+[[nodiscard]] CsrMatrix permute_symmetric(const CsrMatrix& a,
+                                          std::span<const Vertex> order);
+
+}  // namespace ssp

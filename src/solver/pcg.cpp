@@ -1,0 +1,94 @@
+#include "solver/pcg.hpp"
+
+#include <cmath>
+
+#include "la/vector_ops.hpp"
+#include "util/assert.hpp"
+
+namespace ssp {
+
+PcgResult pcg_solve(const CsrMatrix& a, std::span<const double> b,
+                    std::span<double> x, const Preconditioner& m,
+                    const PcgOptions& opts) {
+  const Index n = a.rows();
+  SSP_REQUIRE(a.cols() == n, "pcg: matrix must be square");
+  SSP_REQUIRE(static_cast<Index>(b.size()) == n, "pcg: b size");
+  SSP_REQUIRE(static_cast<Index>(x.size()) == n, "pcg: x size");
+  SSP_REQUIRE(m.size() == n, "pcg: preconditioner size");
+  SSP_REQUIRE(opts.rel_tolerance > 0.0, "pcg: tolerance must be positive");
+
+  Vec bp(b.begin(), b.end());
+  if (opts.project_constants) {
+    project_out_mean(bp);
+    project_out_mean(x);
+  }
+  const double bnorm = norm2(bp);
+  PcgResult result;
+  if (bnorm == 0.0) {
+    fill(x, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  Vec r(static_cast<std::size_t>(n));
+  Vec z(static_cast<std::size_t>(n));
+  Vec p(static_cast<std::size_t>(n));
+  Vec ap(static_cast<std::size_t>(n));
+
+  a.multiply(x, r);  // r = A x
+  for (Index i = 0; i < n; ++i) {
+    r[static_cast<std::size_t>(i)] =
+        bp[static_cast<std::size_t>(i)] - r[static_cast<std::size_t>(i)];
+  }
+  if (opts.project_constants) project_out_mean(r);
+
+  m.apply(r, z);
+  if (opts.project_constants) project_out_mean(z);
+  p = z;
+  double rz = dot(r, z);
+  result.relative_residual = norm2(r) / bnorm;
+  if (result.relative_residual <= opts.rel_tolerance) {
+    result.converged = true;
+    return result;
+  }
+
+  for (Index it = 1; it <= opts.max_iterations; ++it) {
+    a.multiply(p, ap);
+    const double pap = dot(p, ap);
+    // Non-positive curvature only arises from rounding noise once the
+    // search direction has collapsed; stop with the best iterate found.
+    if (pap <= 0.0) break;
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    if (opts.project_constants) project_out_mean(r);
+
+    result.iterations = it;
+    result.relative_residual = norm2(r) / bnorm;
+    if (result.relative_residual <= opts.rel_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    m.apply(r, z);
+    if (opts.project_constants) project_out_mean(z);
+    const double rz_new = dot(r, z);
+    const double beta = rz_new / rz;
+    rz = rz_new;
+    for (Index i = 0; i < n; ++i) {
+      p[static_cast<std::size_t>(i)] =
+          z[static_cast<std::size_t>(i)] +
+          beta * p[static_cast<std::size_t>(i)];
+    }
+  }
+  if (opts.project_constants) project_out_mean(x);
+  return result;
+}
+
+PcgResult cg_solve(const CsrMatrix& a, std::span<const double> b,
+                   std::span<double> x, const PcgOptions& opts) {
+  const IdentityPreconditioner id(a.rows());
+  return pcg_solve(a, b, x, id, opts);
+}
+
+}  // namespace ssp

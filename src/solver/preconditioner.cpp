@@ -1,0 +1,45 @@
+#include "solver/preconditioner.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+IdentityPreconditioner::IdentityPreconditioner(Index n) : n_(n) {
+  SSP_REQUIRE(n >= 0, "IdentityPreconditioner: negative size");
+}
+
+void IdentityPreconditioner::apply(std::span<const double> r,
+                                   std::span<double> z) const {
+  SSP_REQUIRE(static_cast<Index>(r.size()) == n_ &&
+                  static_cast<Index>(z.size()) == n_,
+              "IdentityPreconditioner: size mismatch");
+  std::copy(r.begin(), r.end(), z.begin());
+}
+
+JacobiPreconditioner::JacobiPreconditioner(const CsrMatrix& a) {
+  SSP_REQUIRE(a.rows() == a.cols(), "JacobiPreconditioner: matrix not square");
+  inv_diag_ = a.diagonal();
+  for (double& d : inv_diag_) {
+    SSP_REQUIRE(d > 0.0, "JacobiPreconditioner: non-positive diagonal entry");
+    d = 1.0 / d;
+  }
+}
+
+void JacobiPreconditioner::apply(std::span<const double> r,
+                                 std::span<double> z) const {
+  SSP_REQUIRE(r.size() == inv_diag_.size() && z.size() == inv_diag_.size(),
+              "JacobiPreconditioner: size mismatch");
+  for (std::size_t i = 0; i < r.size(); ++i) z[i] = r[i] * inv_diag_[i];
+}
+
+TreePreconditioner::TreePreconditioner(const SpanningTree& tree)
+    : solver_(tree) {}
+
+void TreePreconditioner::apply(std::span<const double> r,
+                               std::span<double> z) const {
+  solver_.solve(r, z);
+}
+
+}  // namespace ssp

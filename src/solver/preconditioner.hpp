@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file preconditioner.hpp
+/// Preconditioner interface for the PCG solver plus the basic
+/// implementations (identity, Jacobi, spanning tree). The Cholesky and AMG
+/// preconditioners live with their factorizations in cholesky.hpp/amg.hpp.
+///
+/// Contract: `apply` computes z ≈ M⁻¹ r for an SPD (or SPSD-with-known-
+/// nullspace) operator M. For Laplacian work every implementation keeps the
+/// output in the zero-mean subspace.
+
+#include <memory>
+#include <span>
+
+#include "la/csr_matrix.hpp"
+#include "tree/tree_solver.hpp"
+#include "util/types.hpp"
+
+namespace ssp {
+
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+
+  /// z := M⁻¹ r. Sizes must equal size().
+  virtual void apply(std::span<const double> r, std::span<double> z) const = 0;
+
+  [[nodiscard]] virtual Index size() const = 0;
+};
+
+/// No-op preconditioner: plain conjugate gradients.
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  explicit IdentityPreconditioner(Index n);
+  void apply(std::span<const double> r, std::span<double> z) const override;
+  [[nodiscard]] Index size() const override { return n_; }
+
+ private:
+  Index n_;
+};
+
+/// Diagonal (Jacobi) preconditioner of a given matrix.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  explicit JacobiPreconditioner(const CsrMatrix& a);
+  void apply(std::span<const double> r, std::span<double> z) const override;
+  [[nodiscard]] Index size() const override {
+    return static_cast<Index>(inv_diag_.size());
+  }
+
+ private:
+  Vec inv_diag_;
+};
+
+/// Spanning-tree preconditioner: exact solve with the tree Laplacian.
+/// The classic support-theory preconditioner ([21], Spielman–Woo); also the
+/// inner solver of the densification loop when the tree is a subgraph of
+/// the current sparsifier. Output has zero mean.
+class TreePreconditioner final : public Preconditioner {
+ public:
+  /// The spanning tree must outlive the preconditioner.
+  explicit TreePreconditioner(const SpanningTree& tree);
+  void apply(std::span<const double> r, std::span<double> z) const override;
+  [[nodiscard]] Index size() const override { return solver_.num_vertices(); }
+
+ private:
+  TreeSolver solver_;
+};
+
+}  // namespace ssp

@@ -1,0 +1,185 @@
+#include "tree/akpw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/union_find.hpp"
+
+namespace ssp {
+
+namespace {
+
+/// One randomized ball-growing / contraction round over the cluster
+/// multigraph induced by `active` (graph edge ids whose endpoints lie in
+/// different clusters). Tree edges discovered by the BFS are appended to
+/// `tree_edges` and their ball's clusters merged in `uf`.
+/// \returns the number of cluster merges performed.
+Index cluster_round(const Graph& g, std::span<const EdgeId> active,
+                    UnionFind& uf, std::vector<EdgeId>& tree_edges,
+                    double ball_p, Rng& rng) {
+  // Collect distinct cluster representatives touched by active edges and
+  // give them dense indices.
+  const Vertex n = g.num_vertices();
+  std::vector<Vertex> dense_of(static_cast<std::size_t>(n), kInvalidVertex);
+  std::vector<Vertex> rep_of_dense;
+  auto dense_id = [&](Vertex rep) {
+    auto& d = dense_of[static_cast<std::size_t>(rep)];
+    if (d == kInvalidVertex) {
+      d = static_cast<Vertex>(rep_of_dense.size());
+      rep_of_dense.push_back(rep);
+    }
+    return d;
+  };
+
+  struct Arc {
+    Vertex from;
+    Vertex to;
+    EdgeId eid;
+  };
+  std::vector<Arc> arcs;
+  arcs.reserve(active.size() * 2);
+  for (EdgeId eid : active) {
+    const Edge& e = g.edge(eid);
+    const Vertex cu = static_cast<Vertex>(uf.find(e.u));
+    const Vertex cv = static_cast<Vertex>(uf.find(e.v));
+    if (cu == cv) continue;
+    const Vertex du = dense_id(cu);
+    const Vertex dv = dense_id(cv);
+    arcs.push_back({du, dv, eid});
+    arcs.push_back({dv, du, eid});
+  }
+  const Vertex nc = static_cast<Vertex>(rep_of_dense.size());
+  if (nc == 0) return 0;
+
+  // CSR adjacency over dense cluster ids.
+  std::vector<Index> ptr(static_cast<std::size_t>(nc) + 1, 0);
+  for (const Arc& a : arcs) ++ptr[static_cast<std::size_t>(a.from) + 1];
+  for (Vertex c = 0; c < nc; ++c) {
+    ptr[static_cast<std::size_t>(c) + 1] += ptr[static_cast<std::size_t>(c)];
+  }
+  std::vector<Index> slot(ptr.begin(), ptr.end() - 1);
+  std::vector<Vertex> nbr(arcs.size());
+  std::vector<EdgeId> nbr_eid(arcs.size());
+  for (const Arc& a : arcs) {
+    const auto pos = static_cast<std::size_t>(slot[static_cast<std::size_t>(a.from)]++);
+    nbr[pos] = a.to;
+    nbr_eid[pos] = a.eid;
+  }
+
+  // Random center order; geometric-radius BFS balls.
+  std::vector<Vertex> centers(static_cast<std::size_t>(nc));
+  for (Vertex c = 0; c < nc; ++c) centers[static_cast<std::size_t>(c)] = c;
+  rng.shuffle(centers);
+
+  std::vector<char> visited(static_cast<std::size_t>(nc), 0);
+  std::vector<Vertex> frontier;
+  std::vector<Vertex> next;
+  Index merges = 0;
+  const Index radius_cap =
+      4 + 4 * static_cast<Index>(std::log2(static_cast<double>(nc) + 1.0));
+
+  for (Vertex c : centers) {
+    if (visited[static_cast<std::size_t>(c)] != 0) continue;
+    visited[static_cast<std::size_t>(c)] = 1;
+    // Radius = 1 + Geometric(p): always take >= 1 BFS layer so every
+    // unvisited neighbor of the center merges.
+    Index radius = 1;
+    while (radius < radius_cap && rng.uniform() >= ball_p) ++radius;
+
+    frontier.assign(1, c);
+    for (Index layer = 0; layer < radius && !frontier.empty(); ++layer) {
+      next.clear();
+      for (Vertex f : frontier) {
+        for (Index k = ptr[static_cast<std::size_t>(f)];
+             k < ptr[static_cast<std::size_t>(f) + 1]; ++k) {
+          const Vertex t = nbr[static_cast<std::size_t>(k)];
+          if (visited[static_cast<std::size_t>(t)] != 0) continue;
+          visited[static_cast<std::size_t>(t)] = 1;
+          tree_edges.push_back(nbr_eid[static_cast<std::size_t>(k)]);
+          const bool merged =
+              uf.unite(rep_of_dense[static_cast<std::size_t>(c)],
+                       rep_of_dense[static_cast<std::size_t>(t)]);
+          SSP_ASSERT(merged, "akpw: ball BFS reached an already-merged cluster");
+          ++merges;
+          next.push_back(t);
+        }
+      }
+      frontier.swap(next);
+    }
+  }
+  return merges;
+}
+
+}  // namespace
+
+SpanningTree akpw_low_stretch_tree(const Graph& g, Rng& rng,
+                                   const AkpwOptions& opts) {
+  SSP_REQUIRE(g.finalized(), "akpw: graph must be finalized");
+  SSP_REQUIRE(g.num_vertices() >= 1, "akpw: empty graph");
+  SSP_REQUIRE(opts.class_ratio > 1.0, "akpw: class_ratio must exceed 1");
+  const Vertex n = g.num_vertices();
+  if (n == 1) return SpanningTree(g, {}, 0);
+
+  const double p =
+      opts.ball_p > 0.0
+          ? opts.ball_p
+          : 1.0 / (std::log2(static_cast<double>(n)) + 1.0);
+
+  // Bucket edges by geometric length classes (length = 1/weight; the
+  // heaviest edges land in class 0 and are processed first).
+  double len_min = std::numeric_limits<double>::infinity();
+  for (const Edge& e : g.edges()) len_min = std::min(len_min, 1.0 / e.weight);
+  std::map<int, std::vector<EdgeId>> classes;
+  const double log_ratio = std::log(opts.class_ratio);
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    const double len = 1.0 / g.edge(id).weight;
+    const int cls = static_cast<int>(std::floor(
+        std::log(len / len_min) / log_ratio + 1e-12));
+    classes[cls].push_back(id);
+  }
+
+  UnionFind uf(n);
+  std::vector<EdgeId> tree_edges;
+  tree_edges.reserve(static_cast<std::size_t>(n) - 1);
+  std::vector<EdgeId> active;
+
+  auto compact_active = [&] {
+    std::erase_if(active, [&](EdgeId id) {
+      const Edge& e = g.edge(id);
+      return uf.same(e.u, e.v);
+    });
+  };
+
+  for (const auto& [cls, ids] : classes) {
+    active.insert(active.end(), ids.begin(), ids.end());
+    compact_active();
+    if (active.empty()) continue;
+    cluster_round(g, active, uf, tree_edges, p, rng);
+    compact_active();
+    if (uf.num_sets() == 1) break;
+  }
+
+  // All classes processed; keep clustering on the full remaining edge set
+  // until a single cluster remains (must terminate on connected graphs).
+  int stall_guard = 0;
+  while (uf.num_sets() > 1) {
+    SSP_REQUIRE(!active.empty(), "akpw: graph is not connected");
+    const Index merges = cluster_round(g, active, uf, tree_edges, p, rng);
+    compact_active();
+    if (merges == 0 && ++stall_guard > 3) {
+      // Pathological randomized stall: finish deterministically.
+      for (EdgeId id : active) {
+        const Edge& e = g.edge(id);
+        if (uf.unite(e.u, e.v)) tree_edges.push_back(id);
+      }
+      compact_active();
+    }
+  }
+  return SpanningTree(g, std::move(tree_edges), opts.root);
+}
+
+}  // namespace ssp

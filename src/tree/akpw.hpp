@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file akpw.hpp
+/// Low-stretch spanning tree in the Alon–Karp–Peleg–West style — the
+/// practical LSST the paper's step (a) calls for (it cites the stronger
+/// Abraham–Neiman / Elkin et al. constructions [1,8]; AKPW-style cluster
+/// contraction is what deployed implementations, including Feng's GRASS
+/// lineage, actually use).
+///
+/// Outline: edges are bucketed into geometric *length* classes
+/// (length = 1/weight, heaviest edges first). Processing classes in order,
+/// the algorithm repeatedly grows randomized-radius BFS balls over the
+/// current cluster multigraph, adds the BFS tree edges to the spanning
+/// tree, and contracts each ball into one cluster. Short (heavy) edges are
+/// therefore overwhelmingly kept inside clusters, which is what bounds the
+/// stretch of the discarded edges.
+
+#include "graph/graph.hpp"
+#include "tree/spanning_tree.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+
+struct AkpwOptions {
+  /// Geometric growth of the edge-length classes.
+  double class_ratio = 4.0;
+  /// Ball-radius geometric parameter; 0 selects 1/(log2 n + 1).
+  double ball_p = 0.0;
+  /// Root of the returned rooted tree.
+  Vertex root = 0;
+};
+
+/// Builds an AKPW-style low-stretch spanning tree. Throws when `g` is not
+/// connected.
+[[nodiscard]] SpanningTree akpw_low_stretch_tree(const Graph& g, Rng& rng,
+                                                 const AkpwOptions& opts = {});
+
+}  // namespace ssp

@@ -1,0 +1,68 @@
+#include "tree/dijkstra_tree.hpp"
+
+#include <limits>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+SpanningTree shortest_path_tree(const Graph& g, Vertex source) {
+  SSP_REQUIRE(g.finalized(), "shortest_path_tree: graph must be finalized");
+  const Vertex n = g.num_vertices();
+  SSP_REQUIRE(source >= 0 && source < n, "shortest_path_tree: bad source");
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<std::size_t>(n), kInf);
+  std::vector<EdgeId> via(static_cast<std::size_t>(n), kInvalidEdge);
+  std::vector<char> done(static_cast<std::size_t>(n), 0);
+
+  using Item = std::pair<double, Vertex>;  // (distance, vertex)
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  heap.emplace(0.0, source);
+
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (done[static_cast<std::size_t>(v)] != 0) continue;
+    done[static_cast<std::size_t>(v)] = 1;
+    for (const auto item : g.neighbors(v)) {
+      const double nd = d + 1.0 / item.weight;
+      if (nd < dist[static_cast<std::size_t>(item.neighbor)]) {
+        dist[static_cast<std::size_t>(item.neighbor)] = nd;
+        via[static_cast<std::size_t>(item.neighbor)] = item.edge;
+        heap.emplace(nd, item.neighbor);
+      }
+    }
+  }
+
+  std::vector<EdgeId> tree;
+  tree.reserve(static_cast<std::size_t>(n) - 1);
+  for (Vertex v = 0; v < n; ++v) {
+    if (v == source) continue;
+    SSP_REQUIRE(via[static_cast<std::size_t>(v)] != kInvalidEdge,
+                "shortest_path_tree: graph is not connected");
+    tree.push_back(via[static_cast<std::size_t>(v)]);
+  }
+  return SpanningTree(g, std::move(tree), source);
+}
+
+SpanningTree shortest_path_tree_from_center(const Graph& g) {
+  SSP_REQUIRE(g.finalized() && g.num_vertices() >= 1,
+              "shortest_path_tree_from_center: bad graph");
+  Vertex best = 0;
+  double best_deg = -1.0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const double d = g.weighted_degree(v);
+    if (d > best_deg) {
+      best_deg = d;
+      best = v;
+    }
+  }
+  return shortest_path_tree(g, best);
+}
+
+}  // namespace ssp

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file dijkstra_tree.hpp
+/// Shortest-path tree with edge length 1/weight (electrical resistance).
+/// An SPT from a high-degree center is a simple backbone whose stretch is
+/// good on expander-like graphs; it completes the backbone ablation
+/// alongside Kruskal and AKPW.
+
+#include "graph/graph.hpp"
+#include "tree/spanning_tree.hpp"
+
+namespace ssp {
+
+/// Dijkstra shortest-path tree from `source` using length(e) = 1/w(e).
+/// Throws when `g` is not connected.
+[[nodiscard]] SpanningTree shortest_path_tree(const Graph& g, Vertex source);
+
+/// Convenience: SPT rooted at the vertex of maximum weighted degree (a
+/// cheap "center" heuristic).
+[[nodiscard]] SpanningTree shortest_path_tree_from_center(const Graph& g);
+
+}  // namespace ssp

@@ -1,0 +1,50 @@
+#include "tree/kruskal.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/union_find.hpp"
+
+namespace ssp {
+
+namespace {
+
+SpanningTree kruskal(const Graph& g, Vertex root, bool maximize) {
+  SSP_REQUIRE(g.num_vertices() >= 1, "kruskal: empty graph");
+  std::vector<EdgeId> ids(static_cast<std::size_t>(g.num_edges()));
+  std::iota(ids.begin(), ids.end(), EdgeId{0});
+  const auto edges = g.edges();
+  std::stable_sort(ids.begin(), ids.end(), [&](EdgeId a, EdgeId b) {
+    const double wa = edges[static_cast<std::size_t>(a)].weight;
+    const double wb = edges[static_cast<std::size_t>(b)].weight;
+    return maximize ? wa > wb : wa < wb;
+  });
+
+  UnionFind uf(g.num_vertices());
+  std::vector<EdgeId> tree;
+  tree.reserve(static_cast<std::size_t>(g.num_vertices()) - 1);
+  for (EdgeId id : ids) {
+    const Edge& e = edges[static_cast<std::size_t>(id)];
+    if (uf.unite(e.u, e.v)) {
+      tree.push_back(id);
+      if (static_cast<Vertex>(tree.size()) == g.num_vertices() - 1) break;
+    }
+  }
+  SSP_REQUIRE(static_cast<Vertex>(tree.size()) == g.num_vertices() - 1,
+              "kruskal: graph is not connected");
+  return SpanningTree(g, std::move(tree), root);
+}
+
+}  // namespace
+
+SpanningTree max_weight_spanning_tree(const Graph& g, Vertex root) {
+  return kruskal(g, root, /*maximize=*/true);
+}
+
+SpanningTree min_weight_spanning_tree(const Graph& g, Vertex root) {
+  return kruskal(g, root, /*maximize=*/false);
+}
+
+}  // namespace ssp

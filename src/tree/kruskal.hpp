@@ -1,0 +1,24 @@
+#pragma once
+
+/// \file kruskal.hpp
+/// Maximum-weight spanning tree (Kruskal + union–find).
+///
+/// For Laplacians, maximizing total edge weight minimizes the sum of tree
+/// edge *resistances* greedily — the classic practical backbone choice and
+/// the baseline the AKPW low-stretch tree is compared against
+/// (bench_ablation_backbone).
+
+#include "graph/graph.hpp"
+#include "tree/spanning_tree.hpp"
+
+namespace ssp {
+
+/// Maximum-weight spanning tree. Throws when `g` is not connected.
+[[nodiscard]] SpanningTree max_weight_spanning_tree(const Graph& g,
+                                                    Vertex root = 0);
+
+/// Minimum-weight spanning tree (used by tests as an adversarial backbone).
+[[nodiscard]] SpanningTree min_weight_spanning_tree(const Graph& g,
+                                                    Vertex root = 0);
+
+}  // namespace ssp

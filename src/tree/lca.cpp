@@ -1,0 +1,66 @@
+#include "tree/lca.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+LcaIndex::LcaIndex(const SpanningTree& t) : t_(&t) {
+  const Vertex n = t.num_vertices();
+  Index max_depth = 0;
+  for (Vertex v = 0; v < n; ++v) max_depth = std::max(max_depth, t.depth(v));
+  levels_ = 1;
+  while ((Index{1} << levels_) <= max_depth) ++levels_;
+
+  up_.assign(static_cast<std::size_t>(levels_),
+             std::vector<Vertex>(static_cast<std::size_t>(n)));
+  for (Vertex v = 0; v < n; ++v) {
+    const Vertex p = t.parent(v);
+    up_[0][static_cast<std::size_t>(v)] = (p == kInvalidVertex) ? v : p;
+  }
+  for (int k = 1; k < levels_; ++k) {
+    for (Vertex v = 0; v < n; ++v) {
+      up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)] =
+          up_[static_cast<std::size_t>(k) - 1][static_cast<std::size_t>(
+              up_[static_cast<std::size_t>(k) - 1][static_cast<std::size_t>(v)])];
+    }
+  }
+}
+
+Vertex LcaIndex::lca(Vertex u, Vertex v) const {
+  SSP_REQUIRE(u >= 0 && u < t_->num_vertices() && v >= 0 &&
+                  v < t_->num_vertices(),
+              "lca: vertex out of range");
+  // Lift the deeper vertex to the same depth.
+  if (t_->depth(u) < t_->depth(v)) std::swap(u, v);
+  Index diff = t_->depth(u) - t_->depth(v);
+  for (int k = 0; diff != 0; ++k, diff >>= 1) {
+    if ((diff & 1) != 0) {
+      u = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(u)];
+    }
+  }
+  if (u == v) return u;
+  for (int k = levels_ - 1; k >= 0; --k) {
+    const Vertex au = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(u)];
+    const Vertex av = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)];
+    if (au != av) {
+      u = au;
+      v = av;
+    }
+  }
+  return up_[0][static_cast<std::size_t>(u)];
+}
+
+double LcaIndex::path_resistance(Vertex u, Vertex v) const {
+  const Vertex a = lca(u, v);
+  return t_->resistance_to_root(u) + t_->resistance_to_root(v) -
+         2.0 * t_->resistance_to_root(a);
+}
+
+double LcaIndex::stretch(EdgeId e) const {
+  const Edge& edge = t_->graph().edge(e);
+  return edge.weight * path_resistance(edge.u, edge.v);
+}
+
+}  // namespace ssp

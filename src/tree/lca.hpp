@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file lca.hpp
+/// Binary-lifting lowest-common-ancestor index over a rooted spanning tree.
+/// Construction O(n log n), queries O(log n).
+///
+/// The LCA turns root-path resistances into tree effective resistances,
+///   R_T(u, v) = r(u) + r(v) − 2 r(lca(u, v)),
+/// which the stretch computation (tree/stretch.hpp) and the
+/// Spielman–Srivastava baseline (core/resistance_sampling.hpp) consume.
+
+#include <vector>
+
+#include "tree/spanning_tree.hpp"
+
+namespace ssp {
+
+class LcaIndex {
+ public:
+  /// Builds the lifting table for `t` (which must outlive this index).
+  explicit LcaIndex(const SpanningTree& t);
+
+  /// Lowest common ancestor of u and v.
+  [[nodiscard]] Vertex lca(Vertex u, Vertex v) const;
+
+  /// Tree effective resistance between u and v (sum of 1/w on the path).
+  [[nodiscard]] double path_resistance(Vertex u, Vertex v) const;
+
+  /// Stretch of graph edge `e`: w(e) · R_T(u, v). Equals 1 for tree edges.
+  [[nodiscard]] double stretch(EdgeId e) const;
+
+ private:
+  const SpanningTree* t_;
+  int levels_ = 1;
+  // up_[k][v] = 2^k-th ancestor of v (root maps to itself).
+  std::vector<std::vector<Vertex>> up_;
+};
+
+}  // namespace ssp

@@ -1,0 +1,101 @@
+#include "tree/spanning_tree.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+SpanningTree::SpanningTree(const Graph& g, std::vector<EdgeId> tree_edges,
+                           Vertex root)
+    : g_(&g), tree_edges_(std::move(tree_edges)), root_(root) {
+  SSP_REQUIRE(g.finalized(), "SpanningTree: graph must be finalized");
+  const Vertex n = g.num_vertices();
+  SSP_REQUIRE(n >= 1, "SpanningTree: empty graph");
+  SSP_REQUIRE(root >= 0 && root < n, "SpanningTree: root out of range");
+  SSP_REQUIRE(static_cast<Vertex>(tree_edges_.size()) == n - 1,
+              "SpanningTree: need exactly n-1 edges");
+
+  in_tree_.assign(static_cast<std::size_t>(g.num_edges()), 0);
+  for (EdgeId e : tree_edges_) {
+    SSP_REQUIRE(e >= 0 && e < g.num_edges(), "SpanningTree: bad edge id");
+    SSP_REQUIRE(in_tree_[static_cast<std::size_t>(e)] == 0,
+                "SpanningTree: duplicate tree edge");
+    in_tree_[static_cast<std::size_t>(e)] = 1;
+  }
+
+  parent_.assign(static_cast<std::size_t>(n), kInvalidVertex);
+  parent_eid_.assign(static_cast<std::size_t>(n), kInvalidEdge);
+  parent_w_.assign(static_cast<std::size_t>(n), 0.0);
+  depth_.assign(static_cast<std::size_t>(n), 0);
+  res_to_root_.assign(static_cast<std::size_t>(n), 0.0);
+  order_.clear();
+  order_.reserve(static_cast<std::size_t>(n));
+
+  // BFS from the root over tree edges only.
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  visited[static_cast<std::size_t>(root_)] = 1;
+  order_.push_back(root_);
+  for (std::size_t head = 0; head < order_.size(); ++head) {
+    const Vertex v = order_[head];
+    for (const auto item : g.neighbors(v)) {
+      if (in_tree_[static_cast<std::size_t>(item.edge)] == 0) continue;
+      const Vertex u = item.neighbor;
+      if (visited[static_cast<std::size_t>(u)] != 0) continue;
+      visited[static_cast<std::size_t>(u)] = 1;
+      parent_[static_cast<std::size_t>(u)] = v;
+      parent_eid_[static_cast<std::size_t>(u)] = item.edge;
+      parent_w_[static_cast<std::size_t>(u)] = item.weight;
+      depth_[static_cast<std::size_t>(u)] =
+          depth_[static_cast<std::size_t>(v)] + 1;
+      res_to_root_[static_cast<std::size_t>(u)] =
+          res_to_root_[static_cast<std::size_t>(v)] + 1.0 / item.weight;
+      order_.push_back(u);
+    }
+  }
+  SSP_REQUIRE(static_cast<Vertex>(order_.size()) == n,
+              "SpanningTree: edges do not span the graph");
+}
+
+bool SpanningTree::contains(EdgeId e) const {
+  SSP_REQUIRE(e >= 0 && e < g_->num_edges(), "edge id out of range");
+  return in_tree_[static_cast<std::size_t>(e)] != 0;
+}
+
+std::vector<EdgeId> SpanningTree::offtree_edge_ids() const {
+  std::vector<EdgeId> out;
+  out.reserve(static_cast<std::size_t>(num_offtree_edges()));
+  for (EdgeId e = 0; e < g_->num_edges(); ++e) {
+    if (in_tree_[static_cast<std::size_t>(e)] == 0) out.push_back(e);
+  }
+  return out;
+}
+
+Vertex SpanningTree::parent(Vertex v) const {
+  SSP_REQUIRE(v >= 0 && v < num_vertices(), "vertex out of range");
+  return parent_[static_cast<std::size_t>(v)];
+}
+
+EdgeId SpanningTree::parent_edge(Vertex v) const {
+  SSP_REQUIRE(v >= 0 && v < num_vertices(), "vertex out of range");
+  return parent_eid_[static_cast<std::size_t>(v)];
+}
+
+double SpanningTree::parent_weight(Vertex v) const {
+  SSP_REQUIRE(v >= 0 && v < num_vertices(), "vertex out of range");
+  return parent_w_[static_cast<std::size_t>(v)];
+}
+
+Index SpanningTree::depth(Vertex v) const {
+  SSP_REQUIRE(v >= 0 && v < num_vertices(), "vertex out of range");
+  return depth_[static_cast<std::size_t>(v)];
+}
+
+double SpanningTree::resistance_to_root(Vertex v) const {
+  SSP_REQUIRE(v >= 0 && v < num_vertices(), "vertex out of range");
+  return res_to_root_[static_cast<std::size_t>(v)];
+}
+
+Graph SpanningTree::as_graph() const { return g_->edge_subgraph(tree_edges_); }
+
+}  // namespace ssp

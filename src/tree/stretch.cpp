@@ -1,0 +1,29 @@
+#include "tree/stretch.hpp"
+
+#include <algorithm>
+
+#include "tree/lca.hpp"
+
+namespace ssp {
+
+StretchReport compute_stretch(const SpanningTree& t) {
+  const LcaIndex lca(t);
+  StretchReport r;
+  r.offtree_edges = t.offtree_edge_ids();
+  r.offtree_stretch.reserve(r.offtree_edges.size());
+  for (EdgeId e : r.offtree_edges) {
+    const double s = lca.stretch(e);
+    r.offtree_stretch.push_back(s);
+    r.total_offtree += s;
+    r.max_offtree = std::max(r.max_offtree, s);
+  }
+  r.mean_offtree =
+      r.offtree_edges.empty()
+          ? 0.0
+          : r.total_offtree / static_cast<double>(r.offtree_edges.size());
+  r.total_all = r.total_offtree +
+                static_cast<double>(t.tree_edge_ids().size());
+  return r;
+}
+
+}  // namespace ssp

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file stretch.hpp
+/// Per-edge and total stretch of a spanning tree.
+///
+/// st_T(e) = w(e) · R_T(u, v); tree edges have stretch exactly 1. The total
+/// over all edges equals Trace(L_T⁺ L_G) (paper Eq. (4)), the quantity the
+/// low-stretch-tree theory bounds by O(m log n log log n) and which
+/// determines how many large generalized eigenvalues the tree
+/// preconditioner can have [21].
+
+#include <vector>
+
+#include "tree/spanning_tree.hpp"
+
+namespace ssp {
+
+struct StretchReport {
+  std::vector<EdgeId> offtree_edges;    ///< ascending edge ids
+  std::vector<double> offtree_stretch;  ///< aligned with offtree_edges
+  double total_offtree = 0.0;           ///< Σ stretch over off-tree edges
+  double total_all = 0.0;               ///< + one per tree edge = Trace(L_T⁺ L_G)
+  double max_offtree = 0.0;
+  double mean_offtree = 0.0;
+};
+
+/// Computes the stretch of every off-tree edge via LCA (O(m log n)).
+[[nodiscard]] StretchReport compute_stretch(const SpanningTree& t);
+
+}  // namespace ssp

@@ -1,0 +1,51 @@
+#include "tree/tree_solver.hpp"
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+TreeSolver::TreeSolver(const SpanningTree& t) : t_(&t) {
+  flow_.resize(static_cast<std::size_t>(t.num_vertices()));
+}
+
+void TreeSolver::solve(std::span<const double> b, std::span<double> x) const {
+  const Vertex n = t_->num_vertices();
+  SSP_REQUIRE(static_cast<Vertex>(b.size()) == n, "tree solve: b size");
+  SSP_REQUIRE(static_cast<Vertex>(x.size()) == n, "tree solve: x size");
+
+  // Project b onto the Laplacian range (zero sum).
+  double bmean = 0.0;
+  for (double v : b) bmean += v;
+  bmean /= static_cast<double>(n);
+
+  for (Vertex v = 0; v < n; ++v) {
+    flow_[static_cast<std::size_t>(v)] =
+        b[static_cast<std::size_t>(v)] - bmean;
+  }
+
+  const auto order = t_->bfs_order();
+  // Leaf-to-root: accumulate subtree injections into the parent.
+  for (std::size_t i = order.size(); i-- > 1;) {
+    const Vertex v = order[i];
+    const Vertex p = t_->parent(v);
+    flow_[static_cast<std::size_t>(p)] += flow_[static_cast<std::size_t>(v)];
+  }
+  // Root-to-leaf: integrate potentials.
+  x[static_cast<std::size_t>(t_->root())] = 0.0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const Vertex v = order[i];
+    const Vertex p = t_->parent(v);
+    x[static_cast<std::size_t>(v)] =
+        x[static_cast<std::size_t>(p)] +
+        flow_[static_cast<std::size_t>(v)] / t_->parent_weight(v);
+  }
+  project_out_mean(x);
+}
+
+Vec TreeSolver::solve(std::span<const double> b) const {
+  Vec x(static_cast<std::size_t>(num_vertices()));
+  solve(b, x);
+  return x;
+}
+
+}  // namespace ssp

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file tree_solver.hpp
+/// Exact O(n) solver for spanning-tree Laplacian systems L_T x = b.
+///
+/// This is the workhorse behind (i) the generalized power iterations of the
+/// spectral embedding when the sparsifier is still a bare tree, and (ii)
+/// the spanning-tree preconditioner used inside PCG once the sparsifier has
+/// been densified (the tree stays a subgraph of P, see DESIGN.md §5).
+///
+/// Algorithm: with the tree rooted, the current on the edge (v, parent(v))
+/// must equal the total injection Σ b over v's subtree; a leaf-to-root pass
+/// accumulates those flows, a root-to-leaf pass integrates potentials
+/// x_v = x_parent + flow_v / w_v. The right-hand side is first projected to
+/// zero mean (Laplacian range), and the output is returned with zero mean
+/// (pseudoinverse convention).
+
+#include <span>
+
+#include "la/vector_ops.hpp"
+#include "tree/spanning_tree.hpp"
+
+namespace ssp {
+
+class TreeSolver {
+ public:
+  /// Captures the rooted structure of `t` (which must outlive the solver).
+  explicit TreeSolver(const SpanningTree& t);
+
+  /// x := L_T⁺ b (exact up to rounding). Sizes must equal n.
+  void solve(std::span<const double> b, std::span<double> x) const;
+
+  /// Allocating convenience overload.
+  [[nodiscard]] Vec solve(std::span<const double> b) const;
+
+  [[nodiscard]] Vertex num_vertices() const { return t_->num_vertices(); }
+
+ private:
+  const SpanningTree* t_;
+  // Scratch reused across solves (mutable: solve() is logically const).
+  mutable Vec flow_;
+};
+
+}  // namespace ssp

@@ -1,0 +1,59 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0.0;
+  for (double x : xs) {
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+    sum += x;
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0.0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(ss / static_cast<double>(xs.size()));
+  return s;
+}
+
+double percentile(std::span<const double> xs, double q) {
+  SSP_REQUIRE(!xs.empty(), "percentile of empty sample");
+  SSP_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::vector<double> sorted_series(std::span<const double> xs, std::size_t k) {
+  SSP_REQUIRE(!xs.empty(), "sorted_series of empty sample");
+  SSP_REQUIRE(k >= 2, "sorted_series needs k >= 2");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  std::vector<double> out;
+  out.reserve(k);
+  const std::size_t n = sorted.size();
+  for (std::size_t i = 0; i < k; ++i) {
+    const double pos = static_cast<double>(i) *
+                       static_cast<double>(n - 1) /
+                       static_cast<double>(k - 1);
+    out.push_back(sorted[static_cast<std::size_t>(pos)]);
+  }
+  return out;
+}
+
+}  // namespace ssp

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file stats.hpp
+/// Small descriptive-statistics helpers used by benchmark tables and the
+/// Fig. 2 heat-distribution reporting.
+
+#include <span>
+#include <vector>
+
+namespace ssp {
+
+/// Summary statistics of a sample.
+struct Summary {
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< population standard deviation
+  std::size_t count = 0;
+};
+
+/// Computes min/max/mean/stddev of `xs`. Empty input yields a zero Summary.
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// q-th percentile (q in [0,1]) by linear interpolation on the sorted copy.
+/// Throws std::invalid_argument for empty input or q outside [0,1].
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+/// Returns `k` evenly spaced samples of the *descending*-sorted input,
+/// including the first (max) and last (min) elements — the series used to
+/// plot Fig. 2-style sorted heat curves compactly. `k >= 2`.
+[[nodiscard]] std::vector<double> sorted_series(std::span<const double> xs,
+                                                std::size_t k);
+
+}  // namespace ssp

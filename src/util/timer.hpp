@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file timer.hpp
+/// Wall-clock timing used by the densification loop and all benchmark tables.
+
+#include <chrono>
+
+namespace ssp {
+
+/// Monotonic wall-clock stopwatch. Started on construction.
+class WallTimer {
+ public:
+  WallTimer();
+
+  /// Restarts the stopwatch.
+  void reset();
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const;
+
+  /// Milliseconds elapsed since construction or the last reset().
+  [[nodiscard]] double milliseconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ssp

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file types.hpp
+/// Fundamental index types shared by every subsystem.
+
+#include <cstdint>
+
+namespace ssp {
+
+/// Vertex identifier. Graphs up to ~2·10^9 vertices; all benchmark workloads
+/// fit comfortably in 32 bits, which halves adjacency storage.
+using Vertex = std::int32_t;
+
+/// Edge identifier (index into a graph's edge list). 64-bit because edge
+/// counts of dense proxies (e.g. 80-NN graphs) can exceed 2^31 when scaled.
+using EdgeId = std::int64_t;
+
+/// Generic array index / size type used for CSR offsets and vector sizes.
+using Index = std::int64_t;
+
+/// Sentinel for "no vertex" (e.g. the root's parent in a rooted tree).
+inline constexpr Vertex kInvalidVertex = -1;
+
+/// Sentinel for "no edge".
+inline constexpr EdgeId kInvalidEdge = -1;
+
+}  // namespace ssp

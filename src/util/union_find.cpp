@@ -1,0 +1,50 @@
+#include "util/union_find.hpp"
+
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+UnionFind::UnionFind(Index n)
+    : parent_(static_cast<std::size_t>(n)),
+      size_(static_cast<std::size_t>(n), 1),
+      num_sets_(n) {
+  SSP_REQUIRE(n >= 0, "UnionFind size must be non-negative");
+  std::iota(parent_.begin(), parent_.end(), Index{0});
+}
+
+void UnionFind::check_bounds(Index x) const {
+  SSP_REQUIRE(x >= 0 && x < num_elements(), "UnionFind index out of range");
+}
+
+Index UnionFind::find(Index x) {
+  check_bounds(x);
+  while (parent_[static_cast<std::size_t>(x)] != x) {
+    auto& p = parent_[static_cast<std::size_t>(x)];
+    p = parent_[static_cast<std::size_t>(p)];  // path halving
+    x = p;
+  }
+  return x;
+}
+
+bool UnionFind::unite(Index a, Index b) {
+  Index ra = find(a);
+  Index rb = find(b);
+  if (ra == rb) return false;
+  if (size_[static_cast<std::size_t>(ra)] < size_[static_cast<std::size_t>(rb)]) {
+    std::swap(ra, rb);
+  }
+  parent_[static_cast<std::size_t>(rb)] = ra;
+  size_[static_cast<std::size_t>(ra)] += size_[static_cast<std::size_t>(rb)];
+  --num_sets_;
+  return true;
+}
+
+bool UnionFind::same(Index a, Index b) { return find(a) == find(b); }
+
+Index UnionFind::size_of(Index x) {
+  return size_[static_cast<std::size_t>(find(x))];
+}
+
+}  // namespace ssp

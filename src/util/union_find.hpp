@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file union_find.hpp
+/// Disjoint-set forest with union by size and path halving.
+///
+/// Used by Kruskal's spanning tree, the AKPW low-stretch tree's cluster
+/// contraction, and connectivity checks.
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ssp {
+
+class UnionFind {
+ public:
+  /// Creates `n` singleton sets labelled 0..n-1.
+  explicit UnionFind(Index n);
+
+  /// Representative of the set containing `x` (with path halving).
+  [[nodiscard]] Index find(Index x);
+
+  /// Merges the sets containing `a` and `b`.
+  /// \returns true when a merge happened (they were in different sets).
+  bool unite(Index a, Index b);
+
+  /// True when `a` and `b` are currently in the same set.
+  [[nodiscard]] bool same(Index a, Index b);
+
+  /// Number of elements in the set containing `x`.
+  [[nodiscard]] Index size_of(Index x);
+
+  /// Current number of disjoint sets.
+  [[nodiscard]] Index num_sets() const { return num_sets_; }
+
+  /// Total number of elements.
+  [[nodiscard]] Index num_elements() const {
+    return static_cast<Index>(parent_.size());
+  }
+
+ private:
+  void check_bounds(Index x) const;
+
+  std::vector<Index> parent_;
+  std::vector<Index> size_;
+  Index num_sets_;
+};
+
+}  // namespace ssp

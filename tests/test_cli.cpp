@@ -1,0 +1,106 @@
+// Unit tests for the dependency-free CLI argument parser used by the
+// ssp_* tools.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "cli.hpp"
+
+namespace ssp::cli {
+namespace {
+
+/// Builds a mutable argv from string literals.
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    for (auto& s : storage_) ptrs_.push_back(s.data());
+  }
+  [[nodiscard]] int argc() const { return static_cast<int>(ptrs_.size()); }
+  [[nodiscard]] char** argv() { return ptrs_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+};
+
+TEST(Cli, ParsesKeyValuePairs) {
+  Argv a({"prog", "--in", "file.mtx", "--sigma2", "50"});
+  ArgParser p("prog", "test");
+  ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+  EXPECT_EQ(p.get("in", ""), "file.mtx");
+  EXPECT_DOUBLE_EQ(p.get_double("sigma2", 0.0), 50.0);
+}
+
+TEST(Cli, ParsesEqualsForm) {
+  Argv a({"prog", "--sigma2=123.5", "--name=x"});
+  ArgParser p("prog", "test");
+  ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+  EXPECT_DOUBLE_EQ(p.get_double("sigma2", 0.0), 123.5);
+  EXPECT_EQ(p.get("name", ""), "x");
+}
+
+TEST(Cli, BooleanFlags) {
+  Argv a({"prog", "--verbose", "--out", "o.mtx"});
+  ArgParser p("prog", "test");
+  ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+  EXPECT_TRUE(p.get_bool("verbose", false));
+  EXPECT_FALSE(p.get_bool("quiet", false));
+  EXPECT_TRUE(p.has("verbose"));
+  EXPECT_FALSE(p.has("quiet"));
+}
+
+TEST(Cli, TrailingFlagIsBoolean) {
+  Argv a({"prog", "--check"});
+  ArgParser p("prog", "test");
+  ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+  EXPECT_TRUE(p.get_bool("check", false));
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  Argv a({"prog", "--help"});
+  ArgParser p("prog", "test");
+  EXPECT_FALSE(p.parse(a.argc(), a.argv()));
+  Argv b({"prog", "-h"});
+  ArgParser q("prog", "test");
+  EXPECT_FALSE(q.parse(b.argc(), b.argv()));
+}
+
+TEST(Cli, RequireThrowsWhenMissing) {
+  Argv a({"prog"});
+  ArgParser p("prog", "test");
+  ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+  EXPECT_THROW((void)p.require("in"), std::invalid_argument);
+}
+
+TEST(Cli, TypedGettersValidate) {
+  Argv a({"prog", "--n", "abc"});
+  ArgParser p("prog", "test");
+  ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+  EXPECT_THROW((void)p.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW((void)p.get_double("n", 0.0), std::invalid_argument);
+  EXPECT_EQ(p.get_int("missing", 7), 7);
+}
+
+TEST(Cli, PositionalArguments) {
+  Argv a({"prog", "input.mtx", "--k", "3", "extra"});
+  ArgParser p("prog", "test");
+  ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.mtx");
+  EXPECT_EQ(p.positional()[1], "extra");
+}
+
+TEST(Cli, UsageListsOptions) {
+  ArgParser p("prog", "does things");
+  p.option("in", "input file").option("sigma2", "target", "100");
+  const std::string u = p.usage();
+  EXPECT_NE(u.find("--in"), std::string::npos);
+  EXPECT_NE(u.find("default: 100"), std::string::npos);
+  EXPECT_NE(u.find("does things"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssp::cli

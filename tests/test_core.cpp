@@ -1,0 +1,496 @@
+// Unit tests for the core similarity-aware sparsification pipeline:
+// Joule-heat embedding identities, λ estimators, θ_σ filtering, the
+// densification loop, the public sparsify() API, the Spielman–Srivastava
+// baseline, and the rescaling extension.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "core/densify.hpp"
+#include "core/edge_filter.hpp"
+#include "core/eigen_estimate.hpp"
+#include "core/embedding.hpp"
+#include "core/rescale.hpp"
+#include "core/resistance_sampling.hpp"
+#include "core/sparsifier.hpp"
+#include "eigen/operators.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators/lattice.hpp"
+#include "graph/generators/random_graphs.hpp"
+#include "graph/laplacian.hpp"
+#include "la/dense_eigen.hpp"
+#include "la/vector_ops.hpp"
+#include "solver/pcg.hpp"
+#include "tree/kruskal.hpp"
+#include "tree/stretch.hpp"
+#include "tree/tree_solver.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+namespace {
+
+std::vector<char> tree_membership(const Graph& g, const SpanningTree& t) {
+  std::vector<char> in_p(static_cast<std::size_t>(g.num_edges()), 0);
+  for (EdgeId e : t.tree_edge_ids()) in_p[static_cast<std::size_t>(e)] = 1;
+  return in_p;
+}
+
+TEST(Embedding, HeatMatchesDirectQuadraticForm) {
+  // Σ_offtree heat(p,q) must equal h_tᵀ (L_G − L_P) h_t summed over the
+  // random vectors — Eq. (6) is an exact identity, not an approximation.
+  Rng rng(1);
+  const Graph g = erdos_renyi_connected(40, 150, rng,
+                                        WeightModel::uniform(0.5, 2.0));
+  const SpanningTree tree = max_weight_spanning_tree(g);
+  const TreeSolver solver(tree);
+  const auto in_p = tree_membership(g, tree);
+
+  // Re-run the embedding manually with the same RNG stream to capture h_t.
+  const CsrMatrix lg = laplacian(g);
+  const CsrMatrix lp = laplacian(tree.as_graph());
+  const EmbeddingOptions opts = {.power_steps = 2, .num_vectors = 3};
+
+  Rng rng_a(77);
+  const OffTreeEmbedding emb = compute_offtree_heat(
+      g, in_p, make_tree_solver_op(solver), opts, rng_a);
+
+  Rng rng_b(77);
+  double expected_total = 0.0;
+  for (Index j = 0; j < 3; ++j) {
+    Vec h = random_probe_vector(g.num_vertices(), rng_b);
+    for (int s = 0; s < 2; ++s) {
+      Vec gh = lg.multiply(h);
+      project_out_mean(gh);
+      solver.solve(gh, h);
+      project_out_mean(h);
+    }
+    expected_total += lg.quadratic(h) - lp.quadratic(h);
+  }
+  EXPECT_NEAR(emb.total_heat, expected_total,
+              1e-9 * std::max(1.0, expected_total));
+}
+
+TEST(Embedding, HeatIsPositiveAndBoundedByMax) {
+  Rng rng(2);
+  const Graph g = grid_2d(10, 10, WeightModel::log_uniform(0.1, 10.0), &rng);
+  const SpanningTree tree = max_weight_spanning_tree(g);
+  const TreeSolver solver(tree);
+  const OffTreeEmbedding emb = compute_offtree_heat(
+      g, tree_membership(g, tree), make_tree_solver_op(solver), {}, rng);
+  ASSERT_EQ(emb.offtree_edges.size(), emb.heat.size());
+  EXPECT_EQ(static_cast<EdgeId>(emb.offtree_edges.size()),
+            tree.num_offtree_edges());
+  for (double h : emb.heat) {
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, emb.heat_max * (1 + 1e-12));
+  }
+  EXPECT_GT(emb.heat_max, 0.0);
+  EXPECT_EQ(emb.num_vectors, 6);  // max(6, ceil(log2(100)/2))
+}
+
+TEST(Embedding, HighStretchEdgesRunHot) {
+  // Rank correlation between stretch and heat: the top-stretch edge should
+  // sit in the top quartile by heat (Eq. (10): stretch ≈ λ for
+  // spectrally-unique edges).
+  Rng rng(3);
+  const Graph g = grid_2d(15, 15, WeightModel::log_uniform(0.01, 100.0), &rng);
+  const SpanningTree tree = max_weight_spanning_tree(g);
+  const TreeSolver solver(tree);
+  const OffTreeEmbedding emb = compute_offtree_heat(
+      g, tree_membership(g, tree), make_tree_solver_op(solver),
+      {.power_steps = 2, .num_vectors = 12}, rng);
+  const StretchReport st = compute_stretch(tree);
+
+  // Identify edge with max stretch; find its heat rank.
+  const auto max_it =
+      std::max_element(st.offtree_stretch.begin(), st.offtree_stretch.end());
+  const std::size_t max_idx =
+      static_cast<std::size_t>(max_it - st.offtree_stretch.begin());
+  ASSERT_EQ(st.offtree_edges[max_idx], emb.offtree_edges[max_idx]);
+  const double heat_of_max_stretch = emb.heat[max_idx];
+  Index hotter = 0;
+  for (double h : emb.heat) {
+    if (h > heat_of_max_stretch) ++hotter;
+  }
+  EXPECT_LT(hotter, static_cast<Index>(emb.heat.size()) / 4);
+}
+
+TEST(Embedding, InputValidation) {
+  Rng rng(4);
+  const Graph g = grid_2d(4, 4);
+  const SpanningTree tree = max_weight_spanning_tree(g);
+  const TreeSolver solver(tree);
+  const LinOp op = make_tree_solver_op(solver);
+  std::vector<char> wrong_size(3, 1);
+  EXPECT_THROW((void)compute_offtree_heat(g, wrong_size, op, {}, rng),
+               std::invalid_argument);
+  const auto in_p = tree_membership(g, tree);
+  EXPECT_THROW(
+      (void)compute_offtree_heat(g, in_p, op, {.power_steps = 0}, rng),
+      std::invalid_argument);
+}
+
+TEST(EigenEstimate, LambdaMinIsUpperBoundOnSmallGraphs) {
+  Rng rng(5);
+  for (std::uint64_t seed : {11u, 22u, 33u}) {
+    Rng grng(seed);
+    const Graph g = erdos_renyi_connected(
+        24, 70, grng, WeightModel::log_uniform(0.2, 5.0));
+    const SpanningTree tree = max_weight_spanning_tree(g);
+    const auto in_p = tree_membership(g, tree);
+    const double est = estimate_lambda_min_node_coloring(g, in_p);
+
+    const Vec oracle = dense_generalized_eigenvalues(
+        DenseMatrix::from_csr(laplacian(g)),
+        DenseMatrix::from_csr(laplacian(tree.as_graph())));
+    const double lmin = oracle.front();
+    EXPECT_GE(est, lmin - 1e-9) << "node coloring must upper-bound λ_min";
+    EXPECT_GE(est, 1.0 - 1e-12);  // subgraph pencil spectrum >= 1
+    // Accuracy on these graph families: within ~35% (paper reports ~10% on
+    // FE matrices; random graphs are harsher).
+    EXPECT_LE(est, 1.35 * lmin + 1e-9);
+  }
+}
+
+TEST(EigenEstimate, GraphOverloadAgrees) {
+  Rng rng(6);
+  const Graph g = grid_2d(8, 8);
+  const SpanningTree tree = max_weight_spanning_tree(g);
+  const double a =
+      estimate_lambda_min_node_coloring(g, tree_membership(g, tree));
+  const double b = estimate_lambda_min_node_coloring(g, tree.as_graph());
+  EXPECT_NEAR(a, b, 1e-14);
+}
+
+TEST(EigenEstimate, LambdaMaxCloseToLanczosReference) {
+  Rng rng(7);
+  const Graph g = triangulated_grid(10, 10,
+                                    WeightModel::log_uniform(0.1, 10.0), &rng);
+  const SpanningTree tree = max_weight_spanning_tree(g);
+  const TreeSolver solver(tree);
+  const CsrMatrix lg = laplacian(g);
+  const double est = estimate_lambda_max_power(
+      lg, make_tree_solver_op(solver), rng, 10);
+  const Vec oracle = dense_generalized_eigenvalues(
+      DenseMatrix::from_csr(lg),
+      DenseMatrix::from_csr(laplacian(tree.as_graph())));
+  EXPECT_NEAR(est, oracle.back(), 0.06 * oracle.back());
+}
+
+TEST(Filter, ThresholdFormula) {
+  // θ_σ = (σ² λ_min / λ_max)^{2t+1}.
+  EXPECT_NEAR(heat_threshold(100.0, 1.0, 1000.0, 2),
+              std::pow(0.1, 5.0), 1e-15);
+  EXPECT_NEAR(heat_threshold(50.0, 2.0, 400.0, 1),
+              std::pow(0.25, 3.0), 1e-15);
+  // Clamped to 1 when the target already holds.
+  EXPECT_DOUBLE_EQ(heat_threshold(100.0, 1.0, 50.0, 2), 1.0);
+  EXPECT_THROW((void)heat_threshold(-1.0, 1.0, 10.0, 2),
+               std::invalid_argument);
+  EXPECT_THROW((void)heat_threshold(10.0, 0.0, 10.0, 2),
+               std::invalid_argument);
+}
+
+TEST(Filter, SelectsAboveThresholdInHeatOrder) {
+  Graph g(6);
+  // Build a graph with 5 tree edges + 4 off-tree edges.
+  for (Vertex v = 0; v + 1 < 6; ++v) g.add_edge(v, v + 1, 1.0);
+  const EdgeId o1 = g.add_edge(0, 2, 1.0);
+  const EdgeId o2 = g.add_edge(0, 3, 1.0);
+  const EdgeId o3 = g.add_edge(2, 4, 1.0);
+  const EdgeId o4 = g.add_edge(1, 5, 1.0);
+  g.finalize();
+
+  OffTreeEmbedding emb;
+  emb.offtree_edges = {o1, o2, o3, o4};
+  emb.heat = {0.9, 1.0, 0.05, 0.5};
+  emb.heat_max = 1.0;
+
+  const auto picked =
+      filter_offtree_edges(g, emb, 0.3, {.similarity = SimilarityPolicy::kNone});
+  ASSERT_EQ(picked.size(), 3u);
+  EXPECT_EQ(picked[0], o2);  // heat 1.0
+  EXPECT_EQ(picked[1], o1);  // heat 0.9
+  EXPECT_EQ(picked[2], o4);  // heat 0.5
+}
+
+TEST(Filter, NodeDisjointSuppressesSharedEndpoints) {
+  Graph g(6);
+  for (Vertex v = 0; v + 1 < 6; ++v) g.add_edge(v, v + 1, 1.0);
+  const EdgeId o1 = g.add_edge(0, 2, 1.0);
+  const EdgeId o2 = g.add_edge(0, 3, 1.0);  // shares vertex 0 with o1
+  const EdgeId o3 = g.add_edge(4, 1, 1.0);
+  g.finalize();
+
+  OffTreeEmbedding emb;
+  emb.offtree_edges = {o1, o2, o3};
+  emb.heat = {1.0, 0.9, 0.8};
+  emb.heat_max = 1.0;
+
+  const auto picked = filter_offtree_edges(
+      g, emb, 0.0, {.similarity = SimilarityPolicy::kNodeDisjoint});
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked[0], o1);
+  EXPECT_EQ(picked[1], o3);  // o2 rejected as similar
+
+  // Bounded with cap 2 admits o2 as well.
+  const auto picked2 = filter_offtree_edges(
+      g, emb, 0.0,
+      {.similarity = SimilarityPolicy::kBounded, .node_cap = 2});
+  EXPECT_EQ(picked2.size(), 3u);
+}
+
+TEST(Filter, MaxEdgesCapRespected) {
+  Graph g(8);
+  for (Vertex v = 0; v + 1 < 8; ++v) g.add_edge(v, v + 1, 1.0);
+  OffTreeEmbedding emb;
+  for (Vertex v = 0; v + 2 < 8; ++v) {
+    emb.offtree_edges.push_back(g.add_edge(v, v + 2, 1.0));
+    emb.heat.push_back(1.0);
+  }
+  g.finalize();
+  emb.heat_max = 1.0;
+  const auto picked = filter_offtree_edges(
+      g, emb, 0.0,
+      {.similarity = SimilarityPolicy::kNone, .max_edges = 3});
+  EXPECT_EQ(picked.size(), 3u);
+}
+
+TEST(Sparsify, ReachesTargetOnWeightedGrid) {
+  Rng rng(8);
+  const Graph g = grid_2d(24, 24, WeightModel::log_uniform(0.1, 10.0), &rng);
+  SparsifyOptions opts;
+  opts.sigma2 = 50.0;
+  opts.seed = 9;
+  const SparsifyResult res = sparsify(g, opts);
+  EXPECT_TRUE(res.reached_target);
+  EXPECT_LE(res.sigma2_estimate, 50.0 * 1.0001);
+  EXPECT_GE(res.lambda_min, 1.0 - 1e-9);
+  // Sparsifier contains the backbone and is connected.
+  const Graph p = res.extract(g);
+  EXPECT_TRUE(is_connected(p));
+  EXPECT_GE(res.num_edges(), g.num_vertices() - 1);
+  EXPECT_LT(res.num_edges(), g.num_edges());
+  // Tree edges form a prefix.
+  ASSERT_GE(res.edges.size(), res.tree_edges.size());
+  for (std::size_t i = 0; i < res.tree_edges.size(); ++i) {
+    EXPECT_EQ(res.edges[i], res.tree_edges[i]);
+  }
+  // No duplicate edges.
+  std::set<EdgeId> uniq(res.edges.begin(), res.edges.end());
+  EXPECT_EQ(uniq.size(), res.edges.size());
+  EXPECT_FALSE(res.rounds.empty());
+  EXPECT_GT(res.total_seconds, 0.0);
+}
+
+TEST(Sparsify, TrueConditionNumberWithinTargetOnSmallGraph) {
+  // Verify against the dense pencil oracle, not just our own estimates.
+  Rng rng(9);
+  const Graph g = erdos_renyi_connected(48, 300, rng,
+                                        WeightModel::uniform(0.5, 2.0));
+  SparsifyOptions opts;
+  opts.sigma2 = 30.0;
+  opts.max_rounds = 40;
+  const SparsifyResult res = sparsify(g, opts);
+  const Vec oracle = dense_generalized_eigenvalues(
+      DenseMatrix::from_csr(laplacian(g)),
+      DenseMatrix::from_csr(laplacian(res.extract(g))));
+  const double kappa = oracle.back() / oracle.front();
+  // Estimator noise allowance: true κ within 2× of the target.
+  EXPECT_LE(kappa, 2.0 * opts.sigma2);
+}
+
+TEST(Sparsify, SigmaControlsDensity) {
+  // Smaller σ² (higher similarity) must keep at least as many edges.
+  Rng rng(10);
+  const Graph g = grid_2d(20, 20, WeightModel::log_uniform(0.1, 10.0), &rng);
+  SparsifyOptions tight;
+  tight.sigma2 = 10.0;
+  SparsifyOptions loose;
+  loose.sigma2 = 300.0;
+  const SparsifyResult rt = sparsify(g, tight);
+  const SparsifyResult rl = sparsify(g, loose);
+  EXPECT_GE(rt.num_edges(), rl.num_edges());
+  EXPECT_LE(rl.sigma2_estimate, 300.0 * 1.0001);
+}
+
+TEST(Sparsify, WholeGraphWhenTargetUnreachable) {
+  // σ² barely above 1 on a dense graph: P should approach G and the loop
+  // must terminate.
+  Rng rng(11);
+  const Graph g = complete_graph(12);
+  SparsifyOptions opts;
+  opts.sigma2 = 1.01;
+  opts.max_rounds = 60;
+  const SparsifyResult res = sparsify(g, opts);
+  // With nearly all edges present the estimate must be ~1.
+  EXPECT_GE(res.num_edges(), g.num_edges() / 2);
+}
+
+TEST(Sparsify, BackboneKindsAllWork) {
+  Rng rng(12);
+  const Graph g = triangulated_grid(12, 12,
+                                    WeightModel::log_uniform(0.1, 10.0), &rng);
+  for (BackboneKind kind : {BackboneKind::kAkpw, BackboneKind::kMaxWeight,
+                            BackboneKind::kShortestPath}) {
+    SparsifyOptions opts;
+    opts.backbone = kind;
+    opts.sigma2 = 80.0;
+    const SparsifyResult res = sparsify(g, opts);
+    EXPECT_TRUE(res.reached_target) << "backbone " << static_cast<int>(kind);
+    EXPECT_TRUE(is_connected(res.extract(g)));
+  }
+}
+
+TEST(Sparsify, AmgInnerSolverAgreesWithTreePcg) {
+  Rng rng(13);
+  const Graph g = grid_2d(16, 16, WeightModel::uniform(0.5, 2.0), &rng);
+  SparsifyOptions a;
+  a.sigma2 = 40.0;
+  a.inner_solver = InnerSolverKind::kTreePcg;
+  SparsifyOptions b = a;
+  b.inner_solver = InnerSolverKind::kAmg;
+  const SparsifyResult ra = sparsify(g, a);
+  const SparsifyResult rb = sparsify(g, b);
+  EXPECT_TRUE(ra.reached_target);
+  EXPECT_TRUE(rb.reached_target);
+  // Both reach the target with comparable edge budgets (within 2x).
+  const double ratio = static_cast<double>(ra.num_edges()) /
+                       static_cast<double>(rb.num_edges());
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(Sparsify, InputValidation) {
+  Rng rng(14);
+  const Graph g = grid_2d(4, 4);
+  SparsifyOptions opts;
+  opts.sigma2 = 0.5;
+  EXPECT_THROW((void)sparsify(g, opts), std::invalid_argument);
+  opts = {};
+  opts.power_steps = 0;
+  EXPECT_THROW((void)sparsify(g, opts), std::invalid_argument);
+  Graph disconnected(4);
+  disconnected.add_edge(0, 1, 1.0);
+  disconnected.add_edge(2, 3, 1.0);
+  disconnected.finalize();
+  EXPECT_THROW((void)sparsify(disconnected, {}), std::invalid_argument);
+  Graph unfinalized(3);
+  unfinalized.add_edge(0, 1, 1.0);
+  EXPECT_THROW((void)sparsify(unfinalized, {}), std::invalid_argument);
+}
+
+TEST(Sparsify, RoundTelemetryIsConsistent) {
+  Rng rng(15);
+  const Graph g = grid_2d(20, 20, WeightModel::log_uniform(0.5, 2.0), &rng);
+  SparsifyOptions opts;
+  opts.sigma2 = 20.0;
+  const SparsifyResult res = sparsify(g, opts);
+  EdgeId added = 0;
+  for (const DensifyRound& r : res.rounds) {
+    EXPECT_GE(r.lambda_max, r.lambda_min);
+    EXPECT_GE(r.lambda_min, 1.0 - 1e-12);
+    EXPECT_NEAR(r.sigma2_estimate, r.lambda_max / r.lambda_min, 1e-9);
+    EXPECT_GE(r.theta, 0.0);
+    EXPECT_LE(r.theta, 1.0);
+    added += r.edges_added;
+  }
+  EXPECT_EQ(added + static_cast<EdgeId>(res.tree_edges.size()),
+            res.num_edges());
+  // λ_max decreases monotonically (up to estimator noise) across rounds.
+  for (std::size_t i = 0; i + 1 < res.rounds.size(); ++i) {
+    EXPECT_LE(res.rounds[i + 1].lambda_max,
+              res.rounds[i].lambda_max * 1.25);
+  }
+}
+
+TEST(DensifyLoop, UsesSuppliedBackbone) {
+  Rng rng(16);
+  const Graph g = grid_2d(12, 12);
+  const SpanningTree tree = max_weight_spanning_tree(g);
+  SparsifyOptions opts;
+  opts.sigma2 = 25.0;
+  const SparsifyResult res = densify_loop(g, tree, opts);
+  ASSERT_EQ(res.tree_edges.size(), static_cast<std::size_t>(143));
+  for (std::size_t i = 0; i < res.tree_edges.size(); ++i) {
+    EXPECT_EQ(res.tree_edges[i], tree.tree_edge_ids()[i]);
+  }
+  // Backbone from another graph is rejected.
+  const Graph g2 = grid_2d(12, 12);
+  const SpanningTree tree2 = max_weight_spanning_tree(g2);
+  EXPECT_THROW((void)densify_loop(g, tree2, opts), std::invalid_argument);
+}
+
+TEST(SpielmanSrivastava, ProducesConnectedSpectralApproximation) {
+  Rng rng(17);
+  const Graph g = grid_2d(16, 16, WeightModel::uniform(0.5, 2.0), &rng);
+  SsOptions opts;
+  opts.samples = 4000;
+  opts.seed = 3;
+  const SsResult res = spielman_srivastava_sparsify(g, opts);
+  EXPECT_TRUE(is_connected(res.sparsifier));
+  EXPECT_EQ(res.samples_drawn, 4000);
+  EXPECT_LE(res.distinct_edges, g.num_edges());
+  EXPECT_GT(res.distinct_edges, 0);
+  // Quadratic forms agree within a loose factor on random vectors.
+  const CsrMatrix lg = laplacian(g);
+  const CsrMatrix lp = laplacian(res.sparsifier);
+  for (int trial = 0; trial < 10; ++trial) {
+    Vec x = rng.normal_vector(g.num_vertices());
+    project_out_mean(x);
+    const double qg = lg.quadratic(x);
+    const double qp = lp.quadratic(x);
+    EXPECT_GT(qp, 0.2 * qg);
+    EXPECT_LT(qp, 5.0 * qg);
+  }
+}
+
+TEST(SpielmanSrivastava, JlSketchModeWorks) {
+  Rng rng(18);
+  const Graph g = grid_2d(12, 12);
+  SsOptions opts;
+  opts.samples = 2500;
+  opts.estimate = ResistanceEstimate::kJlSketch;
+  opts.jl_projections = 16;
+  const SsResult res = spielman_srivastava_sparsify(g, opts);
+  EXPECT_TRUE(is_connected(res.sparsifier));
+  EXPECT_GT(res.distinct_edges, g.num_vertices() - 2);
+}
+
+TEST(SpielmanSrivastava, NoControlOfSimilarity) {
+  // The motivating gap: at equal edge budget, SS does not hit a requested
+  // σ² — the similarity-aware result with the same edge count should have
+  // bounded κ while SS's κ is whatever sampling produced. We only check
+  // that the API exposes the knobs needed for the comparison bench.
+  Rng rng(19);
+  const Graph g = grid_2d(10, 10);
+  const SparsifyResult sim = sparsify(g, {.sigma2 = 50.0});
+  SsOptions opts;
+  opts.samples = static_cast<EdgeId>(sim.num_edges()) * 4;
+  const SsResult ss = spielman_srivastava_sparsify(g, opts);
+  EXPECT_GT(ss.distinct_edges, 0);
+}
+
+TEST(Rescale, CentersPencilSpectrum) {
+  Rng rng(20);
+  const Graph g = grid_2d(14, 14, WeightModel::log_uniform(0.1, 10.0), &rng);
+  const SparsifyResult res = sparsify(g, {.sigma2 = 100.0});
+  const RescaleResult rr = rescale_sparsifier(g, res);
+  EXPECT_NEAR(rr.scale,
+              std::sqrt(res.lambda_min * res.lambda_max), 1e-12);
+  EXPECT_NEAR(rr.sigma2_after, std::sqrt(rr.sigma2_before), 1e-9);
+  EXPECT_EQ(rr.sparsifier.num_edges(), res.num_edges());
+  // Weights scaled uniformly.
+  const Edge& e0 = rr.sparsifier.edge(0);
+  EXPECT_NEAR(e0.weight, g.edge(res.edges[0]).weight * rr.scale, 1e-12);
+  // Empty result rejected.
+  SparsifyResult empty;
+  EXPECT_THROW((void)rescale_sparsifier(g, empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssp

@@ -1,0 +1,232 @@
+// Parameterized property suites for the sparsification pipeline — the
+// invariants the paper's theory promises, swept across graph families,
+// seeds, and σ² targets:
+//
+//  P1. Subgraph pencil bound: all generalized eigenvalues of (L_G, L_P)
+//      are >= 1, and quadratic forms satisfy xᵀL_P x <= xᵀL_G x.
+//  P2. Similarity targeting: the *true* condition number of the returned
+//      sparsifier stays within a small factor of σ².
+//  P3. Monotonicity: tightening σ² never removes edges.
+//  P4. PCG payoff: smaller σ² gives no more PCG iterations (Table 2 trend).
+//  P5. Determinism: equal seeds give identical sparsifiers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "core/sparsifier.hpp"
+#include "core/sparsifier_preconditioner.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators/community.hpp"
+#include "graph/generators/knn.hpp"
+#include "graph/generators/lattice.hpp"
+#include "graph/generators/points.hpp"
+#include "graph/generators/random_graphs.hpp"
+#include "graph/laplacian.hpp"
+#include "la/dense_eigen.hpp"
+#include "la/vector_ops.hpp"
+#include "solver/pcg.hpp"
+#include "solver/preconditioner.hpp"
+#include "tree/kruskal.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+namespace {
+
+Graph make_family_graph(int family, std::uint64_t seed) {
+  Rng rng(seed);
+  switch (family) {
+    case 0:
+      return grid_2d(14, 14, WeightModel::log_uniform(0.1, 10.0), &rng);
+    case 1:
+      return triangulated_grid(12, 12, WeightModel::uniform(0.5, 2.0), &rng);
+    case 2:
+      return erdos_renyi_connected(160, 640, rng,
+                                   WeightModel::log_uniform(0.2, 5.0));
+    case 3:
+      return barabasi_albert(180, 3, rng);
+    default: {
+      const PointCloud pc = gaussian_mixture_points(150, 3, 4, 0.05, rng);
+      return knn_graph(pc, 6);
+    }
+  }
+}
+
+class FamilySweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(FamilySweep, QuadraticFormsLowerBounded) {
+  // P1: P ⊆ G (same weights) ⇒ xᵀL_P x ≤ xᵀL_G x for all x.
+  const auto [family, seed] = GetParam();
+  const Graph g = make_family_graph(family, seed);
+  SparsifyOptions opts;
+  opts.sigma2 = 60.0;
+  opts.seed = seed;
+  const SparsifyResult res = sparsify(g, opts);
+  const CsrMatrix lg = laplacian(g);
+  const CsrMatrix lp = laplacian(res.extract(g));
+
+  Rng rng(seed + 999);
+  for (int trial = 0; trial < 20; ++trial) {
+    Vec x = rng.normal_vector(g.num_vertices());
+    project_out_mean(x);
+    const double qg = lg.quadratic(x);
+    const double qp = lp.quadratic(x);
+    EXPECT_LE(qp, qg * (1.0 + 1e-10));
+    EXPECT_GE(qp, qg / (opts.sigma2 * 4.0))
+        << "quadratic form dropped below the σ² similarity bound";
+  }
+}
+
+TEST_P(FamilySweep, SparsifierIsConnectedAndDeterministic) {
+  // P5 + structural invariants.
+  const auto [family, seed] = GetParam();
+  const Graph g = make_family_graph(family, seed);
+  SparsifyOptions opts;
+  opts.sigma2 = 80.0;
+  opts.seed = 1234;
+  const SparsifyResult a = sparsify(g, opts);
+  const SparsifyResult b = sparsify(g, opts);
+  EXPECT_EQ(a.edges, b.edges);  // bit-deterministic
+  EXPECT_TRUE(is_connected(a.extract(g)));
+  EXPECT_GE(a.lambda_min, 1.0 - 1e-12);
+  EXPECT_GE(a.lambda_max, a.lambda_min);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndSeeds, FamilySweep,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(1u, 7u)));
+
+class SigmaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SigmaSweep, TrueKappaTracksTarget) {
+  // P2 on a small graph where the dense pencil oracle is affordable.
+  const double sigma2 = GetParam();
+  Rng rng(31);
+  const Graph g = erdos_renyi_connected(56, 290, rng,
+                                        WeightModel::uniform(0.4, 2.5));
+  SparsifyOptions opts;
+  opts.sigma2 = sigma2;
+  opts.max_rounds = 40;
+  const SparsifyResult res = sparsify(g, opts);
+  const Vec pencil = dense_generalized_eigenvalues(
+      DenseMatrix::from_csr(laplacian(g)),
+      DenseMatrix::from_csr(laplacian(res.extract(g))));
+  const double kappa = pencil.back() / pencil.front();
+  EXPECT_LE(kappa, 2.5 * sigma2)
+      << "true κ drifted far above the requested σ²";
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, SigmaSweep,
+                         ::testing::Values(10.0, 25.0, 50.0, 100.0, 200.0));
+
+TEST(Monotonicity, TighterTargetKeepsMoreEdges) {
+  // P3 across a ladder of σ² targets on one graph.
+  Rng rng(41);
+  const Graph g = grid_2d(22, 22, WeightModel::log_uniform(0.1, 10.0), &rng);
+  EdgeId prev = g.num_edges() + 1;
+  for (double sigma2 : {5.0, 20.0, 80.0, 320.0}) {
+    SparsifyOptions opts;
+    opts.sigma2 = sigma2;
+    opts.seed = 5;
+    const SparsifyResult res = sparsify(g, opts);
+    EXPECT_LE(res.num_edges(), prev)
+        << "looser σ² " << sigma2 << " kept more edges";
+    prev = res.num_edges();
+  }
+}
+
+TEST(PcgPayoff, FewerIterationsWithHigherSimilarity) {
+  // P4 — the Table 2 trade-off: σ²=50 preconditioner converges in fewer
+  // PCG iterations than σ²=200, which beats the bare tree.
+  Rng rng(51);
+  const Graph g = grid_2d(40, 40, WeightModel::log_uniform(0.1, 10.0), &rng);
+  const CsrMatrix lg = laplacian(g);
+  Vec b = rng.normal_vector(g.num_vertices());
+  project_out_mean(b);
+  const PcgOptions popts = {.max_iterations = 3000,
+                            .rel_tolerance = 1e-3,
+                            .project_constants = true};
+
+  auto iterations_with = [&](double sigma2) {
+    SparsifyOptions opts;
+    opts.sigma2 = sigma2;
+    opts.seed = 77;
+    const SparsifyResult res = sparsify(g, opts);
+    const Graph p = res.extract(g);
+    const SparsifierPreconditioner precond(p);
+
+    Vec x(static_cast<std::size_t>(g.num_vertices()), 0.0);
+    const PcgResult r = pcg_solve(lg, b, x, precond, popts);
+    EXPECT_TRUE(r.converged);
+    return r.iterations;
+  };
+
+  const Index n50 = iterations_with(50.0);
+  const Index n200 = iterations_with(200.0);
+  EXPECT_LE(n50, n200);
+  // Both are far below unpreconditioned CG.
+  Vec x(static_cast<std::size_t>(g.num_vertices()), 0.0);
+  const PcgResult plain = cg_solve(lg, b, x, popts);
+  EXPECT_LT(n200, plain.iterations);
+}
+
+TEST(EdgeCases, TinyGraphs) {
+  // Path on 2 vertices: tree == graph, σ² trivially 1.
+  Graph g2(2);
+  g2.add_edge(0, 1, 3.0);
+  g2.finalize();
+  const SparsifyResult r2 = sparsify(g2, {.sigma2 = 2.0});
+  EXPECT_TRUE(r2.reached_target);
+  EXPECT_EQ(r2.num_edges(), 1);
+
+  // Triangle: one off-tree edge.
+  Graph g3(3);
+  g3.add_edge(0, 1, 1.0);
+  g3.add_edge(1, 2, 1.0);
+  g3.add_edge(0, 2, 1.0);
+  g3.finalize();
+  const SparsifyResult r3 = sparsify(g3, {.sigma2 = 1.5, .max_rounds = 8});
+  EXPECT_GE(r3.num_edges(), 2);
+  EXPECT_TRUE(is_connected(r3.extract(g3)));
+}
+
+TEST(EdgeCases, AlreadyTreeInput) {
+  Rng rng(61);
+  const Graph g = path_graph(64, WeightModel::log_uniform(0.1, 10.0), &rng);
+  const SparsifyResult res = sparsify(g, {.sigma2 = 100.0});
+  EXPECT_TRUE(res.reached_target);
+  EXPECT_EQ(res.num_edges(), 63);
+  EXPECT_NEAR(res.sigma2_estimate, 1.0, 1e-6);
+}
+
+TEST(EdgeCases, ParallelEdgesInInput) {
+  // Parallel edges are legal; the sparsifier never selects an edge twice.
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 2.0);  // parallel
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 0, 1.0);
+  g.finalize();
+  const SparsifyResult res = sparsify(g, {.sigma2 = 1.2, .max_rounds = 10});
+  std::set<EdgeId> uniq(res.edges.begin(), res.edges.end());
+  EXPECT_EQ(uniq.size(), res.edges.size());
+  EXPECT_TRUE(is_connected(res.extract(g)));
+}
+
+TEST(EdgeCases, ExtremeWeightSpread) {
+  // 12 decades of weight spread must not break the pipeline numerically.
+  Rng rng(71);
+  const Graph g =
+      grid_2d(12, 12, WeightModel::log_uniform(1e-6, 1e6), &rng);
+  const SparsifyResult res = sparsify(g, {.sigma2 = 100.0, .max_rounds = 30});
+  EXPECT_TRUE(std::isfinite(res.sigma2_estimate));
+  EXPECT_GE(res.sigma2_estimate, 1.0 - 1e-9);
+  EXPECT_TRUE(is_connected(res.extract(g)));
+}
+
+}  // namespace
+}  // namespace ssp

@@ -1,0 +1,253 @@
+// Tests for the extension modules: k-way spectral clustering (§4.4
+// application), the graph-signal low-pass filter view (§3.4), and the
+// IC(0) preconditioner baseline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/graph_filter.hpp"
+#include "core/sparsifier.hpp"
+#include "eigen/operators.hpp"
+#include "graph/generators/community.hpp"
+#include "graph/generators/lattice.hpp"
+#include "graph/laplacian.hpp"
+#include "la/dense_eigen.hpp"
+#include "la/vector_ops.hpp"
+#include "partition/spectral_clustering.hpp"
+#include "solver/cholesky.hpp"
+#include "solver/ichol.hpp"
+#include "solver/pcg.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+namespace {
+
+TEST(SpectralClustering, RecoversPlantedCommunities) {
+  Rng rng(1);
+  const Graph g = planted_partition(300, 3, 0.12, 0.004, rng);
+  SpectralClusteringOptions opts;
+  opts.num_clusters = 3;
+  opts.seed = 5;
+  const SpectralClusteringResult res = spectral_clustering(g, opts);
+  ASSERT_EQ(res.assignment.size(), static_cast<std::size_t>(g.num_vertices()));
+
+  // Ground truth: blocks of 100.
+  std::vector<Vertex> truth(static_cast<std::size_t>(g.num_vertices()));
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    truth[static_cast<std::size_t>(v)] = v / 100;
+  }
+  const double nmi = normalized_mutual_information(res.assignment, truth);
+  EXPECT_GT(nmi, 0.9) << "clustering failed to recover planted structure";
+  EXPECT_GT(res.eigensolver_seconds, 0.0);
+  EXPECT_GE(res.kmeans_objective, 0.0);
+  ASSERT_GE(res.eigenvalues.size(), 2u);
+  EXPECT_GT(res.eigenvalues[0], 0.0);
+}
+
+TEST(SpectralClustering, SparsifiedGraphPreservesCommunities) {
+  // The paper's §4.4 claim: clustering on the sparsifier recovers the same
+  // structure as on the original — both measured against ground truth.
+  Rng rng(2);
+  const Graph g = planted_partition(300, 2, 0.12, 0.004, rng);
+  std::vector<Vertex> truth(static_cast<std::size_t>(g.num_vertices()));
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    truth[static_cast<std::size_t>(v)] = v / 150;
+  }
+  SpectralClusteringOptions opts;
+  opts.num_clusters = 2;
+  opts.seed = 7;
+  const SpectralClusteringResult orig = spectral_clustering(g, opts);
+  const double nmi_orig =
+      normalized_mutual_information(orig.assignment, truth);
+
+  const SparsifyResult sp = sparsify(g, {.sigma2 = 15.0});
+  const Graph p = sp.extract(g);
+  const SpectralClusteringResult spars = spectral_clustering(p, opts);
+  const double nmi_spars =
+      normalized_mutual_information(spars.assignment, truth);
+
+  EXPECT_GT(nmi_orig, 0.85);
+  EXPECT_GT(nmi_spars, 0.8) << "sparsifier lost the community structure";
+  EXPECT_LT(p.num_edges(), g.num_edges());
+}
+
+TEST(SpectralClustering, InputValidation) {
+  const Graph g = grid_2d(4, 4);
+  SpectralClusteringOptions opts;
+  opts.num_clusters = 1;
+  EXPECT_THROW((void)spectral_clustering(g, opts), std::invalid_argument);
+  opts.num_clusters = 16;
+  EXPECT_THROW((void)spectral_clustering(g, opts), std::invalid_argument);
+  opts.num_clusters = 2;
+  opts.kmeans_restarts = 0;
+  EXPECT_THROW((void)spectral_clustering(g, opts), std::invalid_argument);
+}
+
+TEST(Nmi, AgreementScores) {
+  const std::vector<Vertex> a = {0, 0, 1, 1};
+  const std::vector<Vertex> b = {1, 1, 0, 0};  // permuted labels
+  EXPECT_NEAR(normalized_mutual_information(a, b), 1.0, 1e-12);
+  const std::vector<Vertex> c = {0, 1, 0, 1};  // independent
+  EXPECT_LT(normalized_mutual_information(a, c), 0.1);
+  const std::vector<Vertex> mono = {0, 0, 0, 0};
+  EXPECT_NEAR(normalized_mutual_information(mono, mono), 1.0, 1e-12);
+  const std::vector<Vertex> shorter = {0};
+  EXPECT_THROW((void)normalized_mutual_information(a, shorter),
+               std::invalid_argument);
+}
+
+TEST(GraphFilter, SmoothnessOrdersSignals) {
+  const Graph g = grid_2d(12, 12);
+  const CsrMatrix l = laplacian(g);
+  Rng rng(3);
+  const Vec smooth = synthesize_signal(l, 0.0, rng);
+  const Vec rough = synthesize_signal(l, 1.0, rng);
+  EXPECT_LT(smoothness(l, smooth), smoothness(l, rough));
+  const Vec zero(static_cast<std::size_t>(l.rows()), 0.0);
+  EXPECT_DOUBLE_EQ(smoothness(l, zero), 0.0);
+}
+
+TEST(GraphFilter, ChebyshevMatchesDenseHeatKernel) {
+  // exp(-tau L) x computed densely via the eigendecomposition vs the
+  // Chebyshev approximation.
+  Rng rng(4);
+  const Graph g = grid_2d(6, 5, WeightModel::uniform(0.5, 2.0), &rng);
+  const CsrMatrix l = laplacian(g);
+  const DenseEigen eig = dense_symmetric_eigen(DenseMatrix::from_csr(l));
+
+  const Vec x = rng.normal_vector(l.rows());
+  const double tau = 0.7;
+  // Dense reference: y = V exp(-tau D) V^T x.
+  Vec y_ref(static_cast<std::size_t>(l.rows()), 0.0);
+  for (Index j = 0; j < l.rows(); ++j) {
+    double coef = 0.0;
+    for (Index i = 0; i < l.rows(); ++i) {
+      coef += eig.vectors(i, j) * x[static_cast<std::size_t>(i)];
+    }
+    coef *= std::exp(-tau * eig.eigenvalues[static_cast<std::size_t>(j)]);
+    for (Index i = 0; i < l.rows(); ++i) {
+      y_ref[static_cast<std::size_t>(i)] += coef * eig.vectors(i, j);
+    }
+  }
+  const Vec y = chebyshev_lowpass(
+      l, x, {.tau = tau, .degree = 40,
+             .lambda_max = eig.eigenvalues.back() * 1.01},
+      rng);
+  EXPECT_LT(relative_error(y, y_ref), 1e-8);
+}
+
+TEST(GraphFilter, SparsifierActsAsLowPass) {
+  // The §3.4 fingerprint: the sparsifier filters smooth signals almost
+  // identically to G, and degrades (relatively) on oscillatory input.
+  Rng rng(5);
+  const Graph g = grid_2d(20, 20, WeightModel::uniform(0.5, 2.0), &rng);
+  const SparsifyResult sp = sparsify(g, {.sigma2 = 30.0});
+  const CsrMatrix lg = laplacian(g);
+  const CsrMatrix lp = laplacian(sp.extract(g));
+
+  const ChebyshevFilterOptions fopts = {.tau = 2.0, .degree = 32};
+  const Vec smooth = synthesize_signal(lg, 0.0, rng);
+  const Vec rough = synthesize_signal(lg, 1.0, rng);
+  const double err_smooth = filter_agreement(lg, lp, smooth, fopts, rng);
+  const double err_rough = filter_agreement(lg, lp, rough, fopts, rng);
+  EXPECT_LT(err_smooth, 0.2);
+  EXPECT_LE(err_smooth, err_rough * 1.05);
+}
+
+TEST(GraphFilter, InputValidation) {
+  const Graph g = grid_2d(3, 3);
+  const CsrMatrix l = laplacian(g);
+  Rng rng(6);
+  const Vec x(static_cast<std::size_t>(l.rows()), 1.0);
+  EXPECT_THROW((void)chebyshev_lowpass(l, x, {.tau = -1.0}, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)chebyshev_lowpass(l, x, {.tau = 1.0, .degree = 0}, rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)synthesize_signal(l, 1.5, rng), std::invalid_argument);
+}
+
+CsrMatrix spd_from_grid(Vertex nx, Vertex ny, double alpha, Rng& rng) {
+  const Graph g = grid_2d(nx, ny, WeightModel::log_uniform(0.1, 10.0), &rng);
+  const CsrMatrix l = laplacian(g);
+  std::vector<Triplet> ts;
+  for (Index r = 0; r < l.rows(); ++r) {
+    const auto cols = l.row_cols(r);
+    const auto vals = l.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      ts.push_back({r, cols[k], vals[k]});
+    }
+    ts.push_back({r, r, alpha});
+  }
+  return CsrMatrix::from_triplets(l.rows(), l.cols(), ts);
+}
+
+TEST(IncompleteCholesky, ExactOnTridiagonal) {
+  // IC(0) on a path-graph SPD matrix has no dropped fill: it must be an
+  // exact factorization, so PCG converges in one iteration.
+  Rng rng(7);
+  const CsrMatrix a = spd_from_grid(1, 40, 0.5, rng);
+  const IncompleteCholesky ic(a);
+  Vec b = rng.normal_vector(a.rows());
+  Vec x(b.size(), 0.0);
+  const PcgResult res = pcg_solve(a, b, x, ic,
+                                  {.max_iterations = 5,
+                                   .rel_tolerance = 1e-12});
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(res.iterations, 2);
+  EXPECT_DOUBLE_EQ(ic.shift_used(), 0.0);
+}
+
+TEST(IncompleteCholesky, AcceleratesPcgOnMesh) {
+  Rng rng(8);
+  const CsrMatrix a = spd_from_grid(40, 40, 1e-4, rng);
+  Vec b = rng.normal_vector(a.rows());
+  const PcgOptions opts = {.max_iterations = 4000, .rel_tolerance = 1e-8};
+
+  Vec x1(b.size(), 0.0);
+  const PcgResult plain = cg_solve(a, b, x1, opts);
+  const IncompleteCholesky ic(a);
+  Vec x2(b.size(), 0.0);
+  const PcgResult prec = pcg_solve(a, b, x2, ic, opts);
+  EXPECT_TRUE(prec.converged);
+  EXPECT_LT(prec.iterations, plain.iterations / 2);
+  EXPECT_LT(relative_error(x2, x1), 1e-5);
+}
+
+TEST(IncompleteCholesky, GroundedLaplacianWorks) {
+  // IC(0) of a grounded Laplacian = usable preconditioner for PCG on the
+  // full singular system via projection.
+  Rng rng(9);
+  const Graph g = grid_2d(20, 20);
+  const CsrMatrix l = laplacian(g);
+  // Ground vertex 0: add 1.0 to its diagonal (equivalent to pinning
+  // through a unit conductance to ground).
+  std::vector<Triplet> ts;
+  for (Index r = 0; r < l.rows(); ++r) {
+    const auto cols = l.row_cols(r);
+    const auto vals = l.row_vals(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      ts.push_back({r, cols[k], vals[k]});
+    }
+  }
+  ts.push_back({0, 0, 1.0});
+  const CsrMatrix grounded =
+      CsrMatrix::from_triplets(l.rows(), l.cols(), ts);
+  const IncompleteCholesky ic(grounded);
+  Vec b = rng.normal_vector(grounded.rows());
+  Vec x(b.size(), 0.0);
+  const PcgResult res = pcg_solve(grounded, b, x, ic,
+                                  {.max_iterations = 2000,
+                                   .rel_tolerance = 1e-8});
+  EXPECT_TRUE(res.converged);
+}
+
+TEST(IncompleteCholesky, InputValidation) {
+  const std::vector<Triplet> ts = {{0, 1, 1.0}};
+  const CsrMatrix rect = CsrMatrix::from_triplets(1, 2, ts);
+  EXPECT_THROW((void)IncompleteCholesky(rect), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssp

@@ -1,0 +1,273 @@
+// Unit tests for src/graph: Graph invariants, adjacency construction,
+// Laplacian assembly, connectivity analysis, and matrix conversions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "graph/connectivity.hpp"
+#include "graph/graph.hpp"
+#include "graph/laplacian.hpp"
+#include "la/vector_ops.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+namespace {
+
+Graph triangle() {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(0, 2, 3.0);
+  g.finalize();
+  return g;
+}
+
+TEST(Graph, EmptyGraph) {
+  Graph g(0);
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  g.finalize();
+  EXPECT_TRUE(g.finalized());
+}
+
+TEST(Graph, AddEdgeValidation) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(0, 0, 1.0), std::invalid_argument);   // self-loop
+  EXPECT_THROW(g.add_edge(0, 3, 1.0), std::invalid_argument);   // range
+  EXPECT_THROW(g.add_edge(-1, 1, 1.0), std::invalid_argument);  // range
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), std::invalid_argument);   // weight
+  EXPECT_THROW(g.add_edge(0, 1, -2.0), std::invalid_argument);  // weight
+  EXPECT_THROW(g.add_edge(0, 1, std::nan("")), std::invalid_argument);
+  const EdgeId e = g.add_edge(0, 1, 1.5);
+  EXPECT_EQ(e, 0);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(Graph, EdgeAccessors) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_DOUBLE_EQ(g.edge(1).weight, 2.0);
+  EXPECT_EQ(g.edge(1).u, 1);
+  EXPECT_EQ(g.edge(1).v, 2);
+  EXPECT_THROW((void)g.edge(3), std::invalid_argument);
+  EXPECT_THROW((void)g.edge(-1), std::invalid_argument);
+}
+
+TEST(Graph, NeighborsAndDegrees) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_DOUBLE_EQ(g.weighted_degree(0), 4.0);
+  EXPECT_DOUBLE_EQ(g.weighted_degree(1), 3.0);
+  EXPECT_DOUBLE_EQ(g.weighted_degree(2), 5.0);
+
+  std::set<Vertex> nbrs;
+  double wsum = 0.0;
+  for (const auto item : g.neighbors(2)) {
+    nbrs.insert(item.neighbor);
+    wsum += item.weight;
+    // edge id consistency
+    const Edge& e = g.edge(item.edge);
+    EXPECT_TRUE(e.u == 2 || e.v == 2);
+  }
+  EXPECT_EQ(nbrs, (std::set<Vertex>{0, 1}));
+  EXPECT_DOUBLE_EQ(wsum, 5.0);
+}
+
+TEST(Graph, NeighborsRequireFinalize) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW((void)g.neighbors(0), std::invalid_argument);
+  g.finalize();
+  EXPECT_EQ(g.neighbors(0).size(), 1u);
+  // Adding an edge invalidates; finalize() restores.
+  g.add_edge(0, 1, 2.0);
+  EXPECT_FALSE(g.finalized());
+  g.finalize();
+  EXPECT_EQ(g.neighbors(0).size(), 2u);
+}
+
+TEST(Graph, CoalesceParallelEdges) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 0, 2.5);  // parallel, reversed orientation
+  g.add_edge(1, 2, 1.0);
+  g.coalesce_parallel_edges();
+  g.finalize();
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.weighted_degree(0), 3.5);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 4.5);
+}
+
+TEST(Graph, EdgeSubgraphPreservesEndpoints) {
+  const Graph g = triangle();
+  const std::vector<EdgeId> keep = {2, 0};
+  const Graph s = g.edge_subgraph(keep);
+  EXPECT_EQ(s.num_vertices(), 3);
+  EXPECT_EQ(s.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(s.edge(0).weight, 3.0);  // original edge 2
+  EXPECT_DOUBLE_EQ(s.edge(1).weight, 1.0);  // original edge 0
+}
+
+TEST(Laplacian, RowsSumToZero) {
+  const Graph g = triangle();
+  const CsrMatrix l = laplacian(g);
+  EXPECT_EQ(l.rows(), 3);
+  EXPECT_TRUE(l.is_symmetric(1e-15));
+  const Vec ones(3, 1.0);
+  const Vec ly = l.multiply(ones);
+  for (double v : ly) EXPECT_NEAR(v, 0.0, 1e-14);
+}
+
+TEST(Laplacian, MatchesDefinition) {
+  const Graph g = triangle();
+  const CsrMatrix l = laplacian(g);
+  EXPECT_DOUBLE_EQ(l.at(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(l.at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(l.at(0, 2), -3.0);
+  EXPECT_DOUBLE_EQ(l.at(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(l.at(2, 2), 5.0);
+}
+
+TEST(Laplacian, QuadraticFormIsWeightedCutSum) {
+  // x^T L x = sum_e w_e (x_u - x_v)^2.
+  const Graph g = triangle();
+  const CsrMatrix l = laplacian(g);
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Vec x = rng.normal_vector(3);
+    double expected = 0.0;
+    for (const Edge& e : g.edges()) {
+      const double d = x[static_cast<std::size_t>(e.u)] -
+                       x[static_cast<std::size_t>(e.v)];
+      expected += e.weight * d * d;
+    }
+    EXPECT_NEAR(l.quadratic(x), expected, 1e-12 * std::max(1.0, expected));
+  }
+}
+
+TEST(Laplacian, PositiveSemiDefinite) {
+  Rng rng(11);
+  Graph g(20);
+  for (int i = 0; i < 40; ++i) {
+    const auto a = static_cast<Vertex>(rng.uniform_int(0, 19));
+    const auto b = static_cast<Vertex>(rng.uniform_int(0, 19));
+    if (a != b) g.add_edge(a, b, rng.uniform(0.1, 3.0));
+  }
+  g.finalize();
+  const CsrMatrix l = laplacian(g);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Vec x = rng.normal_vector(20);
+    EXPECT_GE(l.quadratic(x), -1e-10);
+  }
+}
+
+TEST(Laplacian, AdjacencyMatrix) {
+  const Graph g = triangle();
+  const CsrMatrix w = adjacency_matrix(g);
+  EXPECT_DOUBLE_EQ(w.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(w.at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(w.at(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(w.at(0, 0), 0.0);
+}
+
+TEST(Laplacian, GraphFromLaplacianRoundTrip) {
+  const Graph g = triangle();
+  const CsrMatrix l = laplacian(g);
+  const Graph h = graph_from_laplacian(l);
+  EXPECT_EQ(h.num_vertices(), 3);
+  EXPECT_EQ(h.num_edges(), 3);
+  EXPECT_DOUBLE_EQ(h.total_weight(), g.total_weight());
+  // Laplacians equal
+  const CsrMatrix l2 = laplacian(h);
+  for (Index r = 0; r < 3; ++r) {
+    for (Index c = 0; c < 3; ++c) {
+      EXPECT_NEAR(l2.at(r, c), l.at(r, c), 1e-14);
+    }
+  }
+}
+
+TEST(Laplacian, GraphFromMatrixUsesAbsLowerTriangle) {
+  // Paper §4 rule: |lower-triangular nonzeros| become edge weights.
+  const std::vector<Triplet> ts = {
+      {1, 0, -2.0},  // edge {1,0} w=2
+      {2, 0, 4.0},   // edge {2,0} w=4
+      {0, 2, 99.0},  // upper triangle: ignored
+      {1, 1, 7.0},   // diagonal: ignored
+  };
+  const CsrMatrix a = CsrMatrix::from_triplets(3, 3, ts);
+  const Graph g = graph_from_matrix(a);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 6.0);
+  const Graph gu = graph_from_matrix(a, /*unit_weights=*/true);
+  EXPECT_DOUBLE_EQ(gu.total_weight(), 2.0);
+}
+
+TEST(Laplacian, WeightedDegreesMatchDiagonal) {
+  const Graph g = triangle();
+  const Vec d = weighted_degrees(g);
+  const Vec diag = laplacian(g).diagonal();
+  ASSERT_EQ(d.size(), diag.size());
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    EXPECT_DOUBLE_EQ(d[i], diag[i]);
+  }
+}
+
+TEST(Connectivity, SingleComponent) {
+  const Graph g = triangle();
+  EXPECT_TRUE(is_connected(g));
+  const ComponentLabels cl = connected_components(g);
+  EXPECT_EQ(cl.num_components, 1);
+}
+
+TEST(Connectivity, MultipleComponents) {
+  Graph g(5);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.finalize();  // vertex 4 isolated
+  EXPECT_FALSE(is_connected(g));
+  const ComponentLabels cl = connected_components(g);
+  EXPECT_EQ(cl.num_components, 3);
+  EXPECT_EQ(cl.label[0], cl.label[1]);
+  EXPECT_EQ(cl.label[2], cl.label[3]);
+  EXPECT_NE(cl.label[0], cl.label[2]);
+  EXPECT_NE(cl.label[4], cl.label[0]);
+}
+
+TEST(Connectivity, LargestComponentExtraction) {
+  Graph g(6);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);  // component {0,1,2}
+  g.add_edge(3, 4, 1.0);  // component {3,4}; vertex 5 isolated
+  g.finalize();
+  std::vector<Vertex> back;
+  const Graph big = largest_component(g, &back);
+  EXPECT_EQ(big.num_vertices(), 3);
+  EXPECT_EQ(big.num_edges(), 2);
+  EXPECT_TRUE(is_connected(big));
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0], 0);
+  EXPECT_EQ(back[2], 2);
+}
+
+TEST(Connectivity, ConnectComponentsRepairs) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.finalize();
+  const Index added = connect_components(g, 0.5);
+  EXPECT_EQ(added, 1);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(connect_components(g), 0);  // idempotent on connected input
+}
+
+TEST(Connectivity, EmptyGraphNotConnected) {
+  Graph g(0);
+  g.finalize();
+  EXPECT_FALSE(is_connected(g));
+}
+
+}  // namespace
+}  // namespace ssp

@@ -1,0 +1,196 @@
+// End-to-end integration tests crossing module boundaries: Matrix Market
+// round trips feeding the sparsifier, sparsifier-preconditioned PCG
+// solving the original system, partitioning on sparsified networks, and
+// cross-solver consistency (tree / Cholesky / AMG / PCG agree on the same
+// Laplacian systems).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cmath>
+
+#include "core/eigen_estimate.hpp"
+#include "core/resistance_sampling.hpp"
+#include "core/sparsifier.hpp"
+#include "core/sparsifier_preconditioner.hpp"
+#include "eigen/fiedler.hpp"
+#include "eigen/lanczos.hpp"
+#include "eigen/operators.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators/airfoil.hpp"
+#include "graph/generators/community.hpp"
+#include "graph/generators/lattice.hpp"
+#include "graph/generators/random_graphs.hpp"
+#include "graph/laplacian.hpp"
+#include "graph/mtx_io.hpp"
+#include "la/vector_ops.hpp"
+#include "partition/spectral_bisection.hpp"
+#include "solver/amg.hpp"
+#include "solver/cholesky.hpp"
+#include "solver/pcg.hpp"
+#include "solver/preconditioner.hpp"
+#include "tree/kruskal.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+namespace {
+
+TEST(Integration, MtxRoundTripThenSparsify) {
+  // Generate -> save -> load -> sparsify -> verify similarity estimate.
+  Rng rng(1);
+  const Graph g = triangulated_grid(20, 20,
+                                    WeightModel::log_uniform(0.2, 5.0), &rng);
+  const std::string path = "ssp_integration_roundtrip.mtx";
+  save_graph_mtx(path, g);
+  const Graph loaded = load_graph_mtx(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.num_vertices(), g.num_vertices());
+  ASSERT_EQ(loaded.num_edges(), g.num_edges());
+
+  const SparsifyResult res = sparsify(loaded, {.sigma2 = 60.0});
+  EXPECT_TRUE(res.reached_target);
+  EXPECT_TRUE(is_connected(res.extract(loaded)));
+}
+
+TEST(Integration, SparsifierPreconditionedSolveMatchesDirect) {
+  // Solve L_G x = b via sparsifier-PCG and via sparse Cholesky; compare.
+  Rng rng(2);
+  const Graph g = grid_2d(30, 30, WeightModel::log_uniform(0.1, 10.0), &rng);
+  const CsrMatrix lg = laplacian(g);
+  Vec b = rng.normal_vector(g.num_vertices());
+  project_out_mean(b);
+
+  const SparseCholesky chol = SparseCholesky::factor_laplacian(lg);
+  const Vec x_direct = chol.solve(b);
+
+  const SparsifyResult sp = sparsify(g, {.sigma2 = 50.0});
+  const Graph p = sp.extract(g);
+  const SparsifierPreconditioner precond(p);
+
+  Vec x(b.size(), 0.0);
+  const PcgResult r = pcg_solve(lg, b, x, precond,
+                                {.max_iterations = 200,
+                                 .rel_tolerance = 1e-10,
+                                 .project_constants = true});
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(relative_error(x, x_direct), 1e-7);
+  // σ²=50 preconditioner: iteration count scales with √σ²·log(1/tol); at
+  // tol 1e-10 that is well under a hundred (plain CG needs several
+  // hundred here).
+  EXPECT_LT(r.iterations, 90);
+}
+
+TEST(Integration, PartitionQualitySurvivesSparsification) {
+  // Bisect the ORIGINAL graph vs bisect the SPARSIFIER directly; the
+  // sparsifier's Fiedler cut must be nearly as good on the original graph.
+  Rng rng(3);
+  const Graph g = planted_partition(400, 2, 0.08, 0.002, rng);
+  const CsrMatrix lg = laplacian(g);
+  const SparseCholesky chol_g = SparseCholesky::factor_laplacian(lg);
+  const FiedlerResult f_orig =
+      fiedler_vector(lg, make_cholesky_op(chol_g), rng);
+
+  const SparsifyResult sp = sparsify(g, {.sigma2 = 30.0});
+  const Graph p = sp.extract(g);
+  const CsrMatrix lp = laplacian(p);
+  const SparseCholesky chol_p = SparseCholesky::factor_laplacian(lp);
+  const FiedlerResult f_spars =
+      fiedler_vector(lp, make_cholesky_op(chol_p), rng);
+
+  const auto cut_orig = evaluate_cut(g, sign_cut(f_orig.vector));
+  const auto cut_spars = evaluate_cut(g, sign_cut(f_spars.vector));
+  EXPECT_LE(cut_spars.conductance, 3.0 * cut_orig.conductance + 1e-9);
+}
+
+TEST(Integration, AllSolversAgreeOnLaplacianSystem) {
+  Rng rng(4);
+  const Graph g = torus_2d(14, 17, WeightModel::uniform(0.5, 2.0), &rng);
+  const CsrMatrix l = laplacian(g);
+  Vec b = rng.normal_vector(g.num_vertices());
+  project_out_mean(b);
+
+  const SparseCholesky chol = SparseCholesky::factor_laplacian(l);
+  const Vec x_chol = chol.solve(b);
+
+  const AmgHierarchy amg = AmgHierarchy::build(l);
+  Vec x_amg(b.size(), 0.0);
+  amg.solve(b, x_amg, 1e-11, 500);
+
+  const SpanningTree tree = max_weight_spanning_tree(g);
+  const TreePreconditioner tp(tree);
+  Vec x_pcg(b.size(), 0.0);
+  (void)pcg_solve(l, b, x_pcg, tp,
+                  {.max_iterations = 3000,
+                   .rel_tolerance = 1e-12,
+                   .project_constants = true});
+
+  EXPECT_LT(relative_error(x_amg, x_chol), 1e-7);
+  EXPECT_LT(relative_error(x_pcg, x_chol), 1e-7);
+}
+
+TEST(Integration, AirfoilPipelineEndToEnd) {
+  // The Fig. 1 pipeline: airfoil mesh -> sparsify -> drawing eigenvectors
+  // of both graphs correlate strongly.
+  const Mesh2d mesh = joukowski_airfoil_mesh(10, 40);
+  const Graph& g = mesh.graph;
+  const SparsifyResult res = sparsify(g, {.sigma2 = 50.0, .max_rounds = 30});
+  const Graph p = res.extract(g);
+
+  Rng rng(5);
+  auto eigvecs = [&rng](const Graph& graph) {
+    const CsrMatrix l = laplacian(graph);
+    const SparseCholesky chol = SparseCholesky::factor_laplacian(l);
+    return smallest_laplacian_eigenpairs(l.rows(), 2, make_cholesky_op(chol),
+                                         60, rng);
+  };
+  const EigenPairs orig = eigvecs(g);
+  const EigenPairs spars = eigvecs(p);
+  ASSERT_GE(orig.vectors.size(), 2u);
+  ASSERT_GE(spars.vectors.size(), 2u);
+  // u2 correlation; u3 may rotate within near-degenerate subspaces, so we
+  // only require the leading drawing axis to align.
+  EXPECT_GT(std::abs(dot(orig.vectors[0], spars.vectors[0])), 0.9);
+}
+
+TEST(Integration, SimilarityTargetingIsControllableUnlikeSs) {
+  // The paper's motivating comparison: the similarity-aware sparsifier
+  // *hits a requested* σ² level; SS sampling offers no such knob — its
+  // achieved κ at a given budget is whatever sampling produced. Verify the
+  // controllability claim end to end and that both pipelines interoperate
+  // with the estimators.
+  Rng rng(6);
+  const Graph g = grid_2d(24, 24, WeightModel::log_uniform(0.1, 10.0), &rng);
+  const double target = 40.0;
+  const SparsifyResult sim = sparsify(g, {.sigma2 = target});
+
+  SsOptions ss_opts;
+  ss_opts.samples = static_cast<EdgeId>(sim.num_edges());
+  ss_opts.seed = 3;
+  const SsResult ss = spielman_srivastava_sparsify(g, ss_opts);
+
+  auto lambda_max_of = [&](const Graph& p) {
+    const CsrMatrix lg = laplacian(g);
+    const CsrMatrix lp = laplacian(p);
+    const SpanningTree pt = max_weight_spanning_tree(p);
+    const TreePreconditioner precond(pt);
+    Rng krng(9);
+    const LinOp solve_p = make_pcg_op(
+        lp, precond,
+        {.max_iterations = 500, .rel_tolerance = 1e-9,
+         .project_constants = true});
+    return estimate_lambda_max_power(lg, solve_p, krng, 25);
+  };
+  // Controllability: the similarity-aware result respects its target
+  // (λ_min >= 1 for subgraphs, so λ_max bounds κ).
+  const double k_sim = lambda_max_of(sim.extract(g));
+  EXPECT_LE(k_sim, 1.6 * target);
+  EXPECT_TRUE(sim.reached_target);
+  // SS runs and produces a usable connected graph, but its κ is whatever
+  // it is — only sanity-check it.
+  const double k_ss = lambda_max_of(ss.sparsifier);
+  EXPECT_GT(k_ss, 1.0);
+  EXPECT_GT(ss.distinct_edges, 0);
+}
+
+}  // namespace
+}  // namespace ssp

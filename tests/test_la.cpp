@@ -1,0 +1,378 @@
+// Unit tests for src/la: vector kernels, CSR assembly and SpMV, dense
+// matrices/Cholesky, dense Jacobi eigensolver, tridiagonal QL eigensolver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "la/csr_matrix.hpp"
+#include "la/dense_eigen.hpp"
+#include "la/dense_matrix.hpp"
+#include "la/tridiagonal_eigen.hpp"
+#include "la/vector_ops.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+namespace {
+
+TEST(VectorOps, DotAndNorms) {
+  const Vec x = {1.0, 2.0, 3.0};
+  const Vec y = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(x, y), 12.0);
+  EXPECT_DOUBLE_EQ(norm2(x), std::sqrt(14.0));
+  EXPECT_DOUBLE_EQ(norm_inf(y), 6.0);
+  EXPECT_THROW((void)dot(x, Vec{1.0}), std::invalid_argument);
+}
+
+TEST(VectorOps, AxpyScaleFill) {
+  Vec y = {1.0, 1.0};
+  axpy(2.0, Vec{3.0, 4.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 9.0);
+  scale(y, 0.5);
+  EXPECT_DOUBLE_EQ(y[0], 3.5);
+  fill(y, -1.0);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);
+  EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(VectorOps, ProjectOutMeanZeroesSum) {
+  Vec x = {1.0, 2.0, 3.0, 10.0};
+  project_out_mean(x);
+  double s = 0.0;
+  for (double v : x) s += v;
+  EXPECT_NEAR(s, 0.0, 1e-12);
+}
+
+TEST(VectorOps, NormalizeAndErrors) {
+  Vec x = {3.0, 4.0};
+  normalize(x);
+  EXPECT_NEAR(norm2(x), 1.0, 1e-15);
+  Vec z = {0.0, 0.0};
+  EXPECT_THROW(normalize(z), std::invalid_argument);
+}
+
+TEST(VectorOps, AddSubtractRelativeError) {
+  const Vec x = {1.0, 2.0};
+  const Vec y = {0.5, 1.5};
+  const Vec s = add(x, y);
+  const Vec d = subtract(x, y);
+  EXPECT_DOUBLE_EQ(s[0], 1.5);
+  EXPECT_DOUBLE_EQ(d[1], 0.5);
+  EXPECT_NEAR(relative_error(x, x), 0.0, 1e-15);
+  EXPECT_GT(relative_error(x, y), 0.0);
+}
+
+CsrMatrix small_matrix() {
+  // [[2, -1, 0], [-1, 2, -1], [0, -1, 2]]
+  const std::vector<Triplet> ts = {
+      {0, 0, 2.0},  {0, 1, -1.0}, {1, 0, -1.0}, {1, 1, 2.0},
+      {1, 2, -1.0}, {2, 1, -1.0}, {2, 2, 2.0}};
+  return CsrMatrix::from_triplets(3, 3, ts);
+}
+
+TEST(CsrMatrix, FromTripletsCoalescesDuplicates) {
+  const std::vector<Triplet> ts = {
+      {0, 1, 1.0}, {0, 1, 2.0}, {1, 0, -1.0}, {0, 0, 5.0}};
+  const CsrMatrix a = CsrMatrix::from_triplets(2, 2, ts);
+  EXPECT_EQ(a.nnz(), 3);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 0.0);
+}
+
+TEST(CsrMatrix, RowsAreSortedByColumn) {
+  const std::vector<Triplet> ts = {{0, 3, 1.0}, {0, 1, 1.0}, {0, 2, 1.0}};
+  const CsrMatrix a = CsrMatrix::from_triplets(1, 4, ts);
+  const auto cols = a.row_cols(0);
+  EXPECT_TRUE(std::is_sorted(cols.begin(), cols.end()));
+}
+
+TEST(CsrMatrix, TripletOutOfRangeThrows) {
+  const std::vector<Triplet> ts = {{0, 5, 1.0}};
+  EXPECT_THROW((void)CsrMatrix::from_triplets(2, 2, ts),
+               std::invalid_argument);
+}
+
+TEST(CsrMatrix, MultiplyMatchesDense) {
+  const CsrMatrix a = small_matrix();
+  const Vec x = {1.0, 2.0, 3.0};
+  const Vec y = a.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  EXPECT_DOUBLE_EQ(y[2], 4.0);
+}
+
+TEST(CsrMatrix, QuadraticAndBilinearForms) {
+  const CsrMatrix a = small_matrix();
+  const Vec x = {1.0, 0.0, -1.0};
+  // x^T A x = 2 + 2 + 2*0... compute directly: Ax = [2, 0, -2]; x.Ax = 4.
+  EXPECT_DOUBLE_EQ(a.quadratic(x), 4.0);
+  const Vec y = {0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(a.bilinear(x, y), a.bilinear(y, x));  // symmetry
+}
+
+TEST(CsrMatrix, TransposeInvolution) {
+  const std::vector<Triplet> ts = {{0, 1, 2.0}, {1, 2, 3.0}, {2, 0, 4.0}};
+  const CsrMatrix a = CsrMatrix::from_triplets(3, 3, ts);
+  const CsrMatrix att = a.transpose().transpose();
+  EXPECT_EQ(att.nnz(), a.nnz());
+  for (Index r = 0; r < 3; ++r) {
+    for (Index c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(att.at(r, c), a.at(r, c));
+    }
+  }
+}
+
+TEST(CsrMatrix, IsSymmetricDetects) {
+  EXPECT_TRUE(small_matrix().is_symmetric());
+  const std::vector<Triplet> ts = {{0, 1, 2.0}};
+  EXPECT_FALSE(CsrMatrix::from_triplets(2, 2, ts).is_symmetric());
+}
+
+TEST(CsrMatrix, IdentityAndDiagonal) {
+  const CsrMatrix i5 = CsrMatrix::identity(5);
+  EXPECT_EQ(i5.nnz(), 5);
+  const Vec d = i5.diagonal();
+  for (double v : d) EXPECT_DOUBLE_EQ(v, 1.0);
+  const Vec x = {1, 2, 3, 4, 5};
+  EXPECT_EQ(i5.multiply(x), x);
+}
+
+TEST(CsrMatrix, DropExplicitZeros) {
+  const std::vector<Triplet> ts = {{0, 0, 1.0}, {0, 1, -1.0}, {0, 1, 1.0}};
+  CsrMatrix a = CsrMatrix::from_triplets(1, 2, ts);
+  EXPECT_EQ(a.nnz(), 2);  // coalesced (0,1) = 0 kept
+  a.drop_explicit_zeros();
+  EXPECT_EQ(a.nnz(), 1);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+}
+
+TEST(CsrMatrix, FrobeniusNorm) {
+  const CsrMatrix a = small_matrix();
+  EXPECT_NEAR(a.frobenius_norm(), std::sqrt(4.0 * 3 + 1.0 * 4), 1e-14);
+}
+
+TEST(DenseMatrix, MultiplyAndTranspose) {
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const Vec y = a.multiply(Vec{1.0, 1.0, 1.0});
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[1], 15.0);
+  const DenseMatrix at = a.transpose();
+  EXPECT_EQ(at.rows(), 3);
+  EXPECT_DOUBLE_EQ(at(2, 1), 6.0);
+  const DenseMatrix aat = a.multiply(at);
+  EXPECT_DOUBLE_EQ(aat(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(aat(0, 1), 32.0);
+}
+
+TEST(DenseMatrix, CholeskySolvesSpdSystem) {
+  // SPD matrix A = M^T M + I for random M.
+  Rng rng(5);
+  const Index n = 8;
+  DenseMatrix m(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) m(i, j) = rng.normal();
+  }
+  DenseMatrix a = m.transpose().multiply(m);
+  for (Index i = 0; i < n; ++i) a(i, i) += 1.0;
+  const DenseMatrix a_copy = a;
+
+  const Vec x_true = rng.normal_vector(n);
+  const Vec b = a.multiply(x_true);
+  a.cholesky_in_place();
+  const Vec x = a.cholesky_solve(b);
+  EXPECT_LT(relative_error(x, x_true), 1e-10);
+  // Residual check against the untouched copy.
+  const Vec r = subtract(a_copy.multiply(x), b);
+  EXPECT_LT(norm2(r), 1e-9 * std::max(1.0, norm2(b)));
+}
+
+TEST(DenseMatrix, CholeskyRejectsIndefinite) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 1.0;  // eigenvalues 3, -1
+  EXPECT_THROW(a.cholesky_in_place(), std::runtime_error);
+}
+
+TEST(DenseMatrix, FromCsrRejectsHuge) {
+  const CsrMatrix i = CsrMatrix::identity(10);
+  EXPECT_THROW((void)DenseMatrix::from_csr(i, 5), std::invalid_argument);
+  const DenseMatrix d = DenseMatrix::from_csr(i, 16);
+  EXPECT_DOUBLE_EQ(d(3, 3), 1.0);
+  EXPECT_DOUBLE_EQ(d(3, 4), 0.0);
+}
+
+TEST(DenseEigen, DiagonalMatrix) {
+  DenseMatrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = 1.0;
+  a(2, 2) = 2.0;
+  const DenseEigen e = dense_symmetric_eigen(a);
+  ASSERT_EQ(e.eigenvalues.size(), 3u);
+  EXPECT_NEAR(e.eigenvalues[0], 1.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(e.eigenvalues[2], 3.0, 1e-12);
+}
+
+TEST(DenseEigen, ReconstructsMatrix) {
+  Rng rng(9);
+  const Index n = 12;
+  DenseMatrix a(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i; j < n; ++j) {
+      const double v = rng.normal();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  const DenseEigen e = dense_symmetric_eigen(a);
+  // Check A v_j = w_j v_j for all j.
+  for (Index j = 0; j < n; ++j) {
+    Vec v(static_cast<std::size_t>(n));
+    for (Index i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = e.vectors(i, j);
+    const Vec av = a.multiply(v);
+    Vec wv = v;
+    scale(wv, e.eigenvalues[static_cast<std::size_t>(j)]);
+    EXPECT_LT(norm2(subtract(av, wv)), 1e-9 * (1.0 + std::abs(e.eigenvalues[static_cast<std::size_t>(j)])));
+  }
+}
+
+TEST(DenseEigen, EigenvectorsOrthonormal) {
+  Rng rng(21);
+  const Index n = 10;
+  DenseMatrix a(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i; j < n; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  const DenseEigen e = dense_symmetric_eigen(a);
+  for (Index p = 0; p < n; ++p) {
+    for (Index q = 0; q < n; ++q) {
+      double s = 0.0;
+      for (Index i = 0; i < n; ++i) s += e.vectors(i, p) * e.vectors(i, q);
+      EXPECT_NEAR(s, p == q ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(DenseEigen, GeneralizedIdentityPencil) {
+  // A u = λ I u reduces to the standard problem.
+  DenseMatrix a(3, 3);
+  a(0, 0) = 2.0;
+  a(1, 1) = 5.0;
+  a(2, 2) = 7.0;
+  const Vec vals =
+      dense_generalized_eigenvalues(a, DenseMatrix::identity(3));
+  ASSERT_EQ(vals.size(), 3u);
+  EXPECT_NEAR(vals[0], 2.0, 1e-10);
+  EXPECT_NEAR(vals[2], 7.0, 1e-10);
+}
+
+TEST(DenseEigen, GeneralizedScaledPencil) {
+  // A = 2B (B SPD) => all generalized eigenvalues are 2.
+  Rng rng(33);
+  const Index n = 6;
+  DenseMatrix m(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) m(i, j) = rng.normal();
+  }
+  DenseMatrix b = m.transpose().multiply(m);
+  for (Index i = 0; i < n; ++i) b(i, i) += 1.0;
+  DenseMatrix a = b;
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) a(i, j) *= 2.0;
+  }
+  const Vec vals = dense_generalized_eigenvalues(a, b);
+  ASSERT_EQ(vals.size(), static_cast<std::size_t>(n));
+  for (double v : vals) EXPECT_NEAR(v, 2.0, 1e-9);
+}
+
+TEST(TridiagonalEigen, KnownToeplitzSpectrum) {
+  // Tridiag(-1, 2, -1) of size n has eigenvalues 2 - 2 cos(k π / (n+1)).
+  const Index n = 20;
+  const Vec diag(static_cast<std::size_t>(n), 2.0);
+  const Vec off(static_cast<std::size_t>(n) - 1, -1.0);
+  const Vec vals = tridiagonal_eigenvalues(diag, off);
+  ASSERT_EQ(vals.size(), static_cast<std::size_t>(n));
+  for (Index k = 1; k <= n; ++k) {
+    const double expected =
+        2.0 - 2.0 * std::cos(M_PI * static_cast<double>(k) /
+                             static_cast<double>(n + 1));
+    EXPECT_NEAR(vals[static_cast<std::size_t>(k - 1)], expected, 1e-10);
+  }
+}
+
+TEST(TridiagonalEigen, VectorsSatisfyDefinition) {
+  Rng rng(55);
+  const Index n = 15;
+  Vec diag(static_cast<std::size_t>(n));
+  Vec off(static_cast<std::size_t>(n) - 1);
+  for (auto& d : diag) d = rng.uniform(0.5, 3.0);
+  for (auto& e : off) e = rng.uniform(-1.0, 1.0);
+
+  const TridiagonalEigen te = tridiagonal_eigen(diag, off);
+  for (Index j = 0; j < n; ++j) {
+    Vec v(static_cast<std::size_t>(n));
+    for (Index i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = te.vectors(i, j);
+    // Multiply tridiagonal matrix by v.
+    Vec av(static_cast<std::size_t>(n), 0.0);
+    for (Index i = 0; i < n; ++i) {
+      double s = diag[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
+      if (i > 0) s += off[static_cast<std::size_t>(i) - 1] * v[static_cast<std::size_t>(i) - 1];
+      if (i + 1 < n) s += off[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i) + 1];
+      av[static_cast<std::size_t>(i)] = s;
+    }
+    Vec wv = v;
+    scale(wv, te.eigenvalues[static_cast<std::size_t>(j)]);
+    EXPECT_LT(norm2(subtract(av, wv)), 1e-9);
+  }
+}
+
+TEST(TridiagonalEigen, MatchesDenseJacobi) {
+  Rng rng(77);
+  const Index n = 12;
+  Vec diag(static_cast<std::size_t>(n));
+  Vec off(static_cast<std::size_t>(n) - 1);
+  for (auto& d : diag) d = rng.uniform(-2.0, 2.0);
+  for (auto& e : off) e = rng.uniform(-2.0, 2.0);
+  DenseMatrix a(n, n);
+  for (Index i = 0; i < n; ++i) {
+    a(i, i) = diag[static_cast<std::size_t>(i)];
+    if (i + 1 < n) {
+      a(i, i + 1) = off[static_cast<std::size_t>(i)];
+      a(i + 1, i) = off[static_cast<std::size_t>(i)];
+    }
+  }
+  const Vec tv = tridiagonal_eigenvalues(diag, off);
+  const DenseEigen de = dense_symmetric_eigen(a);
+  ASSERT_EQ(tv.size(), de.eigenvalues.size());
+  for (std::size_t i = 0; i < tv.size(); ++i) {
+    EXPECT_NEAR(tv[i], de.eigenvalues[i], 1e-9);
+  }
+}
+
+TEST(TridiagonalEigen, TrivialSizes) {
+  EXPECT_TRUE(tridiagonal_eigenvalues({}, {}).empty());
+  const Vec one = tridiagonal_eigenvalues({4.0}, {});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0], 4.0);
+  EXPECT_THROW((void)tridiagonal_eigenvalues({1.0, 2.0}, {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssp

@@ -1,0 +1,139 @@
+// Tests for Matrix Market I/O: parsing (general/symmetric/pattern),
+// round-trips through files, error handling, and the paper §4 graph
+// conversion path.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/connectivity.hpp"
+#include "graph/generators/lattice.hpp"
+#include "graph/laplacian.hpp"
+#include "graph/mtx_io.hpp"
+
+namespace ssp {
+namespace {
+
+TEST(MtxIo, ParsesGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 2\n"
+      "1 2 1.5\n"
+      "3 1 -2.0\n");
+  const CsrMatrix a = read_matrix_market(in);
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.nnz(), 2);
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), -2.0);
+}
+
+TEST(MtxIo, ParsesSymmetricExpandsBothTriangles) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 3\n"
+      "2 1 4.0\n"
+      "3 2 5.0\n"
+      "1 1 7.0\n");
+  const CsrMatrix a = read_matrix_market(in);
+  EXPECT_EQ(a.nnz(), 5);  // two mirrored off-diagonals + diagonal
+  EXPECT_DOUBLE_EQ(a.at(0, 1), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 7.0);
+  EXPECT_TRUE(a.is_symmetric(0.0));
+}
+
+TEST(MtxIo, ParsesPattern) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n"
+      "3 3 2\n"
+      "2 1\n"
+      "3 1\n");
+  const CsrMatrix a = read_matrix_market(in);
+  EXPECT_EQ(a.nnz(), 4);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 1.0);
+}
+
+TEST(MtxIo, RejectsMalformedInput) {
+  {
+    std::istringstream in("not a banner\n1 1 0\n");
+    EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix array real general\n1 1\n1.0\n");
+    EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n");
+    EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);  // range
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+    EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);  // EOF
+  }
+  {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate complex general\n1 1 0\n");
+    EXPECT_THROW((void)read_matrix_market(in), std::runtime_error);
+  }
+}
+
+TEST(MtxIo, WriteReadRoundTrip) {
+  const Graph g = grid_2d(4, 4);
+  const CsrMatrix l = laplacian(g);
+  std::stringstream buf;
+  write_matrix_market(buf, l);
+  const CsrMatrix l2 = read_matrix_market(buf);
+  EXPECT_EQ(l2.rows(), l.rows());
+  EXPECT_EQ(l2.nnz(), l.nnz());
+  for (Index r = 0; r < l.rows(); ++r) {
+    const auto cols = l.row_cols(r);
+    for (std::size_t k = 0; k < cols.size(); ++k) {
+      EXPECT_NEAR(l2.at(r, cols[k]), l.row_vals(r)[k], 1e-14);
+    }
+  }
+}
+
+TEST(MtxIo, GraphFileRoundTrip) {
+  const std::string path = "ssp_test_graph_roundtrip.mtx";
+  const Graph g = triangulated_grid(5, 5);
+  save_graph_mtx(path, g);
+  const Graph h = load_graph_mtx(path);
+  EXPECT_EQ(h.num_vertices(), g.num_vertices());
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_NEAR(h.total_weight(), g.total_weight(), 1e-12);
+  EXPECT_TRUE(is_connected(h));
+  std::remove(path.c_str());
+}
+
+TEST(MtxIo, LoadGraphKeepsLargestComponent) {
+  // Two disconnected cliques of different sizes in one matrix.
+  const std::string path = "ssp_test_components.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real symmetric\n";
+    out << "5 5 4\n";
+    // triangle {0,1,2} (1-based {1,2,3}) + edge {3,4} (1-based {4,5})
+    out << "2 1 1.0\n3 1 1.0\n3 2 1.0\n5 4 1.0\n";
+  }
+  const Graph g = load_graph_mtx(path);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  std::remove(path.c_str());
+}
+
+TEST(MtxIo, MissingFileThrows) {
+  EXPECT_THROW((void)read_matrix_market_file("/nonexistent/file.mtx"),
+               std::runtime_error);
+  EXPECT_THROW((void)load_graph_mtx("/nonexistent/file.mtx"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ssp

@@ -1,0 +1,154 @@
+// Tests for the effective-resistance API (exact / JL sketch / tree bound)
+// and the R-MAT generator — including the paper §2 property that a
+// σ²-sparsifier preserves effective resistances within the σ² factor.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/effective_resistance.hpp"
+#include "core/sparsifier.hpp"
+#include "eigen/operators.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators/lattice.hpp"
+#include "graph/generators/rmat.hpp"
+#include "graph/laplacian.hpp"
+#include "la/vector_ops.hpp"
+#include "solver/cholesky.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+namespace {
+
+TEST(EffectiveResistance, SeriesAndParallelLaws) {
+  // Path 0-1-2 with conductances 2 and 4: R(0,2) = 1/2 + 1/4 = 0.75.
+  Graph path(3);
+  path.add_edge(0, 1, 2.0);
+  path.add_edge(1, 2, 4.0);
+  path.finalize();
+  const SparseCholesky chol_p =
+      SparseCholesky::factor_laplacian(laplacian(path));
+  const LinOp solve_p = make_cholesky_op(chol_p);
+  EXPECT_NEAR(effective_resistance(path, solve_p, 0, 2), 0.75, 1e-12);
+  EXPECT_NEAR(effective_resistance(path, solve_p, 0, 1), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(effective_resistance(path, solve_p, 1, 1), 0.0);
+
+  // Two parallel unit edges: R = 1/2.
+  Graph par(2);
+  par.add_edge(0, 1, 1.0);
+  par.add_edge(0, 1, 1.0);
+  par.finalize();
+  const SparseCholesky chol_q =
+      SparseCholesky::factor_laplacian(laplacian(par));
+  const LinOp solve_q = make_cholesky_op(chol_q);
+  EXPECT_NEAR(effective_resistance(par, solve_q, 0, 1), 0.5, 1e-12);
+}
+
+TEST(EffectiveResistance, SketchApproximatesExact) {
+  Rng rng(1);
+  const Graph g = grid_2d(9, 9, WeightModel::uniform(0.5, 2.0), &rng);
+  const SparseCholesky chol = SparseCholesky::factor_laplacian(laplacian(g));
+  const LinOp solve = make_cholesky_op(chol);
+  const ResistanceSketch sketch(g, solve, /*projections=*/160, rng);
+  EXPECT_EQ(sketch.projections(), 160);
+  // JL with k projections gives (1±eps) with eps ~ sqrt(8 ln n / k) —
+  // loose check at 35%.
+  for (const auto& [u, v] : std::vector<std::pair<Vertex, Vertex>>{
+           {0, 80}, {3, 40}, {10, 11}, {0, 8}}) {
+    const double exact = effective_resistance(g, solve, u, v);
+    const double approx = sketch.query(u, v);
+    EXPECT_NEAR(approx, exact, 0.35 * exact) << u << "," << v;
+  }
+  const Vec per_edge = sketch.all_edges();
+  EXPECT_EQ(static_cast<EdgeId>(per_edge.size()), g.num_edges());
+  for (double r : per_edge) EXPECT_GT(r, 0.0);
+}
+
+TEST(EffectiveResistance, TreeBoundIsUpperBound) {
+  Rng rng(2);
+  const Graph g = grid_2d(8, 8, WeightModel::log_uniform(0.2, 5.0), &rng);
+  const SparseCholesky chol = SparseCholesky::factor_laplacian(laplacian(g));
+  const LinOp solve = make_cholesky_op(chol);
+  const Vec bound = tree_resistance_bound_all_edges(g);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge& edge = g.edge(e);
+    const double exact = effective_resistance(g, solve, edge.u, edge.v);
+    EXPECT_GE(bound[static_cast<std::size_t>(e)], exact - 1e-10)
+        << "edge " << e;
+  }
+}
+
+TEST(EffectiveResistance, SparsifierPreservesResistances) {
+  // Paper §2: sparsifiers preserve effective resistances. Quantitatively:
+  //   R_G(u,v) <= R_P(u,v) <= sigma^2 · R_G(u,v)
+  // (P ⊆ G gives the lower bound by Rayleigh monotonicity; the pencil
+  // bound gives the upper).
+  Rng rng(3);
+  const Graph g = grid_2d(12, 12, WeightModel::uniform(0.5, 2.0), &rng);
+  const double sigma2 = 25.0;
+  const SparsifyResult sp = sparsify(g, {.sigma2 = sigma2});
+  const Graph p = sp.extract(g);
+
+  const SparseCholesky chol_g =
+      SparseCholesky::factor_laplacian(laplacian(g));
+  const SparseCholesky chol_p =
+      SparseCholesky::factor_laplacian(laplacian(p));
+  const LinOp solve_g = make_cholesky_op(chol_g);
+  const LinOp solve_p = make_cholesky_op(chol_p);
+
+  for (int trial = 0; trial < 25; ++trial) {
+    const auto u = static_cast<Vertex>(rng.uniform_int(0, 143));
+    const auto v = static_cast<Vertex>(rng.uniform_int(0, 143));
+    if (u == v) continue;
+    const double rg = effective_resistance(g, solve_g, u, v);
+    const double rp = effective_resistance(p, solve_p, u, v);
+    EXPECT_GE(rp, rg * (1.0 - 1e-9));
+    EXPECT_LE(rp, rg * sigma2 * 1.5);  // slack for estimator noise
+  }
+}
+
+TEST(EffectiveResistance, InputValidation) {
+  const Graph g = grid_2d(3, 3);
+  const LinOp noop = [](std::span<const double>, std::span<double>) {};
+  EXPECT_THROW((void)effective_resistance(g, noop, 0, 99),
+               std::invalid_argument);
+  Rng rng(4);
+  EXPECT_THROW(ResistanceSketch(g, noop, 0, rng), std::invalid_argument);
+}
+
+TEST(Rmat, GeneratesPowerLawConnectedGraph) {
+  Rng rng(5);
+  const Graph g = rmat_graph(/*scale=*/10, /*edge_factor=*/8, rng);
+  EXPECT_GT(g.num_vertices(), 200);  // largest component of 1024 vertices
+  EXPECT_TRUE(is_connected(g));
+  // Heavy-tailed: max degree far above the mean.
+  Index dmax = 0;
+  double dsum = 0.0;
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    dmax = std::max(dmax, g.degree(v));
+    dsum += static_cast<double>(g.degree(v));
+  }
+  const double dmean = dsum / g.num_vertices();
+  EXPECT_GT(static_cast<double>(dmax), 6.0 * dmean);
+}
+
+TEST(Rmat, OptionsValidated) {
+  Rng rng(6);
+  EXPECT_THROW((void)rmat_graph(1, 8, rng), std::invalid_argument);
+  EXPECT_THROW((void)rmat_graph(10, 0, rng), std::invalid_argument);
+  RmatOptions bad;
+  bad.a = 0.9;  // sums to > 1 with defaults
+  EXPECT_THROW((void)rmat_graph(8, 4, rng, bad), std::invalid_argument);
+}
+
+TEST(Rmat, SparsifiesLikeOtherNetworks) {
+  Rng rng(7);
+  const Graph g = rmat_graph(11, 10, rng);
+  const SparsifyResult res = sparsify(g, {.sigma2 = 100.0});
+  EXPECT_TRUE(res.reached_target);
+  EXPECT_TRUE(is_connected(res.extract(g)));
+  EXPECT_LT(res.num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace ssp

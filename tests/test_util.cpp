@@ -1,0 +1,227 @@
+// Unit tests for src/util: RNG determinism and distributions, union-find
+// invariants, timers, and descriptive statistics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/timer.hpp"
+#include "util/union_find.hpp"
+
+namespace ssp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+  EXPECT_THROW((void)rng.uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(6, 0);
+  const int draws = 60000;
+  for (int i = 0; i < draws; ++i) {
+    const auto v = rng.uniform_int(0, 5);
+    ASSERT_GE(v, 0);
+    ASSERT_LE(v, 5);
+    ++counts[static_cast<std::size_t>(v)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), draws / 6.0, 0.05 * draws / 6.0);
+  }
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(17, 17), 17);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, RademacherBalanced) {
+  Rng rng(17);
+  int pos = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.rademacher();
+    ASSERT_TRUE(x == 1.0 || x == -1.0);
+    if (x > 0) ++pos;
+  }
+  EXPECT_NEAR(static_cast<double>(pos) / n, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(19);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, VectorHelpersHaveRequestedLength) {
+  Rng rng(23);
+  EXPECT_EQ(rng.rademacher_vector(100).size(), 100u);
+  EXPECT_EQ(rng.normal_vector(64).size(), 64u);
+  EXPECT_TRUE(rng.rademacher_vector(0).empty());
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(29);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_FALSE(std::equal(v.begin(), v.end(), w.begin()));  // overwhelmingly
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(UnionFind, SingletonsAtStart) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5);
+  for (Index i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.size_of(i), 1);
+  }
+}
+
+TEST(UnionFind, UniteMergesAndCounts) {
+  UnionFind uf(6);
+  EXPECT_TRUE(uf.unite(0, 1));
+  EXPECT_TRUE(uf.unite(2, 3));
+  EXPECT_FALSE(uf.unite(1, 0));  // already merged
+  EXPECT_EQ(uf.num_sets(), 4);
+  EXPECT_TRUE(uf.same(0, 1));
+  EXPECT_FALSE(uf.same(0, 2));
+  EXPECT_TRUE(uf.unite(0, 2));
+  EXPECT_TRUE(uf.same(1, 3));
+  EXPECT_EQ(uf.size_of(3), 4);
+  EXPECT_EQ(uf.num_sets(), 3);
+}
+
+TEST(UnionFind, TransitivityProperty) {
+  // Property: after uniting chains, all chain members share a root.
+  UnionFind uf(100);
+  for (Index i = 0; i + 1 < 100; i += 2) uf.unite(i, i + 1);
+  for (Index i = 0; i + 3 < 100; i += 4) uf.unite(i, i + 2);
+  for (Index i = 0; i + 3 < 100; i += 4) {
+    EXPECT_TRUE(uf.same(i, i + 3));
+  }
+}
+
+TEST(UnionFind, OutOfRangeThrows) {
+  UnionFind uf(3);
+  EXPECT_THROW((void)uf.find(3), std::invalid_argument);
+  EXPECT_THROW((void)uf.find(-1), std::invalid_argument);
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  volatile double x = 0.0;
+  for (int i = 0; i < 1000000; ++i) x = x + 1.0;
+  EXPECT_GE(t.seconds(), 0.0);
+  const double first = t.milliseconds();
+  EXPECT_GE(t.milliseconds(), first);  // monotone non-decreasing
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+TEST(Stats, SummaryBasics) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, SummaryEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+  EXPECT_THROW((void)percentile(xs, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)percentile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Stats, SortedSeriesEndpoints) {
+  std::vector<double> xs(100);
+  std::iota(xs.begin(), xs.end(), 0.0);
+  const auto series = sorted_series(xs, 5);
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_DOUBLE_EQ(series.front(), 99.0);  // descending series
+  EXPECT_DOUBLE_EQ(series.back(), 0.0);
+  EXPECT_TRUE(std::is_sorted(series.rbegin(), series.rend()));
+}
+
+TEST(Assert, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(SSP_REQUIRE(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(SSP_REQUIRE(true, "fine"));
+}
+
+TEST(Assert, AssertThrowsInternalError) {
+  EXPECT_THROW(SSP_ASSERT(false, "bug"), InternalError);
+  EXPECT_NO_THROW(SSP_ASSERT(true, "fine"));
+}
+
+}  // namespace
+}  // namespace ssp

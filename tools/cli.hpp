@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file cli.hpp
+/// Minimal dependency-free command-line parsing for the ssp tools.
+/// Supports `--flag`, `--key value` and `--key=value` forms, typed lookup
+/// with defaults, required-argument checks, and usage text generation.
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ssp::cli {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description)
+      : program_(std::move(program)), description_(std::move(description)) {}
+
+  /// Registers an option (for usage text; parsing is lenient).
+  ArgParser& option(const std::string& name, const std::string& help,
+                    const std::string& default_value = "") {
+    help_.push_back({name, help, default_value});
+    return *this;
+  }
+
+  /// Parses argv. Throws std::invalid_argument on malformed input.
+  /// Returns false when --help was requested (usage printed by caller).
+  bool parse(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "--help" || arg == "-h") return false;
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        continue;
+      }
+      // `--key value` unless the next token is another option or absent.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";  // boolean flag
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return values_.count(key) != 0;
+  }
+
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  [[nodiscard]] std::string require(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) {
+      throw std::invalid_argument("missing required option --" + key);
+    }
+    return it->second;
+  }
+
+  [[nodiscard]] double get_double(const std::string& key,
+                                  double fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+      return std::stod(it->second);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("option --" + key +
+                                  " expects a number, got '" + it->second +
+                                  "'");
+    }
+  }
+
+  [[nodiscard]] long long get_int(const std::string& key,
+                                  long long fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    try {
+      return std::stoll(it->second);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("option --" + key +
+                                  " expects an integer, got '" + it->second +
+                                  "'");
+    }
+  }
+
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+  }
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage() const {
+    std::ostringstream os;
+    os << program_ << " — " << description_ << "\n\noptions:\n";
+    for (const auto& h : help_) {
+      os << "  --" << h.name;
+      if (!h.default_value.empty()) os << " (default: " << h.default_value << ")";
+      os << "\n      " << h.help << "\n";
+    }
+    return os.str();
+  }
+
+ private:
+  struct HelpEntry {
+    std::string name;
+    std::string help;
+    std::string default_value;
+  };
+  std::string program_;
+  std::string description_;
+  std::vector<HelpEntry> help_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ssp::cli
