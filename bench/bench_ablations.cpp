@@ -17,6 +17,7 @@
 #include "bench_common.hpp"
 #include "core/densify.hpp"
 #include "core/embedding.hpp"
+#include "core/options_io.hpp"
 #include "core/rescale.hpp"
 #include "core/sparsifier.hpp"
 #include "eigen/operators.hpp"
@@ -51,9 +52,7 @@ void ablation_backbone() {
     const Graph& g = item.graph;
     for (BackboneKind kind : {BackboneKind::kAkpw, BackboneKind::kMaxWeight,
                               BackboneKind::kShortestPath}) {
-      const char* bname = kind == BackboneKind::kAkpw         ? "akpw"
-                          : kind == BackboneKind::kMaxWeight ? "kruskal"
-                                                             : "spt";
+      const char* bname = to_string(kind);
       Rng rng(7);
       const SpanningTree tree = [&] {
         switch (kind) {
@@ -180,7 +179,7 @@ void ablation_inner_solver() {
       const WallTimer t;
       const SparsifyResult res = sparsify(item.graph, opts);
       std::printf("%-10s %-10s %10lld %12.1f %9.2fs\n", item.name,
-                  kind == InnerSolverKind::kTreePcg ? "tree-pcg" : "amg",
+                  to_string(kind),
                   static_cast<long long>(res.num_edges()),
                   res.sigma2_estimate, t.seconds());
     }

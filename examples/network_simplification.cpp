@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "core/sparsifier.hpp"
+#include "core/sparsifier_engine.hpp"
 #include "eigen/lanczos.hpp"
 #include "eigen/operators.hpp"
 #include "graph/generators/random_graphs.hpp"
@@ -46,20 +47,31 @@ int main() {
   std::cout << "network: |V| = " << g.num_vertices()
             << ", |E| = " << g.num_edges() << "\n";
 
-  ssp::SparsifyOptions opts;
-  opts.sigma2 = 100.0;
-  const ssp::SparsifyResult res = ssp::sparsify(g, opts);
+  // Drive the staged engine directly: a FirstRoundObserver captures the
+  // bare-backbone λ_1 live instead of fishing it out of the telemetry
+  // vector afterwards.
+  struct FirstRoundObserver : ssp::StageObserver {
+    double lambda1_tree = 0.0;
+    bool on_round(const ssp::DensifyRound& r) override {
+      if (r.round == 0) lambda1_tree = r.lambda_max;
+      return true;
+    }
+  } observer;
+  ssp::Sparsifier engine(g, ssp::SparsifyOptions{}.with_sigma2(100.0));
+  engine.set_observer(&observer);
+  engine.run();
+  const ssp::SparsifyResult& res = engine.result();
   const ssp::Graph p = res.extract(g);
 
   std::cout << "sparsifier: |Es| = " << p.num_edges() << "  (|E|/|Es| = "
             << static_cast<double>(g.num_edges()) /
                    static_cast<double>(p.num_edges())
             << "x),  built in " << res.total_seconds << " s\n";
-  if (!res.rounds.empty()) {
-    const double lambda1_tree = res.rounds.front().lambda_max;
-    std::cout << "lambda_1 (tree backbone) = " << lambda1_tree
+  if (observer.lambda1_tree > 0.0) {
+    std::cout << "lambda_1 (tree backbone) = " << observer.lambda1_tree
               << "  ->  lambda_1 (sparsifier) = " << res.lambda_max
-              << "   (ratio " << lambda1_tree / res.lambda_max << "x)\n";
+              << "   (ratio " << observer.lambda1_tree / res.lambda_max
+              << "x)\n";
   }
 
   ssp::Vec ev_orig, ev_spars;

@@ -1,193 +1,14 @@
 #include "core/densify.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "core/eigen_estimate.hpp"
-#include "core/embedding.hpp"
-#include "eigen/operators.hpp"
-#include "graph/laplacian.hpp"
-#include "solver/amg.hpp"
-#include "solver/pcg.hpp"
-#include "solver/preconditioner.hpp"
-#include "tree/tree_solver.hpp"
-#include "util/assert.hpp"
-#include "util/timer.hpp"
+#include "core/sparsifier_engine.hpp"
 
 namespace ssp {
 
-namespace {
-
-void validate_options(const SparsifyOptions& o) {
-  SSP_REQUIRE(o.sigma2 > 1.0, "sparsify: sigma2 must exceed 1");
-  SSP_REQUIRE(o.power_steps >= 1, "sparsify: power_steps must be >= 1");
-  SSP_REQUIRE(o.num_vectors >= 0, "sparsify: num_vectors must be >= 0");
-  SSP_REQUIRE(o.max_rounds >= 1, "sparsify: max_rounds must be >= 1");
-  SSP_REQUIRE(o.max_edges_per_round >= 0,
-              "sparsify: max_edges_per_round must be >= 0");
-  SSP_REQUIRE(o.solver_tolerance > 0.0 && o.solver_tolerance < 1.0,
-              "sparsify: solver_tolerance must be in (0,1)");
-  SSP_REQUIRE(o.lambda_max_iterations >= 1,
-              "sparsify: lambda_max_iterations must be >= 1");
-  SSP_REQUIRE(o.similarity == SimilarityPolicy::kNone || o.node_cap >= 1,
-              "sparsify: node_cap must be >= 1");
-}
-
-}  // namespace
-
 SparsifyResult densify_loop(const Graph& g, const SpanningTree& backbone,
                             const SparsifyOptions& opts) {
-  validate_options(opts);
-  SSP_REQUIRE(&backbone.graph() == &g, "densify: backbone built on another graph");
-  const WallTimer total_timer;
-  const Index n = g.num_vertices();
-  // Adaptive "small portions" (§3.7): while far from the target, add up to
-  // n/4 edges per round; once within 8x of the target, shrink the batch to
-  // n/16 so the final density is not overshot. A user-provided cap wins.
-  const auto cap_for = [&](double sigma2_estimate) {
-    if (opts.max_edges_per_round > 0) return opts.max_edges_per_round;
-    // Batch size tracks the remaining multiplicative gap to the target:
-    // large batches while far away (few expensive re-embedding rounds),
-    // small ones near the target (no density overshoot).
-    const double gap = sigma2_estimate / opts.sigma2;
-    const Index divisor =
-        gap > 1000.0 ? 4 : (gap > 100.0 ? 8 : (gap > 3.0 ? 16 : 24));
-    return std::max<EdgeId>(64, static_cast<EdgeId>(n) / divisor);
-  };
-
-  Rng rng(opts.seed);
-  const CsrMatrix lg = laplacian(g);
-
-  SparsifyResult result;
-  result.tree_edges.assign(backbone.tree_edge_ids().begin(),
-                           backbone.tree_edge_ids().end());
-  result.edges = result.tree_edges;
-  std::vector<char> in_p(static_cast<std::size_t>(g.num_edges()), 0);
-  for (EdgeId e : result.edges) in_p[static_cast<std::size_t>(e)] = 1;
-
-  // The backbone tree solver doubles as the PCG preconditioner of every
-  // later sparsifier (the tree stays a subgraph of P).
-  const TreeSolver tree_solver(backbone);
-  const TreePreconditioner tree_precond(backbone);
-
-  for (Index round = 0; round < opts.max_rounds; ++round) {
-    const WallTimer round_timer;
-    DensifyRound stats;
-    stats.round = round;
-
-    // --- Step 1 (§3.7): update L_P and its solver. ---
-    const bool tree_only =
-        static_cast<EdgeId>(result.edges.size()) == n - 1;
-    CsrMatrix lp;
-    AmgHierarchy amg;
-    LinOp solve_p;
-    if (tree_only) {
-      solve_p = make_tree_solver_op(tree_solver);
-    } else {
-      lp = laplacian(g.edge_subgraph(result.edges));
-      if (opts.inner_solver == InnerSolverKind::kAmg) {
-        amg = AmgHierarchy::build(lp);
-        solve_p = make_amg_op(amg, opts.solver_tolerance, 200);
-      } else {
-        solve_p = make_pcg_op(lp, tree_precond,
-                              {.max_iterations = 500,
-                               .rel_tolerance = opts.solver_tolerance,
-                               .project_constants = true});
-      }
-    }
-
-    // --- Step 2: estimate the spectral similarity. ---
-    stats.lambda_min = estimate_lambda_min_node_coloring(g, in_p);
-    stats.lambda_max = estimate_lambda_max_power(lg, solve_p, rng,
-                                                 opts.lambda_max_iterations);
-    // Guard against solver noise: the pencil spectrum is >= 1 for
-    // subgraph sparsifiers.
-    stats.lambda_max = std::max(stats.lambda_max, 1.0);
-    stats.lambda_min = std::clamp(stats.lambda_min, 1.0, stats.lambda_max);
-    stats.sigma2_estimate = stats.lambda_max / stats.lambda_min;
-
-    result.lambda_min = stats.lambda_min;
-    result.lambda_max = stats.lambda_max;
-    result.sigma2_estimate = stats.sigma2_estimate;
-
-    // --- Step 3: stop when similar enough (or nothing left to add). ---
-    if (stats.sigma2_estimate <= opts.sigma2 ||
-        static_cast<EdgeId>(result.edges.size()) == g.num_edges()) {
-      result.reached_target = stats.sigma2_estimate <= opts.sigma2;
-      stats.seconds = round_timer.seconds();
-      result.rounds.push_back(stats);
-      break;
-    }
-
-    // --- Step 4: spectral embedding of off-tree edges. ---
-    const OffTreeEmbedding emb = compute_offtree_heat(
-        g, in_p, solve_p,
-        {.power_steps = opts.power_steps, .num_vectors = opts.num_vectors},
-        rng);
-
-    // --- Step 5: rank and filter by normalized Joule heat (Eq. 15). ---
-    stats.theta = heat_threshold(opts.sigma2, stats.lambda_min,
-                                 stats.lambda_max, opts.power_steps);
-
-    // --- Step 6: add only dissimilar filtered edges. ---
-    const EdgeId cap_per_round = cap_for(stats.sigma2_estimate);
-    const FilterOptions fopts = {.similarity = opts.similarity,
-                                 .node_cap = opts.node_cap,
-                                 .max_edges = cap_per_round};
-    std::vector<EdgeId> picked =
-        filter_offtree_edges(g, emb, stats.theta, fopts);
-    if (picked.empty()) {
-      // The threshold filtered everything although the target is unmet
-      // (estimator noise). Force progress with the hottest edges.
-      picked = filter_offtree_edges(
-          g, emb, 0.0,
-          {.similarity = opts.similarity,
-           .node_cap = opts.node_cap,
-           .max_edges = std::min<EdgeId>(cap_per_round, 16)});
-    }
-    if (picked.empty()) {  // no off-tree edges remain
-      stats.seconds = round_timer.seconds();
-      result.rounds.push_back(stats);
-      break;
-    }
-    for (EdgeId e : picked) {
-      in_p[static_cast<std::size_t>(e)] = 1;
-      result.edges.push_back(e);
-    }
-    stats.edges_added = static_cast<EdgeId>(picked.size());
-    stats.seconds = round_timer.seconds();
-    result.rounds.push_back(stats);
-  }
-
-  if (!result.reached_target && !result.rounds.empty() &&
-      result.rounds.back().edges_added > 0) {
-    // max_rounds exhausted right after an add: refresh the final estimate
-    // so the reported σ² reflects the sparsifier actually returned.
-    const CsrMatrix lp = laplacian(g.edge_subgraph(result.edges));
-    LinOp solve_p;
-    AmgHierarchy amg;
-    if (opts.inner_solver == InnerSolverKind::kAmg) {
-      amg = AmgHierarchy::build(lp);
-      solve_p = make_amg_op(amg, opts.solver_tolerance, 200);
-    } else {
-      solve_p = make_pcg_op(lp, tree_precond,
-                            {.max_iterations = 500,
-                             .rel_tolerance = opts.solver_tolerance,
-                             .project_constants = true});
-    }
-    result.lambda_min = estimate_lambda_min_node_coloring(g, in_p);
-    result.lambda_max = std::max(
-        estimate_lambda_max_power(lg, solve_p, rng,
-                                  opts.lambda_max_iterations),
-        1.0);
-    result.lambda_min =
-        std::clamp(result.lambda_min, 1.0, result.lambda_max);
-    result.sigma2_estimate = result.lambda_max / result.lambda_min;
-    result.reached_target = result.sigma2_estimate <= opts.sigma2;
-  }
-
-  result.total_seconds = total_timer.seconds();
-  return result;
+  Sparsifier engine(g, backbone, opts);
+  engine.run();
+  return engine.take_result();
 }
 
 }  // namespace ssp

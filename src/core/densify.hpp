@@ -1,9 +1,11 @@
 #pragma once
 
 /// \file densify.hpp
-/// Iterative graph densification (paper §3.7) — the engine behind
-/// `ssp::sparsify`. Exposed separately so tests and ablation benches can
-/// drive the loop with a caller-supplied backbone.
+/// Iterative graph densification (paper §3.7) with a caller-supplied
+/// backbone. Thin wrapper over the stateful `ssp::Sparsifier` engine
+/// (sparsifier_engine.hpp) — kept so tests and ablation benches can drive
+/// the loop one-shot with an explicit spanning tree; for staged control,
+/// observers, or warm starts, construct the engine directly.
 
 #include "core/sparsifier.hpp"
 #include "tree/spanning_tree.hpp"

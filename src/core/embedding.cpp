@@ -13,6 +13,24 @@ OffTreeEmbedding compute_offtree_heat(const Graph& g,
                                       std::span<const char> in_sparsifier,
                                       const LinOp& solve_p,
                                       const EmbeddingOptions& opts, Rng& rng) {
+  // The Laplacian is only consumed by the power iterations, which never
+  // run when every edge already sits in the sparsifier — skip the
+  // O(|V|+|E|) assembly then (the workspace form returns before using lg).
+  const bool any_offtree =
+      std::any_of(in_sparsifier.begin(), in_sparsifier.end(),
+                  [](char c) { return c == 0; });
+  const CsrMatrix lg = any_offtree ? laplacian(g) : CsrMatrix{};
+  EmbeddingWorkspace ws;
+  OffTreeEmbedding emb;
+  compute_offtree_heat(g, lg, in_sparsifier, solve_p, opts, rng, ws, emb);
+  return emb;
+}
+
+void compute_offtree_heat(const Graph& g, const CsrMatrix& lg,
+                          std::span<const char> in_sparsifier,
+                          const LinOp& solve_p, const EmbeddingOptions& opts,
+                          Rng& rng, EmbeddingWorkspace& ws,
+                          OffTreeEmbedding& out) {
   SSP_REQUIRE(g.finalized(), "embedding: graph must be finalized");
   SSP_REQUIRE(static_cast<EdgeId>(in_sparsifier.size()) == g.num_edges(),
               "embedding: in_sparsifier size must equal edge count");
@@ -20,33 +38,36 @@ OffTreeEmbedding compute_offtree_heat(const Graph& g,
   const Index n = g.num_vertices();
   SSP_REQUIRE(n >= 2, "embedding: need >= 2 vertices");
 
-  OffTreeEmbedding emb;
-  emb.power_steps = opts.power_steps;
+  out.power_steps = opts.power_steps;
   // Default r = max(6, ceil(log2(n)/2)) — still the paper's O(log |V|)
   // regime; the embedding-parameter ablation shows the heat ranking is
   // already stable there, at half the solve cost of r = log2 n.
-  emb.num_vectors =
+  out.num_vectors =
       opts.num_vectors > 0
           ? opts.num_vectors
           : std::max<Index>(
                 6, static_cast<Index>(std::ceil(
                        0.5 *
                        std::log2(static_cast<double>(std::max<Index>(n, 4))))));
+  out.heat_max = 0.0;
+  out.total_heat = 0.0;
 
+  out.offtree_edges.clear();
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     if (in_sparsifier[static_cast<std::size_t>(e)] == 0) {
-      emb.offtree_edges.push_back(e);
+      out.offtree_edges.push_back(e);
     }
   }
-  emb.heat.assign(emb.offtree_edges.size(), 0.0);
-  if (emb.offtree_edges.empty()) return emb;
+  out.heat.assign(out.offtree_edges.size(), 0.0);
+  if (out.offtree_edges.empty()) return;
 
-  const CsrMatrix lg = laplacian(g);
-  Vec h(static_cast<std::size_t>(n));
-  Vec gh(static_cast<std::size_t>(n));
+  ws.h.resize(static_cast<std::size_t>(n));
+  ws.gh.resize(static_cast<std::size_t>(n));
+  Vec& h = ws.h;
+  Vec& gh = ws.gh;
 
-  for (Index j = 0; j < emb.num_vectors; ++j) {
-    h = random_probe_vector(n, rng);
+  for (Index j = 0; j < out.num_vectors; ++j) {
+    random_probe_fill(h, rng);
     for (int s = 0; s < opts.power_steps; ++s) {
       lg.multiply(h, gh);
       project_out_mean(gh);
@@ -54,19 +75,18 @@ OffTreeEmbedding compute_offtree_heat(const Graph& g,
       project_out_mean(h);
     }
     // Accumulate per-edge Joule heat of h_t (Eq. (6)).
-    for (std::size_t k = 0; k < emb.offtree_edges.size(); ++k) {
-      const Edge& e = g.edge(emb.offtree_edges[k]);
+    for (std::size_t k = 0; k < out.offtree_edges.size(); ++k) {
+      const Edge& e = g.edge(out.offtree_edges[k]);
       const double d = h[static_cast<std::size_t>(e.u)] -
                        h[static_cast<std::size_t>(e.v)];
-      emb.heat[k] += e.weight * d * d;
+      out.heat[k] += e.weight * d * d;
     }
   }
 
-  for (double v : emb.heat) {
-    emb.total_heat += v;
-    emb.heat_max = std::max(emb.heat_max, v);
+  for (double v : out.heat) {
+    out.total_heat += v;
+    out.heat_max = std::max(out.heat_max, v);
   }
-  return emb;
 }
 
 }  // namespace ssp

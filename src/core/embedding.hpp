@@ -19,6 +19,7 @@
 
 #include "eigen/operators.hpp"
 #include "graph/graph.hpp"
+#include "la/vector_ops.hpp"
 #include "util/rng.hpp"
 
 namespace ssp {
@@ -44,11 +45,29 @@ struct OffTreeEmbedding {
   Index num_vectors = 0;     ///< r actually used
 };
 
+/// Reusable scratch for `compute_offtree_heat`: the two power-iteration
+/// vectors. Owned by the caller (the `ssp::Sparsifier` engine keeps one per
+/// instance) so repeated rounds on a same-size graph allocate nothing.
+struct EmbeddingWorkspace {
+  Vec h;   ///< current iterate h_s
+  Vec gh;  ///< L_G h_s before the L_P⁺ application
+};
+
 /// Computes Joule heats for every edge of `g` not marked in
 /// `in_sparsifier` (one char per edge id, nonzero = inside P). `solve_p`
 /// applies L_P⁺.
 [[nodiscard]] OffTreeEmbedding compute_offtree_heat(
     const Graph& g, std::span<const char> in_sparsifier, const LinOp& solve_p,
     const EmbeddingOptions& opts, Rng& rng);
+
+/// Workspace form: `lg` is the precomputed Laplacian of `g`, `ws` provides
+/// the power-iteration buffers, and `out` is refilled in place (its vectors
+/// keep their capacity between rounds). Draws the identical Rng sequence as
+/// the allocating overload, so results are bit-for-bit equal.
+void compute_offtree_heat(const Graph& g, const CsrMatrix& lg,
+                          std::span<const char> in_sparsifier,
+                          const LinOp& solve_p, const EmbeddingOptions& opts,
+                          Rng& rng, EmbeddingWorkspace& ws,
+                          OffTreeEmbedding& out);
 
 }  // namespace ssp

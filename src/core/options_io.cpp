@@ -1,0 +1,84 @@
+#include "core/options_io.hpp"
+
+#include <stdexcept>
+
+#include "core/sparsifier_engine.hpp"
+
+namespace ssp {
+
+const char* to_string(BackboneKind kind) {
+  switch (kind) {
+    case BackboneKind::kAkpw:
+      return "akpw";
+    case BackboneKind::kMaxWeight:
+      return "kruskal";
+    case BackboneKind::kShortestPath:
+      return "spt";
+  }
+  return "?";
+}
+
+const char* to_string(InnerSolverKind kind) {
+  switch (kind) {
+    case InnerSolverKind::kTreePcg:
+      return "tree-pcg";
+    case InnerSolverKind::kAmg:
+      return "amg";
+  }
+  return "?";
+}
+
+const char* to_string(SimilarityPolicy policy) {
+  switch (policy) {
+    case SimilarityPolicy::kNone:
+      return "none";
+    case SimilarityPolicy::kNodeDisjoint:
+      return "node-disjoint";
+    case SimilarityPolicy::kBounded:
+      return "bounded";
+  }
+  return "?";
+}
+
+const char* to_string(StageKind stage) {
+  switch (stage) {
+    case StageKind::kBackbone:
+      return "backbone";
+    case StageKind::kSolverSetup:
+      return "solver-setup";
+    case StageKind::kSpectralEstimate:
+      return "spectral-estimate";
+    case StageKind::kEmbedding:
+      return "embedding";
+    case StageKind::kFiltering:
+      return "filtering";
+    case StageKind::kFinalEstimate:
+      return "final-estimate";
+  }
+  return "?";
+}
+
+BackboneKind parse_backbone_kind(const std::string& name) {
+  if (name == "akpw") return BackboneKind::kAkpw;
+  if (name == "kruskal") return BackboneKind::kMaxWeight;
+  if (name == "spt") return BackboneKind::kShortestPath;
+  throw std::invalid_argument("unknown backbone '" + name +
+                              "' (akpw|kruskal|spt)");
+}
+
+InnerSolverKind parse_inner_solver_kind(const std::string& name) {
+  if (name == "tree-pcg") return InnerSolverKind::kTreePcg;
+  if (name == "amg") return InnerSolverKind::kAmg;
+  throw std::invalid_argument("unknown inner solver '" + name +
+                              "' (tree-pcg|amg)");
+}
+
+SimilarityPolicy parse_similarity_policy(const std::string& name) {
+  if (name == "none") return SimilarityPolicy::kNone;
+  if (name == "node-disjoint") return SimilarityPolicy::kNodeDisjoint;
+  if (name == "bounded") return SimilarityPolicy::kBounded;
+  throw std::invalid_argument("unknown similarity policy '" + name +
+                              "' (none|node-disjoint|bounded)");
+}
+
+}  // namespace ssp

@@ -20,10 +20,12 @@ namespace ssp {
 
 namespace {
 
-/// Per-edge effective resistance estimates.
-Vec estimate_resistances(const Graph& g, const SsOptions& opts, Rng& rng) {
+/// Per-edge effective resistance estimates, written into `ws.resistances`.
+void estimate_resistances(const Graph& g, const SsOptions& opts, Rng& rng,
+                          SsWorkspace& ws) {
   const EdgeId m = g.num_edges();
-  Vec r(static_cast<std::size_t>(m));
+  Vec& r = ws.resistances;
+  r.resize(static_cast<std::size_t>(m));
 
   if (opts.estimate == ResistanceEstimate::kTreeUpperBound) {
     const SpanningTree tree = max_weight_spanning_tree(g);
@@ -32,7 +34,7 @@ Vec estimate_resistances(const Graph& g, const SsOptions& opts, Rng& rng) {
       const Edge& edge = g.edge(e);
       r[static_cast<std::size_t>(e)] = lca.path_resistance(edge.u, edge.v);
     }
-    return r;
+    return;
   }
 
   // JL sketch: z_i = L^+ (B^T W^{1/2} q_i), R_eff(u,v) ≈ Σ_i (z_i(u)-z_i(v))².
@@ -46,8 +48,9 @@ Vec estimate_resistances(const Graph& g, const SsOptions& opts, Rng& rng) {
                                    .rel_tolerance = opts.solver_tolerance,
                                    .project_constants = true});
 
-  std::vector<Vec> z(static_cast<std::size_t>(k));
-  Vec y(static_cast<std::size_t>(n));
+  ws.z.resize(static_cast<std::size_t>(k));
+  Vec& y = ws.y;
+  y.resize(static_cast<std::size_t>(n));
   const double scale_factor = 1.0 / std::sqrt(static_cast<double>(k));
   for (Index i = 0; i < k; ++i) {
     fill(y, 0.0);
@@ -58,26 +61,31 @@ Vec estimate_resistances(const Graph& g, const SsOptions& opts, Rng& rng) {
       y[static_cast<std::size_t>(edge.v)] -= q;
     }
     project_out_mean(y);
-    z[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(n));
-    solve(y, z[static_cast<std::size_t>(i)]);
+    ws.z[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(n));
+    solve(y, ws.z[static_cast<std::size_t>(i)]);
   }
   for (EdgeId e = 0; e < m; ++e) {
     const Edge& edge = g.edge(e);
     double sum = 0.0;
     for (Index i = 0; i < k; ++i) {
       const double d =
-          z[static_cast<std::size_t>(i)][static_cast<std::size_t>(edge.u)] -
-          z[static_cast<std::size_t>(i)][static_cast<std::size_t>(edge.v)];
+          ws.z[static_cast<std::size_t>(i)][static_cast<std::size_t>(edge.u)] -
+          ws.z[static_cast<std::size_t>(i)][static_cast<std::size_t>(edge.v)];
       sum += d * d;
     }
     r[static_cast<std::size_t>(e)] = sum;
   }
-  return r;
 }
 
 }  // namespace
 
 SsResult spielman_srivastava_sparsify(const Graph& g, const SsOptions& opts) {
+  SsWorkspace ws;
+  return spielman_srivastava_sparsify(g, opts, ws);
+}
+
+SsResult spielman_srivastava_sparsify(const Graph& g, const SsOptions& opts,
+                                      SsWorkspace& ws) {
   SSP_REQUIRE(g.finalized(), "ss: graph must be finalized");
   SSP_REQUIRE(g.num_vertices() >= 2, "ss: need >= 2 vertices");
   SSP_REQUIRE(is_connected(g), "ss: graph must be connected");
@@ -94,10 +102,12 @@ SsResult spielman_srivastava_sparsify(const Graph& g, const SsOptions& opts) {
                 8.0 * static_cast<double>(n) *
                 std::log(std::max(2.0, static_cast<double>(n)))));
 
-  const Vec resistances = estimate_resistances(g, opts, rng);
+  estimate_resistances(g, opts, rng, ws);
+  const Vec& resistances = ws.resistances;
 
   // Sampling probabilities p_e ∝ w_e R_e; build the cumulative table.
-  Vec cumulative(static_cast<std::size_t>(m));
+  Vec& cumulative = ws.cumulative;
+  cumulative.resize(static_cast<std::size_t>(m));
   double total = 0.0;
   for (EdgeId e = 0; e < m; ++e) {
     const double score =

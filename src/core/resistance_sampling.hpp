@@ -12,8 +12,10 @@
 /// high probability for q = O(n log n / ε²).
 
 #include <cstdint>
+#include <vector>
 
 #include "graph/graph.hpp"
+#include "la/vector_ops.hpp"
 #include "util/rng.hpp"
 
 namespace ssp {
@@ -50,8 +52,25 @@ struct SsResult {
   double seconds = 0.0;
 };
 
+/// Reusable scratch for repeated SS runs (the benches re-sparsify the same
+/// graph at several sample budgets): per-edge resistance estimates, the
+/// cumulative sampling table, and the JL sketch vectors. All buffers keep
+/// their capacity across calls on same-size graphs.
+struct SsWorkspace {
+  Vec resistances;     ///< per-edge R_eff estimates
+  Vec cumulative;      ///< cumulative w_e·R_e sampling table
+  std::vector<Vec> z;  ///< JL sketch columns (kJlSketch only)
+  Vec y;               ///< solve right-hand side (kJlSketch only)
+};
+
 /// Runs Spielman–Srivastava sampling on a connected, finalized graph.
 [[nodiscard]] SsResult spielman_srivastava_sparsify(const Graph& g,
                                                     const SsOptions& opts = {});
+
+/// Workspace form: identical results, but all per-run scratch lives in
+/// `ws` and is reused across calls.
+[[nodiscard]] SsResult spielman_srivastava_sparsify(const Graph& g,
+                                                    const SsOptions& opts,
+                                                    SsWorkspace& ws);
 
 }  // namespace ssp

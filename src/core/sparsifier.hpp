@@ -1,17 +1,38 @@
 #pragma once
 
 /// \file sparsifier.hpp
-/// Public entry point: similarity-aware spectral graph sparsification by
+/// Public entry points: similarity-aware spectral graph sparsification by
 /// edge filtering (Feng, DAC 2018).
+///
+/// One-shot convenience wrapper (thin shim over the `ssp::Sparsifier`
+/// engine in sparsifier_engine.hpp):
 ///
 /// ```
 /// ssp::Graph g = ...;                      // weighted, connected
-/// ssp::SparsifyOptions opts;
-/// opts.sigma2 = 100.0;                     // target relative condition #
+/// const auto opts = ssp::SparsifyOptions{}
+///                       .with_sigma2(100.0)   // target relative cond. #
+///                       .with_seed(42);
 /// const ssp::SparsifyResult r = ssp::sparsify(g, opts);
 /// ssp::Graph p = r.extract(g);             // the sparsifier
 /// // κ(L_G, L_P) ≈ r.sigma2_estimate ≤ opts.sigma2 (when reached_target)
 /// ```
+///
+/// Staged engine flow — per-round control, stage observers, cancellation,
+/// and warm-started re-sparsification (see sparsifier_engine.hpp):
+///
+/// ```
+/// ssp::Sparsifier engine(g, opts);
+/// engine.set_observer(&my_observer);       // on_round / on_stage hooks
+/// engine.run();                            // or: while (!engine.done()) engine.step();
+/// ssp::Graph p = engine.result().extract(engine.graph());
+/// engine.refine(25.0);                     // tighten σ² — reuses the
+/// engine.run();                            // backbone, workspace, solvers
+/// ```
+///
+/// `SparsifyOptions` remains an aggregate for compatibility, but prefer the
+/// `with_*` named setters (they validate eagerly) plus `validate()` over
+/// poking fields directly; direct field writes bypass validation until the
+/// engine constructor runs and may be restricted in a future release.
 ///
 /// Pipeline (paper §3): low-stretch spanning-tree backbone → iterative
 /// densification, each round estimating (λ_min, λ_max) of L_P⁺ L_G,
@@ -48,7 +69,8 @@ struct SparsifyOptions {
   int power_steps = 2;
   /// r — random embedding vectors; 0 selects ceil(log2 n).
   Index num_vectors = 0;
-  /// Densification rounds before giving up.
+  /// Densification rounds before giving up (per engine phase — each
+  /// `refine()`/`resparsify()` warm start gets a fresh budget).
   Index max_rounds = 24;
   /// Edges added per round; 0 selects an adaptive cap — n/4 while the
   /// estimate is > 8x the target, n/16 for the refinement rounds
@@ -67,9 +89,31 @@ struct SparsifyOptions {
   /// Generalized power iterations for the λ_max estimate (§3.6.1).
   Index lambda_max_iterations = 10;
   std::uint64_t seed = 42;
+
+  /// Full cross-field validation; throws std::invalid_argument on the
+  /// first violated constraint. Called by the engine constructor, so
+  /// callers only need it to fail fast at configuration time.
+  void validate() const;
+
+  // Builder-style named setters. Each validates its argument eagerly and
+  // returns *this so options chain fluently:
+  //   auto opts = SparsifyOptions{}.with_sigma2(50).with_max_rounds(12);
+  SparsifyOptions& with_sigma2(double value);
+  SparsifyOptions& with_backbone(BackboneKind kind);
+  SparsifyOptions& with_power_steps(int steps);
+  SparsifyOptions& with_num_vectors(Index r);
+  SparsifyOptions& with_max_rounds(Index rounds);
+  SparsifyOptions& with_max_edges_per_round(EdgeId cap);
+  SparsifyOptions& with_similarity(SimilarityPolicy policy);
+  SparsifyOptions& with_node_cap(Index cap);
+  SparsifyOptions& with_inner_solver(InnerSolverKind kind);
+  SparsifyOptions& with_solver_tolerance(double tol);
+  SparsifyOptions& with_lambda_max_iterations(Index iterations);
+  SparsifyOptions& with_seed(std::uint64_t value);
 };
 
-/// Telemetry of one densification round (paper §3.7).
+/// Telemetry of one densification round (paper §3.7), delivered live via
+/// `StageObserver::on_round` and retained in `SparsifyResult::rounds`.
 struct DensifyRound {
   Index round = 0;
   double lambda_min = 0.0;       ///< node-coloring estimate, Eq. (18)
@@ -90,6 +134,9 @@ struct SparsifyResult {
   double lambda_max = 0.0;
   double sigma2_estimate = 0.0;  ///< final λ_max/λ_min estimate
   bool reached_target = false;
+  /// Per-round telemetry. Deprecated in favour of a live
+  /// `StageObserver::on_round` hook on the engine; kept populated for
+  /// existing callers.
   std::vector<DensifyRound> rounds;
   double total_seconds = 0.0;
 
@@ -104,8 +151,9 @@ struct SparsifyResult {
 };
 
 /// Runs the full similarity-aware sparsification pipeline on a connected,
-/// finalized graph. Throws std::invalid_argument for bad options or a
-/// disconnected graph.
+/// finalized graph — constructs an `ssp::Sparsifier` engine, drives it to
+/// completion, and returns its result. Throws std::invalid_argument for
+/// bad options or a disconnected graph.
 [[nodiscard]] SparsifyResult sparsify(const Graph& g,
                                       const SparsifyOptions& opts = {});
 

@@ -1,0 +1,206 @@
+#pragma once
+
+/// \file sparsifier_engine.hpp
+/// Stateful similarity-aware sparsification engine.
+///
+/// The paper's pipeline is inherently staged — backbone → (λ_min, λ_max)
+/// estimation → Joule-heat embedding → θ_σ filtering → dissimilar-batch
+/// acceptance — and `ssp::Sparsifier` exposes exactly those seams:
+///
+///  * `run()` drives the densification loop to completion;
+///  * `step()` executes one round at a time (identical results: a seeded
+///    step()-driven run reproduces the one-shot edge list bit-for-bit);
+///  * `result()` is the accumulated `SparsifyResult` at any point;
+///  * `refine(sigma2)` re-arms a finished engine at a new similarity
+///    target, keeping the edge set, backbone, tree solver/preconditioner,
+///    and scratch workspace — resuming densification instead of starting
+///    over (the GRASS-style iterative-refinement workflow). Per-round
+///    solver state that depends on the growing edge set (L_P, the AMG
+///    hierarchy) is rebuilt each round, warm or cold;
+///  * `resparsify(weights)` warm-starts on re-weighted edges (same
+///    topology): the backbone tree topology and all workspace buffers are
+///    reused; only the weight-dependent solver state is rebuilt.
+///
+/// Observability: attach a `StageObserver` to receive per-round telemetry
+/// (`on_round`, which may cancel by returning false) and per-stage wall
+/// times (`on_stage`). This replaces grepping the write-only
+/// `SparsifyResult::rounds` vector after the fact.
+///
+/// The engine owns all per-round scratch (sparsifier membership bitmap,
+/// power-iteration vectors, off-tree heat arrays), so repeated rounds —
+/// and repeated warm starts on same-size graphs — perform no steady-state
+/// allocation in the embedding path.
+///
+/// Thread-compatibility: a `Sparsifier` instance is single-threaded;
+/// distinct instances are independent. The engine is neither copyable nor
+/// movable (inner solvers hold references into the instance).
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/embedding.hpp"
+#include "core/sparsifier.hpp"
+#include "la/csr_matrix.hpp"
+#include "solver/amg.hpp"
+#include "solver/preconditioner.hpp"
+#include "tree/spanning_tree.hpp"
+#include "tree/tree_solver.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+
+/// Pipeline stages reported through `StageObserver::on_stage`.
+enum class StageKind {
+  kBackbone,          ///< spanning-tree backbone construction
+  kSolverSetup,       ///< L_P assembly and inner-solver (re)build
+  kSpectralEstimate,  ///< (λ_min, λ_max) estimation (§3.6)
+  kEmbedding,         ///< Joule-heat embedding of off-tree edges (§3.2)
+  kFiltering,         ///< θ_σ filter + dissimilar batch selection (§3.5/3.7)
+  kFinalEstimate,     ///< post-loop σ² refresh after the round budget
+};
+
+/// Live telemetry hook for the engine. Default implementations observe
+/// nothing; override what you need. Callbacks run synchronously on the
+/// engine's thread and must not re-enter the engine.
+class StageObserver {
+ public:
+  virtual ~StageObserver() = default;
+
+  /// Called after every densification round with its telemetry (including
+  /// the terminal estimate-only round). Return false to cancel: the engine
+  /// finishes with StepStatus::kCancelled and keeps the edges accepted so
+  /// far. The returned value is ignored on rounds that already terminate
+  /// the run.
+  virtual bool on_round(const DensifyRound& /*round*/) { return true; }
+
+  /// Called as each pipeline stage completes, with its wall time.
+  virtual void on_stage(StageKind /*stage*/, double /*seconds*/) {}
+};
+
+/// Outcome of a `step()` (and, for the terminal statuses, of `run()`).
+enum class StepStatus {
+  kAdvanced,    ///< a round ran and accepted edges; more work may remain
+  kConverged,   ///< σ² target reached — `result().reached_target` is true
+  kExhausted,   ///< no off-tree edges left to add (σ² target unreachable)
+  kRoundLimit,  ///< max_rounds exhausted before reaching the target
+  kCancelled,   ///< a StageObserver::on_round returned false
+};
+
+/// True for every status except kAdvanced.
+[[nodiscard]] constexpr bool is_terminal(StepStatus s) {
+  return s != StepStatus::kAdvanced;
+}
+
+class Sparsifier {
+ public:
+  /// Validates `opts` and binds the engine to `g` (connected, finalized;
+  /// must outlive the engine). The backbone is built lazily on the first
+  /// `step()`/`run()` so an observer attached after construction still
+  /// sees the StageKind::kBackbone notification.
+  explicit Sparsifier(const Graph& g, SparsifyOptions opts = {});
+
+  /// Caller-supplied backbone (must span `g`; both must outlive the
+  /// engine). `opts.backbone` is ignored. Used by tests and ablation
+  /// benches that study backbone choices in isolation.
+  Sparsifier(const Graph& g, const SpanningTree& backbone,
+             SparsifyOptions opts = {});
+
+  Sparsifier(const Sparsifier&) = delete;
+  Sparsifier& operator=(const Sparsifier&) = delete;
+
+  /// Attaches (or detaches, with nullptr) the telemetry observer. The
+  /// observer must outlive the engine or be detached first.
+  void set_observer(StageObserver* observer) { observer_ = observer; }
+
+  /// Executes one densification round (§3.7). No-op returning the final
+  /// status when the engine is already done.
+  StepStatus step();
+
+  /// Steps until a terminal status; returns it.
+  StepStatus run();
+
+  /// True once a terminal status was reached (reset by warm starts).
+  [[nodiscard]] bool done() const { return done_; }
+
+  /// Status of the most recent step (kAdvanced before any work).
+  [[nodiscard]] StepStatus status() const { return status_; }
+
+  /// Accumulated result. Before the first step the edge list is empty;
+  /// after any step it always contains at least the backbone.
+  [[nodiscard]] const SparsifyResult& result() const { return result_; }
+
+  /// Moves the result out of a finished engine without copying the edge
+  /// and telemetry vectors. The engine's accumulated state is gone
+  /// afterwards: destroy it or warm-start with resparsify(); step(),
+  /// run(), and refine() are no longer valid. Used by the one-shot
+  /// wrappers.
+  [[nodiscard]] SparsifyResult take_result() { return std::move(result_); }
+
+  /// The graph currently being sparsified — the constructor argument, or
+  /// the engine-owned re-weighted copy after `resparsify()`. Use this (not
+  /// the original) with `result().extract(...)` after re-sparsification.
+  [[nodiscard]] const Graph& graph() const { return *g_; }
+
+  [[nodiscard]] const SparsifyOptions& options() const { return opts_; }
+
+  /// Total rounds executed across all phases (cold run + warm starts).
+  [[nodiscard]] Index rounds_completed() const { return next_round_; }
+
+  /// Warm start at a new σ² target: keeps the accepted edge set, backbone,
+  /// tree solver/preconditioner, and workspace, re-arms the engine with a
+  /// fresh round budget, and resumes on the next `step()`/`run()`.
+  /// Tightening the target densifies incrementally; loosening simply stops
+  /// earlier (already-accepted edges are never removed).
+  void refine(double new_sigma2);
+
+  /// Warm start on updated edge weights (`updated_weights[e]` replaces the
+  /// weight of edge id `e`; same topology, all weights > 0). Reuses the
+  /// backbone tree topology and all scratch buffers; rebuilds only the
+  /// weight-dependent solver state. Densification restarts from the
+  /// backbone with a reseeded Rng, so the result matches a cold run on the
+  /// re-weighted graph up to the (reused) backbone choice.
+  void resparsify(std::span<const double> updated_weights);
+
+ private:
+  void ensure_backbone();
+  void bind_backbone(const SpanningTree& backbone);
+  void rearm_phase();
+  [[nodiscard]] LinOp make_solver(double* setup_seconds);
+  void final_estimate();
+  /// Stamps seconds, records, and notifies; returns on_round's verdict.
+  bool finish_round(DensifyRound& stats, double seconds);
+  void notify_stage(StageKind stage, double seconds);
+  StepStatus step_impl();
+
+  const Graph* g_;
+  std::optional<Graph> owned_graph_;  ///< set by resparsify()
+  SparsifyOptions opts_;
+  StageObserver* observer_ = nullptr;
+
+  std::optional<SpanningTree> owned_backbone_;
+  const SpanningTree* external_backbone_ = nullptr;
+  const SpanningTree* backbone_ = nullptr;  ///< active backbone (once built)
+  std::optional<TreeSolver> tree_solver_;
+  std::optional<TreePreconditioner> tree_precond_;
+
+  CsrMatrix lg_;  ///< Laplacian of *g_, built once per (re)binding
+  Rng rng_;
+
+  // Engine-owned workspace, reused every round.
+  std::vector<char> in_p_;       ///< sparsifier membership per edge id
+  CsrMatrix lp_;                 ///< current L_P (non-tree-only rounds)
+  AmgHierarchy amg_;             ///< current AMG hierarchy (kAmg only)
+  EmbeddingWorkspace emb_ws_;    ///< power-iteration vectors
+  OffTreeEmbedding emb_;         ///< off-tree heats, refilled in place
+
+  SparsifyResult result_;
+  Index next_round_ = 0;         ///< global round counter (stats.round)
+  Index rounds_this_phase_ = 0;  ///< rounds since ctor / last warm start
+  bool done_ = false;
+  StepStatus status_ = StepStatus::kAdvanced;
+  double elapsed_seconds_ = 0.0;
+};
+
+}  // namespace ssp

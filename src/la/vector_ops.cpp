@@ -77,22 +77,32 @@ double relative_error(std::span<const double> x, std::span<const double> y) {
 
 Vec random_probe_vector(Index n, Rng& rng) {
   SSP_REQUIRE(n >= 2, "random_probe_vector: need n >= 2");
+  Vec v(static_cast<std::size_t>(n));
+  random_probe_fill(v, rng);
+  return v;
+}
+
+void random_probe_fill(std::span<double> v, Rng& rng) {
+  SSP_REQUIRE(v.size() >= 2, "random_probe_fill: need n >= 2");
   for (int attempt = 0; attempt < 8; ++attempt) {
-    Vec v = attempt < 4 ? rng.rademacher_vector(n) : rng.normal_vector(n);
+    if (attempt < 4) {
+      for (double& x : v) x = rng.rademacher();
+    } else {
+      for (double& x : v) x = rng.normal();
+    }
     project_out_mean(v);
     const double nrm = norm2(v);
     if (nrm > 1e-12) {
       scale(v, 1.0 / nrm);
-      return v;
+      return;
     }
   }
   // Deterministic fallback: e_0 - e_1 projected (never zero for n >= 2).
-  Vec v(static_cast<std::size_t>(n), 0.0);
+  fill(v, 0.0);
   v[0] = 1.0;
   v[1] = -1.0;
   project_out_mean(v);
   normalize(v);
-  return v;
 }
 
 }  // namespace ssp

@@ -65,4 +65,9 @@ class Rng;
 /// failure mode for n = 2).
 [[nodiscard]] Vec random_probe_vector(Index n, Rng& rng);
 
+/// In-place form of `random_probe_vector` writing into `v` (size >= 2):
+/// draws the identical Rng sequence without allocating, so steady-state
+/// callers (the densification engine) can reuse one buffer across rounds.
+void random_probe_fill(std::span<double> v, Rng& rng);
+
 }  // namespace ssp

@@ -1,0 +1,361 @@
+// Tests for the staged ssp::Sparsifier engine API: step()-driven parity
+// with the one-shot wrapper, warm-started refine()/resparsify(), observer
+// telemetry and cancellation, option validation / named setters, and the
+// enum <-> string round trips of options_io.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/options_io.hpp"
+#include "core/sparsifier.hpp"
+#include "core/sparsifier_engine.hpp"
+#include "graph/generators/lattice.hpp"
+#include "graph/generators/random_graphs.hpp"
+#include "tree/kruskal.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+namespace {
+
+Graph test_grid(Vertex side = 24, std::uint64_t seed = 31) {
+  Rng rng(seed);
+  return grid_2d(side, side, WeightModel::log_uniform(0.1, 10.0), &rng);
+}
+
+TEST(Engine, StepDrivenRunMatchesOneShotBitForBit) {
+  const Graph g = test_grid();
+  const auto opts =
+      SparsifyOptions{}.with_sigma2(10.0).with_seed(7).with_max_rounds(20);
+
+  const SparsifyResult one_shot = sparsify(g, opts);
+
+  Sparsifier engine(g, opts);
+  int steps = 0;
+  while (!engine.done()) {
+    engine.step();
+    ++steps;
+  }
+  const SparsifyResult& stepped = engine.result();
+
+  EXPECT_EQ(stepped.edges, one_shot.edges);  // bit-for-bit
+  EXPECT_EQ(stepped.tree_edges, one_shot.tree_edges);
+  EXPECT_EQ(stepped.rounds.size(), one_shot.rounds.size());
+  EXPECT_DOUBLE_EQ(stepped.sigma2_estimate, one_shot.sigma2_estimate);
+  EXPECT_DOUBLE_EQ(stepped.lambda_min, one_shot.lambda_min);
+  EXPECT_DOUBLE_EQ(stepped.lambda_max, one_shot.lambda_max);
+  EXPECT_EQ(stepped.reached_target, one_shot.reached_target);
+  EXPECT_EQ(static_cast<std::size_t>(steps), one_shot.rounds.size());
+  EXPECT_TRUE(engine.done());
+  EXPECT_TRUE(is_terminal(engine.status()));
+}
+
+TEST(Engine, RunIsIdempotentOnceDone) {
+  const Graph g = test_grid(16);
+  Sparsifier engine(g, SparsifyOptions{}.with_sigma2(50.0));
+  const StepStatus final_status = engine.run();
+  const std::size_t rounds = engine.result().rounds.size();
+  EXPECT_EQ(engine.run(), final_status);   // no-op
+  EXPECT_EQ(engine.step(), final_status);  // no-op
+  EXPECT_EQ(engine.result().rounds.size(), rounds);
+}
+
+TEST(Engine, RefineWarmStartMatchesColdRunWithFewerRounds) {
+  // Incremental tightening — the GRASS-style workflow refine() is for.
+  // The gap is kept small so the warm engine, already sitting just above
+  // the tight target, needs only the last few small-batch rounds, while a
+  // cold run must redo the whole densification ramp.
+  const Graph g = test_grid(28, 77);
+  const double loose = 10.0;
+  const double tight = 6.0;
+
+  // Cold run straight at the tight target.
+  const SparsifyResult cold =
+      sparsify(g, SparsifyOptions{}.with_sigma2(tight).with_seed(3));
+
+  // Warm path: reach the loose target first, then refine down.
+  Sparsifier engine(g, SparsifyOptions{}.with_sigma2(loose).with_seed(3));
+  engine.run();
+  ASSERT_TRUE(engine.result().reached_target);
+  const std::size_t rounds_before = engine.result().rounds.size();
+
+  engine.refine(tight);
+  EXPECT_FALSE(engine.done());
+  engine.run();
+  const SparsifyResult& warm = engine.result();
+  const std::size_t refine_rounds = warm.rounds.size() - rounds_before;
+
+  // The warm start must hit the same target...
+  EXPECT_TRUE(warm.reached_target);
+  EXPECT_LE(warm.sigma2_estimate, tight * 1.0 + 1e-12);
+  // ...land on a sigma2 estimate comparable to the cold run's...
+  EXPECT_NEAR(warm.sigma2_estimate, cold.sigma2_estimate,
+              0.5 * cold.sigma2_estimate);
+  // ...and do so in fewer rounds than the cold run needed from scratch.
+  EXPECT_LT(refine_rounds, cold.rounds.size());
+}
+
+TEST(Engine, RefineLooseningStopsWithoutAddingEdges) {
+  const Graph g = test_grid(16);
+  Sparsifier engine(g, SparsifyOptions{}.with_sigma2(20.0));
+  engine.run();
+  const EdgeId edges_at_20 = engine.result().num_edges();
+
+  engine.refine(500.0);  // looser target: already satisfied
+  const StepStatus s = engine.run();
+  EXPECT_EQ(s, StepStatus::kConverged);
+  EXPECT_EQ(engine.result().num_edges(), edges_at_20);
+}
+
+/// Observer that records rounds/stages and cancels after `cancel_after`
+/// edge-adding rounds (negative = never cancel).
+class RecordingObserver : public StageObserver {
+ public:
+  explicit RecordingObserver(int cancel_after = -1)
+      : cancel_after_(cancel_after) {}
+
+  bool on_round(const DensifyRound& round) override {
+    rounds.push_back(round);
+    if (cancel_after_ >= 0 && round.edges_added > 0) {
+      ++adding_rounds_seen;
+      if (adding_rounds_seen >= cancel_after_) return false;
+    }
+    return true;
+  }
+  void on_stage(StageKind stage, double seconds) override {
+    stages.emplace_back(stage, seconds);
+  }
+
+  std::vector<DensifyRound> rounds;
+  std::vector<std::pair<StageKind, double>> stages;
+  int adding_rounds_seen = 0;
+
+ private:
+  int cancel_after_;
+};
+
+TEST(Engine, ObserverSeesEveryRoundAndAllStages) {
+  const Graph g = test_grid(20);
+  Sparsifier engine(g, SparsifyOptions{}.with_sigma2(15.0).with_seed(5));
+  RecordingObserver obs;
+  engine.set_observer(&obs);
+  engine.run();
+
+  ASSERT_EQ(obs.rounds.size(), engine.result().rounds.size());
+  for (std::size_t i = 0; i < obs.rounds.size(); ++i) {
+    EXPECT_EQ(obs.rounds[i].round, engine.result().rounds[i].round);
+    EXPECT_DOUBLE_EQ(obs.rounds[i].sigma2_estimate,
+                     engine.result().rounds[i].sigma2_estimate);
+  }
+  auto saw = [&](StageKind k) {
+    return std::any_of(obs.stages.begin(), obs.stages.end(),
+                       [&](const auto& s) { return s.first == k; });
+  };
+  EXPECT_TRUE(saw(StageKind::kBackbone));
+  EXPECT_TRUE(saw(StageKind::kSolverSetup));
+  EXPECT_TRUE(saw(StageKind::kSpectralEstimate));
+  EXPECT_TRUE(saw(StageKind::kEmbedding));
+  EXPECT_TRUE(saw(StageKind::kFiltering));
+  // Backbone is built exactly once per phase.
+  EXPECT_EQ(std::count_if(
+                obs.stages.begin(), obs.stages.end(),
+                [](const auto& s) { return s.first == StageKind::kBackbone; }),
+            1);
+}
+
+TEST(Engine, ObserverCancellationStopsAtRequestedRound) {
+  const Graph g = test_grid(24);
+  // A tight target so densification would run for many rounds uncancelled.
+  Sparsifier engine(g, SparsifyOptions{}.with_sigma2(1.5).with_seed(9));
+  RecordingObserver obs(/*cancel_after=*/2);
+  engine.set_observer(&obs);
+  const StepStatus s = engine.run();
+
+  EXPECT_EQ(s, StepStatus::kCancelled);
+  EXPECT_TRUE(engine.done());
+  EXPECT_EQ(obs.adding_rounds_seen, 2);
+  // Exactly two edge-adding rounds were retained in the result.
+  const auto& rounds = engine.result().rounds;
+  EXPECT_EQ(std::count_if(rounds.begin(), rounds.end(),
+                          [](const DensifyRound& r) {
+                            return r.edges_added > 0;
+                          }),
+            2);
+  // The edge set still contains the backbone plus both batches.
+  EXPECT_GT(engine.result().num_edges(),
+            static_cast<EdgeId>(engine.result().tree_edges.size()));
+}
+
+TEST(Engine, ResparsifyReusesBackboneToposAndReachesTarget) {
+  const Graph g = test_grid(20, 13);
+  Sparsifier engine(g, SparsifyOptions{}.with_sigma2(20.0).with_seed(11));
+  engine.run();
+  ASSERT_TRUE(engine.result().reached_target);
+  const std::vector<EdgeId> tree_before = engine.result().tree_edges;
+
+  // Perturb every weight by up to ±20% and warm-start.
+  Rng rng(99);
+  std::vector<double> w(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    w[static_cast<std::size_t>(e)] =
+        g.edge(e).weight * rng.uniform(0.8, 1.2);
+  }
+  engine.resparsify(w);
+  EXPECT_FALSE(engine.done());
+  const StepStatus s = engine.run();
+  EXPECT_EQ(s, StepStatus::kConverged);
+  EXPECT_TRUE(engine.result().reached_target);
+  // The backbone tree topology (edge ids) was reused, not recomputed.
+  EXPECT_EQ(engine.result().tree_edges, tree_before);
+  // The engine-owned graph carries the updated weights.
+  for (EdgeId e = 0; e < engine.graph().num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(engine.graph().edge(e).weight,
+                     w[static_cast<std::size_t>(e)]);
+  }
+  // Sanity: the result extracts against the engine's graph.
+  const Graph p = engine.result().extract(engine.graph());
+  EXPECT_EQ(p.num_edges(), engine.result().num_edges());
+}
+
+TEST(Engine, ResparsifyBeforeFirstStepKeepsExternalBackbone) {
+  const Graph g = test_grid(12, 41);
+  const SpanningTree tree = max_weight_spanning_tree(g);
+  const std::vector<EdgeId> tree_ids(tree.tree_edge_ids().begin(),
+                                     tree.tree_edge_ids().end());
+  // Engine bound to a caller-supplied backbone, warm-started before any
+  // step ran: the external tree topology must survive, not be replaced by
+  // an opts.backbone rebuild.
+  Sparsifier engine(g, tree, SparsifyOptions{}.with_sigma2(30.0));
+  std::vector<double> w(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    w[static_cast<std::size_t>(e)] = g.edge(e).weight * 1.1;
+  }
+  engine.resparsify(w);
+  engine.run();
+  EXPECT_EQ(engine.result().tree_edges, tree_ids);
+  EXPECT_TRUE(engine.result().reached_target);
+}
+
+TEST(Engine, ResparsifyRejectsBadWeights) {
+  const Graph g = test_grid(8);
+  Sparsifier engine(g, SparsifyOptions{}.with_sigma2(50.0));
+  engine.run();
+  std::vector<double> too_few(static_cast<std::size_t>(g.num_edges()) - 1,
+                              1.0);
+  EXPECT_THROW(engine.resparsify(too_few), std::invalid_argument);
+  std::vector<double> negative(static_cast<std::size_t>(g.num_edges()), 1.0);
+  negative[3] = -1.0;
+  EXPECT_THROW(engine.resparsify(negative), std::invalid_argument);
+}
+
+TEST(Engine, ConstructorValidatesGraphAndOptions) {
+  const Graph g = test_grid(8);
+  EXPECT_THROW(Sparsifier(g, SparsifyOptions{.sigma2 = 0.5}),
+               std::invalid_argument);
+  Graph disconnected(4);
+  disconnected.add_edge(0, 1, 1.0);
+  disconnected.add_edge(2, 3, 1.0);
+  disconnected.finalize();
+  EXPECT_THROW(Sparsifier(disconnected, SparsifyOptions{}),
+               std::invalid_argument);
+  EXPECT_THROW(Sparsifier(g, SparsifyOptions{}).refine(1.0),
+               std::invalid_argument);
+}
+
+TEST(Options, NamedSettersValidateEagerly) {
+  EXPECT_THROW(SparsifyOptions{}.with_sigma2(1.0), std::invalid_argument);
+  EXPECT_THROW(SparsifyOptions{}.with_power_steps(0), std::invalid_argument);
+  EXPECT_THROW(SparsifyOptions{}.with_num_vectors(-1), std::invalid_argument);
+  EXPECT_THROW(SparsifyOptions{}.with_max_rounds(0), std::invalid_argument);
+  EXPECT_THROW(SparsifyOptions{}.with_max_edges_per_round(-1),
+               std::invalid_argument);
+  EXPECT_THROW(SparsifyOptions{}.with_node_cap(0), std::invalid_argument);
+  EXPECT_THROW(SparsifyOptions{}.with_solver_tolerance(0.0),
+               std::invalid_argument);
+  EXPECT_THROW(SparsifyOptions{}.with_solver_tolerance(1.0),
+               std::invalid_argument);
+  EXPECT_THROW(SparsifyOptions{}.with_lambda_max_iterations(0),
+               std::invalid_argument);
+
+  const auto opts = SparsifyOptions{}
+                        .with_sigma2(42.0)
+                        .with_backbone(BackboneKind::kMaxWeight)
+                        .with_power_steps(3)
+                        .with_num_vectors(8)
+                        .with_max_rounds(12)
+                        .with_max_edges_per_round(100)
+                        .with_similarity(SimilarityPolicy::kBounded)
+                        .with_node_cap(4)
+                        .with_inner_solver(InnerSolverKind::kAmg)
+                        .with_solver_tolerance(1e-3)
+                        .with_lambda_max_iterations(6)
+                        .with_seed(123);
+  EXPECT_DOUBLE_EQ(opts.sigma2, 42.0);
+  EXPECT_EQ(opts.backbone, BackboneKind::kMaxWeight);
+  EXPECT_EQ(opts.power_steps, 3);
+  EXPECT_EQ(opts.num_vectors, 8);
+  EXPECT_EQ(opts.max_rounds, 12);
+  EXPECT_EQ(opts.max_edges_per_round, 100);
+  EXPECT_EQ(opts.similarity, SimilarityPolicy::kBounded);
+  EXPECT_EQ(opts.node_cap, 4);
+  EXPECT_EQ(opts.inner_solver, InnerSolverKind::kAmg);
+  EXPECT_DOUBLE_EQ(opts.solver_tolerance, 1e-3);
+  EXPECT_EQ(opts.lambda_max_iterations, 6);
+  EXPECT_EQ(opts.seed, 123u);
+  EXPECT_NO_THROW(opts.validate());
+}
+
+TEST(Options, ValidateCatchesCrossFieldViolations) {
+  SparsifyOptions opts;
+  opts.similarity = SimilarityPolicy::kBounded;
+  opts.node_cap = 0;  // direct field poke skips the setter's check...
+  EXPECT_THROW(opts.validate(), std::invalid_argument);  // ...validate sees it
+  opts.similarity = SimilarityPolicy::kNone;
+  EXPECT_NO_THROW(opts.validate());  // node_cap unused under kNone
+}
+
+TEST(OptionsIo, EnumStringRoundTrips) {
+  for (BackboneKind k : {BackboneKind::kAkpw, BackboneKind::kMaxWeight,
+                         BackboneKind::kShortestPath}) {
+    EXPECT_EQ(parse_backbone_kind(to_string(k)), k);
+  }
+  for (InnerSolverKind k : {InnerSolverKind::kTreePcg, InnerSolverKind::kAmg}) {
+    EXPECT_EQ(parse_inner_solver_kind(to_string(k)), k);
+  }
+  for (SimilarityPolicy p :
+       {SimilarityPolicy::kNone, SimilarityPolicy::kNodeDisjoint,
+        SimilarityPolicy::kBounded}) {
+    EXPECT_EQ(parse_similarity_policy(to_string(p)), p);
+  }
+  EXPECT_THROW(parse_backbone_kind("mst"), std::invalid_argument);
+  EXPECT_THROW(parse_inner_solver_kind("cholesky"), std::invalid_argument);
+  EXPECT_THROW(parse_similarity_policy("strict"), std::invalid_argument);
+  // Stage names are distinct and never the "?" fallback.
+  for (StageKind s : {StageKind::kBackbone, StageKind::kSolverSetup,
+                      StageKind::kSpectralEstimate, StageKind::kEmbedding,
+                      StageKind::kFiltering, StageKind::kFinalEstimate}) {
+    EXPECT_STRNE(to_string(s), "?");
+  }
+}
+
+TEST(Engine, WorkspaceReuseKeepsEmbeddingResultsExact) {
+  // Two engines on the same graph/seed — one stepped, one run — plus the
+  // allocating legacy compute path via sparsify(): all three agree, which
+  // pins down that the reused workspace buffers don't leak state between
+  // rounds.
+  const Graph g = test_grid(18, 55);
+  const auto opts = SparsifyOptions{}.with_sigma2(5.0).with_seed(21);
+  const SparsifyResult a = sparsify(g, opts);
+  Sparsifier e1(g, opts);
+  e1.run();
+  Sparsifier e2(g, opts);
+  while (!e2.done()) e2.step();
+  EXPECT_EQ(a.edges, e1.result().edges);
+  EXPECT_EQ(a.edges, e2.result().edges);
+}
+
+}  // namespace
+}  // namespace ssp

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
       opts.solver = args.get("solver", "sparsifier") == "direct"
                         ? ssp::FiedlerSolverKind::kDirectCholesky
                         : ssp::FiedlerSolverKind::kSparsifierPcg;
-      opts.sparsify.sigma2 = args.get_double("sigma2", 200.0);
+      opts.sparsify.with_sigma2(args.get_double("sigma2", 200.0));
       opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
       const ssp::BisectionResult res = ssp::spectral_bisection(g, opts);
       std::printf("cut weight %.4f over %lld edges, balance %.3f, "

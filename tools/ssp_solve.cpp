@@ -12,6 +12,7 @@
 #include <string>
 
 #include "cli.hpp"
+#include "core/options_io.hpp"
 #include "core/sparsifier.hpp"
 #include "core/sparsifier_preconditioner.hpp"
 #include "eigen/operators.hpp"
@@ -36,6 +37,8 @@ int main(int argc, char** argv) {
       .option("method", "cg|jacobi|ichol|tree|sparsifier|cholesky|amg",
               "sparsifier")
       .option("sigma2", "sparsifier target (method=sparsifier)", "100")
+      .option("inner-solver", "sparsifier inner solver: tree-pcg|amg",
+              "tree-pcg")
       .option("tol", "relative residual tolerance", "1e-6")
       .option("max-iters", "PCG iteration limit", "5000")
       .option("seed", "random RHS seed", "42");
@@ -86,8 +89,14 @@ int main(int argc, char** argv) {
       const TreePreconditioner m(tree);
       res = pcg_solve(l, b, x, m, popts);
     } else if (method == "sparsifier") {
-      SparsifyOptions sopts;
-      sopts.sigma2 = args.get_double("sigma2", 100.0);
+      // Note: --seed only drives the random RHS; the sparsifier build
+      // keeps its default seed so iteration-count sweeps over RHS draws
+      // compare against one fixed preconditioner.
+      const auto sopts =
+          SparsifyOptions{}
+              .with_sigma2(args.get_double("sigma2", 100.0))
+              .with_inner_solver(parse_inner_solver_kind(
+                  args.get("inner-solver", "tree-pcg")));
       const SparsifyResult sp = sparsify(g, sopts);
       std::printf("sparsifier: %lld edges, sigma2 est %.2f, built in %.2fs\n",
                   static_cast<long long>(sp.num_edges()), sp.sigma2_estimate,

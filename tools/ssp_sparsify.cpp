@@ -3,26 +3,44 @@
 //   ssp_sparsify --in graph.mtx --out sparsifier.mtx --sigma2 100
 //
 // Reads any SuiteSparse-style .mtx (converted per the paper's §4 rule),
-// runs the similarity-aware pipeline, writes the sparsifier back as a
-// symmetric .mtx, and prints a machine-greppable stats block.
+// runs the similarity-aware pipeline through the staged ssp::Sparsifier
+// engine, writes the sparsifier back as a symmetric .mtx, and prints a
+// machine-greppable stats block. --progress streams per-round telemetry
+// (and per-stage wall times with --progress=stages) via a StageObserver.
 
 #include <cstdio>
 #include <exception>
 #include <string>
 
 #include "cli.hpp"
+#include "core/options_io.hpp"
 #include "core/sparsifier.hpp"
+#include "core/sparsifier_engine.hpp"
 #include "graph/mtx_io.hpp"
 
 namespace {
 
-ssp::BackboneKind parse_backbone(const std::string& name) {
-  if (name == "akpw") return ssp::BackboneKind::kAkpw;
-  if (name == "kruskal") return ssp::BackboneKind::kMaxWeight;
-  if (name == "spt") return ssp::BackboneKind::kShortestPath;
-  throw std::invalid_argument("unknown backbone '" + name +
-                              "' (akpw|kruskal|spt)");
-}
+/// Streams engine telemetry to stdout as rounds/stages complete.
+class ProgressPrinter : public ssp::StageObserver {
+ public:
+  explicit ProgressPrinter(bool show_stages) : show_stages_(show_stages) {}
+
+  bool on_round(const ssp::DensifyRound& r) override {
+    std::printf("round %3lld  sigma2 %10.2f  theta %8.3e  added %6lld  "
+                "%.3fs\n",
+                static_cast<long long>(r.round), r.sigma2_estimate, r.theta,
+                static_cast<long long>(r.edges_added), r.seconds);
+    return true;
+  }
+  void on_stage(ssp::StageKind stage, double seconds) override {
+    if (show_stages_) {
+      std::printf("  stage %-17s %.4fs\n", ssp::to_string(stage), seconds);
+    }
+  }
+
+ private:
+  bool show_stages_;
+};
 
 }  // namespace
 
@@ -35,7 +53,16 @@ int main(int argc, char** argv) {
       .option("sigma2", "target relative condition number", "100")
       .option("backbone", "spanning tree: akpw|kruskal|spt", "akpw")
       .option("power-steps", "embedding power iterations t", "2")
+      .option("num-vectors", "embedding vectors r (0 = auto)", "0")
       .option("max-rounds", "densification round limit", "24")
+      .option("max-edges-per-round", "per-round edge cap (0 = adaptive)", "0")
+      .option("similarity", "batch policy: none|node-disjoint|bounded",
+              "node-disjoint")
+      .option("node-cap", "per-endpoint budget (similarity=bounded)", "2")
+      .option("inner-solver", "L_P solver: tree-pcg|amg", "tree-pcg")
+      .option("solver-tolerance", "relative tolerance of inner solves",
+              "1e-4")
+      .option("progress", "stream per-round telemetry (=stages for more)")
       .option("seed", "random seed", "42");
   try {
     if (!args.parse(argc, argv)) {
@@ -47,14 +74,32 @@ int main(int argc, char** argv) {
     std::printf("loaded %s: |V| = %d, |E| = %lld\n", in_path.c_str(),
                 g.num_vertices(), static_cast<long long>(g.num_edges()));
 
-    ssp::SparsifyOptions opts;
-    opts.sigma2 = args.get_double("sigma2", 100.0);
-    opts.backbone = parse_backbone(args.get("backbone", "akpw"));
-    opts.power_steps = static_cast<int>(args.get_int("power-steps", 2));
-    opts.max_rounds = args.get_int("max-rounds", 24);
-    opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    const auto opts =
+        ssp::SparsifyOptions{}
+            .with_sigma2(args.get_double("sigma2", 100.0))
+            .with_backbone(
+                ssp::parse_backbone_kind(args.get("backbone", "akpw")))
+            .with_power_steps(
+                static_cast<int>(args.get_int("power-steps", 2)))
+            .with_num_vectors(args.get_int("num-vectors", 0))
+            .with_max_rounds(args.get_int("max-rounds", 24))
+            .with_max_edges_per_round(args.get_int("max-edges-per-round", 0))
+            .with_similarity(ssp::parse_similarity_policy(
+                args.get("similarity", "node-disjoint")))
+            .with_node_cap(args.get_int("node-cap", 2))
+            .with_inner_solver(ssp::parse_inner_solver_kind(
+                args.get("inner-solver", "tree-pcg")))
+            .with_solver_tolerance(
+                args.get_double("solver-tolerance", 1e-4))
+            .with_seed(
+                static_cast<std::uint64_t>(args.get_int("seed", 42)));
 
-    const ssp::SparsifyResult res = ssp::sparsify(g, opts);
+    ssp::Sparsifier engine(g, opts);
+    ProgressPrinter progress(args.get("progress", "") == "stages");
+    if (args.has("progress")) engine.set_observer(&progress);
+    engine.run();
+    const ssp::SparsifyResult& res = engine.result();
+
     std::printf("edges: %lld  density: %.4f x |V|\n",
                 static_cast<long long>(res.num_edges()),
                 static_cast<double>(res.num_edges()) / g.num_vertices());
