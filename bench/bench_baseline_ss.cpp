@@ -20,6 +20,7 @@
 #include "graph/laplacian.hpp"
 #include "solver/preconditioner.hpp"
 #include "tree/kruskal.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -137,6 +138,58 @@ void print_warm_start() {
               "fewer rounds and less wall time than a cold re-run.\n");
 }
 
+/// Accumulates per-stage wall time, keyed by StageKind.
+class StageTimeObserver : public StageObserver {
+ public:
+  void on_stage(StageKind stage, double seconds) override {
+    seconds_[static_cast<std::size_t>(stage)] += seconds;
+  }
+  [[nodiscard]] double embedding_seconds() const {
+    return seconds_[static_cast<std::size_t>(StageKind::kEmbedding)];
+  }
+
+ private:
+  double seconds_[8] = {};
+};
+
+// Thread-scaling on the largest graph: the engine's determinism contract
+// says SparsifyOptions::threads changes wall time only, so the final edge
+// lists are compared bit-for-bit while the embedding stage (the probe
+// loop this PR parallelized) is timed at 1 vs N workers.
+void print_thread_scaling() {
+  const int n_threads = std::max(4, hardware_threads());
+  bench::print_banner(
+      "Thread scaling — parallel probe embedding (threads = 1 vs N)\n"
+      "identical-result check: run() edge lists must match bit-for-bit");
+  std::printf("%-10s | %8s %12s | %3s %12s | %8s %9s\n", "graph", "|Es|",
+              "embed(1t)", "N", "embed(Nt)", "speedup", "bitmatch");
+  bench::print_rule(80);
+  const Graph g = bench::dblp_proxy(dim(12000, 80000), 703);
+
+  StageTimeObserver obs1;
+  Sparsifier e1(g, SparsifyOptions{}.with_sigma2(100.0).with_seed(5)
+                       .with_threads(1));
+  e1.set_observer(&obs1);
+  e1.run();
+
+  StageTimeObserver obsn;
+  Sparsifier en(g, SparsifyOptions{}.with_sigma2(100.0).with_seed(5)
+                       .with_threads(n_threads));
+  en.set_observer(&obsn);
+  en.run();
+
+  const bool identical = e1.result().edges == en.result().edges;
+  std::printf("%-10s | %8lld %11.3fs | %3d %11.3fs | %7.2fx %9s\n", "dblp",
+              static_cast<long long>(e1.result().num_edges()),
+              obs1.embedding_seconds(), n_threads, obsn.embedding_seconds(),
+              obs1.embedding_seconds() /
+                  std::max(obsn.embedding_seconds(), 1e-12),
+              identical ? "yes" : "NO (BUG)");
+  bench::print_rule(80);
+  std::printf("probe streams are split per vector and partials reduce in "
+              "stream order, so N-thread output is bit-identical.\n");
+}
+
 void BM_SpielmanSrivastava(benchmark::State& state) {
   const Graph g = bench::g3_circuit_proxy(static_cast<Vertex>(state.range(0)));
   SsOptions opts;
@@ -161,8 +214,12 @@ BENCHMARK(BM_SimilarityAware)->Arg(64)->Arg(128)
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Size the global pool before first use so the N-thread scaling section
+  // has real workers even when SSP_THREADS/hardware report fewer.
+  ssp::set_default_threads(std::max(4, ssp::hardware_threads()));
   print_baseline();
   print_warm_start();
+  print_thread_scaling();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

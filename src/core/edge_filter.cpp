@@ -36,8 +36,14 @@ std::vector<EdgeId> filter_offtree_edges(const Graph& g,
   for (std::size_t k = 0; k < emb.heat.size(); ++k) {
     if (emb.heat[k] >= cut) idx.push_back(k);
   }
-  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
-    return emb.heat[a] > emb.heat[b];
+  // Descending heat with an ascending edge-id tiebreak (offtree_edges is
+  // ascending by id, so index order is id order), via stable_sort: equal
+  // heats are common on symmetric graphs, and without the tiebreak the
+  // accepted set — and through the node-disjoint policy the whole
+  // sparsifier — would depend on the STL's sort implementation.
+  std::stable_sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    if (emb.heat[a] != emb.heat[b]) return emb.heat[a] > emb.heat[b];
+    return emb.offtree_edges[a] < emb.offtree_edges[b];
   });
 
   const Index cap =

@@ -6,6 +6,7 @@
 #include "graph/laplacian.hpp"
 #include "la/vector_ops.hpp"
 #include "util/assert.hpp"
+#include "util/parallel.hpp"
 
 namespace ssp {
 
@@ -61,27 +62,57 @@ void compute_offtree_heat(const Graph& g, const CsrMatrix& lg,
   out.heat.assign(out.offtree_edges.size(), 0.0);
   if (out.offtree_edges.empty()) return;
 
-  ws.h.resize(static_cast<std::size_t>(n));
-  ws.gh.resize(static_cast<std::size_t>(n));
-  Vec& h = ws.h;
-  Vec& gh = ws.gh;
+  const std::size_t num_offtree = out.offtree_edges.size();
+  const Index r = out.num_vectors;
+  const int threads = resolve_threads(opts.threads);
+  const int chunks = static_cast<int>(
+      std::min<Index>(static_cast<Index>(threads), r));
 
-  for (Index j = 0; j < out.num_vectors; ++j) {
-    random_probe_fill(h, rng);
-    for (int s = 0; s < opts.power_steps; ++s) {
-      lg.multiply(h, gh);
-      project_out_mean(gh);
-      solve_p(gh, h);
-      project_out_mean(h);
-    }
-    // Accumulate per-edge Joule heat of h_t (Eq. (6)).
-    for (std::size_t k = 0; k < out.offtree_edges.size(); ++k) {
-      const Edge& e = g.edge(out.offtree_edges[k]);
+  // Advance the parent generator once so back-to-back embeddings (one per
+  // densification round) derive fresh stream roots, then hand probe j its
+  // own split(j) stream. The sequence each probe consumes depends only on
+  // (rng state, j) — never on the thread count or chunking.
+  (void)rng();
+  const Rng probe_root = rng;
+
+  ws.probe_h.resize(static_cast<std::size_t>(r));
+  ws.chunk_gh.resize(static_cast<std::size_t>(chunks));
+
+  global_pool().run_chunks(
+      0, r, chunks, [&](int chunk, Index j_begin, Index j_end) {
+        Vec& gh = ws.chunk_gh[static_cast<std::size_t>(chunk)];
+        gh.resize(static_cast<std::size_t>(n));
+        for (Index j = j_begin; j < j_end; ++j) {
+          // The solved iterate is kept per probe (not per thread) so the
+          // heat reduction below can run in probe order.
+          Vec& h = ws.probe_h[static_cast<std::size_t>(j)];
+          h.resize(static_cast<std::size_t>(n));
+          Rng probe_rng = probe_root.split(static_cast<std::uint64_t>(j));
+          random_probe_fill(h, probe_rng);
+          for (int s = 0; s < opts.power_steps; ++s) {
+            lg.multiply(h, gh);
+            project_out_mean(gh);
+            solve_p(gh, h);
+            project_out_mean(h);
+          }
+        }
+      });
+
+  // Per-edge Joule heat of h_t (Eq. (6)). Deterministic reduction: probe
+  // contributions summed in stream order, the same arithmetic for every
+  // thread count; each edge's sum is owned by exactly one chunk.
+  parallel_for(0, static_cast<Index>(num_offtree), threads, [&](Index ki) {
+    const auto k = static_cast<std::size_t>(ki);
+    const Edge& e = g.edge(out.offtree_edges[k]);
+    double sum = 0.0;
+    for (Index j = 0; j < r; ++j) {
+      const Vec& h = ws.probe_h[static_cast<std::size_t>(j)];
       const double d = h[static_cast<std::size_t>(e.u)] -
                        h[static_cast<std::size_t>(e.v)];
-      out.heat[k] += e.weight * d * d;
+      sum += e.weight * d * d;
     }
-  }
+    out.heat[k] = sum;
+  });
 
   for (double v : out.heat) {
     out.total_heat += v;

@@ -30,6 +30,11 @@ struct EmbeddingOptions {
   /// r — number of random start vectors; 0 selects ceil(log2 n) (paper
   /// §3.7 step 4: "O(log |V|) random vectors").
   Index num_vectors = 0;
+  /// Worker threads for the probe loop (0 = `ssp::default_threads()`).
+  /// Results are bit-identical for every value: each probe draws from its
+  /// own `Rng::split(j)` stream and per-probe heat partials are combined
+  /// in stream order, so chunking never changes the arithmetic.
+  int threads = 0;
 };
 
 struct OffTreeEmbedding {
@@ -45,17 +50,30 @@ struct OffTreeEmbedding {
   Index num_vectors = 0;     ///< r actually used
 };
 
-/// Reusable scratch for `compute_offtree_heat`: the two power-iteration
-/// vectors. Owned by the caller (the `ssp::Sparsifier` engine keeps one per
-/// instance) so repeated rounds on a same-size graph allocate nothing.
+/// Reusable scratch for `compute_offtree_heat`: per-chunk power-iteration
+/// vectors and per-probe heat partials. Owned by the caller (the
+/// `ssp::Sparsifier` engine keeps one per instance) so repeated rounds on
+/// a same-size graph allocate nothing once the buffers reach steady-state
+/// capacity.
 struct EmbeddingWorkspace {
-  Vec h;   ///< current iterate h_s
-  Vec gh;  ///< L_G h_s before the L_P⁺ application
+  /// Solved iterate h_t per probe (r vectors of length n). Kept per probe
+  /// rather than per thread so the per-edge heats can be reduced in probe
+  /// order — the deterministic-reduction half of the contract — at O(r·n)
+  /// memory instead of O(r·|offtree|) heat partials.
+  std::vector<Vec> probe_h;
+  /// Per-chunk scratch holding L_G h_s before the L_P⁺ apply.
+  std::vector<Vec> chunk_gh;
 };
 
 /// Computes Joule heats for every edge of `g` not marked in
 /// `in_sparsifier` (one char per edge id, nonzero = inside P). `solve_p`
-/// applies L_P⁺.
+/// applies L_P⁺ and must be safe to invoke concurrently from several
+/// threads (every solver built by eigen/operators.hpp is).
+///
+/// Randomness contract: the call advances `rng` exactly once to derive a
+/// per-call stream root, then probe j draws from `root.split(j)`. The
+/// result is therefore a function of (graph, options, rng state) only —
+/// independent of `opts.threads` and of how the probe loop is chunked.
 [[nodiscard]] OffTreeEmbedding compute_offtree_heat(
     const Graph& g, std::span<const char> in_sparsifier, const LinOp& solve_p,
     const EmbeddingOptions& opts, Rng& rng);

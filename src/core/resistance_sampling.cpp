@@ -14,6 +14,7 @@
 #include "tree/kruskal.hpp"
 #include "tree/lca.hpp"
 #include "util/assert.hpp"
+#include "util/parallel.hpp"
 #include "util/timer.hpp"
 
 namespace ssp {
@@ -27,13 +28,16 @@ void estimate_resistances(const Graph& g, const SsOptions& opts, Rng& rng,
   Vec& r = ws.resistances;
   r.resize(static_cast<std::size_t>(m));
 
+  const int threads = resolve_threads(opts.threads);
+
   if (opts.estimate == ResistanceEstimate::kTreeUpperBound) {
     const SpanningTree tree = max_weight_spanning_tree(g);
     const LcaIndex lca(tree);
-    for (EdgeId e = 0; e < m; ++e) {
+    parallel_for(0, static_cast<Index>(m), threads, [&](Index ei) {
+      const auto e = static_cast<EdgeId>(ei);
       const Edge& edge = g.edge(e);
       r[static_cast<std::size_t>(e)] = lca.path_resistance(edge.u, edge.v);
-    }
+    });
     return;
   }
 
@@ -48,23 +52,40 @@ void estimate_resistances(const Graph& g, const SsOptions& opts, Rng& rng,
                                    .rel_tolerance = opts.solver_tolerance,
                                    .project_constants = true});
 
+  // Per-sketch split streams (advance the parent once per call so repeated
+  // estimations derive fresh roots): sketch i's Rademacher sequence depends
+  // only on (rng state, i), so the k solves parallelize without changing a
+  // single bit of the result for any thread count.
+  (void)rng();
+  const Rng sketch_root = rng;
+  const int chunks = static_cast<int>(std::min<Index>(threads, k));
+
   ws.z.resize(static_cast<std::size_t>(k));
-  Vec& y = ws.y;
-  y.resize(static_cast<std::size_t>(n));
+  ws.chunk_y.resize(static_cast<std::size_t>(chunks));
   const double scale_factor = 1.0 / std::sqrt(static_cast<double>(k));
-  for (Index i = 0; i < k; ++i) {
-    fill(y, 0.0);
-    for (EdgeId e = 0; e < m; ++e) {
-      const Edge& edge = g.edge(e);
-      const double q = rng.rademacher() * scale_factor * std::sqrt(edge.weight);
-      y[static_cast<std::size_t>(edge.u)] += q;
-      y[static_cast<std::size_t>(edge.v)] -= q;
-    }
-    project_out_mean(y);
-    ws.z[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(n));
-    solve(y, ws.z[static_cast<std::size_t>(i)]);
-  }
-  for (EdgeId e = 0; e < m; ++e) {
+  global_pool().run_chunks(
+      0, k, chunks, [&](int chunk, Index i_begin, Index i_end) {
+        Vec& y = ws.chunk_y[static_cast<std::size_t>(chunk)];
+        y.resize(static_cast<std::size_t>(n));
+        for (Index i = i_begin; i < i_end; ++i) {
+          Rng sketch_rng = sketch_root.split(static_cast<std::uint64_t>(i));
+          fill(y, 0.0);
+          for (EdgeId e = 0; e < m; ++e) {
+            const Edge& edge = g.edge(e);
+            const double q = sketch_rng.rademacher() * scale_factor *
+                             std::sqrt(edge.weight);
+            y[static_cast<std::size_t>(edge.u)] += q;
+            y[static_cast<std::size_t>(edge.v)] -= q;
+          }
+          project_out_mean(y);
+          ws.z[static_cast<std::size_t>(i)].resize(static_cast<std::size_t>(n));
+          solve(y, ws.z[static_cast<std::size_t>(i)]);
+        }
+      });
+  // Per-edge accumulation: each edge owned by one chunk, sketches summed
+  // in stream order — deterministic for every thread count.
+  parallel_for(0, static_cast<Index>(m), threads, [&](Index ei) {
+    const auto e = static_cast<EdgeId>(ei);
     const Edge& edge = g.edge(e);
     double sum = 0.0;
     for (Index i = 0; i < k; ++i) {
@@ -74,7 +95,7 @@ void estimate_resistances(const Graph& g, const SsOptions& opts, Rng& rng,
       sum += d * d;
     }
     r[static_cast<std::size_t>(e)] = sum;
-  }
+  });
 }
 
 }  // namespace

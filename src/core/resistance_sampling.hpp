@@ -42,6 +42,11 @@ struct SsOptions {
   /// Union a max-weight spanning tree into the output so it is always
   /// connected/usable as a preconditioner (the usual practical tweak).
   bool include_spanning_tree = true;
+  /// Worker threads for the resistance estimation (the k JL solves and the
+  /// per-edge accumulations; 0 = `ssp::default_threads()`). Results are
+  /// bit-identical for every value: sketch i draws from its own
+  /// `Rng::split(i)` stream and reductions run in stream order.
+  int threads = 0;
   std::uint64_t seed = 42;
 };
 
@@ -57,10 +62,10 @@ struct SsResult {
 /// cumulative sampling table, and the JL sketch vectors. All buffers keep
 /// their capacity across calls on same-size graphs.
 struct SsWorkspace {
-  Vec resistances;     ///< per-edge R_eff estimates
-  Vec cumulative;      ///< cumulative w_e·R_e sampling table
-  std::vector<Vec> z;  ///< JL sketch columns (kJlSketch only)
-  Vec y;               ///< solve right-hand side (kJlSketch only)
+  Vec resistances;           ///< per-edge R_eff estimates
+  Vec cumulative;            ///< cumulative w_e·R_e sampling table
+  std::vector<Vec> z;        ///< JL sketch columns (kJlSketch only)
+  std::vector<Vec> chunk_y;  ///< per-chunk solve right-hand sides (kJlSketch)
 };
 
 /// Runs Spielman–Srivastava sampling on a connected, finalized graph.

@@ -35,6 +35,9 @@ void check_lambda_max_iterations(Index iterations) {
   SSP_REQUIRE(iterations >= 1,
               "sparsify: lambda_max_iterations must be >= 1");
 }
+void check_threads(int n) {
+  SSP_REQUIRE(n >= 0, "sparsify: threads must be >= 0 (0 = auto)");
+}
 
 }  // namespace
 
@@ -46,6 +49,7 @@ void SparsifyOptions::validate() const {
   check_max_edges_per_round(max_edges_per_round);
   check_solver_tolerance(solver_tolerance);
   check_lambda_max_iterations(lambda_max_iterations);
+  check_threads(threads);
   // Cross-field: node_cap only matters when a capped policy is active,
   // so direct field pokes of an unused cap stay legal.
   if (similarity != SimilarityPolicy::kNone) check_node_cap(node_cap);
@@ -111,6 +115,12 @@ SparsifyOptions& SparsifyOptions::with_solver_tolerance(double tol) {
 SparsifyOptions& SparsifyOptions::with_lambda_max_iterations(Index iterations) {
   check_lambda_max_iterations(iterations);
   lambda_max_iterations = iterations;
+  return *this;
+}
+
+SparsifyOptions& SparsifyOptions::with_threads(int n) {
+  check_threads(n);
+  threads = n;
   return *this;
 }
 

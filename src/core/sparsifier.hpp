@@ -88,6 +88,19 @@ struct SparsifyOptions {
   double solver_tolerance = 1e-4;
   /// Generalized power iterations for the λ_max estimate (§3.6.1).
   Index lambda_max_iterations = 10;
+  /// Worker threads for the engine's own parallel stages (probe-vector
+  /// embedding and per-edge accumulations; 0 = `ssp::default_threads()`,
+  /// which honours the SSP_THREADS environment variable and falls back to
+  /// `hardware_concurrency()`). Everything nested inside those stages —
+  /// including row-parallel SpMV — is confined to the stage's workers, so
+  /// `threads = 1` runs the whole embedding serially. Shared primitives
+  /// invoked *outside* an engine stage (e.g. a top-level
+  /// `CsrMatrix::multiply`) follow the process-wide default instead; use
+  /// `ssp::set_default_threads()` / SSP_THREADS (as the tools' --threads
+  /// flag does) to bound the entire process. The engine's determinism
+  /// contract guarantees bit-identical results for every value — see
+  /// sparsifier_engine.hpp.
+  int threads = 0;
   std::uint64_t seed = 42;
 
   /// Full cross-field validation; throws std::invalid_argument on the
@@ -109,6 +122,7 @@ struct SparsifyOptions {
   SparsifyOptions& with_inner_solver(InnerSolverKind kind);
   SparsifyOptions& with_solver_tolerance(double tol);
   SparsifyOptions& with_lambda_max_iterations(Index iterations);
+  SparsifyOptions& with_threads(int n);
   SparsifyOptions& with_seed(std::uint64_t value);
 };
 

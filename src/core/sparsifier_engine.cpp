@@ -158,10 +158,11 @@ StepStatus Sparsifier::step_impl() {
 
   // --- Step 4: spectral embedding of off-tree edges. ---
   stage_timer.reset();
-  compute_offtree_heat(
-      *g_, lg_, in_p_, solve_p,
-      {.power_steps = opts_.power_steps, .num_vectors = opts_.num_vectors},
-      rng_, emb_ws_, emb_);
+  compute_offtree_heat(*g_, lg_, in_p_, solve_p,
+                       {.power_steps = opts_.power_steps,
+                        .num_vectors = opts_.num_vectors,
+                        .threads = opts_.threads},
+                       rng_, emb_ws_, emb_);
   notify_stage(StageKind::kEmbedding, stage_timer.seconds());
 
   // --- Step 5: rank and filter by normalized Joule heat (Eq. 15). ---

@@ -31,9 +31,33 @@
 /// and repeated warm starts on same-size graphs — perform no steady-state
 /// allocation in the embedding path.
 ///
-/// Thread-compatibility: a `Sparsifier` instance is single-threaded;
-/// distinct instances are independent. The engine is neither copyable nor
-/// movable (inner solvers hold references into the instance).
+/// Determinism contract (threads): the engine's result is a pure function
+/// of (graph, options-without-threads, seed). `SparsifyOptions::threads`
+/// — and the SSP_THREADS environment default behind `threads == 0` —
+/// changes only wall time, never a single bit of the final edge list or
+/// the telemetry estimates. Two mechanisms guarantee this:
+///
+///  1. **Per-stream RNG.** Every parallel unit of work (probe vector j of
+///     the Joule-heat embedding, JL sketch i of the SS baseline) draws
+///     from its own `Rng::split(stream_id)` child generator, derived from
+///     the engine seed — the random sequence a unit consumes depends only
+///     on its stream id, never on which thread executes it.
+///  2. **Deterministic reductions.** Solved probe iterates are stored per
+///     probe and their per-edge heat contributions summed in stream
+///     order; every other parallel loop writes each output location from
+///     exactly one chunk. No floating-point sum ever depends on the
+///     chunk decomposition.
+///
+/// The switch from one shared sequential RNG to derived per-probe streams
+/// changed one-shot `sparsify()` output once (relative to the pre-threaded
+/// library); it is now fixed regardless of thread count, and the
+/// sequential path (`threads = 1`) draws the identical derived streams.
+///
+/// Thread-compatibility: a `Sparsifier` instance is single-threaded at the
+/// API level — calls into one instance must not overlap, while internally
+/// each step fans work out over the global pool; distinct instances are
+/// independent. The engine is neither copyable nor movable (inner solvers
+/// hold references into the instance).
 
 #include <cstdint>
 #include <optional>

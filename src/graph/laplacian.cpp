@@ -1,6 +1,8 @@
 #include "graph/laplacian.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -55,17 +57,45 @@ Graph graph_from_laplacian(const CsrMatrix& l, double tol) {
 
 Graph graph_from_matrix(const CsrMatrix& a, bool unit_weights) {
   SSP_REQUIRE(a.rows() == a.cols(), "graph_from_matrix: matrix not square");
+  // Structural presence, not value: an explicitly stored 0.0 still claims
+  // ownership of its pair, otherwise a zero lower entry with a nonzero
+  // upper mirror would be added by both branches and double-counted.
+  const auto has_stored_entry = [&a](Index row, Index col) {
+    const auto cols = a.row_cols(row);
+    return std::binary_search(cols.begin(), cols.end(),
+                              static_cast<Vertex>(col));
+  };
   Graph g(static_cast<Vertex>(a.rows()));
   for (Index r = 0; r < a.rows(); ++r) {
     const auto cols = a.row_cols(r);
     const auto vals = a.row_vals(r);
     for (std::size_t k = 0; k < cols.size(); ++k) {
       const Index c = cols[k];
-      if (c >= r) continue;  // strict lower triangle per the paper's rule
-      const double w = unit_weights ? 1.0 : std::abs(vals[k]);
-      if (w > 0.0) {
-        g.add_edge(static_cast<Vertex>(r), static_cast<Vertex>(c), w);
+      const double v = vals[k];
+      SSP_REQUIRE(std::isfinite(v),
+                  "graph_from_matrix: non-finite entry at (" +
+                      std::to_string(r + 1) + ", " + std::to_string(c + 1) +
+                      ") — cannot convert to an edge weight");
+      if (c == r) continue;  // self-loops discarded
+      double magnitude = 0.0;
+      if (c < r) {
+        // Lower-triangle entry: owns the pair. The §4 magnitude rule is
+        // applied uniformly across both triangles — a mirrored entry
+        // (from symmetric/skew-symmetric expansion or an explicitly
+        // two-sided general file) contributes its magnitude too, so
+        // negative or sign-flipped mirrors can never reach the Graph as
+        // non-positive weights.
+        magnitude = std::max(std::abs(v), std::abs(a.at(c, r)));
+      } else {
+        // Upper-triangle entry: only owns the pair when no lower mirror
+        // is stored (one-sided upper-triangle files previously lost
+        // these edges entirely).
+        if (has_stored_entry(c, r)) continue;
+        magnitude = std::abs(v);
       }
+      if (magnitude <= 0.0) continue;  // explicit zeros are non-edges
+      g.add_edge(static_cast<Vertex>(r), static_cast<Vertex>(c),
+                 unit_weights ? 1.0 : magnitude);
     }
   }
   g.coalesce_parallel_edges();

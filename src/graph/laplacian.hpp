@@ -29,11 +29,16 @@ namespace ssp {
 [[nodiscard]] Graph graph_from_laplacian(const CsrMatrix& l,
                                          double tol = 1e-9);
 
-/// Paper §4 rule for arbitrary (square) sparse matrices: each strict
-/// lower-triangular nonzero (i, j), i > j, becomes the edge {i, j} with
-/// weight |a_ij| (or 1.0 when `unit_weights` is set, matching
-/// pattern-only matrix files). Self-loops (diagonal) are discarded and
-/// duplicate edges coalesced.
+/// Paper §4 rule for arbitrary (square) sparse matrices, applied
+/// uniformly over both triangles: each off-diagonal pair {i, j} with at
+/// least one nonzero entry becomes the edge {i, j} with weight
+/// max(|a_ij|, |a_ji|) (or 1.0 when `unit_weights` is set, matching
+/// pattern-only matrix files). For symmetric storage this reduces to the
+/// paper's "absolute value of each lower-triangular nonzero"; for skew or
+/// asymmetric inputs the magnitude conversion guarantees positive
+/// weights, and one-sided upper-triangle files keep their edges instead
+/// of silently losing them. Self-loops are discarded, duplicate edges
+/// coalesced, and non-finite entries rejected with std::invalid_argument.
 [[nodiscard]] Graph graph_from_matrix(const CsrMatrix& a,
                                       bool unit_weights = false);
 

@@ -131,7 +131,17 @@ Graph load_graph_mtx(const std::string& path) {
       to_lower(first).find("pattern") != std::string::npos;
   in.seekg(0);
   const CsrMatrix a = read_matrix_market(in);
+  // graph_from_matrix applies the paper's §4 magnitude rule uniformly
+  // (negative, skew-mirrored, and upper-triangle-only entries all become
+  // positive weights) and throws on non-finite values, so any graph that
+  // reaches this point has strictly positive edge weights.
   const Graph g = graph_from_matrix(a, pattern);
+  if (g.num_edges() == 0) {
+    throw std::runtime_error(
+        "matrix market: '" + path +
+        "' contains no usable off-diagonal entries — the §4 conversion "
+        "produced an edgeless graph");
+  }
   return largest_component(g);
 }
 

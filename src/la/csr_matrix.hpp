@@ -46,6 +46,9 @@ class CsrMatrix {
   }
 
   /// y = A x. `x.size()==cols`, `y.size()==rows`; aliasing is not allowed.
+  /// Large matrices run row-parallel on the global pool (each y[r] is
+  /// written by exactly one row, so the result is bit-identical to the
+  /// serial loop for every thread count); small ones stay serial.
   void multiply(std::span<const double> x, std::span<double> y) const;
 
   /// Convenience allocating form of multiply.

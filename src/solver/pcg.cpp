@@ -55,9 +55,14 @@ PcgResult pcg_solve(const CsrMatrix& a, std::span<const double> b,
   for (Index it = 1; it <= opts.max_iterations; ++it) {
     a.multiply(p, ap);
     const double pap = dot(p, ap);
-    // Non-positive curvature only arises from rounding noise once the
-    // search direction has collapsed; stop with the best iterate found.
-    if (pap <= 0.0) break;
+    // Non-positive curvature: indefinite/semidefinite A or a collapsed
+    // search direction. Stop with the best iterate found and flag the
+    // breakdown; the stale recurrence residual is replaced below by the
+    // true residual of the returned x.
+    if (pap <= 0.0) {
+      result.breakdown = true;
+      break;
+    }
     const double alpha = rz / pap;
     axpy(alpha, p, x);
     axpy(-alpha, ap, r);
@@ -82,6 +87,19 @@ PcgResult pcg_solve(const CsrMatrix& a, std::span<const double> b,
     }
   }
   if (opts.project_constants) project_out_mean(x);
+  if (result.breakdown) {
+    // Recompute ||b − A x|| for the iterate actually returned: the
+    // recurrence residual r predates the breakdown and may not describe x
+    // at all once rounding has degraded the search direction.
+    a.multiply(x, ap);
+    for (Index i = 0; i < n; ++i) {
+      r[static_cast<std::size_t>(i)] =
+          bp[static_cast<std::size_t>(i)] - ap[static_cast<std::size_t>(i)];
+    }
+    if (opts.project_constants) project_out_mean(r);
+    result.relative_residual = norm2(r) / bnorm;
+    result.converged = result.relative_residual <= opts.rel_tolerance;
+  }
   return result;
 }
 

@@ -28,8 +28,17 @@ struct PcgOptions {
 
 struct PcgResult {
   Index iterations = 0;
+  /// ||b − A x||₂ / ||b||₂ of the *returned* iterate. On a curvature
+  /// breakdown this is recomputed from scratch rather than carried over
+  /// from the recurrence, so it is always trustworthy.
   double relative_residual = 0.0;
   bool converged = false;
+  /// True when the iteration stopped on non-positive curvature
+  /// (pᵀA p ≤ 0): A is not positive (semi-)definite on the search space,
+  /// or rounding collapsed the search direction. The returned x is the
+  /// best iterate found before the breakdown; `converged` stays false
+  /// unless its residual happens to meet the tolerance.
+  bool breakdown = false;
 };
 
 /// Solves A x = b, overwriting x (which provides the initial guess).

@@ -4,14 +4,17 @@
 
 namespace ssp {
 
-TreeSolver::TreeSolver(const SpanningTree& t) : t_(&t) {
-  flow_.resize(static_cast<std::size_t>(t.num_vertices()));
-}
+TreeSolver::TreeSolver(const SpanningTree& t) : t_(&t) {}
 
 void TreeSolver::solve(std::span<const double> b, std::span<double> x) const {
   const Vertex n = t_->num_vertices();
   SSP_REQUIRE(static_cast<Vertex>(b.size()) == n, "tree solve: b size");
   SSP_REQUIRE(static_cast<Vertex>(x.size()) == n, "tree solve: x size");
+
+  // Per-thread scratch keeps solve() re-entrant without allocating in the
+  // steady state (each worker thread reuses its own buffer).
+  thread_local Vec flow_;
+  flow_.resize(static_cast<std::size_t>(n));
 
   // Project b onto the Laplacian range (zero sum).
   double bmean = 0.0;

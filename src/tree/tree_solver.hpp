@@ -28,6 +28,11 @@ class TreeSolver {
   explicit TreeSolver(const SpanningTree& t);
 
   /// x := L_T⁺ b (exact up to rounding). Sizes must equal n.
+  ///
+  /// Re-entrant: safe to call concurrently from several threads on the
+  /// same solver (the flow scratch lives in thread-local storage, reused
+  /// across solves on each thread). This is what lets one TreeSolver back
+  /// every per-probe PCG solve of the parallel embedding loop.
   void solve(std::span<const double> b, std::span<double> x) const;
 
   /// Allocating convenience overload.
@@ -37,8 +42,6 @@ class TreeSolver {
 
  private:
   const SpanningTree* t_;
-  // Scratch reused across solves (mutable: solve() is logically const).
-  mutable Vec flow_;
 };
 
 }  // namespace ssp

@@ -1,0 +1,226 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+namespace {
+
+/// Set while a thread executes chunks for any ThreadPool, so nested
+/// parallel regions detect they are already inside one.
+thread_local bool t_on_worker = false;
+
+std::atomic<int> g_default_override{0};
+
+int env_threads() {
+  const char* env = std::getenv("SSP_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || v <= 0 || v > 4096) return 0;
+  return static_cast<int>(v);
+}
+
+}  // namespace
+
+/// Shared state of one in-flight region. Chunk boundaries are fixed up
+/// front as a pure function of (begin, end, n_chunks); workers claim chunk
+/// *indices* dynamically, which balances load without affecting which data
+/// a chunk touches — results stay schedule-independent.
+struct ThreadPool::Region {
+  Index begin = 0;
+  Index end = 0;
+  int n_chunks = 0;
+  const std::function<void(int, Index, Index)>* body = nullptr;
+  std::atomic<int> next_chunk{0};
+  std::atomic<int> chunks_left{0};
+  std::atomic<int> workers_inside{0};  ///< pool workers currently attached
+  std::mutex error_mutex;
+  int first_error_chunk = -1;
+  std::exception_ptr error;  ///< from the lowest-indexed failing chunk
+
+  void chunk_bounds(int chunk, Index* b, Index* e) const {
+    const Index n = end - begin;
+    const Index base = n / n_chunks;
+    const Index extra = n % n_chunks;
+    const Index lo = begin + base * chunk + std::min<Index>(chunk, extra);
+    *b = lo;
+    *e = lo + base + (chunk < extra ? 1 : 0);
+  }
+
+  void run_claimed_chunks() {
+    for (;;) {
+      const int chunk = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= n_chunks) return;
+      Index b = 0;
+      Index e = 0;
+      chunk_bounds(chunk, &b, &e);
+      try {
+        (*body)(chunk, b, e);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error_chunk < 0 || chunk < first_error_chunk) {
+          first_error_chunk = chunk;
+          error = std::current_exception();
+        }
+      }
+      chunks_left.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int workers) : workers_(workers) {
+  SSP_REQUIRE(workers >= 1, "ThreadPool: need at least one worker");
+  threads_.reserve(static_cast<std::size_t>(workers - 1));
+  for (int i = 1; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Region* region = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] {
+        return stop_ || (region_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      region = region_;
+      // Attach while holding the lock: the submitter cannot observe
+      // "all chunks done and nobody inside" and destroy the region
+      // between our pointer read and this increment.
+      region->workers_inside.fetch_add(1, std::memory_order_relaxed);
+    }
+    region->run_claimed_chunks();
+    bool region_complete = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const int inside =
+          region->workers_inside.fetch_sub(1, std::memory_order_acq_rel) - 1;
+      region_complete =
+          inside == 0 &&
+          region->chunks_left.load(std::memory_order_acquire) == 0;
+    }
+    if (region_complete) done_.notify_all();
+  }
+}
+
+void ThreadPool::run_chunks_inline(
+    Index begin, Index end, int n_chunks,
+    const std::function<void(int, Index, Index)>& body) {
+  Region region;
+  region.begin = begin;
+  region.end = end;
+  region.n_chunks = n_chunks;
+  region.body = &body;
+  region.chunks_left.store(n_chunks, std::memory_order_relaxed);
+  // An inline region is still a region: mark the thread so nested
+  // parallel calls (e.g. row-parallel SpMV inside a 1-chunk probe loop)
+  // run inline too instead of fanning out across the pool — a
+  // threads == 1 region must confine all work it spawns to this thread.
+  const bool was_worker = t_on_worker;
+  t_on_worker = true;
+  region.run_claimed_chunks();
+  t_on_worker = was_worker;
+  if (region.error) std::rethrow_exception(region.error);
+}
+
+void ThreadPool::run_chunks(Index begin, Index end, int n_chunks,
+                            const std::function<void(int, Index, Index)>& body) {
+  if (end <= begin) return;
+  SSP_REQUIRE(n_chunks >= 1, "ThreadPool: need at least one chunk");
+  n_chunks = static_cast<int>(
+      std::min<Index>(n_chunks, end - begin));  // no empty chunks
+  // Nested or trivial region: run on the calling thread. The chunk
+  // decomposition is unchanged, so results are bit-identical.
+  if (n_chunks == 1 || t_on_worker || workers_ == 1) {
+    run_chunks_inline(begin, end, n_chunks, body);
+    return;
+  }
+
+  const std::lock_guard<std::mutex> serialize(submit_mutex_);
+  Region region;
+  region.begin = begin;
+  region.end = end;
+  region.n_chunks = n_chunks;
+  region.body = &body;
+  region.chunks_left.store(n_chunks, std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    region_ = &region;
+    ++epoch_;
+  }
+  wake_.notify_all();
+
+  // The submitting thread participates as a worker.
+  t_on_worker = true;
+  region.run_claimed_chunks();
+  t_on_worker = false;
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] {
+      return region.chunks_left.load(std::memory_order_acquire) == 0 &&
+             region.workers_inside.load(std::memory_order_acquire) == 0;
+    });
+    region_ = nullptr;
+  }
+  if (region.error) std::rethrow_exception(region.error);
+}
+
+int hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+int default_threads() {
+  const int override = g_default_override.load(std::memory_order_relaxed);
+  if (override > 0) return override;
+  const int env = env_threads();
+  return env > 0 ? env : hardware_threads();
+}
+
+void set_default_threads(int n) {
+  g_default_override.store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+int resolve_threads(int requested) {
+  return requested > 0 ? requested : default_threads();
+}
+
+ThreadPool& global_pool() {
+  // Sized once at first use from default_threads(); later
+  // set_default_threads() calls change how many chunks a region submits
+  // but never grow the pool — tools therefore apply --threads before
+  // touching any parallel path.
+  static ThreadPool pool(std::max(default_threads(), 1));
+  return pool;
+}
+
+void parallel_for_chunks(Index begin, Index end, int max_threads,
+                         const std::function<void(int, Index, Index)>& body) {
+  if (end <= begin) return;
+  const int chunks = resolve_threads(max_threads);
+  global_pool().run_chunks(begin, end, chunks, body);
+}
+
+}  // namespace ssp

@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file parallel.hpp
+/// Deterministic parallel execution for the library's embarrassingly
+/// parallel hot loops (probe vectors, JL sketch solves, row-wise SpMV,
+/// per-edge accumulations).
+///
+/// Design rules that make "parallel" compatible with the library's
+/// bit-reproducibility contract:
+///
+///  * **Chunked static decomposition.** `parallel_for_chunks` splits an
+///    index range into at most `max_threads` contiguous chunks whose
+///    boundaries depend only on the range and the chunk count — never on
+///    scheduling. Which worker executes a chunk is irrelevant as long as
+///    every output location is owned by exactly one chunk; callers that
+///    need a reduction combine per-chunk (or per-stream) partials in index
+///    order afterwards.
+///  * **One reusable pool.** `global_pool()` lazily spawns
+///    `default_threads() - 1` workers once per process and reuses them for
+///    every region; there is no per-call thread spawn cost.
+///  * **Nested regions run inline.** A parallel region entered from inside
+///    a pool worker executes sequentially on that worker (no deadlock, no
+///    oversubscription) — e.g. a row-parallel SpMV inside a parallel probe
+///    loop.
+///  * **Deterministic failure.** If chunk bodies throw, the exception from
+///    the lowest-indexed failing chunk is rethrown on the calling thread
+///    after all chunks finish.
+///
+/// Worker count resolution: `default_threads()` honours the `SSP_THREADS`
+/// environment variable when it holds a positive integer and falls back to
+/// `std::thread::hardware_concurrency()`. Components with a `threads`
+/// option (e.g. `SparsifyOptions::threads`) treat 0 as "use
+/// `default_threads()`".
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ssp {
+
+/// Persistent worker pool executing chunked index ranges. Thread-safe for
+/// one region at a time (regions are serialized by an internal mutex);
+/// nested submissions from worker threads run inline.
+class ThreadPool {
+ public:
+  /// Spawns `workers - 1` background threads (the submitting thread always
+  /// participates as worker 0). `workers` must be >= 1.
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int workers() const { return workers_; }
+
+  /// Runs `body(chunk, chunk_begin, chunk_end)` for `n_chunks` contiguous
+  /// chunks covering [begin, end), blocking until all complete. Chunk
+  /// boundaries are a pure function of (begin, end, n_chunks). Called from
+  /// inside a pool worker, the chunks run inline on that worker.
+  void run_chunks(Index begin, Index end, int n_chunks,
+                  const std::function<void(int, Index, Index)>& body);
+
+  /// True when the calling thread is one of this process's pool workers
+  /// (used to force nested regions inline).
+  [[nodiscard]] static bool on_worker_thread();
+
+ private:
+  void worker_loop();
+  void run_chunks_inline(Index begin, Index end, int n_chunks,
+                         const std::function<void(int, Index, Index)>& body);
+
+  struct Region;  // one parallel region's shared state
+
+  const int workers_;
+  std::vector<std::thread> threads_;
+  std::mutex submit_mutex_;  ///< serializes concurrent regions
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  Region* region_ = nullptr;  ///< active region (guarded by mutex_)
+  std::uint64_t epoch_ = 0;   ///< bumped per region so workers re-check
+  bool stop_ = false;
+};
+
+/// max(1, std::thread::hardware_concurrency()).
+[[nodiscard]] int hardware_threads();
+
+/// Process-wide default worker count: `SSP_THREADS` when set to a positive
+/// integer, else `hardware_threads()`; can be overridden programmatically.
+[[nodiscard]] int default_threads();
+
+/// Overrides `default_threads()` for this process (tools' `--threads`
+/// flag, tests). `n` <= 0 restores the environment/hardware default.
+void set_default_threads(int n);
+
+/// Resolves a component-level thread request: `requested` > 0 is taken as
+/// is, 0 (or negative) selects `default_threads()`.
+[[nodiscard]] int resolve_threads(int requested);
+
+/// The process-wide reusable pool, created on first use with
+/// `default_threads()` workers. Later `set_default_threads` calls cap how
+/// many of its workers a region uses but do not shrink the pool.
+[[nodiscard]] ThreadPool& global_pool();
+
+/// Chunked static parallel for over [begin, end): at most
+/// `resolve_threads(max_threads)` chunks on the global pool. The chunk
+/// decomposition — and therefore which elements share a chunk — depends
+/// only on the range and the resolved chunk count.
+void parallel_for_chunks(Index begin, Index end, int max_threads,
+                         const std::function<void(int, Index, Index)>& body);
+
+/// Element-wise convenience wrapper: `fn(i)` for i in [begin, end), each
+/// element owned by exactly one chunk. `fn` must write only to locations
+/// owned by `i` for the result to be schedule-independent.
+template <typename Fn>
+void parallel_for(Index begin, Index end, int max_threads, Fn&& fn) {
+  parallel_for_chunks(begin, end, max_threads,
+                      [&fn](int /*chunk*/, Index b, Index e) {
+                        for (Index i = b; i < e; ++i) fn(i);
+                      });
+}
+
+}  // namespace ssp

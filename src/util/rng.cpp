@@ -42,6 +42,22 @@ Rng::result_type Rng::operator()() {
   return result;
 }
 
+Rng Rng::split(std::uint64_t stream_id) const {
+  // Fold the four state words into one 64-bit digest, perturb it with the
+  // stream id through an extra SplitMix64 round, and let the Rng(seed)
+  // constructor expand the result back into four words. Rotations keep the
+  // fold from cancelling symmetric states.
+  std::uint64_t digest = s_[0];
+  digest ^= rotl(s_[1], 13);
+  digest ^= rotl(s_[2], 29);
+  digest ^= rotl(s_[3], 43);
+  std::uint64_t sm = digest;
+  std::uint64_t seed = splitmix64(sm);
+  sm = seed ^ (stream_id + 0x9e3779b97f4a7c15ULL);
+  seed = splitmix64(sm);
+  return Rng(seed);
+}
+
 double Rng::uniform() {
   // 53 high bits -> double in [0, 1).
   return static_cast<double>((*this)() >> 11) * 0x1.0p-53;

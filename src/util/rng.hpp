@@ -30,6 +30,19 @@ class Rng {
   /// Next raw 64-bit output.
   result_type operator()();
 
+  /// Derives an independent child generator for logical stream
+  /// `stream_id`: the child's seed is a SplitMix64 mix of the parent's
+  /// current state and the id, so distinct ids give decorrelated streams
+  /// and equal (state, id) pairs give identical ones. The parent is NOT
+  /// advanced — callers that derive streams repeatedly (e.g. once per
+  /// densification round) must advance the parent between derivations.
+  ///
+  /// This is the primitive behind the library's thread-count-independent
+  /// parallelism: each probe/sketch j draws from `split(j)`, so the random
+  /// sequence a unit of work consumes depends only on its stream id, never
+  /// on which thread executes it or how work is chunked.
+  [[nodiscard]] Rng split(std::uint64_t stream_id) const;
+
   /// Uniform double in [0, 1).
   [[nodiscard]] double uniform();
 

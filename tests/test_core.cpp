@@ -58,10 +58,15 @@ TEST(Embedding, HeatMatchesDirectQuadraticForm) {
   const OffTreeEmbedding emb = compute_offtree_heat(
       g, in_p, make_tree_solver_op(solver), opts, rng_a);
 
+  // Replay the documented randomness contract: the call advances the
+  // parent once, then probe j draws from split(j).
   Rng rng_b(77);
+  (void)rng_b();
+  const Rng probe_root = rng_b;
   double expected_total = 0.0;
   for (Index j = 0; j < 3; ++j) {
-    Vec h = random_probe_vector(g.num_vertices(), rng_b);
+    Rng probe_rng = probe_root.split(static_cast<std::uint64_t>(j));
+    Vec h = random_probe_vector(g.num_vertices(), probe_rng);
     for (int s = 0; s < 2; ++s) {
       Vec gh = lg.multiply(h);
       project_out_mean(gh);

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "graph/connectivity.hpp"
@@ -189,20 +190,48 @@ TEST(Laplacian, GraphFromLaplacianRoundTrip) {
   }
 }
 
-TEST(Laplacian, GraphFromMatrixUsesAbsLowerTriangle) {
-  // Paper §4 rule: |lower-triangular nonzeros| become edge weights.
+TEST(Laplacian, GraphFromMatrixUniformMagnitudeRule) {
+  // Paper §4 rule applied uniformly over both triangles: pair {i,j} gets
+  // weight max(|a_ij|, |a_ji|); negative entries are magnitude-converted.
   const std::vector<Triplet> ts = {
-      {1, 0, -2.0},  // edge {1,0} w=2
-      {2, 0, 4.0},   // edge {2,0} w=4
-      {0, 2, 99.0},  // upper triangle: ignored
+      {1, 0, -2.0},  // edge {1,0} w=2 (magnitude of a negative entry)
+      {2, 0, 4.0},   // lower entry of pair {2,0}...
+      {0, 2, 99.0},  // ...whose asymmetric upper mirror wins: w=99
+      {1, 2, 5.0},   // upper-triangle-only pair: kept, w=5
       {1, 1, 7.0},   // diagonal: ignored
   };
   const CsrMatrix a = CsrMatrix::from_triplets(3, 3, ts);
   const Graph g = graph_from_matrix(a);
-  EXPECT_EQ(g.num_edges(), 2);
-  EXPECT_DOUBLE_EQ(g.total_weight(), 6.0);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 2.0 + 99.0 + 5.0);
   const Graph gu = graph_from_matrix(a, /*unit_weights=*/true);
-  EXPECT_DOUBLE_EQ(gu.total_weight(), 2.0);
+  EXPECT_DOUBLE_EQ(gu.total_weight(), 3.0);
+}
+
+TEST(Laplacian, GraphFromMatrixStoredZeroMirrorDoesNotDoubleCount) {
+  // An explicitly stored 0.0 in the lower triangle still owns its pair:
+  // the nonzero upper mirror must not add the edge a second time.
+  const std::vector<Triplet> ts = {
+      {1, 0, 0.0},   // stored zero, lower
+      {0, 1, -2.0},  // nonzero upper mirror
+  };
+  const CsrMatrix a = CsrMatrix::from_triplets(2, 2, ts);
+  const Graph g = graph_from_matrix(a);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 2.0);
+}
+
+TEST(Laplacian, GraphFromMatrixRejectsNonFiniteEntries) {
+  const std::vector<Triplet> ts = {
+      {1, 0, std::numeric_limits<double>::quiet_NaN()},
+  };
+  const CsrMatrix a = CsrMatrix::from_triplets(2, 2, ts);
+  EXPECT_THROW((void)graph_from_matrix(a), std::invalid_argument);
+  const std::vector<Triplet> ts2 = {
+      {1, 0, std::numeric_limits<double>::infinity()},
+  };
+  const CsrMatrix b = CsrMatrix::from_triplets(2, 2, ts2);
+  EXPECT_THROW((void)graph_from_matrix(b), std::invalid_argument);
 }
 
 TEST(Laplacian, WeightedDegreesMatchDiagonal) {

@@ -128,6 +128,72 @@ TEST(MtxIo, LoadGraphKeepsLargestComponent) {
   std::remove(path.c_str());
 }
 
+TEST(MtxIo, SkewSymmetricLoadsWithPositiveMagnitudeWeights) {
+  // Regression: skew-symmetric entries are mirrored as -v by the matrix
+  // reader; the §4 magnitude conversion must turn both sides into the
+  // same positive edge weight instead of letting a sign leak through.
+  const std::string path = "ssp_test_skew.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real skew-symmetric\n";
+    out << "3 3 3\n";
+    out << "2 1 -4.0\n3 1 2.5\n3 2 -1.5\n";
+  }
+  const Graph g = load_graph_mtx(path);
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GT(e.weight, 0.0);
+  }
+  EXPECT_NEAR(g.total_weight(), 4.0 + 2.5 + 1.5, 1e-15);
+  std::remove(path.c_str());
+}
+
+TEST(MtxIo, GeneralNegativeOffDiagonalsBecomeMagnitudes) {
+  // Regression: a general/real file with negative off-diagonals (e.g. a
+  // Laplacian exported as 'general') must load as a positive-weight
+  // graph under the uniform §4 rule — including entries stored only in
+  // the upper triangle, which used to be dropped silently.
+  const std::string path = "ssp_test_negative_general.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << "4 4 4\n";
+    out << "2 1 -3.0\n"    // lower, negative
+        << "1 2 -3.0\n"    // its mirror (two-sided storage)
+        << "1 3 -2.0\n"    // upper-triangle-only, negative
+        << "4 3 1.5\n";    // lower, positive
+  }
+  const Graph g = load_graph_mtx(path);
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GT(e.weight, 0.0);
+  }
+  EXPECT_NEAR(g.total_weight(), 3.0 + 2.0 + 1.5, 1e-15);
+  std::remove(path.c_str());
+}
+
+TEST(MtxIo, EdgelessConversionFailsWithClearError) {
+  // Diagonal-only matrices convert to an edgeless graph; loading one must
+  // fail loudly instead of handing an unusable graph downstream.
+  const std::string path = "ssp_test_diagonal_only.mtx";
+  {
+    std::ofstream out(path);
+    out << "%%MatrixMarket matrix coordinate real symmetric\n";
+    out << "3 3 3\n";
+    out << "1 1 1.0\n2 2 1.0\n3 3 1.0\n";
+  }
+  try {
+    (void)load_graph_mtx(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("no usable off-diagonal"),
+              std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
 TEST(MtxIo, MissingFileThrows) {
   EXPECT_THROW((void)read_matrix_market_file("/nonexistent/file.mtx"),
                std::runtime_error);

@@ -121,6 +121,51 @@ TEST(Pcg, ZeroRhsReturnsZero) {
   for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
 }
 
+TEST(Pcg, BreakdownIsFlaggedWithTrueResidualOfReturnedIterate) {
+  // Regression: a pᵀAp ≤ 0 breakdown used to return silently with the
+  // residual recorded *before* the breakdown. It must now set
+  // `breakdown` and report ||b − A x|| of the iterate actually returned.
+  const std::vector<Triplet> ts = {{0, 0, 1.0}, {1, 1, -1.0}};
+  const CsrMatrix a = CsrMatrix::from_triplets(2, 2, ts);  // indefinite
+  {
+    // b = (1, 2): p₀ᵀA p₀ = 1 − 4 < 0 — immediate breakdown, x stays 0,
+    // so the true relative residual is exactly 1.
+    const Vec b = {1.0, 2.0};
+    Vec x(2, 0.0);
+    const PcgResult res =
+        cg_solve(a, b, x, {.max_iterations = 10, .rel_tolerance = 1e-12});
+    EXPECT_TRUE(res.breakdown);
+    EXPECT_FALSE(res.converged);
+    EXPECT_EQ(res.iterations, 0);
+    EXPECT_DOUBLE_EQ(res.relative_residual, 1.0);
+    for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+  {
+    // b = (2, 1): the first iteration succeeds (p₀ᵀA p₀ = 3), the second
+    // direction has p₁ᵀA p₁ < 0. The reported residual must describe the
+    // returned x — here 4/3, checked against an independent recompute.
+    const Vec b = {2.0, 1.0};
+    Vec x(2, 0.0);
+    const PcgResult res =
+        cg_solve(a, b, x, {.max_iterations = 10, .rel_tolerance = 1e-12});
+    EXPECT_TRUE(res.breakdown);
+    EXPECT_FALSE(res.converged);
+    EXPECT_EQ(res.iterations, 1);
+    const Vec ax = a.multiply(x);
+    const Vec r = subtract(b, ax);
+    EXPECT_NEAR(res.relative_residual, norm2(r) / norm2(b), 1e-14);
+    EXPECT_NEAR(res.relative_residual, 4.0 / 3.0, 1e-12);
+  }
+  // Healthy SPD solves never set the flag.
+  const Graph g = grid_2d(6, 6);
+  const CsrMatrix spd = spd_matrix(g, 1.0);
+  const Vec b(static_cast<std::size_t>(spd.rows()), 1.0);
+  Vec x(static_cast<std::size_t>(spd.rows()), 0.0);
+  const PcgResult ok = cg_solve(spd, b, x, {.max_iterations = 500});
+  EXPECT_TRUE(ok.converged);
+  EXPECT_FALSE(ok.breakdown);
+}
+
 TEST(Pcg, InputValidation) {
   const Graph g = grid_2d(3, 3);
   const CsrMatrix a = spd_matrix(g, 1.0);

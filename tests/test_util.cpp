@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/assert.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/timer.hpp"
@@ -126,6 +127,117 @@ TEST(Rng, ShufflePreservesMultiset) {
   EXPECT_FALSE(std::equal(v.begin(), v.end(), w.begin()));  // overwhelmingly
   std::sort(w.begin(), w.end());
   EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SplitIsDeterministicAndDoesNotAdvanceParent) {
+  Rng parent_a(7);
+  Rng parent_b(7);
+  // Same parent state + same stream id => identical child sequences.
+  Rng child_a = parent_a.split(3);
+  Rng child_b = parent_b.split(3);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(child_a(), child_b());
+  // The parent's own sequence is untouched by split().
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(parent_a(), parent_b());
+}
+
+TEST(Rng, SplitStreamsAreDecorrelated) {
+  Rng parent(42);
+  Rng s0 = parent.split(0);
+  Rng s1 = parent.split(1);
+  int agree = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (s0() == s1()) ++agree;
+  }
+  EXPECT_EQ(agree, 0);  // adjacent ids must not collide
+  // A different parent state yields different streams for the same id.
+  (void)parent();
+  Rng s0_shifted = parent.split(0);
+  Rng s0_again = Rng(42).split(0);
+  EXPECT_NE(s0_shifted(), s0_again());
+}
+
+TEST(Parallel, DefaultThreadsResolution) {
+  EXPECT_GE(hardware_threads(), 1);
+  set_default_threads(3);
+  EXPECT_EQ(default_threads(), 3);
+  EXPECT_EQ(resolve_threads(0), 3);
+  EXPECT_EQ(resolve_threads(7), 7);
+  set_default_threads(0);  // restore env/hardware default
+  EXPECT_GE(default_threads(), 1);
+}
+
+TEST(Parallel, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 9}) {
+    std::vector<int> hits(1000, 0);
+    parallel_for(0, 1000, threads,
+                 [&](Index i) { ++hits[static_cast<std::size_t>(i)]; });
+    EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                            [](int h) { return h == 1; }))
+        << "threads=" << threads;
+  }
+  // Empty and tiny ranges are fine.
+  parallel_for(5, 5, 4, [](Index) { FAIL() << "empty range ran a body"; });
+  int tiny = 0;
+  parallel_for(0, 1, 8, [&](Index) { ++tiny; });
+  EXPECT_EQ(tiny, 1);
+}
+
+TEST(Parallel, ChunkDecompositionIsAPureFunctionOfRangeAndCount) {
+  // Chunk boundaries must not depend on scheduling: record them twice and
+  // compare. Contiguity + coverage is also pinned here.
+  const auto record = [](Index n, int chunks) {
+    std::vector<std::pair<Index, Index>> bounds(
+        static_cast<std::size_t>(chunks), {-1, -1});
+    parallel_for_chunks(0, n, chunks, [&](int c, Index b, Index e) {
+      bounds[static_cast<std::size_t>(c)] = {b, e};
+    });
+    return bounds;
+  };
+  for (int chunks : {1, 3, 4, 7}) {
+    const auto a = record(101, chunks);
+    const auto b = record(101, chunks);
+    EXPECT_EQ(a, b);
+    Index expected_begin = 0;
+    for (const auto& [lo, hi] : a) {
+      EXPECT_EQ(lo, expected_begin);  // contiguous, in chunk order
+      EXPECT_GT(hi, lo);              // no empty chunks
+      expected_begin = hi;
+    }
+    EXPECT_EQ(expected_begin, 101);  // full coverage
+  }
+}
+
+TEST(Parallel, NestedRegionsRunInlineWithoutDeadlock) {
+  std::vector<int> hits(64, 0);
+  parallel_for(0, 8, 4, [&](Index outer) {
+    parallel_for(0, 8, 4, [&](Index inner) {
+      ++hits[static_cast<std::size_t>(outer * 8 + inner)];
+    });
+  });
+  EXPECT_TRUE(
+      std::all_of(hits.begin(), hits.end(), [](int h) { return h == 1; }));
+}
+
+TEST(Parallel, LowestIndexedChunkExceptionWins) {
+  try {
+    parallel_for_chunks(0, 100, 4, [](int chunk, Index, Index) {
+      if (chunk >= 1) {
+        throw std::runtime_error("chunk " + std::to_string(chunk));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk 1");  // deterministic: lowest index
+  }
+}
+
+TEST(Parallel, ThreadPoolRejectsBadConfig) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.workers(), 2);
+  EXPECT_THROW(
+      pool.run_chunks(0, 4, 0, [](int, Index, Index) {}),
+      std::invalid_argument);
 }
 
 TEST(UnionFind, SingletonsAtStart) {

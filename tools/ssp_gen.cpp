@@ -19,6 +19,7 @@
 #include "graph/generators/points.hpp"
 #include "graph/generators/random_graphs.hpp"
 #include "graph/mtx_io.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -49,12 +50,17 @@ int main(int argc, char** argv) {
       .option("k", "kNN neighbors / planted communities", "8")
       .option("dim", "point dimension (knn)", "3")
       .option("weights", "unit|uniform|log|wide-log", "unit")
+      .option("threads",
+              "worker threads; results are bit-identical for every value "
+              "(0 = SSP_THREADS env or hardware concurrency)",
+              "0")
       .option("seed", "random seed", "42");
   try {
     if (!args.parse(argc, argv)) {
       std::fputs(args.usage().c_str(), stdout);
       return 0;
     }
+    set_default_threads(static_cast<int>(args.get_int("threads", 0)));
     const std::string family = args.require("family");
     const std::string out = args.require("out");
     Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));

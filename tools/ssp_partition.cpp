@@ -16,6 +16,7 @@
 #include "graph/mtx_io.hpp"
 #include "partition/spectral_bisection.hpp"
 #include "partition/spectral_clustering.hpp"
+#include "util/parallel.hpp"
 
 int main(int argc, char** argv) {
   ssp::cli::ArgParser args("ssp_partition",
@@ -25,12 +26,17 @@ int main(int argc, char** argv) {
       .option("solver", "direct|sparsifier (k=2 only)", "sparsifier")
       .option("sigma2", "sparsifier target", "200")
       .option("out", "output assignment file (optional)")
+      .option("threads",
+              "worker threads; results are bit-identical for every value "
+              "(0 = SSP_THREADS env or hardware concurrency)",
+              "0")
       .option("seed", "random seed", "42");
   try {
     if (!args.parse(argc, argv)) {
       std::fputs(args.usage().c_str(), stdout);
       return 0;
     }
+    ssp::set_default_threads(static_cast<int>(args.get_int("threads", 0)));
     const ssp::Graph g = ssp::load_graph_mtx(args.require("in"));
     const auto k = args.get_int("k", 2);
     std::printf("|V| = %d, |E| = %lld, k = %lld\n", g.num_vertices(),

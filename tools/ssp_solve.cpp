@@ -25,6 +25,7 @@
 #include "solver/pcg.hpp"
 #include "solver/preconditioner.hpp"
 #include "tree/kruskal.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -41,12 +42,17 @@ int main(int argc, char** argv) {
               "tree-pcg")
       .option("tol", "relative residual tolerance", "1e-6")
       .option("max-iters", "PCG iteration limit", "5000")
+      .option("threads",
+              "worker threads; results are bit-identical for every value "
+              "(0 = SSP_THREADS env or hardware concurrency)",
+              "0")
       .option("seed", "random RHS seed", "42");
   try {
     if (!args.parse(argc, argv)) {
       std::fputs(args.usage().c_str(), stdout);
       return 0;
     }
+    set_default_threads(static_cast<int>(args.get_int("threads", 0)));
     const Graph g = load_graph_mtx(args.require("in"));
     const CsrMatrix l = laplacian(g);
     Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));

@@ -17,6 +17,7 @@
 #include "core/sparsifier.hpp"
 #include "core/sparsifier_engine.hpp"
 #include "graph/mtx_io.hpp"
+#include "util/parallel.hpp"
 
 namespace {
 
@@ -63,12 +64,18 @@ int main(int argc, char** argv) {
       .option("solver-tolerance", "relative tolerance of inner solves",
               "1e-4")
       .option("progress", "stream per-round telemetry (=stages for more)")
+      .option("threads",
+              "worker threads; results are bit-identical for every value "
+              "(0 = SSP_THREADS env or hardware concurrency)",
+              "0")
       .option("seed", "random seed", "42");
   try {
     if (!args.parse(argc, argv)) {
       std::fputs(args.usage().c_str(), stdout);
       return 0;
     }
+    const int threads = static_cast<int>(args.get_int("threads", 0));
+    ssp::set_default_threads(threads);
     const std::string in_path = args.require("in");
     const ssp::Graph g = ssp::load_graph_mtx(in_path);
     std::printf("loaded %s: |V| = %d, |E| = %lld\n", in_path.c_str(),
@@ -91,6 +98,7 @@ int main(int argc, char** argv) {
                 args.get("inner-solver", "tree-pcg")))
             .with_solver_tolerance(
                 args.get_double("solver-tolerance", 1e-4))
+            .with_threads(threads)
             .with_seed(
                 static_cast<std::uint64_t>(args.get_int("seed", 42)));
 
