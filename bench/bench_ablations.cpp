@@ -33,6 +33,12 @@ namespace {
 
 using namespace ssp;
 using bench::dim;
+using bench::Json;
+
+bench::Report& report() {
+  static bench::Report r("ablations");
+  return r;
+}
 
 void ablation_backbone() {
   bench::print_banner("Ablation A — backbone spanning tree");
@@ -75,6 +81,14 @@ void ablation_backbone() {
                   bname, st.total_all,
                   static_cast<long long>(res.num_edges()),
                   res.rounds.size(), t.seconds());
+      report().section("backbone").push(
+          Json::object()
+              .set("graph", item.gname)
+              .set("backbone", bname)
+              .set("total_stretch", st.total_all)
+              .set("edges", static_cast<long long>(res.num_edges()))
+              .set("rounds", res.rounds.size())
+              .set("seconds", t.seconds()));
     }
   }
 }
@@ -126,6 +140,14 @@ void ablation_embedding() {
                   100.0 * static_cast<double>(overlap) /
                       static_cast<double>(k),
                   timer.milliseconds());
+      report().section("embedding").push(
+          Json::object()
+              .set("power_steps", t)
+              .set("num_vectors", static_cast<long long>(r))
+              .set("top512_overlap_pct",
+                   100.0 * static_cast<double>(overlap) /
+                       static_cast<double>(k))
+              .set("milliseconds", timer.milliseconds()));
     }
   }
 }
@@ -155,6 +177,13 @@ void ablation_similarity() {
     std::printf("%-14s %10lld %8zu %12.1f %9.2fs\n", p.name,
                 static_cast<long long>(res.num_edges()), res.rounds.size(),
                 res.sigma2_estimate, t.seconds());
+    report().section("similarity").push(
+        Json::object()
+            .set("policy", p.name)
+            .set("edges", static_cast<long long>(res.num_edges()))
+            .set("rounds", res.rounds.size())
+            .set("sigma2_estimate", res.sigma2_estimate)
+            .set("seconds", t.seconds()));
   }
 }
 
@@ -182,6 +211,13 @@ void ablation_inner_solver() {
                   to_string(kind),
                   static_cast<long long>(res.num_edges()),
                   res.sigma2_estimate, t.seconds());
+      report().section("inner_solver").push(
+          Json::object()
+              .set("graph", item.name)
+              .set("solver", to_string(kind))
+              .set("edges", static_cast<long long>(res.num_edges()))
+              .set("sigma2_estimate", res.sigma2_estimate)
+              .set("seconds", t.seconds()));
     }
   }
 }
@@ -196,6 +232,10 @@ void ablation_rescale() {
   std::printf("two-sided sigma^2 after rescale:  %10.2f  (scale factor "
               "%.4f)\n",
               rr.sigma2_after, rr.scale);
+  report().section("rescale").push(Json::object()
+                                       .set("sigma2_before", rr.sigma2_before)
+                                       .set("sigma2_after", rr.sigma2_after)
+                                       .set("scale", rr.scale));
 }
 
 void BM_AkpwTree(benchmark::State& state) {
@@ -223,6 +263,7 @@ int main(int argc, char** argv) {
   ablation_similarity();
   ablation_inner_solver();
   ablation_rescale();
+  report().write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -12,14 +12,10 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "core/eigen_estimate.hpp"
 #include "core/resistance_sampling.hpp"
 #include "core/sparsifier.hpp"
 #include "core/sparsifier_engine.hpp"
-#include "eigen/operators.hpp"
-#include "graph/laplacian.hpp"
-#include "solver/preconditioner.hpp"
-#include "tree/kruskal.hpp"
+#include "scale/quality.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -27,23 +23,17 @@ namespace {
 
 using namespace ssp;
 using bench::dim;
+using bench::Json;
+
+bench::Report& report() {
+  static bench::Report r("baseline_ss");
+  return r;
+}
 
 /// Condition-number estimate for an arbitrary (possibly reweighted)
-/// sparsifier graph: λ_max via generalized power iterations with a
-/// tree-PCG solver for L_P, λ_min via the degree-ratio bound.
-double kappa_estimate(const Graph& g, const Graph& p, Rng& rng) {
-  const CsrMatrix lg = laplacian(g);
-  const CsrMatrix lp = laplacian(p);
-  const SpanningTree ptree = max_weight_spanning_tree(p);
-  const TreePreconditioner precond(ptree);
-  const LinOp solve_p = make_pcg_op(
-      lp, precond,
-      {.max_iterations = 600, .rel_tolerance = 1e-8,
-       .project_constants = true});
-  const double lmax = estimate_lambda_max_power(lg, solve_p, rng, 20);
-  const double lmin = estimate_lambda_min_node_coloring(g, p);
-  // For reweighted sparsifiers λ_min can drop below 1; guard only at 0.
-  return lmax / std::max(lmin, 1e-12);
+/// sparsifier graph (scale/quality.hpp).
+double kappa_estimate(const Graph& g, const Graph& p) {
+  return estimate_sparsifier_quality(g, p, {.seed = 77}).sigma2;
 }
 
 void run_case(const char* name, const Graph& g) {
@@ -60,15 +50,25 @@ void run_case(const char* name, const Graph& g) {
   ss_opts.seed = 9;
   const SsResult ss = spielman_srivastava_sparsify(g, ss_opts);
 
-  Rng rng(77);
-  const double kappa_sim = kappa_estimate(g, p_sim, rng);
-  const double kappa_ss = kappa_estimate(g, ss.sparsifier, rng);
+  const double kappa_sim = kappa_estimate(g, p_sim);
+  const double kappa_ss = kappa_estimate(g, ss.sparsifier);
 
   std::printf("%-10s %9d %10lld | %8lld %10.1f %8.2fs | %8lld %10.1f %8.2fs\n",
               name, g.num_vertices(), static_cast<long long>(g.num_edges()),
               static_cast<long long>(sim.num_edges()), kappa_sim, sim_seconds,
               static_cast<long long>(ss.distinct_edges), kappa_ss,
               ss.seconds);
+  report().section("baseline").push(
+      Json::object()
+          .set("graph", name)
+          .set("vertices", g.num_vertices())
+          .set("edges", static_cast<long long>(g.num_edges()))
+          .set("sim_edges", static_cast<long long>(sim.num_edges()))
+          .set("sim_kappa", kappa_sim)
+          .set("sim_seconds", sim_seconds)
+          .set("ss_edges", static_cast<long long>(ss.distinct_edges))
+          .set("ss_kappa", kappa_ss)
+          .set("ss_seconds", ss.seconds));
 }
 
 void print_baseline() {
@@ -132,6 +132,16 @@ void print_warm_start() {
                 cold_seconds, warm_rounds,
                 static_cast<long long>(engine.result().num_edges()),
                 warm_seconds);
+    report().section("warm_start").push(
+        Json::object()
+            .set("graph", c.name)
+            .set("cold_rounds", cold.rounds.size())
+            .set("cold_edges", static_cast<long long>(cold.num_edges()))
+            .set("cold_seconds", cold_seconds)
+            .set("warm_rounds", warm_rounds)
+            .set("warm_edges",
+                 static_cast<long long>(engine.result().num_edges()))
+            .set("warm_seconds", warm_seconds));
   }
   bench::print_rule(70);
   std::printf("refine() resumes densification from the warm edge set — "
@@ -185,6 +195,14 @@ void print_thread_scaling() {
               obs1.embedding_seconds() /
                   std::max(obsn.embedding_seconds(), 1e-12),
               identical ? "yes" : "NO (BUG)");
+  report().section("thread_scaling").push(
+      Json::object()
+          .set("graph", "dblp")
+          .set("edges", static_cast<long long>(e1.result().num_edges()))
+          .set("embed_seconds_1t", obs1.embedding_seconds())
+          .set("threads", n_threads)
+          .set("embed_seconds_nt", obsn.embedding_seconds())
+          .set("bitmatch", identical));
   bench::print_rule(80);
   std::printf("probe streams are split per vector and partials reduce in "
               "stream order, so N-thread output is bit-identical.\n");
@@ -220,6 +238,7 @@ int main(int argc, char** argv) {
   print_baseline();
   print_warm_start();
   print_thread_scaling();
+  report().write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

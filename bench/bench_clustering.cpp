@@ -23,7 +23,7 @@ namespace {
 using namespace ssp;
 using bench::dim;
 
-void print_clustering() {
+void print_clustering(bench::Report& report) {
   bench::print_banner(
       "Spectral clustering on sparsified networks (paper §4.4)\n"
       "k-NN mixture graph: cluster original vs sigma^2=100 sparsifier");
@@ -77,6 +77,22 @@ void print_clustering() {
                                             spars.assignment));
   std::printf("expected shape: same clusters, several-fold cheaper "
               "clustering on the sparsifier.\n");
+  report.section("cases").push(
+      bench::Json::object()
+          .set("graph", "knn_mixture_40nn")
+          .set("vertices", g.num_vertices())
+          .set("edges", static_cast<long long>(g.num_edges()))
+          .set("sparsifier_edges", static_cast<long long>(p.num_edges()))
+          .set("cluster_seconds_original", orig_seconds)
+          .set("cluster_seconds_sparsified", spars_seconds)
+          .set("sparsify_seconds", sparsify_seconds)
+          .set("nmi_original",
+               normalized_mutual_information(orig.assignment, truth))
+          .set("nmi_sparsified",
+               normalized_mutual_information(spars.assignment, truth))
+          .set("nmi_agreement",
+               normalized_mutual_information(orig.assignment,
+                                             spars.assignment)));
 }
 
 void BM_SpectralClustering(benchmark::State& state) {
@@ -96,7 +112,9 @@ BENCHMARK(BM_SpectralClustering)->Arg(500)->Arg(1500)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_clustering();
+  ssp::bench::Report report("clustering");
+  print_clustering(report);
+  report.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -3,15 +3,22 @@
 /// \file bench_common.hpp
 /// Shared helpers for the paper-reproduction benchmark binaries: the proxy
 /// workloads standing in for the paper's SuiteSparse matrices (DESIGN.md
-/// §3) and fixed-width table printing.
+/// §3), fixed-width table printing, and the machine-readable
+/// `BENCH_<name>.json` report writer behind the perf-trajectory tracking
+/// (every bench emits stage timings, graph sizes, and quality metrics as
+/// JSON next to its text tables).
 ///
 /// Set SSP_BENCH_LARGE=1 to run paper-scale sizes (millions of vertices);
 /// the defaults are laptop-scale and finish each binary in well under two
 /// minutes while preserving every trend.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "graph/generators/airfoil.hpp"
 #include "graph/generators/knn.hpp"
@@ -104,6 +111,206 @@ inline Graph rcv_proxy(Index points, std::uint64_t seed = 108) {
   const PointCloud pc = gaussian_mixture_points(points, 16, 20, 0.08, rng);
   return knn_graph(pc, 80);
 }
+
+// ---- Machine-readable reports (BENCH_<name>.json) ----
+
+/// Minimal ordered JSON value: object (insertion-ordered), array, number,
+/// string, bool, null. Built fluently, dumped with stable formatting so
+/// report diffs stay reviewable.
+class Json {
+ public:
+  Json() = default;  // null
+  Json(double v) : kind_(Kind::kNumber), number_(v) {}
+  Json(int v) : kind_(Kind::kNumber), number_(v) {}
+  Json(long v) : kind_(Kind::kNumber), number_(static_cast<double>(v)) {}
+  Json(long long v) : kind_(Kind::kNumber), number_(static_cast<double>(v)) {}
+  Json(std::size_t v)
+      : kind_(Kind::kNumber), number_(static_cast<double>(v)) {}
+  Json(bool v) : kind_(Kind::kBool), bool_(v) {}
+  Json(const char* v) : kind_(Kind::kString), string_(v) {}
+  Json(std::string v) : kind_(Kind::kString), string_(std::move(v)) {}
+
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+
+  /// Object field (created on first use; this must be an object/null).
+  Json& operator[](const std::string& key) {
+    require(Kind::kObject);
+    for (auto& [k, v] : members_) {
+      if (k == key) return v;
+    }
+    members_.emplace_back(key, Json());
+    return members_.back().second;
+  }
+
+  /// Sets an object field and returns *this for chaining.
+  Json& set(const std::string& key, Json value) {
+    (*this)[key] = std::move(value);
+    return *this;
+  }
+
+  /// Appends to an array (this must be an array/null); returns the
+  /// appended element.
+  Json& push(Json value) {
+    require(Kind::kArray);
+    items_.push_back(std::move(value));
+    return items_.back();
+  }
+
+  void dump(std::string& out, int depth = 0) const {
+    switch (kind_) {
+      case Kind::kNull:
+        out += "null";
+        return;
+      case Kind::kBool:
+        out += bool_ ? "true" : "false";
+        return;
+      case Kind::kNumber: {
+        if (!std::isfinite(number_)) {
+          out += "null";  // JSON has no NaN/Inf
+          return;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", number_);
+        out += buf;
+        return;
+      }
+      case Kind::kString:
+        append_escaped(out, string_);
+        return;
+      case Kind::kArray: {
+        out += '[';
+        for (std::size_t i = 0; i < items_.size(); ++i) {
+          if (i != 0) out += ", ";
+          items_[i].dump(out, depth + 1);
+        }
+        out += ']';
+        return;
+      }
+      case Kind::kObject: {
+        out += '{';
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          out += i == 0 ? "\n" : ",\n";
+          out.append(static_cast<std::size_t>(depth + 1) * 2, ' ');
+          append_escaped(out, members_[i].first);
+          out += ": ";
+          members_[i].second.dump(out, depth + 1);
+        }
+        if (!members_.empty()) {
+          out += '\n';
+          out.append(static_cast<std::size_t>(depth) * 2, ' ');
+        }
+        out += '}';
+        return;
+      }
+    }
+  }
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  void require(Kind kind) {
+    if (kind_ == Kind::kNull) kind_ = kind;  // lazily become a container
+    if (kind_ != kind) {
+      std::fprintf(stderr, "bench::Json: container kind mismatch\n");
+      std::abort();
+    }
+  }
+
+  static void append_escaped(std::string& out, const std::string& s) {
+    out += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+  }
+
+  Kind kind_ = Kind::kNull;
+  double number_ = 0.0;
+  bool bool_ = false;
+  std::string string_;
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> items_;
+};
+
+/// Accumulates one bench binary's structured results and writes them to
+/// `BENCH_<name>.json` in the working directory (explicitly via write(),
+/// or from the destructor as a backstop). Typical use:
+///
+///   bench::Report report("table1_eigenvalues");
+///   report.section("cases").push(Json::object()
+///       .set("graph", name).set("n", g.num_vertices())
+///       .set("seconds", t.seconds()));
+///   ...
+///   report.write();
+class Report {
+ public:
+  explicit Report(std::string name) : name_(std::move(name)) {
+    root_ = Json::object();
+    root_.set("bench", name_).set("large_mode", large_mode());
+  }
+
+  Report(const Report&) = delete;
+  Report& operator=(const Report&) = delete;
+
+  ~Report() {
+    if (!written_) write();
+  }
+
+  [[nodiscard]] Json& root() { return root_; }
+
+  /// Root-level array, created on first use.
+  [[nodiscard]] Json& section(const std::string& key) { return root_[key]; }
+
+  void write() {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::string out;
+    root_.dump(out);
+    out += '\n';
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fwrite(out.data(), 1, out.size(), f);
+      std::fclose(f);
+      std::printf("wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "could not write %s\n", path.c_str());
+    }
+    written_ = true;
+  }
+
+ private:
+  std::string name_;
+  Json root_;
+  bool written_ = false;
+};
 
 // ---- Table printing ----
 

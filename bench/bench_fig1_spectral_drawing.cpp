@@ -24,6 +24,7 @@
 namespace {
 
 using namespace ssp;
+using bench::Json;
 
 EigenPairs drawing_eigenvectors(const Graph& g, Rng& rng) {
   const CsrMatrix l = laplacian(g);
@@ -46,7 +47,7 @@ void write_csv(const std::string& path, const EigenPairs& pairs) {
   }
 }
 
-void print_fig1() {
+void print_fig1(bench::Report& report) {
   bench::print_banner(
       "Fig. 1 — spectral drawings of two spectrally-similar airfoil graphs");
   const Vertex nr = bench::dim(24, 48);
@@ -72,6 +73,14 @@ void print_fig1() {
   write_csv("fig1_original.csv", orig);
   write_csv("fig1_sparsifier.csv", spars);
 
+  Json& entry = report.section("cases").push(
+      Json::object()
+          .set("graph", "airfoil")
+          .set("vertices", g.num_vertices())
+          .set("edges", static_cast<long long>(g.num_edges()))
+          .set("sparsifier_edges", static_cast<long long>(p.num_edges()))
+          .set("sigma2_estimate", res.sigma2_estimate)
+          .set("sparsify_seconds", res.total_seconds));
   // Drawing agreement: |correlation| of each coordinate (sign-invariant).
   for (int k = 0; k < 2; ++k) {
     const double corr = std::abs(
@@ -81,6 +90,13 @@ void print_fig1() {
                 "|corr| = %.4f\n",
                 k + 2, orig.values[static_cast<std::size_t>(k)],
                 spars.values[static_cast<std::size_t>(k)], corr);
+    entry["eigenvectors"].push(
+        Json::object()
+            .set("index", k + 2)
+            .set("lambda_original", orig.values[static_cast<std::size_t>(k)])
+            .set("lambda_sparsifier",
+                 spars.values[static_cast<std::size_t>(k)])
+            .set("abs_correlation", corr));
   }
   std::printf("wrote fig1_original.csv / fig1_sparsifier.csv "
               "(plot x,y per vertex to compare drawings)\n");
@@ -99,7 +115,9 @@ BENCHMARK(BM_AirfoilSparsify)->Arg(12)->Arg(24)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_fig1();
+  ssp::bench::Report report("fig1_spectral_drawing");
+  print_fig1(report);
+  report.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -25,6 +25,12 @@
 namespace {
 
 using namespace ssp;
+using bench::Json;
+
+bench::Report& report() {
+  static bench::Report r("fig2_edge_ranking");
+  return r;
+}
 
 void run_case(const char* name, const Graph& g) {
   std::printf("\n%s: |V| = %d, |E| = %lld\n", name, g.num_vertices(),
@@ -50,6 +56,13 @@ void run_case(const char* name, const Graph& g) {
   const double lmin = estimate_lambda_min_node_coloring(g, in_p);
   const double lmax = estimate_lambda_max_power(lg, solve_p, rng, 10);
   std::printf("  lambda_min ~= %.3f, lambda_max ~= %.1f\n", lmin, lmax);
+  Json& entry = report().section("cases").push(
+      Json::object()
+          .set("graph", name)
+          .set("vertices", g.num_vertices())
+          .set("edges", static_cast<long long>(g.num_edges()))
+          .set("lambda_min", lmin)
+          .set("lambda_max", lmax));
   // The paper's figure marks sigma^2 = 100 and 500; our grid proxies carry
   // a larger tree-pencil lambda_max than the UFL circuit matrices, so two
   // higher levels are added to exhibit the same sharp-cut regime.
@@ -65,6 +78,12 @@ void run_case(const char* name, const Graph& g) {
         sigma2, theta, static_cast<long long>(above), normalized.size(),
         100.0 * static_cast<double>(above) /
             static_cast<double>(normalized.size()));
+    entry["thresholds"].push(Json::object()
+                                 .set("sigma2", sigma2)
+                                 .set("theta", theta)
+                                 .set("edges_passing",
+                                      static_cast<long long>(above))
+                                 .set("offtree_edges", normalized.size()));
   }
 
   // Decile series of the sorted curve (log-scale decay profile).
@@ -73,6 +92,7 @@ void run_case(const char* name, const Graph& g) {
     const std::size_t idx = std::min(
         normalized.size() - 1, normalized.size() * static_cast<std::size_t>(d) / 10);
     std::printf(" %.1e", normalized[idx]);
+    entry["heat_deciles"].push(normalized[idx]);
   }
   std::printf("\n");
 
@@ -114,6 +134,7 @@ BENCHMARK(BM_HeatEmbedding)->Arg(64)->Arg(128)->Arg(256)
 
 int main(int argc, char** argv) {
   print_fig2();
+  report().write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

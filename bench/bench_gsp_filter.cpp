@@ -21,7 +21,7 @@ namespace {
 using namespace ssp;
 using bench::dim;
 
-void print_gsp() {
+void print_gsp(bench::Report& report) {
   bench::print_banner(
       "GSP view (paper §3.4) — sparsifier as a low-pass graph filter\n"
       "rows: signal high-frequency fraction; value: relative filter "
@@ -63,6 +63,20 @@ void print_gsp() {
     for (const auto& col : columns) std::printf(" %12.4f", col[r]);
     std::printf("\n");
   }
+  for (std::size_t c = 0; c < graphs.size(); ++c) {
+    bench::Json& entry = report.section("cases").push(
+        bench::Json::object()
+            .set("graph", graphs[c].name)
+            .set("vertices", graphs[c].graph.num_vertices())
+            .set("edges",
+                 static_cast<long long>(graphs[c].graph.num_edges())));
+    for (std::size_t r = 0; r < 5; ++r) {
+      entry["disagreement"].push(
+          bench::Json::object()
+              .set("high_freq_fraction", fracs[r])
+              .set("rel_disagreement", columns[c][r]));
+    }
+  }
   bench::print_rule(40);
   std::printf("expected shape: near-zero disagreement for smooth signals, "
               "growing with frequency.\n");
@@ -84,7 +98,9 @@ BENCHMARK(BM_ChebyshevFilter)->Arg(64)->Arg(128)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_gsp();
+  ssp::bench::Report report("gsp_filter");
+  print_gsp(report);
+  report.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -25,7 +25,7 @@ namespace {
 using namespace ssp;
 using bench::dim;
 
-void print_shootout() {
+void print_shootout(bench::Report& report) {
   bench::print_banner(
       "Preconditioner shootout — PCG on L_G x = b to 1e-3 (Table 2 "
       "scenario)\ncolumns: iterations (setup seconds)");
@@ -51,6 +51,14 @@ void print_shootout() {
     std::printf("%-22s %10lld %11.2fs%s\n", name,
                 static_cast<long long>(r.iterations), setup,
                 r.converged ? "" : "  [no convergence]");
+    report.section("cases").push(
+        bench::Json::object()
+            .set("preconditioner", name)
+            .set("vertices", g.num_vertices())
+            .set("edges", static_cast<long long>(g.num_edges()))
+            .set("iterations", static_cast<long long>(r.iterations))
+            .set("setup_seconds", setup)
+            .set("converged", r.converged));
   };
 
   {
@@ -131,7 +139,9 @@ BENCHMARK(BM_Ic0Setup)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_shootout();
+  ssp::bench::Report report("preconditioners");
+  print_shootout(report);
+  report.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -74,7 +74,7 @@ std::vector<Case> make_cases() {
   return cases;
 }
 
-void print_table1() {
+void print_table1(bench::Report& report) {
   bench::print_banner(
       "Table 1 — extreme eigenvalue estimation (estimate vs Lanczos exact)\n"
       "columns: lambda_min  ~lambda_min  err%%   lambda_max  ~lambda_max  err%%");
@@ -116,6 +116,17 @@ void print_table1() {
     std::printf("%-12s %10.3f %10.3f %5.1f%% %12.1f %12.1f %5.1f%%\n",
                 c.name, lmin_exact, lmin_est, emin, lmax_exact, lmax_est,
                 emax);
+    report.section("cases").push(
+        bench::Json::object()
+            .set("graph", c.name)
+            .set("vertices", g.num_vertices())
+            .set("edges", static_cast<long long>(g.num_edges()))
+            .set("lambda_min_exact", lmin_exact)
+            .set("lambda_min_estimate", lmin_est)
+            .set("lambda_min_err_pct", emin)
+            .set("lambda_max_exact", lmax_exact)
+            .set("lambda_max_estimate", lmax_est)
+            .set("lambda_max_err_pct", emax));
   }
   bench::print_rule(78);
   std::printf("* synthetic proxy of the SuiteSparse matrix (DESIGN.md §3)\n");
@@ -153,7 +164,9 @@ BENCHMARK(BM_LambdaMaxPowerIterations)->Arg(64)->Arg(128)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table1();
+  ssp::bench::Report report("table1_eigenvalues");
+  print_table1(report);
+  report.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

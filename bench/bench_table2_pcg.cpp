@@ -68,7 +68,7 @@ SigmaCell run_cell(const Graph& g, double sigma2, std::span<const double> b) {
   return cell;
 }
 
-void print_table2() {
+void print_table2(bench::Report& report) {
   bench::print_banner(
       "Table 2 — iterative SDD solver with sigma^2 = 50 / 200 sparsifier "
       "preconditioners\ncolumns: |E50|/|V|  N50  T50   |E200|/|V|  N200  T200");
@@ -89,6 +89,17 @@ void print_table2() {
         c50.density, static_cast<long long>(c50.iterations),
         c50.sparsify_seconds, c200.density,
         static_cast<long long>(c200.iterations), c200.sparsify_seconds);
+    report.section("cases").push(
+        bench::Json::object()
+            .set("graph", row.name)
+            .set("vertices", g.num_vertices())
+            .set("edges", static_cast<long long>(g.num_edges()))
+            .set("density_50", c50.density)
+            .set("iterations_50", static_cast<long long>(c50.iterations))
+            .set("sparsify_seconds_50", c50.sparsify_seconds)
+            .set("density_200", c200.density)
+            .set("iterations_200", static_cast<long long>(c200.iterations))
+            .set("sparsify_seconds_200", c200.sparsify_seconds));
   }
   bench::print_rule(78);
   std::printf("* synthetic proxy (DESIGN.md §3). Expected shape: N50 < N200, "
@@ -118,7 +129,9 @@ BENCHMARK(BM_PcgTreePreconditioned)->Arg(64)->Arg(128)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table2();
+  ssp::bench::Report report("table2_pcg");
+  print_table2(report);
+  report.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -48,7 +48,7 @@ std::vector<Row> make_rows() {
   return rows;
 }
 
-void print_table3() {
+void print_table3(bench::Report& report) {
   bench::print_banner(
       "Table 3 — spectral partitioning: direct Cholesky vs sigma^2<=200 "
       "sparsifier PCG\ncolumns: balance |V+|/|V-|, T_D (M_D), T_I (M_I), "
@@ -77,6 +77,19 @@ void print_table3() {
                 g.num_vertices(), ri.metrics.balance, rd.solve_seconds,
                 mb(rd.solver_memory_bytes), ri.solve_seconds,
                 mb(ri.solver_memory_bytes), rel_err);
+    report.section("cases").push(
+        bench::Json::object()
+            .set("graph", row.name)
+            .set("vertices", g.num_vertices())
+            .set("edges", static_cast<long long>(g.num_edges()))
+            .set("balance", ri.metrics.balance)
+            .set("direct_seconds", rd.solve_seconds)
+            .set("direct_memory_mb", mb(rd.solver_memory_bytes))
+            .set("sparsifier_seconds", ri.solve_seconds)
+            .set("sparsifier_memory_mb", mb(ri.solver_memory_bytes))
+            .set("sparsifier_edges",
+                 static_cast<long long>(ri.sparsifier_edges))
+            .set("rel_err", rel_err));
   }
   bench::print_rule(88);
   std::printf("* synthetic proxy (DESIGN.md §3). Expected shape: T_I < T_D, "
@@ -108,7 +121,9 @@ BENCHMARK(BM_SparsifierFiedler)->Arg(64)->Arg(100)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table3();
+  ssp::bench::Report report("table3_partition");
+  print_table3(report);
+  report.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -54,7 +54,7 @@ double eigs_seconds(const Graph& g, Index k, Rng& rng) {
   return t.seconds();
 }
 
-void print_table4() {
+void print_table4(bench::Report& report) {
   bench::print_banner(
       "Table 4 — complex network sparsification at sigma^2 ~ 100\n"
       "columns: T_tot, |E|/|Es|, lambda1/~lambda1, T_eig original "
@@ -83,6 +83,17 @@ void print_table4() {
                 row.name, g.num_vertices(),
                 static_cast<long long>(g.num_edges()), res.total_seconds,
                 reduction, collapse, t_orig, t_spars);
+    report.section("cases").push(
+        bench::Json::object()
+            .set("graph", row.name)
+            .set("vertices", g.num_vertices())
+            .set("edges", static_cast<long long>(g.num_edges()))
+            .set("sparsifier_edges", static_cast<long long>(p.num_edges()))
+            .set("sparsify_seconds", res.total_seconds)
+            .set("edge_reduction", reduction)
+            .set("lambda1_collapse", collapse)
+            .set("eig_seconds_original", t_orig)
+            .set("eig_seconds_sparsified", t_spars));
   }
   bench::print_rule(84);
   std::printf("* synthetic proxy (DESIGN.md §3). Expected shape: reductions "
@@ -101,7 +112,9 @@ BENCHMARK(BM_SparsifyNetwork)->Arg(10000)->Arg(20000)
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_table4();
+  ssp::bench::Report report("table4_networks");
+  print_table4(report);
+  report.write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/sparsifier_engine.hpp"
+#include "scale/partitioned_sparsifier.hpp"
 
 namespace ssp {
 
@@ -58,6 +59,36 @@ const char* to_string(StageKind stage) {
   return "?";
 }
 
+const char* to_string(CutPolicy policy) {
+  switch (policy) {
+    case CutPolicy::kKeepAll:
+      return "keep-all";
+    case CutPolicy::kFilter:
+      return "filter";
+    case CutPolicy::kQuotient:
+      return "quotient";
+  }
+  return "?";
+}
+
+const char* to_string(ScaleStage stage) {
+  switch (stage) {
+    case ScaleStage::kPartition:
+      return "partition";
+    case ScaleStage::kExtract:
+      return "extract";
+    case ScaleStage::kBlockSparsify:
+      return "block-sparsify";
+    case ScaleStage::kCutSparsify:
+      return "cut-sparsify";
+    case ScaleStage::kStitch:
+      return "stitch";
+    case ScaleStage::kQuality:
+      return "quality";
+  }
+  return "?";
+}
+
 BackboneKind parse_backbone_kind(const std::string& name) {
   if (name == "akpw") return BackboneKind::kAkpw;
   if (name == "kruskal") return BackboneKind::kMaxWeight;
@@ -79,6 +110,14 @@ SimilarityPolicy parse_similarity_policy(const std::string& name) {
   if (name == "bounded") return SimilarityPolicy::kBounded;
   throw std::invalid_argument("unknown similarity policy '" + name +
                               "' (none|node-disjoint|bounded)");
+}
+
+CutPolicy parse_cut_policy(const std::string& name) {
+  if (name == "keep-all") return CutPolicy::kKeepAll;
+  if (name == "filter") return CutPolicy::kFilter;
+  if (name == "quotient") return CutPolicy::kQuotient;
+  throw std::invalid_argument("unknown cut policy '" + name +
+                              "' (keep-all|filter|quotient)");
 }
 
 }  // namespace ssp

@@ -11,7 +11,9 @@
 
 namespace ssp {
 
-enum class StageKind;  // full definition in core/sparsifier_engine.hpp
+enum class StageKind;   // full definition in core/sparsifier_engine.hpp
+enum class CutPolicy;   // full definition in scale/partitioned_sparsifier.hpp
+enum class ScaleStage;  // full definition in scale/partitioned_sparsifier.hpp
 
 /// "akpw" | "kruskal" | "spt"
 [[nodiscard]] const char* to_string(BackboneKind kind);
@@ -26,6 +28,13 @@ enum class StageKind;  // full definition in core/sparsifier_engine.hpp
 /// "filtering" | "final-estimate"
 [[nodiscard]] const char* to_string(StageKind stage);
 
+/// "keep-all" | "filter" | "quotient"
+[[nodiscard]] const char* to_string(CutPolicy policy);
+
+/// "partition" | "extract" | "block-sparsify" | "cut-sparsify" | "stitch" |
+/// "quality"
+[[nodiscard]] const char* to_string(ScaleStage stage);
+
 /// Inverse of to_string(BackboneKind); throws std::invalid_argument naming
 /// the accepted spellings.
 [[nodiscard]] BackboneKind parse_backbone_kind(const std::string& name);
@@ -35,5 +44,8 @@ enum class StageKind;  // full definition in core/sparsifier_engine.hpp
 
 /// Inverse of to_string(SimilarityPolicy).
 [[nodiscard]] SimilarityPolicy parse_similarity_policy(const std::string& name);
+
+/// Inverse of to_string(CutPolicy).
+[[nodiscard]] CutPolicy parse_cut_policy(const std::string& name);
 
 }  // namespace ssp

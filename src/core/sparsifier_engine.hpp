@@ -85,6 +85,9 @@ enum class StageKind {
   kFinalEstimate,     ///< post-loop σ² refresh after the round budget
 };
 
+/// Number of StageKind values (for per-stage accumulation arrays).
+inline constexpr int kNumStageKinds = 6;
+
 /// Live telemetry hook for the engine. Default implementations observe
 /// nothing; override what you need. Callbacks run synchronously on the
 /// engine's thread and must not re-enter the engine.

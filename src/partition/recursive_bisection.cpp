@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "graph/connectivity.hpp"
+#include "graph/subgraph.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 
@@ -16,30 +17,6 @@ struct Part {
   std::vector<Vertex> vertices;
 };
 
-/// Builds the induced subgraph on `vertices`; returns it plus the local→
-/// original vertex map (the induced graph may be disconnected — callers
-/// bisect its largest component and keep the rest with side 0).
-Graph induced_subgraph(const Graph& g, std::span<const Vertex> vertices,
-                       std::vector<Vertex>& local_to_orig) {
-  std::vector<Vertex> orig_to_local(
-      static_cast<std::size_t>(g.num_vertices()), kInvalidVertex);
-  local_to_orig.assign(vertices.begin(), vertices.end());
-  for (std::size_t i = 0; i < vertices.size(); ++i) {
-    orig_to_local[static_cast<std::size_t>(vertices[i])] =
-        static_cast<Vertex>(i);
-  }
-  Graph sub(static_cast<Vertex>(vertices.size()));
-  for (const Edge& e : g.edges()) {
-    const Vertex lu = orig_to_local[static_cast<std::size_t>(e.u)];
-    const Vertex lv = orig_to_local[static_cast<std::size_t>(e.v)];
-    if (lu != kInvalidVertex && lv != kInvalidVertex) {
-      sub.add_edge(lu, lv, e.weight);
-    }
-  }
-  sub.finalize();
-  return sub;
-}
-
 }  // namespace
 
 RecursiveBisectionResult recursive_bisection(
@@ -48,28 +25,40 @@ RecursiveBisectionResult recursive_bisection(
   SSP_REQUIRE(opts.num_parts >= 2, "recursive_bisection: need >= 2 parts");
   SSP_REQUIRE(opts.min_part_size >= 4,
               "recursive_bisection: min_part_size must be >= 4");
-  SSP_REQUIRE(is_connected(g), "recursive_bisection: graph must be connected");
 
   const WallTimer timer;
   RecursiveBisectionResult out;
   out.assignment.assign(static_cast<std::size_t>(g.num_vertices()), 0);
 
   // Worklist ordered by size: always split the largest remaining part.
+  // Equal sizes (common once every component seeds its own part) break
+  // toward the part holding the smallest leading vertex — parts are
+  // disjoint, so the ordering is total and the result never depends on
+  // the STL's heap implementation.
   auto size_cmp = [](const Part& a, const Part& b) {
-    return a.vertices.size() < b.vertices.size();
+    if (a.vertices.size() != b.vertices.size()) {
+      return a.vertices.size() < b.vertices.size();
+    }
+    return a.vertices.front() > b.vertices.front();
   };
   std::priority_queue<Part, std::vector<Part>, decltype(size_cmp)> work(
       size_cmp);
+  // Seed with one part per connected component: a part never spans
+  // components, so disconnected inputs are handled by construction (the
+  // result then has at least one part per component, even beyond
+  // num_parts).
+  const ComponentLabels comps = connected_components(g);
   {
-    Part all;
-    all.vertices.resize(static_cast<std::size_t>(g.num_vertices()));
+    std::vector<Part> seeds(static_cast<std::size_t>(comps.num_components));
     for (Vertex v = 0; v < g.num_vertices(); ++v) {
-      all.vertices[static_cast<std::size_t>(v)] = v;
+      const Vertex c = comps.label[static_cast<std::size_t>(v)];
+      seeds[static_cast<std::size_t>(c)].vertices.push_back(v);
+      out.assignment[static_cast<std::size_t>(v)] = c;
     }
-    work.push(std::move(all));
+    for (Part& seed : seeds) work.push(std::move(seed));
   }
-  Index parts_made = 1;
-  Vertex next_label = 1;
+  Index parts_made = comps.num_components;
+  Vertex next_label = comps.num_components;
 
   while (parts_made < opts.num_parts && !work.empty()) {
     Part part = work.top();
@@ -78,12 +67,11 @@ RecursiveBisectionResult recursive_bisection(
         2 * opts.min_part_size) {
       continue;  // too small to split; label stays
     }
-    std::vector<Vertex> local_to_orig;
-    const Graph sub = induced_subgraph(g, part.vertices, local_to_orig);
+    const Subgraph sub = induced_subgraph(g, part.vertices);
     // Bisect the largest component of the induced subgraph; stragglers in
     // other components keep the part's current label.
     std::vector<Vertex> comp_to_sub;
-    const Graph comp = largest_component(sub, &comp_to_sub);
+    const Graph comp = largest_component(sub.graph, &comp_to_sub);
     if (comp.num_vertices() < 2 * static_cast<Vertex>(opts.min_part_size)) {
       continue;
     }
@@ -97,7 +85,7 @@ RecursiveBisectionResult recursive_bisection(
     Part side1;
     Part side0;
     for (Vertex c = 0; c < comp.num_vertices(); ++c) {
-      const Vertex orig = local_to_orig[static_cast<std::size_t>(
+      const Vertex orig = sub.local_to_global[static_cast<std::size_t>(
           comp_to_sub[static_cast<std::size_t>(c)])];
       if (cut.partition[static_cast<std::size_t>(c)] != 0) {
         side1.vertices.push_back(orig);

@@ -26,7 +26,13 @@ struct RecursiveBisectionResult {
   double seconds = 0.0;
 };
 
-/// Partitions a connected graph into (up to) `num_parts` parts.
+/// Partitions a graph into (up to) `num_parts` parts. Part ids are
+/// compacted to [0, parts) and every id in that range is non-empty. The
+/// input need not be connected: each connected component seeds its own
+/// part (a part never spans components), so a graph with more components
+/// than `num_parts` yields one part per component. Small graphs may
+/// produce fewer than `num_parts` parts because pieces below
+/// 2·min_part_size are never split.
 [[nodiscard]] RecursiveBisectionResult recursive_bisection(
     const Graph& g, const RecursiveBisectionOptions& opts = {});
 

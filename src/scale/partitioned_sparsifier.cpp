@@ -1,0 +1,493 @@
+#include "scale/partitioned_sparsifier.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "graph/connectivity.hpp"
+#include "graph/subgraph.hpp"
+#include "util/assert.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+#include "util/union_find.hpp"
+
+namespace ssp {
+
+namespace {
+
+/// Sums engine stage wall times into a caller-owned array (one engine per
+/// task, so no synchronization is needed).
+class StageSecondsAccumulator final : public StageObserver {
+ public:
+  explicit StageSecondsAccumulator(std::array<double, kNumStageKinds>* acc)
+      : acc_(acc) {}
+  void on_stage(StageKind stage, double seconds) override {
+    (*acc_)[static_cast<int>(stage)] += seconds;
+  }
+
+ private:
+  std::array<double, kNumStageKinds>* acc_;
+};
+
+/// One unit of engine work: a connected component of a block (or of the
+/// cut graph), with its edge map into host edge ids and derived seed.
+/// Tasks are movable (they live in a vector), so the working graph and
+/// edge map are resolved through accessors instead of raw self-pointers:
+/// `parent` points at stable storage (the blocks vector or the cut
+/// subgraph), `owned` holds a per-component extraction when the parent
+/// subgraph is disconnected.
+struct Task {
+  Index block = 0;  ///< block id, or kCutBlock for a cut component
+  const Subgraph* parent = nullptr;  ///< block/cut subgraph (stable)
+  std::optional<Subgraph> owned;     ///< per-component extraction, if any
+  std::vector<EdgeId> composed_map;  ///< component → host ids, if owned
+  const SparsifyOptions* base_opts = nullptr;
+  std::uint64_t seed = 0;
+  // Outputs (each task writes only its own slots).
+  std::vector<EdgeId> selected;  ///< host edge ids kept
+  double sigma2 = 0.0;
+  bool reached = true;
+  bool is_tree = false;
+  double seconds = 0.0;
+  std::array<double, kNumStageKinds> stage_seconds{};
+
+  [[nodiscard]] const Graph& graph() const {
+    return owned.has_value() ? owned->graph : parent->graph;
+  }
+  [[nodiscard]] const std::vector<EdgeId>& edge_map() const {
+    return owned.has_value() ? composed_map : parent->edge_to_global;
+  }
+};
+
+/// Runs one task to completion: verbatim keep for trees (κ = 1), a
+/// single-threaded engine otherwise. Pure function of the task inputs —
+/// never of the executing thread.
+void run_task(Task& task) {
+  const WallTimer timer;
+  const Graph& sg = task.graph();
+  const std::vector<EdgeId>& emap = task.edge_map();
+  if (sg.num_edges() == static_cast<EdgeId>(sg.num_vertices()) - 1) {
+    task.selected.assign(emap.begin(), emap.end());
+    task.sigma2 = 1.0;
+    task.reached = true;
+    task.is_tree = true;
+  } else {
+    SparsifyOptions eopts = *task.base_opts;
+    eopts.seed = task.seed;
+    eopts.threads = 1;  // concurrency lives in the outer fan-out
+    StageSecondsAccumulator acc(&task.stage_seconds);
+    Sparsifier engine(sg, eopts);
+    engine.set_observer(&acc);
+    engine.run();
+    const SparsifyResult& r = engine.result();
+    task.selected.reserve(r.edges.size());
+    for (const EdgeId local : r.edges) {
+      task.selected.push_back(emap[static_cast<std::size_t>(local)]);
+    }
+    task.sigma2 = r.sigma2_estimate;
+    task.reached = r.reached_target;
+  }
+  task.seconds = timer.seconds();
+}
+
+/// Appends one task per connected component of `sub` (a block or the cut
+/// graph). Component c of block b draws its seed from
+/// parent.split(stream_id).split(c); single-component subgraphs reference
+/// `sub` directly instead of re-extracting.
+void make_tasks(const Subgraph& sub, Index block, std::uint64_t stream_id,
+                const Rng& parent, const SparsifyOptions& base_opts,
+                std::vector<Task>& tasks) {
+  if (sub.graph.num_vertices() == 0) return;
+  const Rng unit_rng = parent.split(stream_id);
+  const ComponentLabels comps = connected_components(sub.graph);
+  if (comps.num_components == 1) {
+    Task task;
+    task.block = block;
+    task.parent = &sub;
+    task.base_opts = &base_opts;
+    task.seed = unit_rng.split(0)();
+    tasks.push_back(std::move(task));
+    return;
+  }
+  std::vector<std::vector<Vertex>> members(
+      static_cast<std::size_t>(comps.num_components));
+  for (Vertex v = 0; v < sub.graph.num_vertices(); ++v) {
+    members[static_cast<std::size_t>(comps.label[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  }
+  for (Vertex c = 0; c < comps.num_components; ++c) {
+    Task task;
+    task.block = block;
+    task.parent = &sub;
+    task.owned =
+        induced_subgraph(sub.graph, members[static_cast<std::size_t>(c)]);
+    // Compose the component→block and block→host edge maps.
+    task.composed_map.reserve(task.owned->edge_to_global.size());
+    for (const EdgeId block_local : task.owned->edge_to_global) {
+      task.composed_map.push_back(
+          sub.edge_to_global[static_cast<std::size_t>(block_local)]);
+    }
+    task.base_opts = &base_opts;
+    task.seed = unit_rng.split(static_cast<std::uint64_t>(c))();
+    tasks.push_back(std::move(task));
+  }
+}
+
+/// Executes `tasks[first, last)` on the global pool; each task owns its
+/// output slots, so the result is independent of the thread count.
+void run_tasks(std::vector<Task>& tasks, std::size_t first, std::size_t last,
+               int threads) {
+  parallel_for(static_cast<Index>(first), static_cast<Index>(last), threads,
+               [&tasks](Index i) {
+                 run_task(tasks[static_cast<std::size_t>(i)]);
+               });
+}
+
+/// Folds the tasks of one block (or the cut pass) into its BlockStats.
+BlockStats fold_stats(Index block, const Subgraph& sub,
+                      const std::vector<Task>& tasks) {
+  BlockStats stats;
+  stats.block = block;
+  stats.vertices = sub.graph.num_vertices();
+  stats.edges = sub.graph.num_edges();
+  for (const Task& task : tasks) {
+    if (task.block != block) continue;
+    ++stats.components;
+    if (task.is_tree) ++stats.tree_components;
+    stats.kept_edges += static_cast<EdgeId>(task.selected.size());
+    stats.sigma2_estimate = std::max(stats.sigma2_estimate, task.sigma2);
+    stats.reached_target = stats.reached_target && task.reached;
+    stats.seconds += task.seconds;
+    for (int s = 0; s < kNumStageKinds; ++s) {
+      stats.stage_seconds[static_cast<std::size_t>(s)] +=
+          task.stage_seconds[static_cast<std::size_t>(s)];
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+// ---- PartitionedOptions ----------------------------------------------------
+
+void PartitionedOptions::validate() const {
+  SSP_REQUIRE(partitions >= 1, "PartitionedOptions: partitions must be >= 1");
+  SSP_REQUIRE(threads >= 0, "PartitionedOptions: threads must be >= 0");
+  block.validate();
+  if (cut.has_value()) cut->validate();
+}
+
+PartitionedOptions& PartitionedOptions::with_partitions(Index k) {
+  SSP_REQUIRE(k >= 1, "PartitionedOptions: partitions must be >= 1");
+  partitions = k;
+  return *this;
+}
+
+PartitionedOptions& PartitionedOptions::with_cut_policy(CutPolicy policy) {
+  cut_policy = policy;
+  return *this;
+}
+
+PartitionedOptions& PartitionedOptions::with_block_options(
+    SparsifyOptions opts) {
+  opts.validate();
+  block = std::move(opts);
+  return *this;
+}
+
+PartitionedOptions& PartitionedOptions::with_cut_options(SparsifyOptions opts) {
+  opts.validate();
+  cut = std::move(opts);
+  return *this;
+}
+
+PartitionedOptions& PartitionedOptions::with_threads(int n) {
+  SSP_REQUIRE(n >= 0, "PartitionedOptions: threads must be >= 0");
+  threads = n;
+  return *this;
+}
+
+PartitionedOptions& PartitionedOptions::with_estimate_quality(bool on) {
+  estimate_quality = on;
+  return *this;
+}
+
+PartitionedOptions& PartitionedOptions::with_rescale(bool on) {
+  rescale = on;
+  return *this;
+}
+
+// ---- PartitionedSparsifier -------------------------------------------------
+
+PartitionedSparsifier::PartitionedSparsifier(const Graph& g,
+                                             PartitionedOptions opts)
+    : g_(&g), opts_(std::move(opts)) {
+  SSP_REQUIRE(g.finalized(),
+              "PartitionedSparsifier: graph must be finalized");
+  SSP_REQUIRE(g.num_vertices() >= 1,
+              "PartitionedSparsifier: graph must be non-empty");
+  opts_.validate();
+}
+
+PartitionedSparsifier::PartitionedSparsifier(const Graph& g,
+                                             std::vector<Vertex> assignment,
+                                             PartitionedOptions opts)
+    : g_(&g), opts_(std::move(opts)) {
+  SSP_REQUIRE(g.finalized(),
+              "PartitionedSparsifier: graph must be finalized");
+  SSP_REQUIRE(g.num_vertices() >= 1,
+              "PartitionedSparsifier: graph must be non-empty");
+  opts_.validate();
+  SSP_REQUIRE(
+      assignment.size() == static_cast<std::size_t>(g.num_vertices()),
+      "PartitionedSparsifier: assignment size must equal num_vertices");
+  Vertex max_id = -1;
+  for (const Vertex b : assignment) {
+    SSP_REQUIRE(b >= 0, "PartitionedSparsifier: negative block id");
+    max_id = std::max(max_id, b);
+  }
+  const Index k = static_cast<Index>(max_id) + 1;
+  std::vector<EdgeId> sizes(static_cast<std::size_t>(k), 0);
+  for (const Vertex b : assignment) ++sizes[static_cast<std::size_t>(b)];
+  for (Index b = 0; b < k; ++b) {
+    SSP_REQUIRE(sizes[static_cast<std::size_t>(b)] > 0,
+                "PartitionedSparsifier: empty block in assignment");
+  }
+  opts_.partitions = k;
+  user_assignment_ = std::move(assignment);
+}
+
+void PartitionedSparsifier::notify_stage(ScaleStage stage, double seconds) {
+  result_.stage_seconds[static_cast<std::size_t>(stage)] = seconds;
+  if (observer_ != nullptr) observer_->on_scale_stage(stage, seconds);
+}
+
+const PartitionedResult& PartitionedSparsifier::run() {
+  if (done_) return result_;
+  const WallTimer total;
+  result_.cut_policy = opts_.cut_policy;
+
+  // Stage 1: partition (or validate the supplied assignment).
+  {
+    const WallTimer timer;
+    if (user_assignment_.has_value()) {
+      result_.assignment = *user_assignment_;
+      result_.blocks = opts_.partitions;
+    } else if (opts_.partitions == 1) {
+      result_.assignment.assign(
+          static_cast<std::size_t>(g_->num_vertices()), 0);
+      result_.blocks = 1;
+    } else {
+      RecursiveBisectionOptions po = opts_.partitioner;
+      po.num_parts = opts_.partitions;
+      const RecursiveBisectionResult rb = recursive_bisection(*g_, po);
+      result_.assignment = rb.assignment;
+      result_.blocks = rb.parts;
+    }
+    notify_stage(ScaleStage::kPartition, timer.seconds());
+  }
+
+  // A single connected block is exactly the whole-graph engine — run it
+  // verbatim so the k = 1 edge list matches Sparsifier::run() bit for bit.
+  if (result_.blocks == 1 && is_connected(*g_)) {
+    run_whole_graph();
+  } else {
+    run_partitioned();
+  }
+
+  quality_stage(*g_);
+  result_.total_seconds = total.seconds();
+  done_ = true;
+  return result_;
+}
+
+void PartitionedSparsifier::run_whole_graph() {
+  const WallTimer timer;
+  BlockStats stats;
+  stats.block = 0;
+  stats.vertices = g_->num_vertices();
+  stats.edges = g_->num_edges();
+  stats.components = 1;
+  // opts_.block verbatim: same seed, same streams, same edge list as a
+  // standalone whole-graph engine run.
+  Sparsifier engine(*g_, opts_.block);
+  StageSecondsAccumulator acc(&stats.stage_seconds);
+  engine.set_observer(&acc);
+  engine.run();
+  SparsifyResult r = engine.take_result();
+  stats.kept_edges = static_cast<EdgeId>(r.edges.size());
+  stats.sigma2_estimate = r.sigma2_estimate;
+  stats.reached_target = r.reached_target;
+  stats.seconds = timer.seconds();
+  result_.edges = std::move(r.edges);
+  result_.block_stats.push_back(stats);
+  notify_stage(ScaleStage::kExtract, 0.0);
+  notify_stage(ScaleStage::kBlockSparsify, stats.seconds);
+  if (observer_ != nullptr) observer_->on_block(stats);
+  notify_stage(ScaleStage::kCutSparsify, 0.0);
+  notify_stage(ScaleStage::kStitch, 0.0);
+}
+
+void PartitionedSparsifier::run_partitioned() {
+  const Index k = result_.blocks;
+  const std::span<const Vertex> assignment(result_.assignment);
+
+  // Stage 2: extract block and cut subgraphs.
+  std::vector<Subgraph> blocks;
+  Subgraph cut;
+  {
+    const WallTimer timer;
+    blocks = partition_subgraphs(*g_, assignment, k);
+    cut = cut_subgraph(*g_, assignment);
+    notify_stage(ScaleStage::kExtract, timer.seconds());
+  }
+  result_.cut_edges_total = cut.graph.num_edges();
+
+  // Stage 3: one engine per block component, fanned out over the pool.
+  const Rng parent(opts_.block.seed);
+  std::vector<Task> tasks;
+  for (Index b = 0; b < k; ++b) {
+    make_tasks(blocks[static_cast<std::size_t>(b)], b,
+               static_cast<std::uint64_t>(b), parent, opts_.block, tasks);
+  }
+  const std::size_t num_block_tasks = tasks.size();
+  {
+    const WallTimer timer;
+    run_tasks(tasks, 0, num_block_tasks, opts_.threads);
+    notify_stage(ScaleStage::kBlockSparsify, timer.seconds());
+  }
+  for (Index b = 0; b < k; ++b) {
+    result_.block_stats.push_back(
+        fold_stats(b, blocks[static_cast<std::size_t>(b)], tasks));
+    if (observer_ != nullptr) {
+      observer_->on_block(result_.block_stats.back());
+    }
+  }
+
+  // Stage 4: cut policy.
+  std::vector<EdgeId> cut_kept;
+  {
+    const WallTimer timer;
+    switch (opts_.cut_policy) {
+      case CutPolicy::kKeepAll:
+        cut_kept = cut.edge_to_global;
+        break;
+      case CutPolicy::kFilter: {
+        const SparsifyOptions& cut_opts =
+            opts_.cut.has_value() ? *opts_.cut : opts_.block;
+        // Cut streams start at k so they never collide with block streams
+        // (even when the cut pass shares the block seed).
+        const Rng cut_parent(cut_opts.seed);
+        make_tasks(cut, kCutBlock, static_cast<std::uint64_t>(k), cut_parent,
+                   cut_opts, tasks);
+        run_tasks(tasks, num_block_tasks, tasks.size(), opts_.threads);
+        for (std::size_t t = num_block_tasks; t < tasks.size(); ++t) {
+          cut_kept.insert(cut_kept.end(), tasks[t].selected.begin(),
+                          tasks[t].selected.end());
+        }
+        result_.cut_stats = fold_stats(kCutBlock, cut, tasks);
+        break;
+      }
+      case CutPolicy::kQuotient: {
+        // One heaviest representative per adjacent block pair; ties break
+        // toward the lowest edge id (edges scan in ascending id order).
+        std::map<std::pair<Vertex, Vertex>, EdgeId> best;
+        for (std::size_t i = 0; i < cut.edge_to_global.size(); ++i) {
+          const EdgeId host = cut.edge_to_global[i];
+          const Edge& e = g_->edge(host);
+          const Vertex bu = assignment[static_cast<std::size_t>(e.u)];
+          const Vertex bv = assignment[static_cast<std::size_t>(e.v)];
+          const std::pair<Vertex, Vertex> key{std::min(bu, bv),
+                                              std::max(bu, bv)};
+          const auto [it, inserted] = best.try_emplace(key, host);
+          if (!inserted && g_->edge(it->second).weight < e.weight) {
+            it->second = host;
+          }
+        }
+        for (const auto& [pair, host] : best) cut_kept.push_back(host);
+        std::sort(cut_kept.begin(), cut_kept.end());
+        break;
+      }
+    }
+    notify_stage(ScaleStage::kCutSparsify, timer.seconds());
+  }
+  if (result_.cut_stats.has_value() && observer_ != nullptr) {
+    observer_->on_block(*result_.cut_stats);
+  }
+
+  // Stage 5: stitch + connectivity repair.
+  {
+    const WallTimer timer;
+    for (std::size_t t = 0; t < num_block_tasks; ++t) {
+      result_.edges.insert(result_.edges.end(), tasks[t].selected.begin(),
+                           tasks[t].selected.end());
+    }
+    result_.edges.insert(result_.edges.end(), cut_kept.begin(),
+                         cut_kept.end());
+    result_.cut_edges_kept = static_cast<EdgeId>(cut_kept.size());
+
+    // Postcondition: the sparsifier connects exactly what G connects.
+    // kKeepAll/kFilter satisfy it by construction (every engine keeps a
+    // spanning tree of its component); kQuotient may drop a bridge, so
+    // missing links are repaired greedily, heaviest cut edge first.
+    UnionFind uf(static_cast<Index>(g_->num_vertices()));
+    for (const EdgeId e : result_.edges) {
+      const Edge& edge = g_->edge(e);
+      uf.unite(static_cast<Index>(edge.u), static_cast<Index>(edge.v));
+    }
+    const Vertex g_components = connected_components(*g_).num_components;
+    if (uf.num_sets() > static_cast<Index>(g_components)) {
+      std::vector<EdgeId> candidates = cut.edge_to_global;
+      std::sort(candidates.begin(), candidates.end(),
+                [this](EdgeId a, EdgeId b) {
+                  const double wa = g_->edge(a).weight;
+                  const double wb = g_->edge(b).weight;
+                  return wa != wb ? wa > wb : a < b;
+                });
+      for (const EdgeId e : candidates) {
+        const Edge& edge = g_->edge(e);
+        if (uf.unite(static_cast<Index>(edge.u),
+                     static_cast<Index>(edge.v))) {
+          result_.edges.push_back(e);
+          ++result_.cut_edges_kept;
+          if (uf.num_sets() == static_cast<Index>(g_components)) break;
+        }
+      }
+    }
+    SSP_ASSERT(uf.num_sets() == static_cast<Index>(g_components),
+               "partitioned sparsifier lost connectivity");
+    notify_stage(ScaleStage::kStitch, timer.seconds());
+  }
+}
+
+void PartitionedSparsifier::quality_stage(const Graph& g) {
+  if (!opts_.estimate_quality && !opts_.rescale) return;
+  const WallTimer timer;
+  // The pencil spectrum (and the max-weight spanning tree preconditioner
+  // behind the λ_max estimate) needs one component; quality of a
+  // disconnected input stays unset.
+  if (is_connected(g)) {
+    const Graph p = g.edge_subgraph(result_.edges);
+    QualityOptions qopts;
+    qopts.seed = opts_.block.seed;
+    result_.quality = estimate_sparsifier_quality(g, p, qopts);
+    if (opts_.rescale) {
+      SparsifyResult synth;
+      synth.edges = result_.edges;
+      synth.lambda_min = result_.quality->lambda_min;
+      synth.lambda_max = result_.quality->lambda_max;
+      synth.sigma2_estimate = result_.quality->sigma2;
+      result_.rescaled = rescale_sparsifier(g, synth);
+    }
+  }
+  notify_stage(ScaleStage::kQuality, timer.seconds());
+}
+
+PartitionedResult partitioned_sparsify(const Graph& g,
+                                       const PartitionedOptions& opts) {
+  PartitionedSparsifier driver(g, opts);
+  driver.run();
+  return driver.take_result();
+}
+
+}  // namespace ssp

@@ -1,0 +1,43 @@
+#include "scale/quality.hpp"
+
+#include <algorithm>
+
+#include "core/eigen_estimate.hpp"
+#include "eigen/operators.hpp"
+#include "graph/laplacian.hpp"
+#include "solver/preconditioner.hpp"
+#include "tree/kruskal.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+
+SparsifierQuality estimate_sparsifier_quality(const Graph& g, const Graph& p,
+                                              const QualityOptions& opts) {
+  SSP_REQUIRE(g.finalized() && p.finalized(),
+              "estimate_sparsifier_quality: graphs must be finalized");
+  SSP_REQUIRE(g.num_vertices() == p.num_vertices(),
+              "estimate_sparsifier_quality: vertex sets must match");
+  SSP_REQUIRE(opts.power_iterations >= 1,
+              "estimate_sparsifier_quality: need >= 1 power iteration");
+
+  const CsrMatrix lg = laplacian(g);
+  const CsrMatrix lp = laplacian(p);
+  const SpanningTree ptree = max_weight_spanning_tree(p);
+  const TreePreconditioner precond(ptree);
+  const LinOp solve_p =
+      make_pcg_op(lp, precond,
+                  {.max_iterations = 600,
+                   .rel_tolerance = opts.solver_tolerance,
+                   .project_constants = true});
+  Rng rng(opts.seed);
+  SparsifierQuality q;
+  q.lambda_max =
+      estimate_lambda_max_power(lg, solve_p, rng, opts.power_iterations);
+  q.lambda_min = estimate_lambda_min_node_coloring(g, p);
+  // Re-weighted sparsifiers can push λ_min below 1; guard only at 0.
+  q.sigma2 = q.lambda_max / std::max(q.lambda_min, 1e-12);
+  return q;
+}
+
+}  // namespace ssp

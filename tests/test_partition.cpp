@@ -143,6 +143,93 @@ TEST(RecursiveBisection, RespectsMinPartSize) {
   EXPECT_GE(res.parts, 2);
 }
 
+// Edge cases the partition-parallel layer (src/scale/) depends on.
+
+// Every produced label in [0, parts) is non-empty and in range.
+void expect_compact_labels(const Graph& g,
+                           const RecursiveBisectionResult& res) {
+  ASSERT_EQ(res.assignment.size(), static_cast<std::size_t>(g.num_vertices()));
+  std::vector<Index> sizes(static_cast<std::size_t>(res.parts), 0);
+  for (Vertex part : res.assignment) {
+    ASSERT_GE(part, 0);
+    ASSERT_LT(part, res.parts);
+    ++sizes[static_cast<std::size_t>(part)];
+  }
+  for (Index s : sizes) EXPECT_GT(s, 0) << "empty part label";
+}
+
+TEST(RecursiveBisection, PartCountNeedNotBePowerOfTwo) {
+  Rng rng(5);
+  const Graph g = grid_2d(20, 18, WeightModel::uniform(0.5, 2.0), &rng);
+  for (Index k : {3, 5, 6}) {
+    RecursiveBisectionOptions opts;
+    opts.num_parts = k;
+    const RecursiveBisectionResult res = recursive_bisection(g, opts);
+    EXPECT_EQ(res.parts, k) << "k = " << k;
+    expect_compact_labels(g, res);
+  }
+}
+
+TEST(RecursiveBisection, DisconnectedInputNeverSplitsAcrossComponents) {
+  // Two grids with no edges between them.
+  const Graph a = grid_2d(8, 8);
+  const Graph b = grid_2d(7, 7);
+  Graph g(a.num_vertices() + b.num_vertices());
+  for (const Edge& e : a.edges()) g.add_edge(e.u, e.v, e.weight);
+  for (const Edge& e : b.edges()) {
+    g.add_edge(e.u + a.num_vertices(), e.v + a.num_vertices(), e.weight);
+  }
+  g.finalize();
+
+  RecursiveBisectionOptions opts;
+  opts.num_parts = 4;
+  const RecursiveBisectionResult res = recursive_bisection(g, opts);
+  EXPECT_EQ(res.parts, 4);
+  expect_compact_labels(g, res);
+  // No part contains vertices from both components.
+  std::vector<std::uint8_t> in_a(static_cast<std::size_t>(res.parts), 0);
+  std::vector<std::uint8_t> in_b(static_cast<std::size_t>(res.parts), 0);
+  for (Vertex v = 0; v < g.num_vertices(); ++v) {
+    const auto part = static_cast<std::size_t>(
+        res.assignment[static_cast<std::size_t>(v)]);
+    (v < a.num_vertices() ? in_a : in_b)[part] = 1;
+  }
+  for (Index p = 0; p < res.parts; ++p) {
+    EXPECT_FALSE(in_a[static_cast<std::size_t>(p)] != 0 &&
+                 in_b[static_cast<std::size_t>(p)] != 0)
+        << "part " << p << " spans components";
+  }
+}
+
+TEST(RecursiveBisection, MoreComponentsThanRequestedParts) {
+  // Three 3x3 grids, num_parts = 2: one part per component regardless.
+  Graph g(27);
+  const Graph cell = grid_2d(3, 3);
+  for (Vertex offset : {0, 9, 18}) {
+    for (const Edge& e : cell.edges()) {
+      g.add_edge(e.u + offset, e.v + offset, e.weight);
+    }
+  }
+  g.finalize();
+  RecursiveBisectionOptions opts;
+  opts.num_parts = 2;
+  const RecursiveBisectionResult res = recursive_bisection(g, opts);
+  EXPECT_EQ(res.parts, 3);
+  expect_compact_labels(g, res);
+  EXPECT_DOUBLE_EQ(res.total_cut_weight, 0.0);
+}
+
+TEST(RecursiveBisection, PartCountBeyondVertexCountSaturates) {
+  const Graph g = grid_2d(6, 6);  // 36 vertices
+  RecursiveBisectionOptions opts;
+  opts.num_parts = 64;  // >= n: min_part_size stops splitting long before
+  const RecursiveBisectionResult res = recursive_bisection(g, opts);
+  EXPECT_GE(res.parts, 2);
+  EXPECT_LE(res.parts, static_cast<Index>(g.num_vertices()) /
+                           opts.min_part_size);
+  expect_compact_labels(g, res);
+}
+
 TEST(RecursiveBisection, InputValidation) {
   const Graph g = grid_2d(6, 6);
   RecursiveBisectionOptions opts;

@@ -1,16 +1,26 @@
 #pragma once
 
 /// \file cli.hpp
-/// Minimal dependency-free command-line parsing for the ssp tools.
-/// Supports `--flag`, `--key value` and `--key=value` forms, typed lookup
-/// with defaults, required-argument checks, and usage text generation.
+/// Command-line parsing for the ssp tools. `ArgParser` supports `--flag`,
+/// `--key value` and `--key=value` forms, typed lookup with defaults,
+/// required-argument checks, and usage text generation; the helpers below
+/// it declare each shared flag set exactly once (--threads/--seed, the
+/// SparsifyOptions surface, and the partition-parallel
+/// --partitions/--cut-policy group) so the four tools stay in sync.
 
+#include <cstdint>
+#include <cstdio>
 #include <map>
 #include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "core/options_io.hpp"
+#include "core/sparsifier.hpp"
+#include "scale/partitioned_sparsifier.hpp"
+#include "util/parallel.hpp"
 
 namespace ssp::cli {
 
@@ -129,5 +139,121 @@ class ArgParser {
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
 };
+
+// ---- Shared flag sets ------------------------------------------------------
+
+/// Registers the execution flags every ssp tool carries: --threads and
+/// --seed (with a tool-specific seed description).
+inline ArgParser& add_execution_options(ArgParser& args,
+                                        const char* seed_help =
+                                            "random seed") {
+  return args
+      .option("threads",
+              "worker threads; results are bit-identical for every value "
+              "(0 = SSP_THREADS env or hardware concurrency)",
+              "0")
+      .option("seed", seed_help, "42");
+}
+
+/// Applies --threads to the process-wide default (before any parallel
+/// path runs) and returns the parsed value.
+inline int apply_threads(const ArgParser& args) {
+  const int threads = static_cast<int>(args.get_int("threads", 0));
+  set_default_threads(threads);
+  return threads;
+}
+
+/// The parsed --seed value.
+[[nodiscard]] inline std::uint64_t seed_from(const ArgParser& args) {
+  return static_cast<std::uint64_t>(args.get_int("seed", 42));
+}
+
+/// Registers the full SparsifyOptions flag surface (plus --threads/--seed
+/// via add_execution_options).
+inline ArgParser& add_sparsify_options(ArgParser& args) {
+  args.option("sigma2", "target relative condition number", "100")
+      .option("backbone", "spanning tree: akpw|kruskal|spt", "akpw")
+      .option("power-steps", "embedding power iterations t", "2")
+      .option("num-vectors", "embedding vectors r (0 = auto)", "0")
+      .option("max-rounds", "densification round limit", "24")
+      .option("max-edges-per-round", "per-round edge cap (0 = adaptive)", "0")
+      .option("similarity", "batch policy: none|node-disjoint|bounded",
+              "node-disjoint")
+      .option("node-cap", "per-endpoint budget (similarity=bounded)", "2")
+      .option("inner-solver", "L_P solver: tree-pcg|amg", "tree-pcg")
+      .option("solver-tolerance", "relative tolerance of inner solves",
+              "1e-4");
+  return add_execution_options(args);
+}
+
+/// Builds SparsifyOptions from the flags registered by
+/// add_sparsify_options (validating eagerly via the with_* setters).
+[[nodiscard]] inline SparsifyOptions sparsify_options_from(
+    const ArgParser& args) {
+  return SparsifyOptions{}
+      .with_sigma2(args.get_double("sigma2", 100.0))
+      .with_backbone(parse_backbone_kind(args.get("backbone", "akpw")))
+      .with_power_steps(static_cast<int>(args.get_int("power-steps", 2)))
+      .with_num_vectors(args.get_int("num-vectors", 0))
+      .with_max_rounds(args.get_int("max-rounds", 24))
+      .with_max_edges_per_round(args.get_int("max-edges-per-round", 0))
+      .with_similarity(
+          parse_similarity_policy(args.get("similarity", "node-disjoint")))
+      .with_node_cap(args.get_int("node-cap", 2))
+      .with_inner_solver(
+          parse_inner_solver_kind(args.get("inner-solver", "tree-pcg")))
+      .with_solver_tolerance(args.get_double("solver-tolerance", 1e-4))
+      .with_threads(static_cast<int>(args.get_int("threads", 0)))
+      .with_seed(seed_from(args));
+}
+
+/// Registers the partition-parallel flag group (src/scale/) — declared
+/// once here for every tool that sparsifies.
+inline ArgParser& add_partition_options(ArgParser& args) {
+  return args
+      .option("partitions",
+              "partition-parallel blocks k (1 = whole-graph engine)", "1")
+      .option("cut-policy",
+              "inter-block edges: keep-all|filter|quotient", "filter")
+      .option("cut-sigma2", "σ² target for the cut pass (0 = --sigma2)", "0")
+      .option("estimate-quality",
+              "estimate global (λ_min, λ_max, σ²) of the stitched sparsifier")
+      .option("rescale",
+              "apply the scalar rescale stage to the stitched sparsifier");
+}
+
+/// Builds PartitionedOptions from the flags registered by
+/// add_partition_options, with `block` as the per-block engine options.
+[[nodiscard]] inline PartitionedOptions partitioned_options_from(
+    const ArgParser& args, const SparsifyOptions& block) {
+  PartitionedOptions opts;
+  opts.with_partitions(args.get_int("partitions", 1))
+      .with_cut_policy(parse_cut_policy(args.get("cut-policy", "filter")))
+      .with_block_options(block)
+      .with_threads(block.threads)
+      .with_estimate_quality(args.get_bool("estimate-quality", false))
+      .with_rescale(args.get_bool("rescale", false));
+  const double cut_sigma2 = args.get_double("cut-sigma2", 0.0);
+  if (cut_sigma2 > 0.0) {
+    opts.with_cut_options(SparsifyOptions(block).with_sigma2(cut_sigma2));
+  }
+  return opts;
+}
+
+/// Shared main() scaffold: parses argv, prints usage on --help, runs
+/// `body` and reports std::exception failures with the usage text.
+template <typename Body>
+int run_tool(ArgParser& args, int argc, char** argv, Body&& body) {
+  try {
+    if (!args.parse(argc, argv)) {
+      std::fputs(args.usage().c_str(), stdout);
+      return 0;
+    }
+    return body();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n%s", e.what(), args.usage().c_str());
+    return 1;
+  }
+}
 
 }  // namespace ssp::cli

@@ -49,21 +49,13 @@ int main(int argc, char** argv) {
       .option("m", "edges (er) / attachments (ba) / ring degree (ws)", "3")
       .option("k", "kNN neighbors / planted communities", "8")
       .option("dim", "point dimension (knn)", "3")
-      .option("weights", "unit|uniform|log|wide-log", "unit")
-      .option("threads",
-              "worker threads; results are bit-identical for every value "
-              "(0 = SSP_THREADS env or hardware concurrency)",
-              "0")
-      .option("seed", "random seed", "42");
-  try {
-    if (!args.parse(argc, argv)) {
-      std::fputs(args.usage().c_str(), stdout);
-      return 0;
-    }
-    set_default_threads(static_cast<int>(args.get_int("threads", 0)));
+      .option("weights", "unit|uniform|log|wide-log", "unit");
+  cli::add_execution_options(args);
+  return cli::run_tool(args, argc, argv, [&args] {
+    cli::apply_threads(args);
     const std::string family = args.require("family");
     const std::string out = args.require("out");
-    Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
+    Rng rng(cli::seed_from(args));
     const WeightModel w = parse_weights(args.get("weights", "unit"));
     const auto nx = static_cast<Vertex>(args.get_int("nx", 128));
     const auto ny = static_cast<Vertex>(args.get_int("ny", 128));
@@ -106,8 +98,5 @@ int main(int argc, char** argv) {
     std::printf("wrote %s: |V| = %d, |E| = %lld\n", out.c_str(),
                 g.num_vertices(), static_cast<long long>(g.num_edges()));
     return 0;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n%s", e.what(), args.usage().c_str());
-    return 1;
-  }
+  });
 }

@@ -25,18 +25,10 @@ int main(int argc, char** argv) {
       .option("k", "number of parts", "2")
       .option("solver", "direct|sparsifier (k=2 only)", "sparsifier")
       .option("sigma2", "sparsifier target", "200")
-      .option("out", "output assignment file (optional)")
-      .option("threads",
-              "worker threads; results are bit-identical for every value "
-              "(0 = SSP_THREADS env or hardware concurrency)",
-              "0")
-      .option("seed", "random seed", "42");
-  try {
-    if (!args.parse(argc, argv)) {
-      std::fputs(args.usage().c_str(), stdout);
-      return 0;
-    }
-    ssp::set_default_threads(static_cast<int>(args.get_int("threads", 0)));
+      .option("out", "output assignment file (optional)");
+  ssp::cli::add_execution_options(args);
+  return ssp::cli::run_tool(args, argc, argv, [&args] {
+    ssp::cli::apply_threads(args);
     const ssp::Graph g = ssp::load_graph_mtx(args.require("in"));
     const auto k = args.get_int("k", 2);
     std::printf("|V| = %d, |E| = %lld, k = %lld\n", g.num_vertices(),
@@ -49,7 +41,7 @@ int main(int argc, char** argv) {
                         ? ssp::FiedlerSolverKind::kDirectCholesky
                         : ssp::FiedlerSolverKind::kSparsifierPcg;
       opts.sparsify.with_sigma2(args.get_double("sigma2", 200.0));
-      opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+      opts.seed = ssp::cli::seed_from(args);
       const ssp::BisectionResult res = ssp::spectral_bisection(g, opts);
       std::printf("cut weight %.4f over %lld edges, balance %.3f, "
                   "conductance %.5f\n",
@@ -62,7 +54,7 @@ int main(int argc, char** argv) {
     } else {
       ssp::SpectralClusteringOptions opts;
       opts.num_clusters = k;
-      opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+      opts.seed = ssp::cli::seed_from(args);
       const ssp::SpectralClusteringResult res =
           ssp::spectral_clustering(g, opts);
       std::printf("k-means objective %.6f, eigensolver %.3fs, kmeans %.3fs\n",
@@ -77,8 +69,5 @@ int main(int argc, char** argv) {
       std::printf("wrote %s\n", args.get("out", "").c_str());
     }
     return 0;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n%s", e.what(), args.usage().c_str());
-    return 1;
-  }
+  });
 }

@@ -41,21 +41,13 @@ int main(int argc, char** argv) {
       .option("inner-solver", "sparsifier inner solver: tree-pcg|amg",
               "tree-pcg")
       .option("tol", "relative residual tolerance", "1e-6")
-      .option("max-iters", "PCG iteration limit", "5000")
-      .option("threads",
-              "worker threads; results are bit-identical for every value "
-              "(0 = SSP_THREADS env or hardware concurrency)",
-              "0")
-      .option("seed", "random RHS seed", "42");
-  try {
-    if (!args.parse(argc, argv)) {
-      std::fputs(args.usage().c_str(), stdout);
-      return 0;
-    }
-    set_default_threads(static_cast<int>(args.get_int("threads", 0)));
+      .option("max-iters", "PCG iteration limit", "5000");
+  cli::add_execution_options(args, "random RHS seed");
+  return cli::run_tool(args, argc, argv, [&args] {
+    cli::apply_threads(args);
     const Graph g = load_graph_mtx(args.require("in"));
     const CsrMatrix l = laplacian(g);
-    Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)));
+    Rng rng(cli::seed_from(args));
     Vec b = rng.normal_vector(g.num_vertices());
     project_out_mean(b);
     Vec x(b.size(), 0.0);
@@ -131,8 +123,5 @@ int main(int argc, char** argv) {
                 static_cast<long long>(res.iterations),
                 res.relative_residual, total.seconds());
     return res.converged ? 0 : 2;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n%s", e.what(), args.usage().c_str());
-    return 1;
-  }
+  });
 }

@@ -1,15 +1,18 @@
 // ssp_sparsify — sparsify a Matrix Market graph to a target σ² level.
 //
 //   ssp_sparsify --in graph.mtx --out sparsifier.mtx --sigma2 100
+//   ssp_sparsify --in graph.mtx --partitions 8 --cut-policy filter
 //
-// Reads any SuiteSparse-style .mtx (converted per the paper's §4 rule),
+// Reads any SuiteSparse-style .mtx (converted per the paper's §4 rule) and
 // runs the similarity-aware pipeline through the staged ssp::Sparsifier
-// engine, writes the sparsifier back as a symmetric .mtx, and prints a
-// machine-greppable stats block. --progress streams per-round telemetry
-// (and per-stage wall times with --progress=stages) via a StageObserver.
+// engine — or, with --partitions k > 1, through the partition-parallel
+// scale layer (one engine per block, concurrent, bit-identical for every
+// --threads value). Writes the sparsifier back as a symmetric .mtx and
+// prints a machine-greppable stats block. --progress streams per-round /
+// per-block telemetry (per-stage wall times with --progress=stages).
 
+#include <algorithm>
 #include <cstdio>
-#include <exception>
 #include <string>
 
 #include "cli.hpp"
@@ -17,7 +20,7 @@
 #include "core/sparsifier.hpp"
 #include "core/sparsifier_engine.hpp"
 #include "graph/mtx_io.hpp"
-#include "util/parallel.hpp"
+#include "scale/partitioned_sparsifier.hpp"
 
 namespace {
 
@@ -43,6 +46,120 @@ class ProgressPrinter : public ssp::StageObserver {
   bool show_stages_;
 };
 
+/// Streams scale-layer telemetry: one line per pipeline stage and per
+/// block (engine stage breakdown with --progress=stages).
+class ScaleProgressPrinter : public ssp::ScaleObserver {
+ public:
+  explicit ScaleProgressPrinter(bool show_stages)
+      : show_stages_(show_stages) {}
+
+  void on_scale_stage(ssp::ScaleStage stage, double seconds) override {
+    std::printf("stage %-14s %.4fs\n", ssp::to_string(stage), seconds);
+  }
+  void on_block(const ssp::BlockStats& b) override {
+    if (b.block == ssp::kCutBlock) {
+      std::printf("  cut    |V| %7d |E| %8lld kept %8lld  sigma2 %8.2f  "
+                  "%.3fs\n",
+                  b.vertices, static_cast<long long>(b.edges),
+                  static_cast<long long>(b.kept_edges), b.sigma2_estimate,
+                  b.seconds);
+    } else {
+      std::printf("  block %2lld |V| %7d |E| %8lld kept %8lld  sigma2 %8.2f"
+                  "  %.3fs%s\n",
+                  static_cast<long long>(b.block), b.vertices,
+                  static_cast<long long>(b.edges),
+                  static_cast<long long>(b.kept_edges), b.sigma2_estimate,
+                  b.seconds, b.reached_target ? "" : "  (NOT reached)");
+    }
+    if (show_stages_) {
+      for (int s = 0; s < ssp::kNumStageKinds; ++s) {
+        const double sec = b.stage_seconds[static_cast<std::size_t>(s)];
+        if (sec > 0.0) {
+          std::printf("    stage %-17s %.4fs\n",
+                      ssp::to_string(static_cast<ssp::StageKind>(s)), sec);
+        }
+      }
+    }
+  }
+
+ private:
+  bool show_stages_;
+};
+
+int run_whole_graph(const ssp::cli::ArgParser& args, const ssp::Graph& g,
+                    const ssp::SparsifyOptions& opts) {
+  ssp::Sparsifier engine(g, opts);
+  ProgressPrinter progress(args.get("progress", "") == "stages");
+  if (args.has("progress")) engine.set_observer(&progress);
+  engine.run();
+  const ssp::SparsifyResult& res = engine.result();
+
+  std::printf("edges: %lld  density: %.4f x |V|\n",
+              static_cast<long long>(res.num_edges()),
+              static_cast<double>(res.num_edges()) / g.num_vertices());
+  std::printf("sigma2: target %.3f, estimate %.3f (%s)\n", opts.sigma2,
+              res.sigma2_estimate,
+              res.reached_target ? "reached" : "NOT reached");
+  std::printf("lambda_min %.6f lambda_max %.3f rounds %zu time %.3fs\n",
+              res.lambda_min, res.lambda_max, res.rounds.size(),
+              res.total_seconds);
+
+  if (args.has("out")) {
+    const ssp::Graph p = res.extract(g);
+    ssp::save_graph_mtx(args.get("out", ""), p);
+    std::printf("wrote %s\n", args.get("out", "").c_str());
+  }
+  return res.reached_target ? 0 : 2;
+}
+
+int run_partitioned(const ssp::cli::ArgParser& args, const ssp::Graph& g,
+                    const ssp::PartitionedOptions& opts) {
+  ssp::PartitionedSparsifier driver(g, opts);
+  ScaleProgressPrinter progress(args.get("progress", "") == "stages");
+  if (args.has("progress")) driver.set_observer(&progress);
+  const ssp::PartitionedResult& res = driver.run();
+
+  std::printf("edges: %lld  density: %.4f x |V|\n",
+              static_cast<long long>(res.num_edges()),
+              static_cast<double>(res.num_edges()) / g.num_vertices());
+  std::printf("blocks: %lld (policy %s)  cut edges kept %lld / %lld\n",
+              static_cast<long long>(res.blocks),
+              ssp::to_string(res.cut_policy),
+              static_cast<long long>(res.cut_edges_kept),
+              static_cast<long long>(res.cut_edges_total));
+  bool reached = true;
+  double worst_sigma2 = 0.0;
+  for (const ssp::BlockStats& b : res.block_stats) {
+    reached = reached && b.reached_target;
+    worst_sigma2 = std::max(worst_sigma2, b.sigma2_estimate);
+  }
+  if (res.cut_stats.has_value()) {
+    reached = reached && res.cut_stats->reached_target;
+  }
+  std::printf("block sigma2: target %.3f, worst estimate %.3f (%s)\n",
+              opts.block.sigma2, worst_sigma2,
+              reached ? "reached" : "NOT reached");
+  if (res.quality.has_value()) {
+    std::printf("global: lambda_min %.6f lambda_max %.3f sigma2 %.3f\n",
+                res.quality->lambda_min, res.quality->lambda_max,
+                res.quality->sigma2);
+  }
+  if (res.rescaled.has_value()) {
+    std::printf("rescale: scale %.6e, two-sided sigma2 %.3f -> %.3f\n",
+                res.rescaled->scale, res.rescaled->sigma2_before,
+                res.rescaled->sigma2_after);
+  }
+  std::printf("time %.3fs\n", res.total_seconds);
+
+  if (args.has("out")) {
+    const ssp::Graph p = res.rescaled.has_value() ? res.rescaled->sparsifier
+                                                  : res.extract(g);
+    ssp::save_graph_mtx(args.get("out", ""), p);
+    std::printf("wrote %s\n", args.get("out", "").c_str());
+  }
+  return reached ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -51,81 +168,30 @@ int main(int argc, char** argv) {
       "similarity-aware spectral sparsification of a Matrix Market graph");
   args.option("in", "input .mtx file (required)")
       .option("out", "output .mtx for the sparsifier (optional)")
-      .option("sigma2", "target relative condition number", "100")
-      .option("backbone", "spanning tree: akpw|kruskal|spt", "akpw")
-      .option("power-steps", "embedding power iterations t", "2")
-      .option("num-vectors", "embedding vectors r (0 = auto)", "0")
-      .option("max-rounds", "densification round limit", "24")
-      .option("max-edges-per-round", "per-round edge cap (0 = adaptive)", "0")
-      .option("similarity", "batch policy: none|node-disjoint|bounded",
-              "node-disjoint")
-      .option("node-cap", "per-endpoint budget (similarity=bounded)", "2")
-      .option("inner-solver", "L_P solver: tree-pcg|amg", "tree-pcg")
-      .option("solver-tolerance", "relative tolerance of inner solves",
-              "1e-4")
-      .option("progress", "stream per-round telemetry (=stages for more)")
-      .option("threads",
-              "worker threads; results are bit-identical for every value "
-              "(0 = SSP_THREADS env or hardware concurrency)",
-              "0")
-      .option("seed", "random seed", "42");
-  try {
-    if (!args.parse(argc, argv)) {
-      std::fputs(args.usage().c_str(), stdout);
-      return 0;
-    }
-    const int threads = static_cast<int>(args.get_int("threads", 0));
-    ssp::set_default_threads(threads);
+      .option("progress", "stream per-round telemetry (=stages for more)");
+  ssp::cli::add_sparsify_options(args);
+  ssp::cli::add_partition_options(args);
+  return ssp::cli::run_tool(args, argc, argv, [&args] {
+    ssp::cli::apply_threads(args);
     const std::string in_path = args.require("in");
     const ssp::Graph g = ssp::load_graph_mtx(in_path);
     std::printf("loaded %s: |V| = %d, |E| = %lld\n", in_path.c_str(),
                 g.num_vertices(), static_cast<long long>(g.num_edges()));
 
-    const auto opts =
-        ssp::SparsifyOptions{}
-            .with_sigma2(args.get_double("sigma2", 100.0))
-            .with_backbone(
-                ssp::parse_backbone_kind(args.get("backbone", "akpw")))
-            .with_power_steps(
-                static_cast<int>(args.get_int("power-steps", 2)))
-            .with_num_vectors(args.get_int("num-vectors", 0))
-            .with_max_rounds(args.get_int("max-rounds", 24))
-            .with_max_edges_per_round(args.get_int("max-edges-per-round", 0))
-            .with_similarity(ssp::parse_similarity_policy(
-                args.get("similarity", "node-disjoint")))
-            .with_node_cap(args.get_int("node-cap", 2))
-            .with_inner_solver(ssp::parse_inner_solver_kind(
-                args.get("inner-solver", "tree-pcg")))
-            .with_solver_tolerance(
-                args.get_double("solver-tolerance", 1e-4))
-            .with_threads(threads)
-            .with_seed(
-                static_cast<std::uint64_t>(args.get_int("seed", 42)));
-
-    ssp::Sparsifier engine(g, opts);
-    ProgressPrinter progress(args.get("progress", "") == "stages");
-    if (args.has("progress")) engine.set_observer(&progress);
-    engine.run();
-    const ssp::SparsifyResult& res = engine.result();
-
-    std::printf("edges: %lld  density: %.4f x |V|\n",
-                static_cast<long long>(res.num_edges()),
-                static_cast<double>(res.num_edges()) / g.num_vertices());
-    std::printf("sigma2: target %.3f, estimate %.3f (%s)\n", opts.sigma2,
-                res.sigma2_estimate,
-                res.reached_target ? "reached" : "NOT reached");
-    std::printf("lambda_min %.6f lambda_max %.3f rounds %zu time %.3fs\n",
-                res.lambda_min, res.lambda_max, res.rounds.size(),
-                res.total_seconds);
-
-    if (args.has("out")) {
-      const ssp::Graph p = res.extract(g);
-      ssp::save_graph_mtx(args.get("out", ""), p);
-      std::printf("wrote %s\n", args.get("out", "").c_str());
+    const ssp::SparsifyOptions opts = ssp::cli::sparsify_options_from(args);
+    // Any scale-layer flag routes through PartitionedSparsifier (whose
+    // k = 1 path is the whole-graph engine bit for bit), so
+    // --estimate-quality / --rescale / --cut-policy are honoured — and
+    // every scale flag, --partitions included, is validated.
+    const bool partitioned = args.has("partitions") ||
+                             args.has("cut-policy") ||
+                             args.has("cut-sigma2") ||
+                             args.has("estimate-quality") ||
+                             args.has("rescale");
+    if (partitioned) {
+      return run_partitioned(args, g,
+                             ssp::cli::partitioned_options_from(args, opts));
     }
-    return res.reached_target ? 0 : 2;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n%s", e.what(), args.usage().c_str());
-    return 1;
-  }
+    return run_whole_graph(args, g, opts);
+  });
 }
