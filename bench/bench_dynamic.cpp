@@ -1,0 +1,195 @@
+// Dynamic update layer (src/dynamic/) vs cold rebuild: wall-clock and
+// quality (κ via the shared estimator) across update-batch sizes on two
+// generator families. Three modes per point:
+//
+//   cold    — what a user without the dynamic layer does: rebuild the
+//             Graph from the updated edge list and run a fresh engine
+//             (canonical kMaxWeight backbone, same per-batch seed, so the
+//             output matches the exact mode bit for bit);
+//   exact   — DynamicSparsifier, bit-identical to cold (tree repair +
+//             engine rebind reuse; densification restarts from the tree);
+//   refine  — DynamicSparsifier with warm_refine: keeps the previous
+//             selection, so an update that leaves κ under target costs
+//             one estimation round instead of a full densification.
+//
+// Emits BENCH_bench_dynamic.json for the perf trajectory.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "dynamic/dynamic_sparsifier.hpp"
+#include "graph/generators/community.hpp"
+#include "harness.hpp"  // tests/harness.hpp: shared update-script generator
+#include "scale/quality.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ssp;
+using bench::dim;
+using bench::Json;
+
+constexpr double kSigma2 = 100.0;
+constexpr Index kBatches = 3;
+
+/// Mixed update script: ~60% reweights, ~20% inserts, ~20% deletes per
+/// batch, via the differential harness's generator.
+std::vector<UpdateBatch> make_script(const Graph& g, EdgeId batch_size,
+                                     Rng& rng) {
+  ssp::testing::ScriptOptions opts;
+  opts.batches = kBatches;
+  opts.reweights_per_batch = std::max<Index>(1, batch_size * 3 / 5);
+  opts.inserts_per_batch = std::max<Index>(1, batch_size / 5);
+  opts.deletes_per_batch = std::max<Index>(1, batch_size / 5);
+  return ssp::testing::make_update_script(g, rng, opts);
+}
+
+struct ModeResult {
+  double update_seconds = 0.0;  ///< batches only (initial build excluded)
+  double sigma2 = 0.0;          ///< independent κ estimate, final state
+  EdgeId edges = 0;
+  std::vector<EdgeId> edge_ids;
+};
+
+DynamicOptions make_options(bool refine) {
+  DynamicOptions opts;
+  opts.base.sigma2 = kSigma2;
+  opts.rebuild_threshold = 1e9;  // measure the incremental paths
+  opts.warm_refine = refine;
+  return opts;
+}
+
+ModeResult run_dynamic_mode(const Graph& g,
+                            const std::vector<UpdateBatch>& script,
+                            bool refine) {
+  DynamicSparsifier dyn(g, make_options(refine));
+  const WallTimer timer;
+  for (const UpdateBatch& batch : script) dyn.apply(batch);
+  ModeResult out;
+  out.update_seconds = timer.seconds();
+  out.edges = dyn.result().num_edges();
+  out.edge_ids = dyn.result().edges;
+  out.sigma2 = estimate_sparsifier_quality(
+                   dyn.graph(), dyn.result().extract(dyn.graph()))
+                   .sigma2;
+  return out;
+}
+
+/// The no-dynamic-layer baseline: after every batch, rebuild the graph
+/// from its edge list and run a cold engine with the same canonical
+/// backbone and per-batch seed (its edge list matches the exact mode bit
+/// for bit — checked — so the comparison is pure wall-clock).
+ModeResult run_cold_mode(const Graph& g,
+                         const std::vector<UpdateBatch>& script,
+                         const std::vector<EdgeId>& exact_final_edges) {
+  // Replay graph mutations through a zero-cost shadow driver to obtain
+  // each post-batch edge list (mutation cost is negligible next to the
+  // sparsifier run; the timer covers only the cold path's own work).
+  DynamicOptions shadow_opts = make_options(false);
+  const SparsifyOptions base = shadow_opts.base;
+  Graph current = g;
+  ModeResult out;
+  std::vector<UpdateBatch> applied;
+  for (std::size_t b = 0; b < script.size(); ++b) {
+    // Advance the shadow graph exactly like the layer does.
+    const UpdateBatch& batch = script[b];
+    for (const WeightUpdate& wu : batch.reweight) {
+      current.set_weight(wu.edge, wu.weight);
+    }
+    for (const Edge& e : batch.insert) current.add_edge(e.u, e.v, e.weight);
+    current.remove_edges(batch.remove);
+    current.finalize();
+
+    const WallTimer timer;
+    // The cold path pays for: copying the edge list into a fresh Graph,
+    // finalizing it, and a from-scratch engine run (Kruskal backbone).
+    Graph rebuilt(current.num_vertices());
+    for (const Edge& e : current.edges()) {
+      rebuilt.add_edge(e.u, e.v, e.weight);
+    }
+    rebuilt.finalize();
+    SparsifyOptions cold = base;
+    cold.backbone = BackboneKind::kMaxWeight;
+    cold.seed = DynamicSparsifier::batch_seed(base.seed,
+                                              static_cast<Index>(b) + 1);
+    const SparsifyResult res = sparsify(rebuilt, cold);
+    out.update_seconds += timer.seconds();
+    if (b + 1 == script.size()) {
+      out.edges = res.num_edges();
+      out.sigma2 =
+          estimate_sparsifier_quality(rebuilt, res.extract(rebuilt)).sigma2;
+      if (res.edges != exact_final_edges) {
+        std::printf("WARNING: cold baseline diverged from exact mode\n");
+      }
+    }
+  }
+  return out;
+}
+
+void run_point(const char* name, const Graph& g, EdgeId batch_size,
+               Json& rows) {
+  Rng rng(77);
+  const std::vector<UpdateBatch> script = make_script(g, batch_size, rng);
+
+  const ModeResult exact = run_dynamic_mode(g, script, /*refine=*/false);
+  const ModeResult refine = run_dynamic_mode(g, script, /*refine=*/true);
+  const ModeResult cold = run_cold_mode(g, script, exact.edge_ids);
+
+  const double exact_speedup = cold.update_seconds / exact.update_seconds;
+  const double refine_speedup = cold.update_seconds / refine.update_seconds;
+  std::printf("%6lld  %8.3f %8.3f %8.3f   %6.2fx %6.2fx   %8.2f %8.2f\n",
+              static_cast<long long>(batch_size), cold.update_seconds,
+              exact.update_seconds, refine.update_seconds, exact_speedup,
+              refine_speedup, exact.sigma2, refine.sigma2);
+
+  rows.push(Json::object()
+                .set("graph", name)
+                .set("batch_size", static_cast<long long>(batch_size))
+                .set("batches", static_cast<long long>(kBatches))
+                .set("cold_seconds", cold.update_seconds)
+                .set("exact_seconds", exact.update_seconds)
+                .set("refine_seconds", refine.update_seconds)
+                .set("exact_speedup_vs_cold", exact_speedup)
+                .set("refine_speedup_vs_cold", refine_speedup)
+                .set("cold_sigma2", cold.sigma2)
+                .set("exact_sigma2", exact.sigma2)
+                .set("refine_sigma2", refine.sigma2)
+                .set("exact_edges", static_cast<long long>(exact.edges))
+                .set("refine_edges", static_cast<long long>(refine.edges))
+                .set("incremental_beats_cold",
+                     exact.update_seconds < cold.update_seconds ||
+                         refine.update_seconds < cold.update_seconds));
+}
+
+void run_graph(const char* name, const Graph& g, bench::Report& report) {
+  bench::print_banner(
+      ("dynamic updates vs cold rebuild — " + std::string(name)).c_str());
+  std::printf("|V| = %d  |E| = %lld  sigma2 target %.0f  %lld batches/point\n",
+              g.num_vertices(), static_cast<long long>(g.num_edges()),
+              kSigma2, static_cast<long long>(kBatches));
+  std::printf("%6s  %8s %8s %8s   %6s %6s   %8s %8s\n", "batch", "cold_s",
+              "exact_s", "refine_s", "ex_spd", "rf_spd", "ex_s2", "rf_s2");
+  bench::print_rule(78);
+  Json& rows = report.section("cases");
+  for (const EdgeId batch_size : {8, 64, 512}) {
+    run_point(name, g, batch_size, rows);
+  }
+}
+
+}  // namespace
+
+int main() {
+  set_default_threads(std::max(4, hardware_threads()));
+  bench::Report report("bench_dynamic");
+  report.root().set("sigma2_target", kSigma2);
+
+  run_graph("g3_circuit_proxy", bench::g3_circuit_proxy(dim(44, 320)),
+            report);
+  run_graph("dblp_proxy", bench::dblp_proxy(dim(1800, 120000)), report);
+
+  report.write();
+  return 0;
+}

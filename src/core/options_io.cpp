@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/sparsifier_engine.hpp"
+#include "dynamic/dynamic_sparsifier.hpp"
 #include "scale/partitioned_sparsifier.hpp"
 
 namespace ssp {
@@ -85,6 +86,34 @@ const char* to_string(ScaleStage stage) {
       return "stitch";
     case ScaleStage::kQuality:
       return "quality";
+  }
+  return "?";
+}
+
+const char* to_string(UpdateRoute route) {
+  switch (route) {
+    case UpdateRoute::kResparsify:
+      return "resparsify";
+    case UpdateRoute::kTreeRepair:
+      return "tree-repair";
+    case UpdateRoute::kRebuild:
+      return "rebuild";
+  }
+  return "?";
+}
+
+const char* to_string(DynamicStage stage) {
+  switch (stage) {
+    case DynamicStage::kValidate:
+      return "validate";
+    case DynamicStage::kApplyGraph:
+      return "apply-graph";
+    case DynamicStage::kTreeRepair:
+      return "tree-repair";
+    case DynamicStage::kRebind:
+      return "rebind";
+    case DynamicStage::kSparsify:
+      return "sparsify";
   }
   return "?";
 }

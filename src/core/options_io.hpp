@@ -11,9 +11,11 @@
 
 namespace ssp {
 
-enum class StageKind;   // full definition in core/sparsifier_engine.hpp
-enum class CutPolicy;   // full definition in scale/partitioned_sparsifier.hpp
-enum class ScaleStage;  // full definition in scale/partitioned_sparsifier.hpp
+enum class StageKind;     // full definition in core/sparsifier_engine.hpp
+enum class CutPolicy;     // full definition in scale/partitioned_sparsifier.hpp
+enum class ScaleStage;    // full definition in scale/partitioned_sparsifier.hpp
+enum class UpdateRoute;   // full definition in dynamic/dynamic_sparsifier.hpp
+enum class DynamicStage;  // full definition in dynamic/dynamic_sparsifier.hpp
 
 /// "akpw" | "kruskal" | "spt"
 [[nodiscard]] const char* to_string(BackboneKind kind);
@@ -34,6 +36,12 @@ enum class ScaleStage;  // full definition in scale/partitioned_sparsifier.hpp
 /// "partition" | "extract" | "block-sparsify" | "cut-sparsify" | "stitch" |
 /// "quality"
 [[nodiscard]] const char* to_string(ScaleStage stage);
+
+/// "resparsify" | "tree-repair" | "rebuild"
+[[nodiscard]] const char* to_string(UpdateRoute route);
+
+/// "validate" | "apply-graph" | "tree-repair" | "rebind" | "sparsify"
+[[nodiscard]] const char* to_string(DynamicStage stage);
 
 /// Inverse of to_string(BackboneKind); throws std::invalid_argument naming
 /// the accepted spellings.

@@ -269,7 +269,8 @@ void Sparsifier::resparsify(std::span<const double> updated_weights) {
   SSP_REQUIRE(static_cast<EdgeId>(updated_weights.size()) == g_->num_edges(),
               "resparsify: one weight per edge id required");
   for (const double w : updated_weights) {
-    SSP_REQUIRE(w > 0.0, "resparsify: weights must be positive");
+    SSP_REQUIRE(w > 0.0 && std::isfinite(w),
+                "resparsify: weights must be positive and finite");
   }
 
   // Rebuild the graph with the new weights (topology unchanged, so edge
@@ -325,6 +326,56 @@ void Sparsifier::resparsify(std::span<const double> updated_weights) {
     result_.total_seconds = elapsed_seconds_;
     notify_stage(StageKind::kBackbone, elapsed_seconds_);
   }
+}
+
+void Sparsifier::rebind(const Graph& g, const SpanningTree& backbone,
+                        std::uint64_t seed,
+                        std::span<const EdgeId> keep_offtree) {
+  SSP_REQUIRE(g.finalized(), "rebind: graph must be finalized");
+  SSP_REQUIRE(g.num_vertices() >= 2, "rebind: need >= 2 vertices");
+  SSP_REQUIRE(&backbone.graph() == &g, "rebind: backbone built on another graph");
+  SSP_REQUIRE(!owned_graph_.has_value() || &g != &*owned_graph_,
+              "rebind: pass a caller-owned graph, not the engine's "
+              "resparsify() copy");
+  // Validate the keep list before any teardown so a rejected call leaves
+  // the engine exactly as it was (the resparsify() atomicity contract).
+  {
+    std::vector<char> seen(static_cast<std::size_t>(g.num_edges()), 0);
+    for (const EdgeId e : keep_offtree) {
+      SSP_REQUIRE(e >= 0 && e < g.num_edges(),
+                  "rebind: keep_offtree id out of range");
+      SSP_REQUIRE(!backbone.contains(e) &&
+                      seen[static_cast<std::size_t>(e)] == 0,
+                  "rebind: keep_offtree id is a tree edge or a duplicate");
+      seen[static_cast<std::size_t>(e)] = 1;
+    }
+  }
+
+  const WallTimer timer;
+  // Drop state referencing the old graph/backbone, then swap.
+  tree_solver_.reset();
+  tree_precond_.reset();
+  owned_backbone_.reset();
+  owned_graph_.reset();
+  backbone_ = nullptr;
+  external_backbone_ = &backbone;
+
+  g_ = &g;
+  lg_ = laplacian(g);
+  opts_.seed = seed;
+  rng_ = Rng(seed);
+
+  result_ = SparsifyResult{};
+  next_round_ = 0;
+  rearm_phase();
+  bind_backbone(backbone);
+  for (const EdgeId e : keep_offtree) {  // pre-validated above
+    in_p_[static_cast<std::size_t>(e)] = 1;
+    result_.edges.push_back(e);
+  }
+  elapsed_seconds_ = timer.seconds();
+  result_.total_seconds = elapsed_seconds_;
+  notify_stage(StageKind::kBackbone, elapsed_seconds_);
 }
 
 }  // namespace ssp

@@ -183,12 +183,29 @@ class Sparsifier {
   void refine(double new_sigma2);
 
   /// Warm start on updated edge weights (`updated_weights[e]` replaces the
-  /// weight of edge id `e`; same topology, all weights > 0). Reuses the
-  /// backbone tree topology and all scratch buffers; rebuilds only the
-  /// weight-dependent solver state. Densification restarts from the
-  /// backbone with a reseeded Rng, so the result matches a cold run on the
-  /// re-weighted graph up to the (reused) backbone choice.
+  /// weight of edge id `e`; same topology, all weights > 0 and finite).
+  /// Reuses the backbone tree topology and all scratch buffers; rebuilds
+  /// only the weight-dependent solver state. Densification restarts from
+  /// the backbone with a reseeded Rng, so the result matches a cold run on
+  /// the re-weighted graph up to the (reused) backbone choice.
   void resparsify(std::span<const double> updated_weights);
+
+  /// Warm start on a different graph (any topology) with a caller-supplied
+  /// backbone — the generalization of `resparsify()` behind the dynamic
+  /// update layer (src/dynamic/). Both `g` and `backbone` must outlive the
+  /// engine (`g` may not be the engine-owned `resparsify()` copy), and
+  /// `backbone` must span `g`. The engine re-seeds its Rng with `seed` and
+  /// restarts densification from the backbone, reusing every workspace
+  /// buffer, so the run is bit-identical to a cold
+  /// `Sparsifier(g, backbone, opts.with_seed(seed))` run — only cheaper
+  /// (no allocation, no connectivity re-check).
+  ///
+  /// `keep_offtree` optionally pre-accepts off-tree edges of `g` (valid
+  /// ids, not tree edges, pairwise distinct) into the sparsifier before the
+  /// first round — the incremental-refine warm start: densification then
+  /// tops up from the previous selection instead of from the bare tree.
+  void rebind(const Graph& g, const SpanningTree& backbone,
+              std::uint64_t seed, std::span<const EdgeId> keep_offtree = {});
 
  private:
   void ensure_backbone();

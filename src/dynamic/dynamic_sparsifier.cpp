@@ -1,0 +1,306 @@
+#include "dynamic/dynamic_sparsifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "graph/connectivity.hpp"
+#include "tree/kruskal.hpp"
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+#include "util/union_find.hpp"
+
+namespace ssp {
+
+// ---- DynamicOptions --------------------------------------------------------
+
+void DynamicOptions::validate() const {
+  base.validate();
+  SSP_REQUIRE(rebuild_threshold >= 0.0 && std::isfinite(rebuild_threshold),
+              "DynamicOptions: rebuild_threshold must be finite and >= 0");
+}
+
+DynamicOptions& DynamicOptions::with_base(SparsifyOptions opts) {
+  opts.validate();
+  base = std::move(opts);
+  return *this;
+}
+
+DynamicOptions& DynamicOptions::with_rebuild_threshold(double fraction) {
+  SSP_REQUIRE(fraction >= 0.0 && std::isfinite(fraction),
+              "DynamicOptions: rebuild_threshold must be finite and >= 0");
+  rebuild_threshold = fraction;
+  return *this;
+}
+
+DynamicOptions& DynamicOptions::with_warm_refine(bool on) {
+  warm_refine = on;
+  return *this;
+}
+
+// ---- DynamicSparsifier -----------------------------------------------------
+
+DynamicSparsifier::DynamicSparsifier(const Graph& g, DynamicOptions opts,
+                                     DynamicObserver* observer)
+    : opts_(std::move(opts)), graph_(g), observer_(observer) {
+  opts_.validate();
+  SSP_REQUIRE(g.finalized(), "DynamicSparsifier: graph must be finalized");
+  SSP_REQUIRE(g.num_vertices() >= 2, "DynamicSparsifier: need >= 2 vertices");
+  SSP_REQUIRE(is_connected(g), "DynamicSparsifier: graph must be connected");
+
+  UpdateStats stats;
+  stats.batch = 0;
+  stats.dirty_fraction = 1.0;
+  stats.route = UpdateRoute::kRebuild;
+
+  WallTimer timer;
+  backbone_ = max_weight_spanning_tree(graph_);
+  tree_.emplace(graph_, backbone_->tree_edge_ids());
+  notify_stage(DynamicStage::kTreeRepair, timer.seconds(), stats);
+
+  timer.reset();
+  SparsifyOptions engine_opts = opts_.base;
+  engine_opts.seed = batch_seed(0);
+  engine_.emplace(graph_, *backbone_, std::move(engine_opts));
+  notify_stage(DynamicStage::kRebind, timer.seconds(), stats);
+
+  timer.reset();
+  engine_->run();
+  notify_stage(DynamicStage::kSparsify, timer.seconds(), stats);
+
+  const SparsifyResult& r = engine_->result();
+  stats.graph_edges = graph_.num_edges();
+  stats.sparsifier_edges = r.num_edges();
+  stats.sigma2_estimate = r.sigma2_estimate;
+  stats.reached_target = r.reached_target;
+  for (const double s : stats.stage_seconds) stats.seconds += s;
+  history_.push_back(stats);
+  if (observer_ != nullptr) observer_->on_update(history_.back());
+}
+
+const SparsifyResult& DynamicSparsifier::result() const {
+  return engine_->result();
+}
+
+SparsifyOptions DynamicSparsifier::cold_equivalent_options() const {
+  SparsifyOptions opts = opts_.base;
+  opts.backbone = BackboneKind::kMaxWeight;
+  opts.seed = batch_seed(static_cast<Index>(history_.size()) - 1);
+  return opts;
+}
+
+void DynamicSparsifier::notify_stage(DynamicStage stage, double seconds,
+                                     UpdateStats& stats) const {
+  stats.stage_seconds[static_cast<std::size_t>(stage)] += seconds;
+  if (observer_ != nullptr) observer_->on_dynamic_stage(stage, seconds);
+}
+
+void DynamicSparsifier::validate_batch(const UpdateBatch& batch) const {
+  const EdgeId m = graph_.num_edges();
+  std::vector<char> touched(static_cast<std::size_t>(m), 0);
+  for (const EdgeId e : batch.remove) {
+    SSP_REQUIRE(e >= 0 && e < m, "apply: remove id out of range");
+    SSP_REQUIRE(touched[static_cast<std::size_t>(e)] == 0,
+                "apply: duplicate remove id");
+    touched[static_cast<std::size_t>(e)] = 1;
+  }
+  for (const WeightUpdate& wu : batch.reweight) {
+    SSP_REQUIRE(wu.edge >= 0 && wu.edge < m,
+                "apply: reweight id out of range");
+    SSP_REQUIRE(touched[static_cast<std::size_t>(wu.edge)] == 0,
+                "apply: edge removed or reweighted twice in one batch");
+    touched[static_cast<std::size_t>(wu.edge)] = 1;
+    SSP_REQUIRE(wu.weight > 0.0 && std::isfinite(wu.weight),
+                "apply: reweight value must be positive and finite");
+  }
+  const Vertex n = graph_.num_vertices();
+  for (const Edge& e : batch.insert) {
+    SSP_REQUIRE(e.u >= 0 && e.u < n && e.v >= 0 && e.v < n,
+                "apply: insert endpoint out of range");
+    SSP_REQUIRE(e.u != e.v, "apply: insert would create a self-loop");
+    SSP_REQUIRE(e.weight > 0.0 && std::isfinite(e.weight),
+                "apply: insert weight must be positive and finite");
+  }
+  if (batch.remove.empty()) return;
+  // Connectivity pre-check so a disconnecting batch is rejected before any
+  // state mutates: the surviving edges plus the inserted ones must still
+  // span one component.
+  UnionFind& uf = uf_scratch_;
+  uf.reset(static_cast<Index>(n));
+  for (EdgeId e = 0; e < m; ++e) {
+    // `touched` marks removals and reweights; reweighted edges survive.
+    if (touched[static_cast<std::size_t>(e)] != 0) continue;
+    const Edge& edge = graph_.edge(e);
+    uf.unite(static_cast<Index>(edge.u), static_cast<Index>(edge.v));
+  }
+  for (const WeightUpdate& wu : batch.reweight) {
+    const Edge& edge = graph_.edge(wu.edge);
+    uf.unite(static_cast<Index>(edge.u), static_cast<Index>(edge.v));
+  }
+  for (const Edge& e : batch.insert) {
+    uf.unite(static_cast<Index>(e.u), static_cast<Index>(e.v));
+  }
+  SSP_REQUIRE(uf.num_sets() == 1, "apply: batch would disconnect the graph");
+}
+
+void DynamicSparsifier::rebuild_backbone_cold() {
+  backbone_ = max_weight_spanning_tree(graph_);
+  tree_.emplace(graph_, backbone_->tree_edge_ids());
+}
+
+UpdateStats DynamicSparsifier::apply(const UpdateBatch& batch) {
+  UpdateStats stats;
+  stats.batch = static_cast<Index>(history_.size());
+  stats.inserted = static_cast<EdgeId>(batch.insert.size());
+  stats.removed = static_cast<EdgeId>(batch.remove.size());
+  stats.reweighted = static_cast<EdgeId>(batch.reweight.size());
+
+  WallTimer timer;
+  validate_batch(batch);
+  const EdgeId final_edges = graph_.num_edges() - stats.removed +
+                             stats.inserted;
+  stats.dirty_fraction = static_cast<double>(batch.size()) /
+                         static_cast<double>(std::max<EdgeId>(1, final_edges));
+  const bool rebuild = stats.dirty_fraction >= opts_.rebuild_threshold;
+  notify_stage(DynamicStage::kValidate, timer.seconds(), stats);
+
+  // Snapshot the previous off-tree selection for the warm-refine route
+  // (the backbone is always the edge-list prefix).
+  std::vector<EdgeId> keep;
+  if (opts_.warm_refine && !rebuild) {
+    const SparsifyResult& prev = engine_->result();
+    keep.assign(prev.edges.begin() +
+                    static_cast<std::ptrdiff_t>(prev.tree_edges.size()),
+                prev.edges.end());
+  }
+
+  // Mutate the graph and repair the backbone in lockstep. Inserts land
+  // before removals so a batch may delete a bridge it replaces; removal
+  // compaction then renumbers, keeping inserted edges at the tail.
+  timer.reset();
+  double repair_seconds = 0.0;
+  for (const WeightUpdate& wu : batch.reweight) {
+    const double old_weight = graph_.edge(wu.edge).weight;
+    graph_.set_weight(wu.edge, wu.weight);
+    if (!rebuild) {
+      const WallTimer repair;
+      if (tree_->after_reweight(wu.edge, old_weight)) ++stats.tree_swaps;
+      repair_seconds += repair.seconds();
+    }
+  }
+  for (const Edge& e : batch.insert) {
+    const EdgeId id = graph_.add_edge(e.u, e.v, e.weight);
+    if (!rebuild) {
+      const WallTimer repair;
+      if (tree_->after_insert(id)) ++stats.tree_swaps;
+      repair_seconds += repair.seconds();
+    }
+  }
+  if (!batch.remove.empty()) {
+    std::vector<char> deleted(static_cast<std::size_t>(graph_.num_edges()),
+                              0);
+    for (const EdgeId e : batch.remove) {
+      deleted[static_cast<std::size_t>(e)] = 1;
+      if (!rebuild && tree_->contains(e)) ++stats.tree_removed;
+    }
+    if (!rebuild) {
+      const WallTimer repair;
+      stats.tree_swaps += tree_->after_deletions(deleted);
+      repair_seconds += repair.seconds();
+    }
+    const std::vector<EdgeId> remap = graph_.remove_edges(batch.remove);
+    if (!rebuild) {
+      const WallTimer repair;
+      tree_->remap_ids(remap);
+      repair_seconds += repair.seconds();
+      if (!keep.empty()) {
+        std::size_t out = 0;
+        for (const EdgeId e : keep) {
+          const EdgeId mapped = remap[static_cast<std::size_t>(e)];
+          if (mapped != kInvalidEdge) keep[out++] = mapped;
+        }
+        keep.resize(out);
+      }
+    }
+  }
+  graph_.finalize();
+  notify_stage(DynamicStage::kApplyGraph, timer.seconds() - repair_seconds,
+               stats);
+
+  // Re-root the repaired backbone (or recompute it cold) on the updated
+  // graph; canonical order keeps the tree-edge prefix bit-identical to a
+  // cold Kruskal rebuild.
+  timer.reset();
+  if (rebuild) {
+    rebuild_backbone_cold();
+    stats.route = UpdateRoute::kRebuild;
+    keep.clear();
+  } else {
+    backbone_.emplace(graph_, tree_->canonical_edge_ids());
+    stats.route = (batch.remove.empty() && batch.insert.empty() &&
+                   stats.tree_swaps == 0)
+                      ? UpdateRoute::kResparsify
+                      : UpdateRoute::kTreeRepair;
+  }
+  notify_stage(DynamicStage::kTreeRepair, repair_seconds + timer.seconds(),
+               stats);
+
+  // Warm-refine keeps may have been swapped into the new tree; they are
+  // already covered by the backbone prefix then.
+  if (!keep.empty()) {
+    std::size_t out = 0;
+    for (const EdgeId e : keep) {
+      if (!backbone_->contains(e)) keep[out++] = e;
+    }
+    keep.resize(out);
+  }
+
+  timer.reset();
+  engine_->rebind(graph_, *backbone_,
+                  batch_seed(static_cast<Index>(history_.size())), keep);
+  notify_stage(DynamicStage::kRebind, timer.seconds(), stats);
+
+  timer.reset();
+  engine_->run();
+  notify_stage(DynamicStage::kSparsify, timer.seconds(), stats);
+
+  const SparsifyResult& r = engine_->result();
+  stats.graph_edges = graph_.num_edges();
+  stats.sparsifier_edges = r.num_edges();
+  stats.sigma2_estimate = r.sigma2_estimate;
+  stats.reached_target = r.reached_target;
+  for (const double s : stats.stage_seconds) stats.seconds += s;
+  history_.push_back(stats);
+  if (observer_ != nullptr) observer_->on_update(history_.back());
+  return history_.back();
+}
+
+UpdateStats DynamicSparsifier::insert_edges(std::span<const Edge> edges) {
+  UpdateBatch batch;
+  batch.insert.assign(edges.begin(), edges.end());
+  return apply(batch);
+}
+
+UpdateStats DynamicSparsifier::delete_edges(
+    std::span<const EdgeId> edge_ids) {
+  UpdateBatch batch;
+  batch.remove.assign(edge_ids.begin(), edge_ids.end());
+  return apply(batch);
+}
+
+UpdateStats DynamicSparsifier::reweight_edges(
+    std::span<const WeightUpdate> updates) {
+  UpdateBatch batch;
+  batch.reweight.assign(updates.begin(), updates.end());
+  return apply(batch);
+}
+
+DynamicResult dynamic_sparsify(const Graph& g,
+                               std::span<const UpdateBatch> script,
+                               const DynamicOptions& opts) {
+  DynamicSparsifier dyn(g, opts);
+  for (const UpdateBatch& batch : script) dyn.apply(batch);
+  return DynamicResult{dyn.graph(), dyn.result(), dyn.history()};
+}
+
+}  // namespace ssp

@@ -1,0 +1,124 @@
+#include "dynamic/update_journal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace ssp {
+
+namespace {
+
+[[noreturn]] void journal_error(Index line, const std::string& what) {
+  std::ostringstream os;
+  os << "update journal, line " << line << ": " << what;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace
+
+std::vector<JournalBatch> parse_update_journal(std::istream& in) {
+  std::vector<JournalBatch> batches;
+  JournalBatch current;
+  std::string line;
+  Index line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string op;
+    if (!(ls >> op) || op[0] == '%' || op[0] == '#') continue;
+    if (op == "commit") {
+      // Empty commits are ignored: a stray blank batch would still cost a
+      // full re-sparsification and shift every later per-batch seed.
+      if (!current.ops.empty()) {
+        batches.push_back(std::move(current));
+        current = JournalBatch{};
+      }
+      continue;
+    }
+    JournalOp entry;
+    if (op == "insert") {
+      entry.kind = JournalOp::Kind::kInsert;
+    } else if (op == "delete") {
+      entry.kind = JournalOp::Kind::kDelete;
+    } else if (op == "reweight") {
+      entry.kind = JournalOp::Kind::kReweight;
+    } else {
+      journal_error(line_no, "unknown operation '" + op + "'");
+    }
+    if (!(ls >> entry.u >> entry.v)) {
+      journal_error(line_no, "expected two vertex ids after '" + op + "'");
+    }
+    if (entry.kind != JournalOp::Kind::kDelete) {
+      if (!(ls >> entry.weight)) {
+        journal_error(line_no, "expected a weight after '" + op + " u v'");
+      }
+      if (!(entry.weight > 0.0) || !std::isfinite(entry.weight)) {
+        journal_error(line_no, "weight must be positive and finite");
+      }
+    }
+    current.ops.push_back(entry);
+  }
+  if (!current.ops.empty()) batches.push_back(std::move(current));
+  return batches;
+}
+
+std::vector<JournalBatch> load_update_journal(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open update journal: " + path);
+  }
+  return parse_update_journal(in);
+}
+
+UpdateBatch resolve_journal_batch(const Graph& g, const JournalBatch& batch) {
+  UpdateBatch out;
+  // Pairs deleted earlier in this batch: an insert may legally re-create
+  // one (the layer applies same-batch delete + insert cleanly).
+  std::set<std::pair<Vertex, Vertex>> deleted;
+  std::set<std::pair<Vertex, Vertex>> inserted;
+  for (const JournalOp& op : batch.ops) {
+    if (op.u < 0 || op.u >= g.num_vertices() || op.v < 0 ||
+        op.v >= g.num_vertices()) {
+      std::ostringstream os;
+      os << "update journal: vertex pair (" << op.u << ", " << op.v
+         << ") out of range";
+      throw std::runtime_error(os.str());
+    }
+    const std::pair<Vertex, Vertex> pair = std::minmax(op.u, op.v);
+    const EdgeId found = g.find_edge(op.u, op.v);
+    switch (op.kind) {
+      case JournalOp::Kind::kInsert:
+        if ((found != kInvalidEdge && deleted.count(pair) == 0) ||
+            !inserted.insert(pair).second) {
+          std::ostringstream os;
+          os << "update journal: insert duplicates existing edge (" << op.u
+             << ", " << op.v << ")";
+          throw std::runtime_error(os.str());
+        }
+        out.insert.push_back(Edge{op.u, op.v, op.weight});
+        break;
+      case JournalOp::Kind::kDelete:
+      case JournalOp::Kind::kReweight:
+        if (found == kInvalidEdge) {
+          std::ostringstream os;
+          os << "update journal: no edge joins (" << op.u << ", " << op.v
+             << ")";
+          throw std::runtime_error(os.str());
+        }
+        if (op.kind == JournalOp::Kind::kDelete) {
+          out.remove.push_back(found);
+          deleted.insert(pair);
+        } else {
+          out.reweight.push_back(WeightUpdate{found, op.weight});
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ssp

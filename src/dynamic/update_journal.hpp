@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file update_journal.hpp
+/// Text journal of graph updates — the replay format behind
+/// `ssp_sparsify --update-file` and the golden determinism fixtures.
+///
+/// One operation per line, batches separated by `commit`:
+///
+/// ```
+/// % comments ('%' or '#') and blank lines are skipped
+/// insert   u v w     % add edge {u, v} with weight w
+/// delete   u v       % remove the edge joining u and v
+/// reweight u v w     % replace the weight of edge {u, v} with w
+/// commit             % apply everything since the previous commit
+/// ```
+///
+/// Vertices are 0-based. Operations reference edges by endpoints (edge
+/// ids are an in-memory detail that shifts across deletions); the
+/// resolver maps them onto the live graph immediately before each batch
+/// is applied, so a journal stays valid for the whole replay. Trailing
+/// operations without a final `commit` form one last batch; empty
+/// commits are ignored (they would otherwise pay a re-sparsification and
+/// shift the per-batch seeds).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dynamic/dynamic_sparsifier.hpp"
+#include "graph/graph.hpp"
+
+namespace ssp {
+
+/// One journal line.
+struct JournalOp {
+  enum class Kind { kInsert, kDelete, kReweight };
+  Kind kind = Kind::kInsert;
+  Vertex u = kInvalidVertex;
+  Vertex v = kInvalidVertex;
+  double weight = 0.0;  ///< insert / reweight only
+};
+
+/// The operations of one `commit`-delimited batch.
+struct JournalBatch {
+  std::vector<JournalOp> ops;
+};
+
+/// Parses a journal stream. Throws std::runtime_error on malformed input
+/// (unknown op, missing fields, non-positive weight), naming the line.
+[[nodiscard]] std::vector<JournalBatch> parse_update_journal(std::istream& in);
+
+/// File-path convenience overload; throws std::runtime_error when the
+/// file cannot be opened.
+[[nodiscard]] std::vector<JournalBatch> load_update_journal(
+    const std::string& path);
+
+/// Resolves one journal batch against the *current* graph: endpoint pairs
+/// become edge ids for delete/reweight (throws std::runtime_error when no
+/// such edge exists, or when an insert duplicates an existing edge).
+/// Resolve each batch right before applying it — earlier batches shift
+/// the id space.
+[[nodiscard]] UpdateBatch resolve_journal_batch(const Graph& g,
+                                                const JournalBatch& batch);
+
+}  // namespace ssp

@@ -24,6 +24,67 @@ EdgeId Graph::add_edge(Vertex u, Vertex v, double w) {
   return static_cast<EdgeId>(edges_.size()) - 1;
 }
 
+std::vector<EdgeId> Graph::remove_edges(std::span<const EdgeId> edge_ids) {
+  std::vector<char> drop(edges_.size(), 0);
+  for (const EdgeId e : edge_ids) {
+    SSP_REQUIRE(e >= 0 && e < num_edges(),
+                "remove_edges: edge id out of range");
+    SSP_REQUIRE(drop[static_cast<std::size_t>(e)] == 0,
+                "remove_edges: duplicate edge id");
+    drop[static_cast<std::size_t>(e)] = 1;
+  }
+  std::vector<EdgeId> remap(edges_.size(), kInvalidEdge);
+  EdgeId next = 0;
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    if (drop[static_cast<std::size_t>(e)] != 0) continue;
+    remap[static_cast<std::size_t>(e)] = next;
+    if (next != e) {
+      edges_[static_cast<std::size_t>(next)] = edges_[static_cast<std::size_t>(e)];
+    }
+    ++next;
+  }
+  edges_.resize(static_cast<std::size_t>(next));
+  if (!edge_ids.empty()) finalized_ = false;
+  return remap;
+}
+
+void Graph::set_weight(EdgeId e, double w) {
+  SSP_REQUIRE(e >= 0 && e < num_edges(), "set_weight: edge id out of range");
+  SSP_REQUIRE(w > 0.0 && std::isfinite(w),
+              "set_weight: edge weight must be positive and finite");
+  Edge& edge = edges_[static_cast<std::size_t>(e)];
+  if (finalized_) {
+    const double delta = w - edge.weight;
+    weighted_degree_[static_cast<std::size_t>(edge.u)] += delta;
+    weighted_degree_[static_cast<std::size_t>(edge.v)] += delta;
+    for (const Vertex end : {edge.u, edge.v}) {
+      const auto b = static_cast<std::size_t>(adj_ptr_[static_cast<std::size_t>(end)]);
+      const auto lim = static_cast<std::size_t>(adj_ptr_[static_cast<std::size_t>(end) + 1]);
+      for (std::size_t pos = b; pos < lim; ++pos) {
+        if (adj_eid_[pos] == e) {
+          adj_w_[pos] = w;
+          break;
+        }
+      }
+    }
+  }
+  edge.weight = w;
+}
+
+EdgeId Graph::find_edge(Vertex u, Vertex v) const {
+  SSP_REQUIRE(finalized_, "call finalize() before find_edge()");
+  check_vertex(u);
+  check_vertex(v);
+  if (degree(v) < degree(u)) std::swap(u, v);
+  EdgeId best = kInvalidEdge;
+  for (const auto item : neighbors(u)) {
+    if (item.neighbor == v && (best == kInvalidEdge || item.edge < best)) {
+      best = item.edge;
+    }
+  }
+  return best;
+}
+
 const Edge& Graph::edge(EdgeId e) const {
   SSP_REQUIRE(e >= 0 && e < num_edges(), "edge id out of range");
   return edges_[static_cast<std::size_t>(e)];

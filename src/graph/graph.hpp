@@ -44,6 +44,23 @@ class Graph {
   /// id. Invalidates the adjacency structure until the next finalize().
   EdgeId add_edge(Vertex u, Vertex v, double w);
 
+  /// Removes the edges in `edge_ids` (valid, pairwise distinct; any order).
+  /// Surviving edges keep their relative order but are renumbered densely;
+  /// the returned vector maps every old edge id to its new id
+  /// (`kInvalidEdge` for removed edges). Invalidates the adjacency
+  /// structure until the next finalize() unless `edge_ids` is empty.
+  std::vector<EdgeId> remove_edges(std::span<const EdgeId> edge_ids);
+
+  /// Replaces the weight of edge `e` with `w` (> 0, finite). Keeps the
+  /// adjacency structure valid when already finalized (the CSR weight
+  /// slots and weighted degrees are patched in place).
+  void set_weight(EdgeId e, double w);
+
+  /// Id of an edge joining `u` and `v` (either orientation), or
+  /// `kInvalidEdge` when they are not adjacent. With parallel edges the
+  /// lowest id wins. Requires finalize().
+  [[nodiscard]] EdgeId find_edge(Vertex u, Vertex v) const;
+
   /// The edge with identifier `e`.
   [[nodiscard]] const Edge& edge(EdgeId e) const;
 

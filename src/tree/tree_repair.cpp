@@ -1,0 +1,244 @@
+#include "tree/tree_repair.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "util/assert.hpp"
+#include "util/union_find.hpp"
+
+namespace ssp {
+
+MaxWeightTree::MaxWeightTree(const Graph& g, std::span<const EdgeId> tree_edges)
+    : g_(&g),
+      in_tree_(static_cast<std::size_t>(g.num_edges()), 0),
+      adj_(static_cast<std::size_t>(g.num_vertices())) {
+  SSP_REQUIRE(static_cast<Vertex>(tree_edges.size()) == g.num_vertices() - 1,
+              "MaxWeightTree: need exactly n-1 tree edges");
+  for (const EdgeId e : tree_edges) {
+    SSP_REQUIRE(e >= 0 && e < g.num_edges(),
+                "MaxWeightTree: tree edge id out of range");
+    link(e);
+  }
+  queue_.reserve(static_cast<std::size_t>(g.num_vertices()));
+  parent_edge_.assign(static_cast<std::size_t>(g.num_vertices()),
+                      kInvalidEdge);
+  visited_.assign(static_cast<std::size_t>(g.num_vertices()), 0);
+}
+
+bool MaxWeightTree::beats(EdgeId a, EdgeId b) const {
+  const double wa = g_->edge(a).weight;
+  const double wb = g_->edge(b).weight;
+  return wa != wb ? wa > wb : a < b;
+}
+
+void MaxWeightTree::link(EdgeId e) {
+  SSP_ASSERT(in_tree_[static_cast<std::size_t>(e)] == 0,
+             "MaxWeightTree: edge already linked");
+  const Edge& edge = g_->edge(e);
+  in_tree_[static_cast<std::size_t>(e)] = 1;
+  adj_[static_cast<std::size_t>(edge.u)].push_back({edge.v, e});
+  adj_[static_cast<std::size_t>(edge.v)].push_back({edge.u, e});
+}
+
+void MaxWeightTree::unlink(EdgeId e) {
+  SSP_ASSERT(in_tree_[static_cast<std::size_t>(e)] != 0,
+             "MaxWeightTree: edge not linked");
+  const Edge& edge = g_->edge(e);
+  in_tree_[static_cast<std::size_t>(e)] = 0;
+  for (const Vertex end : {edge.u, edge.v}) {
+    auto& list = adj_[static_cast<std::size_t>(end)];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      if (list[i].edge == e) {
+        list[i] = list.back();
+        list.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+void MaxWeightTree::tree_path(Vertex u, Vertex v,
+                              std::vector<EdgeId>& path) const {
+  std::fill(visited_.begin(), visited_.end(), 0);
+  queue_.clear();
+  queue_.push_back(u);
+  visited_[static_cast<std::size_t>(u)] = 1;
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const Vertex x = queue_[head];
+    if (x == v) break;
+    for (const HalfEdge& h : adj_[static_cast<std::size_t>(x)]) {
+      if (visited_[static_cast<std::size_t>(h.to)] != 0) continue;
+      visited_[static_cast<std::size_t>(h.to)] = 1;
+      parent_edge_[static_cast<std::size_t>(h.to)] = h.edge;
+      queue_.push_back(h.to);
+    }
+  }
+  SSP_ASSERT(visited_[static_cast<std::size_t>(v)] != 0,
+             "MaxWeightTree: endpoints not tree-connected");
+  path.clear();
+  for (Vertex x = v; x != u;) {
+    const EdgeId e = parent_edge_[static_cast<std::size_t>(x)];
+    path.push_back(e);
+    const Edge& edge = g_->edge(e);  // parent = the edge's other endpoint
+    x = edge.u == x ? edge.v : edge.u;
+  }
+}
+
+void MaxWeightTree::mark_side(Vertex u, EdgeId cut,
+                              std::vector<char>& side) const {
+  side.assign(static_cast<std::size_t>(g_->num_vertices()), 0);
+  queue_.clear();
+  queue_.push_back(u);
+  side[static_cast<std::size_t>(u)] = 1;
+  for (std::size_t head = 0; head < queue_.size(); ++head) {
+    const Vertex x = queue_[head];
+    for (const HalfEdge& h : adj_[static_cast<std::size_t>(x)]) {
+      if (h.edge == cut || side[static_cast<std::size_t>(h.to)] != 0) continue;
+      side[static_cast<std::size_t>(h.to)] = 1;
+      queue_.push_back(h.to);
+    }
+  }
+}
+
+bool MaxWeightTree::after_insert(EdgeId e) {
+  SSP_REQUIRE(e >= 0 && e < g_->num_edges(),
+              "MaxWeightTree: edge id out of range");
+  in_tree_.resize(static_cast<std::size_t>(g_->num_edges()), 0);
+  const Edge& edge = g_->edge(e);
+  tree_path(edge.u, edge.v, path_);
+  const std::vector<EdgeId>& path = path_;
+  EdgeId weakest = path.front();
+  for (const EdgeId p : path) {
+    if (beats(weakest, p)) weakest = p;
+  }
+  if (!beats(e, weakest)) return false;
+  unlink(weakest);
+  link(e);
+  return true;
+}
+
+bool MaxWeightTree::after_reweight(EdgeId e, double old_weight) {
+  SSP_REQUIRE(e >= 0 && e < g_->num_edges(),
+              "MaxWeightTree: edge id out of range");
+  const Edge& edge = g_->edge(e);
+  if (contains(e)) {
+    // A tree edge that got heavier only gets safer; a lighter one may be
+    // displaced by the strongest off-tree edge across its cut.
+    if (edge.weight >= old_weight) return false;
+    mark_side(edge.u, e, side_);
+    EdgeId best = kInvalidEdge;
+    for (EdgeId x = 0; x < g_->num_edges(); ++x) {
+      if (x == e || contains(x)) continue;
+      const Edge& cand = g_->edge(x);
+      if (side_[static_cast<std::size_t>(cand.u)] ==
+          side_[static_cast<std::size_t>(cand.v)]) {
+        continue;
+      }
+      if (best == kInvalidEdge || beats(x, best)) best = x;
+    }
+    if (best == kInvalidEdge || !beats(best, e)) return false;
+    unlink(e);
+    link(best);
+    return true;
+  }
+  // An off-tree edge that got lighter stays out; a heavier one is exactly
+  // an insertion exchange.
+  if (edge.weight <= old_weight) return false;
+  return after_insert(e);
+}
+
+EdgeId MaxWeightTree::after_deletions(std::span<const char> deleted) {
+  SSP_REQUIRE(static_cast<EdgeId>(deleted.size()) == g_->num_edges(),
+              "MaxWeightTree: deletion mask must cover every edge id");
+  EdgeId dropped = 0;
+  for (EdgeId e = 0; e < g_->num_edges(); ++e) {
+    if (deleted[static_cast<std::size_t>(e)] != 0 && contains(e)) ++dropped;
+  }
+  if (dropped == 0) return 0;
+
+  // Reject disconnecting deletions before touching the tree, so the
+  // documented throw leaves the index fully usable (one union-find pass
+  // over the surviving edges).
+  {
+    UnionFind check(static_cast<Index>(g_->num_vertices()));
+    for (EdgeId e = 0; e < g_->num_edges(); ++e) {
+      if (deleted[static_cast<std::size_t>(e)] != 0) continue;
+      const Edge& edge = g_->edge(e);
+      check.unite(static_cast<Index>(edge.u), static_cast<Index>(edge.v));
+    }
+    SSP_REQUIRE(check.num_sets() == 1,
+                "MaxWeightTree: deletions disconnect the graph");
+  }
+  for (EdgeId e = 0; e < g_->num_edges(); ++e) {
+    if (deleted[static_cast<std::size_t>(e)] != 0 && contains(e)) unlink(e);
+  }
+
+  // Surviving tree edges stay in the canonical tree (each is the
+  // strongest edge across its own cut, and deletions only remove
+  // competitors), so reconnecting the contracted components greedily by
+  // key reproduces the cold Kruskal tree exactly.
+  UnionFind uf(static_cast<Index>(g_->num_vertices()));
+  for (EdgeId e = 0; e < g_->num_edges(); ++e) {
+    if (contains(e)) {
+      const Edge& edge = g_->edge(e);
+      uf.unite(static_cast<Index>(edge.u), static_cast<Index>(edge.v));
+    }
+  }
+  // Strongest candidate per component pair (pairs only merge during the
+  // greedy join, and the merged pair's best is one of its halves' bests).
+  std::map<std::pair<Index, Index>, EdgeId> best;
+  for (EdgeId x = 0; x < g_->num_edges(); ++x) {
+    if (deleted[static_cast<std::size_t>(x)] != 0 || contains(x)) continue;
+    const Edge& cand = g_->edge(x);
+    const Index ru = uf.find(static_cast<Index>(cand.u));
+    const Index rv = uf.find(static_cast<Index>(cand.v));
+    if (ru == rv) continue;
+    const std::pair<Index, Index> key{std::min(ru, rv), std::max(ru, rv)};
+    const auto [it, inserted] = best.try_emplace(key, x);
+    if (!inserted && beats(x, it->second)) it->second = x;
+  }
+  std::vector<EdgeId> candidates;
+  candidates.reserve(best.size());
+  for (const auto& [pair, x] : best) candidates.push_back(x);
+  std::sort(candidates.begin(), candidates.end(),
+            [this](EdgeId a, EdgeId b) { return beats(a, b); });
+  EdgeId swaps = 0;
+  for (const EdgeId x : candidates) {
+    const Edge& cand = g_->edge(x);
+    if (uf.unite(static_cast<Index>(cand.u), static_cast<Index>(cand.v))) {
+      link(x);
+      ++swaps;
+    }
+  }
+  SSP_ASSERT(uf.num_sets() == 1,
+             "MaxWeightTree: reconnection left components unjoined");
+  return swaps;
+}
+
+void MaxWeightTree::remap_ids(std::span<const EdgeId> old_to_new) {
+  std::vector<char> remapped(static_cast<std::size_t>(g_->num_edges()), 0);
+  for (auto& list : adj_) {
+    for (HalfEdge& h : list) {
+      const EdgeId mapped = old_to_new[static_cast<std::size_t>(h.edge)];
+      SSP_REQUIRE(mapped != kInvalidEdge,
+                  "MaxWeightTree: a deleted edge is still in the tree");
+      h.edge = mapped;
+      remapped[static_cast<std::size_t>(mapped)] = 1;
+    }
+  }
+  in_tree_ = std::move(remapped);
+}
+
+std::vector<EdgeId> MaxWeightTree::canonical_edge_ids() const {
+  std::vector<EdgeId> ids;
+  ids.reserve(static_cast<std::size_t>(g_->num_vertices()) - 1);
+  for (EdgeId e = 0; e < static_cast<EdgeId>(in_tree_.size()); ++e) {
+    if (in_tree_[static_cast<std::size_t>(e)] != 0) ids.push_back(e);
+  }
+  std::sort(ids.begin(), ids.end(),
+            [this](EdgeId a, EdgeId b) { return beats(a, b); });
+  return ids;
+}
+
+}  // namespace ssp

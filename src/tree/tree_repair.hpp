@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file tree_repair.hpp
+/// Incrementally maintained canonical maximum-weight spanning tree — the
+/// persistent backbone of the dynamic update layer (src/dynamic/).
+///
+/// `max_weight_spanning_tree()` (tree/kruskal.cpp) is deterministic: edges
+/// are stable-sorted by weight descending, so ties resolve by ascending
+/// edge id and the accepted tree is the unique maximum spanning tree under
+/// the total order key(e) = (weight desc, id asc). `MaxWeightTree`
+/// maintains exactly that tree across edge insertions, deletions, and
+/// reweights using the classic matroid exchange steps evaluated under the
+/// same total order:
+///
+///  * insert e            — swap out the weakest edge on the tree path
+///                          between e's endpoints iff e's key beats it;
+///  * reweight e          — tree-edge decrease may swap in the strongest
+///                          crossing replacement; off-tree increase is an
+///                          insert-style exchange; the other two directions
+///                          are provably no-ops;
+///  * delete tree edges   — union-find over the surviving tree edges, then
+///                          a greedy strongest-crossing-edge reconnection
+///                          (exact by the cut property: deletions never
+///                          evict surviving tree edges).
+///
+/// Because the keys are unique, the maintained tree is bit-identical to a
+/// cold Kruskal rebuild on the updated graph — `canonical_edge_ids()`
+/// returns the ids in Kruskal acceptance order, so even the backbone-first
+/// prefix of a sparsifier edge list matches a cold run exactly. This is
+/// the property the dynamic layer's incremental-equals-cold determinism
+/// contract rests on (see dynamic/dynamic_sparsifier.hpp).
+///
+/// Costs per operation: O(n) for path exchanges, O(m) for cut scans
+/// (tree-edge deletions / weight decreases), amortized over a batch. The
+/// host graph must outlive the index and already reflect each mutation
+/// when the corresponding `after_*` hook runs.
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/types.hpp"
+
+namespace ssp {
+
+class MaxWeightTree {
+ public:
+  /// Binds to `g` (must outlive the index) and adopts `tree_edges` — the
+  /// edge ids of a spanning tree of `g`, typically
+  /// `max_weight_spanning_tree(g).tree_edge_ids()`. The edges are trusted
+  /// to form a spanning tree; canonical maximality is the caller's
+  /// responsibility (adopt a Kruskal tree, then only mutate through the
+  /// hooks below).
+  MaxWeightTree(const Graph& g, std::span<const EdgeId> tree_edges);
+
+  [[nodiscard]] const Graph& graph() const { return *g_; }
+
+  /// True when graph edge `e` is currently a tree edge.
+  [[nodiscard]] bool contains(EdgeId e) const {
+    return in_tree_[static_cast<std::size_t>(e)] != 0;
+  }
+
+  /// Tree edge ids sorted by (weight desc, id asc) — exactly the order
+  /// Kruskal accepts them in, so a SpanningTree built from this list is
+  /// bit-identical to `max_weight_spanning_tree(graph())`.
+  [[nodiscard]] std::vector<EdgeId> canonical_edge_ids() const;
+
+  /// Exchange step after `e` was appended to the graph. Returns true when
+  /// the tree changed (a path edge was swapped out for `e`).
+  bool after_insert(EdgeId e);
+
+  /// Exchange step after edge `e`'s weight changed from `old_weight` to
+  /// its current value. Returns true when the tree changed.
+  bool after_reweight(EdgeId e, double old_weight);
+
+  /// Repairs the tree after the edges flagged in `deleted` (indexed by
+  /// edge id) were marked for removal from the graph: drops deleted tree
+  /// edges and reconnects the resulting components with the strongest
+  /// non-deleted crossing edges (greedy by key — exact). Returns the
+  /// number of replacement edges swapped in. Throws std::invalid_argument
+  /// when the deletions disconnect the graph — checked before the tree is
+  /// touched, so the index stays fully usable after a rejection. The
+  /// graph's edge list must still contain the deleted edges (they are
+  /// skipped via the mask); remove them afterwards and call
+  /// `remap_ids()`.
+  EdgeId after_deletions(std::span<const char> deleted);
+
+  /// Renumbers edge ids after `Graph::remove_edges` compaction;
+  /// `old_to_new` is the remap it returned. No deleted edge may still be
+  /// in the tree (run `after_deletions` first).
+  void remap_ids(std::span<const EdgeId> old_to_new);
+
+ private:
+  struct HalfEdge {
+    Vertex to;
+    EdgeId edge;
+  };
+
+  /// True when key(a) = (w_a, -a) beats key(b) in the canonical order.
+  [[nodiscard]] bool beats(EdgeId a, EdgeId b) const;
+
+  /// Fills `path` with the tree edges joining `u` and `v` (BFS, O(n)).
+  void tree_path(Vertex u, Vertex v, std::vector<EdgeId>& path) const;
+
+  /// Marks `side[x] = 1` for every vertex reachable from `u` without
+  /// crossing tree edge `cut` (BFS, O(n)).
+  void mark_side(Vertex u, EdgeId cut, std::vector<char>& side) const;
+
+  void link(EdgeId e);
+  void unlink(EdgeId e);
+
+  const Graph* g_;
+  std::vector<char> in_tree_;               ///< by edge id
+  std::vector<std::vector<HalfEdge>> adj_;  ///< tree adjacency
+  // Reused BFS / exchange scratch (no per-operation allocation).
+  mutable std::vector<Vertex> queue_;
+  mutable std::vector<EdgeId> parent_edge_;
+  mutable std::vector<char> visited_;
+  std::vector<EdgeId> path_;
+  std::vector<char> side_;
+};
+
+}  // namespace ssp

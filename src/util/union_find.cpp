@@ -6,11 +6,13 @@
 
 namespace ssp {
 
-UnionFind::UnionFind(Index n)
-    : parent_(static_cast<std::size_t>(n)),
-      size_(static_cast<std::size_t>(n), 1),
-      num_sets_(n) {
+UnionFind::UnionFind(Index n) : num_sets_(0) { reset(n); }
+
+void UnionFind::reset(Index n) {
   SSP_REQUIRE(n >= 0, "UnionFind size must be non-negative");
+  parent_.resize(static_cast<std::size_t>(n));
+  size_.assign(static_cast<std::size_t>(n), 1);
+  num_sets_ = n;
   std::iota(parent_.begin(), parent_.end(), Index{0});
 }
 

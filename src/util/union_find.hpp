@@ -17,6 +17,10 @@ class UnionFind {
   /// Creates `n` singleton sets labelled 0..n-1.
   explicit UnionFind(Index n);
 
+  /// Restores `n` singleton sets, reusing the existing storage when the
+  /// element count is unchanged (batch loops reset instead of reallocating).
+  void reset(Index n);
+
   /// Representative of the set containing `x` (with path halving).
   [[nodiscard]] Index find(Index x);
 

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Golden determinism check: runs ssp_sparsify over the checked-in fixture
+# graphs through all three execution paths — the whole-graph engine, the
+# partition-parallel scale layer, and the dynamic update layer — and
+# compares the output edge lists byte for byte (sha256) against
+# tests/fixtures/golden_hashes.txt. Every path is pinned to fixed options
+# and seeds, so any hash drift is a cross-PR determinism regression.
+#
+# Usage: golden_determinism.sh <ssp_sparsify> <fixtures_dir> <work_dir>
+#
+# Regenerate hashes after an *intentional* output change:
+#   tests/golden_determinism.sh build/ssp_sparsify tests/fixtures /tmp/gw --update
+
+set -u
+
+SPARSIFY="$1"
+FIXTURES="$2"
+WORK="$3"
+UPDATE="${4:-}"
+
+mkdir -p "$WORK"
+rm -f "$WORK"/*.mtx
+
+run() { # run <output-name> <args...>
+  local out="$WORK/$1"
+  shift
+  if ! "$SPARSIFY" "$@" --out "$out" > "$WORK/log.txt" 2>&1; then
+    echo "FAIL: ssp_sparsify $* exited non-zero" >&2
+    cat "$WORK/log.txt" >&2
+    exit 1
+  fi
+}
+
+# grid8: 8x8 weighted lattice. community16: four planted blocks.
+for fixture in grid8 community16; do
+  in="$FIXTURES/$fixture.mtx"
+  run "${fixture}_plain.mtx"     --in "$in" --sigma2 8 --seed 42
+  run "${fixture}_part4.mtx"     --in "$in" --sigma2 8 --seed 42 --partitions 4
+  run "${fixture}_dynamic.mtx"   --in "$in" --sigma2 8 --seed 42 \
+      --update-file "$FIXTURES/$fixture.journal"
+done
+
+cd "$WORK" || exit 1
+sha256sum ./*.mtx > observed_hashes.txt
+
+if [ "$UPDATE" = "--update" ]; then
+  cp observed_hashes.txt "$FIXTURES/golden_hashes.txt"
+  echo "updated $FIXTURES/golden_hashes.txt"
+  exit 0
+fi
+
+if ! diff -u "$FIXTURES/golden_hashes.txt" observed_hashes.txt; then
+  echo "FAIL: sparsifier output drifted from the golden fixtures." >&2
+  echo "If the change is intentional, regenerate with --update." >&2
+  exit 1
+fi
+echo "golden determinism OK ($(wc -l < observed_hashes.txt) outputs)"

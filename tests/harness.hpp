@@ -1,0 +1,138 @@
+#pragma once
+
+// Differential update-script harness for the dynamic layer
+// (src/dynamic/): generates randomized-but-valid UpdateBatch scripts over
+// any host graph and provides the comparison helpers test_dynamic.cpp
+// runs across generator families and thread counts.
+//
+// Script generation simulates the evolving graph with the same Graph
+// mutation primitives DynamicSparsifier uses, so edge ids in batch k are
+// valid against the state after batch k-1, deletions never disconnect the
+// simulated graph (checked with a union-find pass per batch, exactly like
+// the layer's own validation), and inserts never duplicate an existing
+// pair. Everything is driven by an explicit ssp::Rng, so scripts are
+// bit-reproducible.
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "dynamic/dynamic_sparsifier.hpp"
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+#include "util/union_find.hpp"
+
+namespace ssp::testing {
+
+struct ScriptOptions {
+  Index batches = 3;
+  Index inserts_per_batch = 3;
+  Index deletes_per_batch = 3;
+  Index reweights_per_batch = 4;
+  double weight_lo = 0.2;
+  double weight_hi = 5.0;
+};
+
+/// True when removing `remove` from `g` (all ids valid) keeps it connected.
+inline bool stays_connected(const Graph& g, const std::vector<EdgeId>& remove) {
+  std::vector<char> drop(static_cast<std::size_t>(g.num_edges()), 0);
+  for (const EdgeId e : remove) drop[static_cast<std::size_t>(e)] = 1;
+  UnionFind uf(static_cast<Index>(g.num_vertices()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (drop[static_cast<std::size_t>(e)] != 0) continue;
+    const Edge& edge = g.edge(e);
+    uf.unite(static_cast<Index>(edge.u), static_cast<Index>(edge.v));
+  }
+  return uf.num_sets() == 1;
+}
+
+/// Generates a valid update script over `g` (finalized, connected).
+inline std::vector<UpdateBatch> make_update_script(const Graph& g, Rng& rng,
+                                                   const ScriptOptions& o = {}) {
+  Graph sim = g;  // evolves exactly like DynamicSparsifier's copy
+  std::set<std::pair<Vertex, Vertex>> pairs;
+  for (const Edge& e : sim.edges()) {
+    pairs.insert(std::minmax(e.u, e.v));
+  }
+
+  std::vector<UpdateBatch> script;
+  for (Index b = 0; b < o.batches; ++b) {
+    UpdateBatch batch;
+    const EdgeId m = sim.num_edges();
+    std::set<EdgeId> touched;
+
+    for (Index i = 0; i < o.reweights_per_batch && m > 0; ++i) {
+      const EdgeId e = static_cast<EdgeId>(rng.uniform_int(0, m - 1));
+      if (!touched.insert(e).second) continue;
+      batch.reweight.push_back(
+          WeightUpdate{e, rng.uniform(o.weight_lo, o.weight_hi)});
+    }
+
+    for (Index i = 0; i < o.deletes_per_batch && m > 0; ++i) {
+      const EdgeId e = static_cast<EdgeId>(rng.uniform_int(0, m - 1));
+      if (touched.count(e) != 0) continue;
+      batch.remove.push_back(e);
+      if (stays_connected(sim, batch.remove)) {
+        touched.insert(e);
+      } else {
+        batch.remove.pop_back();  // would disconnect — skip this candidate
+      }
+    }
+
+    for (Index i = 0; i < o.inserts_per_batch; ++i) {
+      const Vertex u =
+          static_cast<Vertex>(rng.uniform_int(0, sim.num_vertices() - 1));
+      const Vertex v =
+          static_cast<Vertex>(rng.uniform_int(0, sim.num_vertices() - 1));
+      if (u == v || !pairs.insert(std::minmax(u, v)).second) continue;
+      batch.insert.push_back(Edge{u, v, rng.uniform(o.weight_lo, o.weight_hi)});
+    }
+
+    // Mirror the layer's application order: reweight, insert, remove +
+    // compact — keeping `sim`'s edge ids aligned with the live graph.
+    for (const WeightUpdate& wu : batch.reweight) {
+      sim.set_weight(wu.edge, wu.weight);
+    }
+    for (const Edge& e : batch.insert) sim.add_edge(e.u, e.v, e.weight);
+    std::vector<Edge> removed_pairs;
+    for (const EdgeId e : batch.remove) removed_pairs.push_back(sim.edge(e));
+    sim.remove_edges(batch.remove);
+    for (const Edge& e : removed_pairs) pairs.erase(std::minmax(e.u, e.v));
+    sim.finalize();
+
+    script.push_back(std::move(batch));
+  }
+  return script;
+}
+
+/// Replays `script` through a DynamicSparsifier at the given thread count
+/// and returns the driver's final per-batch sparsifier edge lists (one
+/// entry per batch, initial build first).
+struct ReplayOutcome {
+  std::vector<std::vector<EdgeId>> edges_per_batch;
+  std::vector<UpdateStats> history;
+  std::vector<EdgeId> final_edges;
+  double final_sigma2 = 0.0;
+  bool final_reached = false;
+};
+
+inline ReplayOutcome replay(const Graph& g,
+                            const std::vector<UpdateBatch>& script,
+                            DynamicOptions opts, int threads) {
+  opts.base.threads = threads;
+  DynamicSparsifier dyn(g, opts);
+  ReplayOutcome out;
+  out.edges_per_batch.push_back(dyn.result().edges);
+  for (const UpdateBatch& batch : script) {
+    dyn.apply(batch);
+    out.edges_per_batch.push_back(dyn.result().edges);
+  }
+  out.history = dyn.history();
+  out.final_edges = dyn.result().edges;
+  out.final_sigma2 = dyn.result().sigma2_estimate;
+  out.final_reached = dyn.result().reached_target;
+  return out;
+}
+
+}  // namespace ssp::testing

@@ -1,0 +1,609 @@
+// Tests for the dynamic update layer (src/dynamic/) and its tree-repair
+// primitive: the differential harness (incremental result bit-identical
+// to a cold rebuild on the final graph, across every generator family and
+// threads ∈ {1, 4}), rebuild-threshold and warm-refine semantics, batch
+// validation/atomicity, telemetry, the update-journal format, and the
+// canonical max-weight tree maintenance it all rests on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/options_io.hpp"
+#include "core/sparsifier.hpp"
+#include "dynamic/dynamic_sparsifier.hpp"
+#include "dynamic/update_journal.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/generators/airfoil.hpp"
+#include "graph/generators/community.hpp"
+#include "graph/generators/knn.hpp"
+#include "graph/generators/lattice.hpp"
+#include "graph/generators/points.hpp"
+#include "graph/generators/rmat.hpp"
+#include "graph/generators/weights.hpp"
+#include "harness.hpp"
+#include "scale/quality.hpp"
+#include "tree/kruskal.hpp"
+#include "tree/tree_repair.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+namespace {
+
+using testing::make_update_script;
+using testing::replay;
+using testing::ReplayOutcome;
+using testing::ScriptOptions;
+
+struct Family {
+  const char* name;
+  Graph graph;
+};
+
+/// One small connected graph per generator family the paper evaluates.
+std::vector<Family> generator_families() {
+  std::vector<Family> families;
+  {
+    Rng rng(11);
+    families.push_back(
+        {"lattice", grid_2d(12, 12, WeightModel::log_uniform(0.2, 5.0), &rng)});
+  }
+  {
+    Rng rng(12);
+    families.push_back(
+        {"rmat", rmat_graph(7, 4, rng, {}, WeightModel::uniform(0.5, 2.0))});
+  }
+  {
+    Rng rng(13);
+    families.push_back(
+        {"community", planted_partition(160, 4, 0.08, 0.01, rng,
+                                        WeightModel::uniform(0.5, 2.0))});
+  }
+  {
+    Rng rng(14);
+    const PointCloud pc = gaussian_mixture_points(150, 3, 5, 0.05, rng);
+    families.push_back({"knn", knn_graph(pc, 4, KnnWeight::kInverseDistance)});
+  }
+  families.push_back({"airfoil", joukowski_airfoil_mesh(6, 24).graph});
+  return families;
+}
+
+DynamicOptions incremental_options(std::uint64_t seed = 42) {
+  DynamicOptions opts;
+  opts.base = SparsifyOptions{}.with_sigma2(30.0).with_seed(seed);
+  opts.rebuild_threshold = 1e9;  // never fall back: always incremental
+  return opts;
+}
+
+// ---- The differential harness ---------------------------------------------
+
+TEST(Differential, IncrementalIsBitIdenticalToColdRebuildAcrossFamilies) {
+  // The crown-jewel contract: after every incrementally applied batch, the
+  // dynamic sparsifier equals a cold rebuild on the final graph bit for
+  // bit — whatever mix of tree repairs the script exercised — at one and
+  // at four worker threads.
+  for (auto& [name, g] : generator_families()) {
+    Rng script_rng(101);
+    const std::vector<UpdateBatch> script =
+        make_update_script(g, script_rng, ScriptOptions{});
+    for (const int threads : {1, 4}) {
+      DynamicOptions opts = incremental_options();
+      opts.base.threads = threads;
+      DynamicSparsifier dyn(g, opts);
+      Index batch_no = 0;
+      for (const UpdateBatch& batch : script) {
+        const UpdateStats& stats = dyn.apply(batch);
+        ++batch_no;
+        ASSERT_NE(stats.route, UpdateRoute::kRebuild)
+            << name << " batch " << batch_no << " threads " << threads;
+        const SparsifyResult cold =
+            sparsify(dyn.graph(), dyn.cold_equivalent_options());
+        ASSERT_EQ(dyn.result().edges, cold.edges)
+            << name << " batch " << batch_no << " threads " << threads;
+        ASSERT_EQ(dyn.result().tree_edges, cold.tree_edges)
+            << name << " batch " << batch_no << " threads " << threads;
+        ASSERT_DOUBLE_EQ(dyn.result().sigma2_estimate, cold.sigma2_estimate)
+            << name << " batch " << batch_no << " threads " << threads;
+        ASSERT_EQ(dyn.result().reached_target, cold.reached_target);
+      }
+    }
+  }
+}
+
+TEST(Differential, ThreadCountNeverChangesAnyBatch) {
+  for (auto& [name, g] : generator_families()) {
+    Rng script_rng(202);
+    const std::vector<UpdateBatch> script =
+        make_update_script(g, script_rng, ScriptOptions{});
+    const ReplayOutcome t1 = replay(g, script, incremental_options(), 1);
+    const ReplayOutcome t4 = replay(g, script, incremental_options(), 4);
+    ASSERT_EQ(t1.edges_per_batch.size(), t4.edges_per_batch.size()) << name;
+    for (std::size_t b = 0; b < t1.edges_per_batch.size(); ++b) {
+      ASSERT_EQ(t1.edges_per_batch[b], t4.edges_per_batch[b])
+          << name << " batch " << b;  // bit-for-bit
+    }
+    EXPECT_DOUBLE_EQ(t1.final_sigma2, t4.final_sigma2) << name;
+    EXPECT_EQ(t1.final_reached, t4.final_reached) << name;
+  }
+}
+
+TEST(Differential, RebuildThresholdChangesWallTimeOnly) {
+  // Forcing a cold rebuild on every batch (threshold 0) must reproduce
+  // the always-incremental run exactly: the repaired backbone IS the cold
+  // Kruskal tree, and both draw the same per-batch seed. The issue's
+  // "spectrally equivalent above the threshold" guarantee holds in the
+  // strongest possible form.
+  const Graph g = generator_families()[0].graph;  // lattice
+  Rng script_rng(303);
+  const std::vector<UpdateBatch> script =
+      make_update_script(g, script_rng, ScriptOptions{.batches = 4});
+
+  DynamicOptions incremental = incremental_options();
+  DynamicOptions rebuild = incremental_options();
+  rebuild.rebuild_threshold = 0.0;
+
+  const ReplayOutcome a = replay(g, script, incremental, 1);
+  const ReplayOutcome b = replay(g, script, rebuild, 1);
+  ASSERT_EQ(a.edges_per_batch.size(), b.edges_per_batch.size());
+  for (std::size_t i = 0; i < a.edges_per_batch.size(); ++i) {
+    EXPECT_EQ(a.edges_per_batch[i], b.edges_per_batch[i]) << "batch " << i;
+  }
+  for (std::size_t i = 1; i < a.history.size(); ++i) {
+    EXPECT_NE(a.history[i].route, UpdateRoute::kRebuild);
+    EXPECT_EQ(b.history[i].route, UpdateRoute::kRebuild);
+  }
+}
+
+TEST(Differential, WarmRefineStaysSpectrallyEquivalent) {
+  // warm_refine trades bit-exactness for speed: the result may keep edges
+  // a cold run would re-rank, but it must still hit the σ² target, and an
+  // independent κ estimate must agree with the cold rebuild's quality
+  // within tolerance.
+  for (auto& [name, g] : generator_families()) {
+    Rng script_rng(404);
+    const std::vector<UpdateBatch> script =
+        make_update_script(g, script_rng, ScriptOptions{});
+    DynamicOptions opts = incremental_options();
+    opts.warm_refine = true;
+    DynamicSparsifier dyn(g, opts);
+    for (const UpdateBatch& batch : script) dyn.apply(batch);
+    EXPECT_TRUE(dyn.result().reached_target) << name;
+
+    const SparsifyResult cold =
+        sparsify(dyn.graph(), dyn.cold_equivalent_options());
+    const SparsifierQuality warm_q = estimate_sparsifier_quality(
+        dyn.graph(), dyn.result().extract(dyn.graph()));
+    const SparsifierQuality cold_q =
+        estimate_sparsifier_quality(dyn.graph(), cold.extract(dyn.graph()));
+    // Both sparsifiers meet the target per the independent estimator (the
+    // engine's internal estimate is looser than the 20-iteration one, so
+    // allow modest slack) and agree with each other within a factor.
+    EXPECT_LE(warm_q.sigma2, opts.base.sigma2 * 1.5) << name;
+    EXPECT_LE(cold_q.sigma2, opts.base.sigma2 * 1.5) << name;
+    EXPECT_LT(warm_q.sigma2, cold_q.sigma2 * 3.0 + 10.0) << name;
+    // The warm result is a superset-style keeper: never sparser than the
+    // backbone, and at least as dense as the tree.
+    EXPECT_GE(dyn.result().num_edges(),
+              static_cast<EdgeId>(dyn.result().tree_edges.size()));
+  }
+}
+
+// ---- Tree repair (the primitive the contract rests on) ---------------------
+
+TEST(TreeRepair, MaintainedTreeMatchesColdKruskalUnderRandomChurn) {
+  Rng rng(7);
+  Graph g = grid_2d(9, 9, WeightModel::log_uniform(0.2, 5.0), &rng);
+  MaxWeightTree tree(g, max_weight_spanning_tree(g).tree_edge_ids());
+
+  for (int round = 0; round < 40; ++round) {
+    const int kind = static_cast<int>(rng.uniform_int(0, 2));
+    if (kind == 0) {  // reweight a random edge
+      const EdgeId e = static_cast<EdgeId>(
+          rng.uniform_int(0, g.num_edges() - 1));
+      const double old_w = g.edge(e).weight;
+      g.set_weight(e, rng.uniform(0.1, 8.0));
+      tree.after_reweight(e, old_w);
+    } else if (kind == 1) {  // insert a random non-parallel edge
+      const Vertex u =
+          static_cast<Vertex>(rng.uniform_int(0, g.num_vertices() - 1));
+      const Vertex v =
+          static_cast<Vertex>(rng.uniform_int(0, g.num_vertices() - 1));
+      if (u == v || g.find_edge(u, v) != kInvalidEdge) continue;
+      const EdgeId id = g.add_edge(u, v, rng.uniform(0.1, 8.0));
+      g.finalize();
+      tree.after_insert(id);
+    } else {  // delete a random edge batch (skip disconnecting picks)
+      std::vector<EdgeId> remove = {
+          static_cast<EdgeId>(rng.uniform_int(0, g.num_edges() - 1))};
+      if (!testing::stays_connected(g, remove)) continue;
+      std::vector<char> mask(static_cast<std::size_t>(g.num_edges()), 0);
+      mask[static_cast<std::size_t>(remove[0])] = 1;
+      tree.after_deletions(mask);
+      const std::vector<EdgeId> remap = g.remove_edges(remove);
+      tree.remap_ids(remap);
+      g.finalize();
+    }
+    const std::vector<EdgeId> maintained = tree.canonical_edge_ids();
+    const SpanningTree cold = max_weight_spanning_tree(g);
+    const std::vector<EdgeId> expected(cold.tree_edge_ids().begin(),
+                                       cold.tree_edge_ids().end());
+    ASSERT_EQ(maintained, expected) << "round " << round;
+  }
+}
+
+TEST(TreeRepair, DeletionsThatDisconnectThrow) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.finalize();
+  MaxWeightTree tree(g, max_weight_spanning_tree(g).tree_edge_ids());
+  std::vector<char> mask = {1, 0};
+  EXPECT_THROW(tree.after_deletions(mask), std::invalid_argument);
+}
+
+// ---- DynamicSparsifier unit behavior ---------------------------------------
+
+Graph small_grid(std::uint64_t seed = 5) {
+  Rng rng(seed);
+  return grid_2d(8, 8, WeightModel::log_uniform(0.5, 2.0), &rng);
+}
+
+TEST(Dynamic, InitialBuildMatchesColdEquivalentOptions) {
+  const Graph g = small_grid();
+  DynamicSparsifier dyn(g, incremental_options());
+  ASSERT_EQ(dyn.batches_applied(), 1);
+  const SparsifyResult cold = sparsify(g, dyn.cold_equivalent_options());
+  EXPECT_EQ(dyn.result().edges, cold.edges);
+  EXPECT_EQ(dyn.history().front().route, UpdateRoute::kRebuild);
+}
+
+TEST(Dynamic, ValidationRejectsBadBatchesAtomically) {
+  const Graph g = small_grid();
+  DynamicSparsifier dyn(g, incremental_options());
+  const std::vector<EdgeId> before = dyn.result().edges;
+  const EdgeId m = dyn.graph().num_edges();
+
+  UpdateBatch bad;
+  bad.remove = {m};  // out of range
+  EXPECT_THROW(dyn.apply(bad), std::invalid_argument);
+  bad.remove = {0, 0};  // duplicate
+  EXPECT_THROW(dyn.apply(bad), std::invalid_argument);
+  bad.remove = {0};
+  bad.reweight = {{0, 1.0}};  // removed and reweighted
+  EXPECT_THROW(dyn.apply(bad), std::invalid_argument);
+  bad = UpdateBatch{};
+  bad.reweight = {{1, -2.0}};  // non-positive weight
+  EXPECT_THROW(dyn.apply(bad), std::invalid_argument);
+  bad = UpdateBatch{};
+  bad.reweight = {{1, std::nan("")}};
+  EXPECT_THROW(dyn.apply(bad), std::invalid_argument);
+  bad = UpdateBatch{};
+  bad.insert = {Edge{3, 3, 1.0}};  // self-loop
+  EXPECT_THROW(dyn.apply(bad), std::invalid_argument);
+  bad = UpdateBatch{};
+  bad.insert = {Edge{0, g.num_vertices(), 1.0}};  // endpoint out of range
+  EXPECT_THROW(dyn.apply(bad), std::invalid_argument);
+
+  // Deleting every edge at a corner vertex disconnects it.
+  bad = UpdateBatch{};
+  for (const auto item : dyn.graph().neighbors(0)) {
+    bad.remove.push_back(item.edge);
+  }
+  EXPECT_THROW(dyn.apply(bad), std::invalid_argument);
+
+  // Nothing changed: same graph, same sparsifier, only batch 0 recorded.
+  EXPECT_EQ(dyn.graph().num_edges(), m);
+  EXPECT_EQ(dyn.result().edges, before);
+  EXPECT_EQ(dyn.batches_applied(), 1);
+}
+
+TEST(Dynamic, BridgeSwapInOneBatchIsAccepted) {
+  // Deleting a bridge while inserting its replacement in the same batch
+  // must pass validation (inserts land before removals).
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 0, 1.0);
+  g.add_edge(0, 2, 0.5);  // edge 4
+  g.finalize();
+  DynamicSparsifier dyn(g, incremental_options());
+  UpdateBatch batch;
+  batch.remove = {4};
+  batch.insert = {Edge{1, 3, 0.7}};
+  const UpdateStats& stats = dyn.apply(batch);
+  EXPECT_EQ(stats.removed, 1);
+  EXPECT_EQ(stats.inserted, 1);
+  EXPECT_EQ(dyn.graph().num_edges(), 5);
+  EXPECT_TRUE(is_connected(dyn.graph()));
+  const SparsifyResult cold =
+      sparsify(dyn.graph(), dyn.cold_equivalent_options());
+  EXPECT_EQ(dyn.result().edges, cold.edges);
+}
+
+TEST(Dynamic, RoutesAndTelemetryAreClassifiedPerBatch) {
+  const Graph g = small_grid(9);
+  DynamicOptions opts = incremental_options();
+  DynamicSparsifier dyn(g, opts);
+
+  // Reweight an off-tree edge downward: provably no tree change — the
+  // pure resparsify route.
+  const SpanningTree cold_tree = max_weight_spanning_tree(dyn.graph());
+  const EdgeId offtree = cold_tree.offtree_edge_ids().front();
+  const double w = dyn.graph().edge(offtree).weight;
+  const UpdateStats& s1 =
+      dyn.reweight_edges(std::vector<WeightUpdate>{{offtree, w * 0.5}});
+  EXPECT_EQ(s1.route, UpdateRoute::kResparsify);
+  EXPECT_EQ(s1.tree_swaps, 0);
+  EXPECT_EQ(s1.reweighted, 1);
+
+  // Delete a tree edge: repair via union-find reconnection.
+  const SpanningTree now = max_weight_spanning_tree(dyn.graph());
+  const EdgeId tree_edge = now.tree_edge_ids()[0];
+  std::vector<EdgeId> remove = {tree_edge};
+  ASSERT_TRUE(testing::stays_connected(dyn.graph(), remove));
+  const UpdateStats& s2 = dyn.delete_edges(remove);
+  EXPECT_EQ(s2.route, UpdateRoute::kTreeRepair);
+  EXPECT_EQ(s2.tree_removed, 1);
+  EXPECT_GE(s2.tree_swaps, 1);
+
+  // Insertions route through tree repair classification too.
+  const UpdateStats& s3 =
+      dyn.insert_edges(std::vector<Edge>{Edge{0, 30, 1.3}});
+  EXPECT_EQ(s3.route, UpdateRoute::kTreeRepair);
+  EXPECT_EQ(s3.inserted, 1);
+
+  // Every batch still matches its cold rebuild.
+  const SparsifyResult cold =
+      sparsify(dyn.graph(), dyn.cold_equivalent_options());
+  EXPECT_EQ(dyn.result().edges, cold.edges);
+  // Stage seconds cover the five stages; totals add up.
+  for (const UpdateStats& s : dyn.history()) {
+    double sum = 0.0;
+    for (const double v : s.stage_seconds) sum += v;
+    EXPECT_NEAR(s.seconds, sum, 1e-9);
+  }
+}
+
+/// Records observer callbacks for ordering checks.
+class RecordingDynamicObserver : public DynamicObserver {
+ public:
+  void on_dynamic_stage(DynamicStage stage, double) override {
+    stages.push_back(stage);
+  }
+  void on_update(const UpdateStats& stats) override {
+    updates.push_back(stats.batch);
+  }
+  std::vector<DynamicStage> stages;
+  std::vector<Index> updates;
+};
+
+TEST(Dynamic, ObserverSeesStagesThenUpdatePerBatch) {
+  const Graph g = small_grid(21);
+  // Attached at construction, the observer sees the initial build too.
+  RecordingDynamicObserver obs;
+  DynamicSparsifier dyn(g, incremental_options(), &obs);
+  EXPECT_EQ(obs.updates, (std::vector<Index>{0}));
+  obs.stages.clear();
+  dyn.insert_edges(std::vector<Edge>{Edge{0, 17, 0.9}});
+  EXPECT_EQ(obs.updates, (std::vector<Index>{0, 1}));
+  // All five stages report, sparsify last.
+  ASSERT_FALSE(obs.stages.empty());
+  EXPECT_EQ(obs.stages.front(), DynamicStage::kValidate);
+  EXPECT_EQ(obs.stages.back(), DynamicStage::kSparsify);
+  for (const DynamicStage s :
+       {DynamicStage::kValidate, DynamicStage::kApplyGraph,
+        DynamicStage::kTreeRepair, DynamicStage::kRebind,
+        DynamicStage::kSparsify}) {
+    EXPECT_NE(std::find(obs.stages.begin(), obs.stages.end(), s),
+              obs.stages.end());
+  }
+}
+
+TEST(Dynamic, OneShotWrapperMatchesManualReplay) {
+  const Graph g = small_grid(33);
+  Rng script_rng(55);
+  const std::vector<UpdateBatch> script =
+      make_update_script(g, script_rng, ScriptOptions{.batches = 2});
+
+  const DynamicResult one_shot =
+      dynamic_sparsify(g, script, incremental_options());
+
+  DynamicSparsifier manual(g, incremental_options());
+  for (const UpdateBatch& batch : script) manual.apply(batch);
+
+  EXPECT_EQ(one_shot.result.edges, manual.result().edges);
+  EXPECT_EQ(one_shot.graph.num_edges(), manual.graph().num_edges());
+  EXPECT_EQ(one_shot.history.size(), manual.history().size());
+}
+
+TEST(Dynamic, OptionsValidate) {
+  EXPECT_THROW(DynamicOptions{}.with_rebuild_threshold(-0.1),
+               std::invalid_argument);
+  EXPECT_THROW(DynamicOptions{}.with_rebuild_threshold(std::nan("")),
+               std::invalid_argument);
+  EXPECT_THROW(DynamicOptions{}.with_base(SparsifyOptions{.sigma2 = 0.5}),
+               std::invalid_argument);
+  DynamicOptions opts;
+  opts.rebuild_threshold = -1.0;
+  EXPECT_THROW(opts.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(DynamicOptions{}
+                      .with_rebuild_threshold(0.5)
+                      .with_warm_refine(true)
+                      .validate());
+  // Enum names round-trip into telemetry strings.
+  for (const UpdateRoute r : {UpdateRoute::kResparsify,
+                              UpdateRoute::kTreeRepair,
+                              UpdateRoute::kRebuild}) {
+    EXPECT_STRNE(to_string(r), "?");
+  }
+  for (const DynamicStage s :
+       {DynamicStage::kValidate, DynamicStage::kApplyGraph,
+        DynamicStage::kTreeRepair, DynamicStage::kRebind,
+        DynamicStage::kSparsify}) {
+    EXPECT_STRNE(to_string(s), "?");
+  }
+}
+
+// ---- Update journal ---------------------------------------------------------
+
+TEST(Journal, ParsesBatchesAndRejectsMalformedInput) {
+  std::istringstream in(
+      "% header comment\n"
+      "insert 0 5 1.5\n"
+      "reweight 1 2 0.75\n"
+      "commit\n"
+      "# second batch\n"
+      "delete 3 4\n");
+  const std::vector<JournalBatch> batches = parse_update_journal(in);
+  ASSERT_EQ(batches.size(), 2u);  // trailing ops form a final batch
+  // Empty commits are skipped — they would shift every later batch seed.
+  std::istringstream empties("commit\nreweight 0 1 2.0\ncommit\ncommit\n");
+  EXPECT_EQ(parse_update_journal(empties).size(), 1u);
+  ASSERT_EQ(batches[0].ops.size(), 2u);
+  EXPECT_EQ(batches[0].ops[0].kind, JournalOp::Kind::kInsert);
+  EXPECT_EQ(batches[0].ops[0].u, 0);
+  EXPECT_EQ(batches[0].ops[0].v, 5);
+  EXPECT_DOUBLE_EQ(batches[0].ops[0].weight, 1.5);
+  EXPECT_EQ(batches[1].ops[0].kind, JournalOp::Kind::kDelete);
+
+  std::istringstream bad1("frobnicate 1 2\n");
+  EXPECT_THROW((void)parse_update_journal(bad1), std::runtime_error);
+  std::istringstream bad2("insert 1\n");
+  EXPECT_THROW((void)parse_update_journal(bad2), std::runtime_error);
+  std::istringstream bad3("insert 1 2 -3\n");
+  EXPECT_THROW((void)parse_update_journal(bad3), std::runtime_error);
+  std::istringstream bad4("reweight 1 2\n");
+  EXPECT_THROW((void)parse_update_journal(bad4), std::runtime_error);
+  EXPECT_THROW((void)load_update_journal("/no/such/file.journal"),
+               std::runtime_error);
+}
+
+TEST(Journal, ResolvesEndpointsAgainstTheLiveGraph) {
+  const Graph g = small_grid(3);
+  JournalBatch jb;
+  jb.ops.push_back({JournalOp::Kind::kDelete, 0, 1, 0.0});
+  jb.ops.push_back({JournalOp::Kind::kReweight, 0, 8, 2.5});
+  jb.ops.push_back({JournalOp::Kind::kInsert, 0, 63, 1.25});
+  const UpdateBatch batch = resolve_journal_batch(g, jb);
+  ASSERT_EQ(batch.remove.size(), 1u);
+  EXPECT_EQ(batch.remove[0], g.find_edge(0, 1));
+  ASSERT_EQ(batch.reweight.size(), 1u);
+  EXPECT_EQ(batch.reweight[0].edge, g.find_edge(0, 8));
+  EXPECT_DOUBLE_EQ(batch.reweight[0].weight, 2.5);
+  ASSERT_EQ(batch.insert.size(), 1u);
+
+  JournalBatch missing;
+  missing.ops.push_back({JournalOp::Kind::kDelete, 0, 63, 0.0});
+  EXPECT_THROW((void)resolve_journal_batch(g, missing), std::runtime_error);
+  JournalBatch dup_insert;
+  dup_insert.ops.push_back({JournalOp::Kind::kInsert, 0, 1, 1.0});
+  EXPECT_THROW((void)resolve_journal_batch(g, dup_insert),
+               std::runtime_error);
+  JournalBatch out_of_range;
+  out_of_range.ops.push_back({JournalOp::Kind::kDelete, 0, 9999, 0.0});
+  EXPECT_THROW((void)resolve_journal_batch(g, out_of_range),
+               std::runtime_error);
+
+  // End to end: resolving + applying lands on the cold-equivalent result.
+  DynamicSparsifier dyn(g, incremental_options());
+  dyn.apply(resolve_journal_batch(dyn.graph(), jb));
+  const SparsifyResult cold =
+      sparsify(dyn.graph(), dyn.cold_equivalent_options());
+  EXPECT_EQ(dyn.result().edges, cold.edges);
+}
+
+TEST(Journal, SameBatchDeleteTheNInsertOfOnePairResolves) {
+  // The layer supports deleting an edge and inserting its replacement in
+  // one batch; the journal resolver must not reject the re-insert as a
+  // duplicate of the (about to be deleted) edge.
+  const Graph g = small_grid(3);
+  JournalBatch jb;
+  jb.ops.push_back({JournalOp::Kind::kDelete, 0, 1, 0.0});
+  jb.ops.push_back({JournalOp::Kind::kInsert, 0, 1, 9.0});
+  const UpdateBatch batch = resolve_journal_batch(g, jb);
+  ASSERT_EQ(batch.remove.size(), 1u);
+  ASSERT_EQ(batch.insert.size(), 1u);
+  EXPECT_DOUBLE_EQ(batch.insert[0].weight, 9.0);
+
+  DynamicSparsifier dyn(g, incremental_options());
+  dyn.apply(batch);
+  EXPECT_DOUBLE_EQ(
+      dyn.graph().edge(dyn.graph().find_edge(0, 1)).weight, 9.0);
+  EXPECT_EQ(dyn.result().edges,
+            sparsify(dyn.graph(), dyn.cold_equivalent_options()).edges);
+
+  // Inserting the same pair twice in one batch is still rejected.
+  JournalBatch dup;
+  dup.ops.push_back({JournalOp::Kind::kDelete, 0, 1, 0.0});
+  dup.ops.push_back({JournalOp::Kind::kInsert, 0, 1, 1.0});
+  dup.ops.push_back({JournalOp::Kind::kInsert, 1, 0, 2.0});
+  EXPECT_THROW((void)resolve_journal_batch(g, dup), std::runtime_error);
+}
+
+// ---- Graph mutation primitives ---------------------------------------------
+
+TEST(GraphMutation, RemoveEdgesCompactsAndRemaps) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);  // 0
+  g.add_edge(1, 2, 2.0);  // 1
+  g.add_edge(2, 3, 3.0);  // 2
+  g.add_edge(3, 0, 4.0);  // 3
+  g.finalize();
+  const std::vector<EdgeId> remove = {1};
+  const std::vector<EdgeId> remap = g.remove_edges(remove);
+  ASSERT_EQ(remap.size(), 4u);
+  EXPECT_EQ(remap[0], 0);
+  EXPECT_EQ(remap[1], kInvalidEdge);
+  EXPECT_EQ(remap[2], 1);
+  EXPECT_EQ(remap[3], 2);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_FALSE(g.finalized());
+  g.finalize();
+  EXPECT_DOUBLE_EQ(g.edge(1).weight, 3.0);  // old edge 2
+
+  EXPECT_THROW((void)g.remove_edges(std::vector<EdgeId>{7}),
+               std::invalid_argument);
+  EXPECT_THROW((void)g.remove_edges(std::vector<EdgeId>{0, 0}),
+               std::invalid_argument);
+  // Empty removal is a no-op that keeps the adjacency valid.
+  (void)g.remove_edges({});
+  EXPECT_TRUE(g.finalized());
+}
+
+TEST(GraphMutation, SetWeightPatchesAdjacencyInPlace) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.finalize();
+  g.set_weight(0, 5.0);
+  EXPECT_TRUE(g.finalized());  // no CSR rebuild needed
+  EXPECT_DOUBLE_EQ(g.edge(0).weight, 5.0);
+  EXPECT_DOUBLE_EQ(g.weighted_degree(0), 5.0);
+  EXPECT_DOUBLE_EQ(g.weighted_degree(1), 7.0);
+  for (const auto item : g.neighbors(0)) {
+    EXPECT_DOUBLE_EQ(item.weight, 5.0);
+  }
+  EXPECT_THROW(g.set_weight(0, 0.0), std::invalid_argument);
+  EXPECT_THROW(g.set_weight(0, std::nan("")), std::invalid_argument);
+  EXPECT_THROW(g.set_weight(5, 1.0), std::invalid_argument);
+}
+
+TEST(GraphMutation, FindEdgeLocatesEitherOrientation) {
+  Graph g(4);
+  g.add_edge(2, 1, 1.0);
+  g.add_edge(1, 3, 2.0);
+  g.finalize();
+  EXPECT_EQ(g.find_edge(1, 2), 0);
+  EXPECT_EQ(g.find_edge(2, 1), 0);
+  EXPECT_EQ(g.find_edge(3, 1), 1);
+  EXPECT_EQ(g.find_edge(0, 1), kInvalidEdge);
+  EXPECT_EQ(g.find_edge(0, 3), kInvalidEdge);
+}
+
+}  // namespace
+}  // namespace ssp

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -248,9 +249,119 @@ TEST(Engine, ResparsifyRejectsBadWeights) {
   std::vector<double> too_few(static_cast<std::size_t>(g.num_edges()) - 1,
                               1.0);
   EXPECT_THROW(engine.resparsify(too_few), std::invalid_argument);
-  std::vector<double> negative(static_cast<std::size_t>(g.num_edges()), 1.0);
-  negative[3] = -1.0;
-  EXPECT_THROW(engine.resparsify(negative), std::invalid_argument);
+  std::vector<double> too_many(static_cast<std::size_t>(g.num_edges()) + 1,
+                               1.0);
+  EXPECT_THROW(engine.resparsify(too_many), std::invalid_argument);
+  std::vector<double> bad(static_cast<std::size_t>(g.num_edges()), 1.0);
+  for (const double w : {-1.0, 0.0, std::numeric_limits<double>::infinity(),
+                         std::numeric_limits<double>::quiet_NaN()}) {
+    bad[3] = w;
+    EXPECT_THROW(engine.resparsify(bad), std::invalid_argument);
+  }
+  // A rejected span leaves the engine usable: it is still done, with the
+  // original result intact.
+  EXPECT_TRUE(engine.done());
+  EXPECT_GT(engine.result().num_edges(), 0);
+}
+
+TEST(Engine, RefineAfterResparsifyTightensOnTheReweightedGraph) {
+  // The warm-start chain the dynamic workflow composes: reach a loose
+  // target, resparsify on perturbed weights, then refine down — the
+  // engine must keep the (reused) backbone and land on the tight target
+  // against the re-weighted graph.
+  const Graph g = test_grid(18, 77);
+  Sparsifier engine(g, SparsifyOptions{}.with_sigma2(30.0).with_seed(3));
+  engine.run();
+  ASSERT_TRUE(engine.result().reached_target);
+  const std::vector<EdgeId> tree_before = engine.result().tree_edges;
+
+  Rng rng(17);
+  std::vector<double> w(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    w[static_cast<std::size_t>(e)] = g.edge(e).weight * rng.uniform(0.9, 1.1);
+  }
+  engine.resparsify(w);
+  engine.run();
+  ASSERT_TRUE(engine.result().reached_target);
+  const EdgeId edges_loose = engine.result().num_edges();
+
+  engine.refine(8.0);
+  EXPECT_FALSE(engine.done());
+  engine.run();
+  EXPECT_TRUE(engine.result().reached_target);
+  EXPECT_LE(engine.result().sigma2_estimate, 8.0 + 1e-12);
+  EXPECT_GE(engine.result().num_edges(), edges_loose);  // only densifies
+  EXPECT_EQ(engine.result().tree_edges, tree_before);   // backbone survives
+}
+
+TEST(Engine, RebindMatchesColdExternalBackboneRunBitForBit) {
+  // rebind() is the dynamic layer's warm start: same graph + backbone +
+  // seed must reproduce a cold engine bound to that backbone exactly,
+  // even after the engine previously ran on a different graph.
+  const Graph g1 = test_grid(14, 5);
+  const Graph g2 = test_grid(16, 6);
+  const SpanningTree tree2 = max_weight_spanning_tree(g2);
+  const auto opts = SparsifyOptions{}.with_sigma2(15.0).with_seed(23);
+
+  Sparsifier cold(g2, tree2, SparsifyOptions(opts).with_seed(99));
+  cold.run();
+
+  Sparsifier warm(g1, opts);
+  warm.run();
+  warm.rebind(g2, tree2, 99);
+  EXPECT_FALSE(warm.done());
+  warm.run();
+
+  EXPECT_EQ(warm.result().edges, cold.result().edges);  // bit-for-bit
+  EXPECT_EQ(warm.result().tree_edges, cold.result().tree_edges);
+  EXPECT_DOUBLE_EQ(warm.result().sigma2_estimate,
+                   cold.result().sigma2_estimate);
+  EXPECT_EQ(&warm.graph(), &g2);
+}
+
+TEST(Engine, RebindKeepOfftreePreAcceptsIntoTheSparsifier) {
+  const Graph g = test_grid(12, 9);
+  const SpanningTree tree = max_weight_spanning_tree(g);
+  const std::vector<EdgeId> offtree = tree.offtree_edge_ids();
+  ASSERT_GE(offtree.size(), 2u);
+  const std::vector<EdgeId> keep = {offtree[0], offtree[1]};
+
+  Sparsifier engine(g, tree, SparsifyOptions{}.with_sigma2(20.0));
+  engine.rebind(g, tree, 7, keep);
+  // Pre-accepted edges sit right after the backbone prefix…
+  ASSERT_GE(engine.result().edges.size(), tree.tree_edge_ids().size() + 2);
+  EXPECT_EQ(engine.result().edges[tree.tree_edge_ids().size()], keep[0]);
+  EXPECT_EQ(engine.result().edges[tree.tree_edge_ids().size() + 1], keep[1]);
+  engine.run();
+  // …and survive the run.
+  const auto& edges = engine.result().edges;
+  EXPECT_NE(std::find(edges.begin(), edges.end(), keep[0]), edges.end());
+  EXPECT_TRUE(engine.result().reached_target);
+}
+
+TEST(Engine, RebindValidatesInputs) {
+  const Graph g1 = test_grid(8, 1);
+  const Graph g2 = test_grid(8, 2);
+  const SpanningTree tree1 = max_weight_spanning_tree(g1);
+  Sparsifier engine(g1, tree1, SparsifyOptions{}.with_sigma2(50.0));
+  // Backbone built on a different graph than the rebind target.
+  EXPECT_THROW(engine.rebind(g2, tree1, 1), std::invalid_argument);
+  // keep_offtree: out of range, tree edge, duplicate.
+  const std::vector<EdgeId> offtree = tree1.offtree_edge_ids();
+  ASSERT_FALSE(offtree.empty());
+  const std::vector<EdgeId> out_of_range = {g1.num_edges()};
+  EXPECT_THROW(engine.rebind(g1, tree1, 1, out_of_range),
+               std::invalid_argument);
+  const std::vector<EdgeId> tree_edge = {tree1.tree_edge_ids()[0]};
+  EXPECT_THROW(engine.rebind(g1, tree1, 1, tree_edge),
+               std::invalid_argument);
+  const std::vector<EdgeId> duplicate = {offtree[0], offtree[0]};
+  EXPECT_THROW(engine.rebind(g1, tree1, 1, duplicate),
+               std::invalid_argument);
+  // A valid rebind still works after the rejections.
+  engine.rebind(g1, tree1, 1);
+  engine.run();
+  EXPECT_TRUE(is_terminal(engine.status()));
 }
 
 TEST(Engine, ConstructorValidatesGraphAndOptions) {

@@ -279,6 +279,26 @@ TEST(UnionFind, OutOfRangeThrows) {
   EXPECT_THROW((void)uf.find(-1), std::invalid_argument);
 }
 
+TEST(UnionFind, ResetRestoresSingletonsAndResizes) {
+  UnionFind uf(4);
+  uf.unite(0, 1);
+  uf.unite(2, 3);
+  uf.reset(4);  // same size: storage reused, state cleared
+  EXPECT_EQ(uf.num_sets(), 4);
+  for (Index i = 0; i < 4; ++i) {
+    EXPECT_EQ(uf.find(i), i);
+    EXPECT_EQ(uf.size_of(i), 1);
+  }
+  uf.reset(6);  // growing re-seeds the new tail as singletons too
+  EXPECT_EQ(uf.num_sets(), 6);
+  EXPECT_TRUE(uf.unite(4, 5));
+  EXPECT_FALSE(uf.same(0, 4));
+  uf.reset(2);
+  EXPECT_EQ(uf.num_elements(), 2);
+  EXPECT_THROW((void)uf.find(2), std::invalid_argument);
+  EXPECT_THROW(uf.reset(-1), std::invalid_argument);
+}
+
 TEST(Timer, MeasuresElapsedTime) {
   WallTimer t;
   volatile double x = 0.0;

@@ -19,6 +19,7 @@
 
 #include "core/options_io.hpp"
 #include "core/sparsifier.hpp"
+#include "dynamic/dynamic_sparsifier.hpp"
 #include "scale/partitioned_sparsifier.hpp"
 #include "util/parallel.hpp"
 
@@ -238,6 +239,30 @@ inline ArgParser& add_partition_options(ArgParser& args) {
     opts.with_cut_options(SparsifyOptions(block).with_sigma2(cut_sigma2));
   }
   return opts;
+}
+
+/// Registers the dynamic-update flag group (src/dynamic/) — the
+/// update-journal replay surface of ssp_sparsify.
+inline ArgParser& add_dynamic_options(ArgParser& args) {
+  return args
+      .option("update-file",
+              "replay an update journal (insert/delete/reweight/commit "
+              "lines) through the dynamic layer")
+      .option("rebuild-threshold",
+              "dirty fraction that falls back to a cold rebuild", "0.25")
+      .option("warm-refine",
+              "keep the previous selection across updates (faster, "
+              "spectrally equivalent, not bit-equal to a cold rebuild)");
+}
+
+/// Builds DynamicOptions from the flags registered by
+/// add_dynamic_options, with `base` as the per-batch engine options.
+[[nodiscard]] inline DynamicOptions dynamic_options_from(
+    const ArgParser& args, const SparsifyOptions& base) {
+  return DynamicOptions{}
+      .with_base(base)
+      .with_rebuild_threshold(args.get_double("rebuild-threshold", 0.25))
+      .with_warm_refine(args.get_bool("warm-refine", false));
 }
 
 /// Shared main() scaffold: parses argv, prints usage on --help, runs

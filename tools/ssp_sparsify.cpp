@@ -2,14 +2,18 @@
 //
 //   ssp_sparsify --in graph.mtx --out sparsifier.mtx --sigma2 100
 //   ssp_sparsify --in graph.mtx --partitions 8 --cut-policy filter
+//   ssp_sparsify --in graph.mtx --update-file updates.journal --out p.mtx
 //
 // Reads any SuiteSparse-style .mtx (converted per the paper's §4 rule) and
 // runs the similarity-aware pipeline through the staged ssp::Sparsifier
 // engine — or, with --partitions k > 1, through the partition-parallel
 // scale layer (one engine per block, concurrent, bit-identical for every
-// --threads value). Writes the sparsifier back as a symmetric .mtx and
-// prints a machine-greppable stats block. --progress streams per-round /
-// per-block telemetry (per-stage wall times with --progress=stages).
+// --threads value) — or, with --update-file, through the dynamic update
+// layer, replaying an insert/delete/reweight journal batch by batch and
+// re-sparsifying incrementally after each commit. Writes the (final)
+// sparsifier back as a symmetric .mtx and prints a machine-greppable stats
+// block. --progress streams per-round / per-block / per-batch telemetry
+// (per-stage wall times with --progress=stages).
 
 #include <algorithm>
 #include <cstdio>
@@ -19,6 +23,8 @@
 #include "core/options_io.hpp"
 #include "core/sparsifier.hpp"
 #include "core/sparsifier_engine.hpp"
+#include "dynamic/dynamic_sparsifier.hpp"
+#include "dynamic/update_journal.hpp"
 #include "graph/mtx_io.hpp"
 #include "scale/partitioned_sparsifier.hpp"
 
@@ -160,6 +166,75 @@ int run_partitioned(const ssp::cli::ArgParser& args, const ssp::Graph& g,
   return reached ? 0 : 2;
 }
 
+/// Streams dynamic-layer telemetry: one line per applied batch (stage
+/// breakdown with --progress=stages).
+class DynamicProgressPrinter : public ssp::DynamicObserver {
+ public:
+  explicit DynamicProgressPrinter(bool show_stages)
+      : show_stages_(show_stages) {}
+
+  void on_dynamic_stage(ssp::DynamicStage stage, double seconds) override {
+    if (show_stages_) {
+      std::printf("  stage %-12s %.4fs\n", ssp::to_string(stage), seconds);
+    }
+  }
+  void on_update(const ssp::UpdateStats& s) override {
+    std::printf("batch %3lld  %-11s +%lld -%lld ~%lld  dirty %.4f  "
+                "swaps %lld  |Es| %lld  sigma2 %8.2f%s  %.3fs\n",
+                static_cast<long long>(s.batch), ssp::to_string(s.route),
+                static_cast<long long>(s.inserted),
+                static_cast<long long>(s.removed),
+                static_cast<long long>(s.reweighted), s.dirty_fraction,
+                static_cast<long long>(s.tree_swaps),
+                static_cast<long long>(s.sparsifier_edges),
+                s.sigma2_estimate, s.reached_target ? "" : " (NOT reached)",
+                s.seconds);
+  }
+
+ private:
+  bool show_stages_;
+};
+
+int run_dynamic(const ssp::cli::ArgParser& args, const ssp::Graph& g,
+                const ssp::SparsifyOptions& base) {
+  // The dynamic layer pins the canonical kruskal (max-weight) backbone —
+  // the one whose incremental repair equals a cold rebuild bit for bit —
+  // so an explicit --backbone would be silently overridden; reject it.
+  SSP_REQUIRE(!args.has("backbone"),
+              "--update-file pins the canonical kruskal backbone; "
+              "--backbone cannot be combined with it");
+  const auto journal = ssp::load_update_journal(args.require("update-file"));
+  DynamicProgressPrinter progress(args.get("progress", "") == "stages");
+  // Observer attached at construction so the initial build (batch 0)
+  // streams its telemetry too.
+  ssp::DynamicSparsifier dyn(g, ssp::cli::dynamic_options_from(args, base),
+                             args.has("progress") ? &progress : nullptr);
+  for (const ssp::JournalBatch& batch : journal) {
+    dyn.apply(ssp::resolve_journal_batch(dyn.graph(), batch));
+  }
+  const ssp::SparsifyResult& res = dyn.result();
+
+  std::printf("batches: %lld (journal %zu)  graph edges: %lld\n",
+              static_cast<long long>(dyn.batches_applied()), journal.size(),
+              static_cast<long long>(dyn.graph().num_edges()));
+  std::printf("edges: %lld  density: %.4f x |V|\n",
+              static_cast<long long>(res.num_edges()),
+              static_cast<double>(res.num_edges()) / g.num_vertices());
+  std::printf("sigma2: target %.3f, estimate %.3f (%s)\n", base.sigma2,
+              res.sigma2_estimate,
+              res.reached_target ? "reached" : "NOT reached");
+  double total_seconds = 0.0;
+  for (const ssp::UpdateStats& s : dyn.history()) total_seconds += s.seconds;
+  std::printf("time %.3fs\n", total_seconds);
+
+  if (args.has("out")) {
+    const ssp::Graph p = res.extract(dyn.graph());
+    ssp::save_graph_mtx(args.get("out", ""), p);
+    std::printf("wrote %s\n", args.get("out", "").c_str());
+  }
+  return res.reached_target ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -171,6 +246,7 @@ int main(int argc, char** argv) {
       .option("progress", "stream per-round telemetry (=stages for more)");
   ssp::cli::add_sparsify_options(args);
   ssp::cli::add_partition_options(args);
+  ssp::cli::add_dynamic_options(args);
   return ssp::cli::run_tool(args, argc, argv, [&args] {
     ssp::cli::apply_threads(args);
     const std::string in_path = args.require("in");
@@ -188,6 +264,15 @@ int main(int argc, char** argv) {
                              args.has("cut-sigma2") ||
                              args.has("estimate-quality") ||
                              args.has("rescale");
+    const bool dynamic = args.has("update-file") ||
+                         args.has("rebuild-threshold") ||
+                         args.has("warm-refine");
+    if (dynamic) {
+      SSP_REQUIRE(!partitioned,
+                  "--update-file replays through the whole-graph dynamic "
+                  "layer; it cannot be combined with partition flags");
+      return run_dynamic(args, g, opts);
+    }
     if (partitioned) {
       return run_partitioned(args, g,
                              ssp::cli::partitioned_options_from(args, opts));
