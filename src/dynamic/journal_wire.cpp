@@ -1,0 +1,155 @@
+#include "dynamic/journal_wire.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+namespace ssp {
+
+namespace {
+
+std::string describe(Index line_no, const std::string& what,
+                     const std::string& text) {
+  std::ostringstream os;
+  os << "update journal, line " << line_no << ": " << what << " (line: \""
+     << text << "\")";
+  return os.str();
+}
+
+[[noreturn]] void wire_error(Index line_no, const std::string& what,
+                             const std::string& text) {
+  throw JournalParseError(line_no, what, text);
+}
+
+/// Strict non-negative integer vertex id: every character consumed, fits
+/// Vertex.
+Vertex parse_vertex(const std::string& tok, Index line_no,
+                    const std::string& text) {
+  if (tok.empty() || tok[0] == '-' || tok[0] == '+') {
+    wire_error(line_no, "vertex id '" + tok + "' is not a non-negative integer",
+               text);
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(tok.c_str(), &end, 10);
+  if (errno != 0 || end != tok.c_str() + tok.size()) {
+    wire_error(line_no, "vertex id '" + tok + "' is not a non-negative integer",
+               text);
+  }
+  if (value > std::numeric_limits<Vertex>::max()) {
+    wire_error(line_no, "vertex id '" + tok + "' overflows", text);
+  }
+  return static_cast<Vertex>(value);
+}
+
+/// Strict positive finite weight: every character consumed.
+double parse_weight(const std::string& tok, Index line_no,
+                    const std::string& text) {
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(tok.c_str(), &end);
+  if (tok.empty() || end != tok.c_str() + tok.size()) {
+    wire_error(line_no, "weight '" + tok + "' is not a number", text);
+  }
+  if (!(value > 0.0) || !std::isfinite(value)) {
+    wire_error(line_no, "weight '" + tok + "' must be positive and finite",
+               text);
+  }
+  return value;
+}
+
+}  // namespace
+
+JournalParseError::JournalParseError(Index line_no, const std::string& what,
+                                     const std::string& text)
+    : std::runtime_error(describe(line_no, what, text)), line_(line_no) {}
+
+std::vector<std::string> tokenize_journal_line(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f';
+  };
+  while (i < line.size()) {
+    while (i < line.size() && is_space(line[i])) ++i;
+    if (i >= line.size()) break;
+    if (line[i] == '%' || line[i] == '#') break;  // comment tail
+    std::size_t j = i;
+    while (j < line.size() && !is_space(line[j])) ++j;
+    tokens.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+JournalLine parse_journal_line(const std::string& line, Index line_no) {
+  const std::vector<std::string> tokens = tokenize_journal_line(line);
+  JournalLine out;
+  if (tokens.empty()) return out;  // kBlank
+
+  const std::string& verb = tokens[0];
+  if (verb == "commit") {
+    if (tokens.size() != 1) {
+      wire_error(line_no, "'commit' takes no arguments", line);
+    }
+    out.kind = JournalLine::Kind::kCommit;
+    return out;
+  }
+
+  JournalOp op;
+  std::size_t arity = 0;
+  if (verb == "insert") {
+    op.kind = JournalOp::Kind::kInsert;
+    arity = 3;
+  } else if (verb == "delete") {
+    op.kind = JournalOp::Kind::kDelete;
+    arity = 2;
+  } else if (verb == "reweight") {
+    op.kind = JournalOp::Kind::kReweight;
+    arity = 3;
+  } else {
+    wire_error(line_no, "unknown operation '" + verb + "'", line);
+  }
+  if (tokens.size() != arity + 1) {
+    std::ostringstream os;
+    os << "'" << verb << "' expects " << arity << " arguments, got "
+       << tokens.size() - 1;
+    wire_error(line_no, os.str(), line);
+  }
+  op.u = parse_vertex(tokens[1], line_no, line);
+  op.v = parse_vertex(tokens[2], line_no, line);
+  if (arity == 3) op.weight = parse_weight(tokens[3], line_no, line);
+  op.line = line_no;
+  out.kind = JournalLine::Kind::kOp;
+  out.op = op;
+  return out;
+}
+
+std::string format_journal_weight(double w) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", w);
+  return buf;
+}
+
+std::string format_journal_op(const JournalOp& op) {
+  std::ostringstream os;
+  switch (op.kind) {
+    case JournalOp::Kind::kInsert:
+      os << "insert " << op.u << ' ' << op.v << ' '
+         << format_journal_weight(op.weight);
+      break;
+    case JournalOp::Kind::kDelete:
+      os << "delete " << op.u << ' ' << op.v;
+      break;
+    case JournalOp::Kind::kReweight:
+      os << "reweight " << op.u << ' ' << op.v << ' '
+         << format_journal_weight(op.weight);
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace ssp

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file journal_wire.hpp
+/// The single definition of the update-journal line grammar — shared by
+/// the journal file parser (update_journal.hpp) and the serving daemon's
+/// wire protocol (src/serve/), so journal files and daemon traffic can
+/// never drift apart. Everything that tokenizes, parses, or formats a
+/// journal line goes through here.
+///
+/// Grammar, one operation per line:
+///
+/// ```
+/// insert   <u> <v> <w>    % add edge {u, v} with weight w (> 0, finite)
+/// delete   <u> <v>        % remove the edge joining u and v
+/// reweight <u> <v> <w>    % replace the weight of edge {u, v} with w
+/// commit                  % apply everything since the previous commit
+/// ```
+///
+/// `%` or `#` start a comment (whole-line or trailing); blank lines parse
+/// as kBlank. Vertex ids are non-negative 0-based integers. Tokens beyond
+/// an operation's arity are rejected as trailing garbage. `format_journal_op`
+/// emits the canonical spelling (weights printed with enough digits to
+/// round-trip bit-exactly), so `parse(format(op)) == op` for every valid op.
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ssp {
+
+/// One parsed journal operation.
+struct JournalOp {
+  enum class Kind { kInsert, kDelete, kReweight };
+  Kind kind = Kind::kInsert;
+  Vertex u = kInvalidVertex;
+  Vertex v = kInvalidVertex;
+  double weight = 0.0;  ///< insert / reweight only
+  /// 1-based source line the op was parsed from (0 = synthetic/unknown) —
+  /// carried so resolve-time errors can name the offending position too.
+  Index line = 0;
+};
+
+/// Classification of one journal/wire line.
+struct JournalLine {
+  enum class Kind { kBlank, kCommit, kOp };
+  Kind kind = Kind::kBlank;
+  JournalOp op{};  ///< valid iff kind == kOp
+};
+
+/// Malformed journal line: carries the 1-based line number and echoes the
+/// offending text, so a server can report the exact position back to the
+/// client and a CLI user can find the bad line in a file.
+class JournalParseError : public std::runtime_error {
+ public:
+  JournalParseError(Index line_no, const std::string& what,
+                    const std::string& text);
+  [[nodiscard]] Index line() const { return line_; }
+
+ private:
+  Index line_ = 0;
+};
+
+/// Splits a journal line into whitespace-separated tokens, dropping the
+/// comment tail (a token starting with '%' or '#' ends the line). A blank
+/// or comment-only line yields an empty vector.
+[[nodiscard]] std::vector<std::string> tokenize_journal_line(
+    const std::string& line);
+
+/// Parses one journal line (`line_no` is 1-based, used for diagnostics).
+/// Throws JournalParseError on unknown verbs, wrong arity, non-numeric
+/// ids/weights, negative ids, non-positive or non-finite weights, and
+/// trailing garbage.
+[[nodiscard]] JournalLine parse_journal_line(const std::string& line,
+                                             Index line_no);
+
+/// Canonical text of a weight: round-trips through parse_journal_line to
+/// the bit-identical double.
+[[nodiscard]] std::string format_journal_weight(double w);
+
+/// Canonical text of one operation (no trailing newline), e.g.
+/// `insert 0 63 1.25`. Inverse of parse_journal_line for valid ops.
+[[nodiscard]] std::string format_journal_op(const JournalOp& op);
+
+}  // namespace ssp

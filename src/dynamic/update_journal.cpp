@@ -1,20 +1,25 @@
 #include "dynamic/update_journal.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "dynamic/journal_wire.hpp"
+
 namespace ssp {
 
 namespace {
 
-[[noreturn]] void journal_error(Index line, const std::string& what) {
+/// Resolve-time failure: names the op (canonical spelling) and, when the
+/// op was parsed from a journal/wire stream, its 1-based source line.
+[[noreturn]] void resolve_error(const JournalOp& op, const std::string& what) {
   std::ostringstream os;
-  os << "update journal, line " << line << ": " << what;
+  os << "update journal";
+  if (op.line > 0) os << ", line " << op.line;
+  os << ": " << what << " (op: \"" << format_journal_op(op) << "\")";
   throw std::runtime_error(os.str());
 }
 
@@ -27,40 +32,22 @@ std::vector<JournalBatch> parse_update_journal(std::istream& in) {
   Index line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    std::istringstream ls(line);
-    std::string op;
-    if (!(ls >> op) || op[0] == '%' || op[0] == '#') continue;
-    if (op == "commit") {
-      // Empty commits are ignored: a stray blank batch would still cost a
-      // full re-sparsification and shift every later per-batch seed.
-      if (!current.ops.empty()) {
-        batches.push_back(std::move(current));
-        current = JournalBatch{};
-      }
-      continue;
+    const JournalLine parsed = parse_journal_line(line, line_no);
+    switch (parsed.kind) {
+      case JournalLine::Kind::kBlank:
+        break;
+      case JournalLine::Kind::kCommit:
+        // Empty commits are ignored: a stray blank batch would still cost
+        // a full re-sparsification and shift every later per-batch seed.
+        if (!current.ops.empty()) {
+          batches.push_back(std::move(current));
+          current = JournalBatch{};
+        }
+        break;
+      case JournalLine::Kind::kOp:
+        current.ops.push_back(parsed.op);
+        break;
     }
-    JournalOp entry;
-    if (op == "insert") {
-      entry.kind = JournalOp::Kind::kInsert;
-    } else if (op == "delete") {
-      entry.kind = JournalOp::Kind::kDelete;
-    } else if (op == "reweight") {
-      entry.kind = JournalOp::Kind::kReweight;
-    } else {
-      journal_error(line_no, "unknown operation '" + op + "'");
-    }
-    if (!(ls >> entry.u >> entry.v)) {
-      journal_error(line_no, "expected two vertex ids after '" + op + "'");
-    }
-    if (entry.kind != JournalOp::Kind::kDelete) {
-      if (!(ls >> entry.weight)) {
-        journal_error(line_no, "expected a weight after '" + op + " u v'");
-      }
-      if (!(entry.weight > 0.0) || !std::isfinite(entry.weight)) {
-        journal_error(line_no, "weight must be positive and finite");
-      }
-    }
-    current.ops.push_back(entry);
   }
   if (!current.ops.empty()) batches.push_back(std::move(current));
   return batches;
@@ -84,9 +71,8 @@ UpdateBatch resolve_journal_batch(const Graph& g, const JournalBatch& batch) {
     if (op.u < 0 || op.u >= g.num_vertices() || op.v < 0 ||
         op.v >= g.num_vertices()) {
       std::ostringstream os;
-      os << "update journal: vertex pair (" << op.u << ", " << op.v
-         << ") out of range";
-      throw std::runtime_error(os.str());
+      os << "vertex pair (" << op.u << ", " << op.v << ") out of range";
+      resolve_error(op, os.str());
     }
     const std::pair<Vertex, Vertex> pair = std::minmax(op.u, op.v);
     const EdgeId found = g.find_edge(op.u, op.v);
@@ -95,9 +81,9 @@ UpdateBatch resolve_journal_batch(const Graph& g, const JournalBatch& batch) {
         if ((found != kInvalidEdge && deleted.count(pair) == 0) ||
             !inserted.insert(pair).second) {
           std::ostringstream os;
-          os << "update journal: insert duplicates existing edge (" << op.u
-             << ", " << op.v << ")";
-          throw std::runtime_error(os.str());
+          os << "insert duplicates existing edge (" << op.u << ", " << op.v
+             << ")";
+          resolve_error(op, os.str());
         }
         out.insert.push_back(Edge{op.u, op.v, op.weight});
         break;
@@ -105,9 +91,8 @@ UpdateBatch resolve_journal_batch(const Graph& g, const JournalBatch& batch) {
       case JournalOp::Kind::kReweight:
         if (found == kInvalidEdge) {
           std::ostringstream os;
-          os << "update journal: no edge joins (" << op.u << ", " << op.v
-             << ")";
-          throw std::runtime_error(os.str());
+          os << "no edge joins (" << op.u << ", " << op.v << ")";
+          resolve_error(op, os.str());
         }
         if (op.kind == JournalOp::Kind::kDelete) {
           out.remove.push_back(found);

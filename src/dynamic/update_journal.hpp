@@ -21,32 +21,31 @@
 /// operations without a final `commit` form one last batch; empty
 /// commits are ignored (they would otherwise pay a re-sparsification and
 /// shift the per-batch seeds).
+///
+/// The line grammar itself (tokenizer, per-line parser, canonical
+/// formatter, `JournalOp`) lives in journal_wire.hpp, shared with the
+/// serving daemon's wire protocol (src/serve/) — this file owns only the
+/// batch structure and the resolve step.
 
 #include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "dynamic/dynamic_sparsifier.hpp"
+#include "dynamic/journal_wire.hpp"
 #include "graph/graph.hpp"
 
 namespace ssp {
-
-/// One journal line.
-struct JournalOp {
-  enum class Kind { kInsert, kDelete, kReweight };
-  Kind kind = Kind::kInsert;
-  Vertex u = kInvalidVertex;
-  Vertex v = kInvalidVertex;
-  double weight = 0.0;  ///< insert / reweight only
-};
 
 /// The operations of one `commit`-delimited batch.
 struct JournalBatch {
   std::vector<JournalOp> ops;
 };
 
-/// Parses a journal stream. Throws std::runtime_error on malformed input
-/// (unknown op, missing fields, non-positive weight), naming the line.
+/// Parses a journal stream. Throws JournalParseError (a
+/// std::runtime_error) on malformed input — unknown verb, bad arity,
+/// non-numeric ids/weights, non-positive weight, trailing garbage —
+/// naming the 1-based line number and echoing the offending line.
 [[nodiscard]] std::vector<JournalBatch> parse_update_journal(std::istream& in);
 
 /// File-path convenience overload; throws std::runtime_error when the
@@ -56,9 +55,9 @@ struct JournalBatch {
 
 /// Resolves one journal batch against the *current* graph: endpoint pairs
 /// become edge ids for delete/reweight (throws std::runtime_error when no
-/// such edge exists, or when an insert duplicates an existing edge).
-/// Resolve each batch right before applying it — earlier batches shift
-/// the id space.
+/// such edge exists, or when an insert duplicates an existing edge; the
+/// message names the op's source line when it carries one). Resolve each
+/// batch right before applying it — earlier batches shift the id space.
 [[nodiscard]] UpdateBatch resolve_journal_batch(const Graph& g,
                                                 const JournalBatch& batch);
 

@@ -1,0 +1,117 @@
+#include "serve/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace ssp::serve {
+
+ServeClient ServeClient::connect_unix(const std::string& path) {
+  if (path.empty() || path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    throw std::runtime_error("connect_unix: bad socket path '" + path + "'");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("connect_unix: socket(): failed");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("connect_unix(" + path + "): " + why);
+  }
+  return ServeClient(fd);
+}
+
+ServeClient ServeClient::connect_tcp(int port) {
+  if (port <= 0 || port > 65535) {
+    throw std::runtime_error("connect_tcp: bad port " + std::to_string(port));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("connect_tcp: socket(): failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("connect_tcp(127.0.0.1:" + std::to_string(port) +
+                             "): " + why);
+  }
+  return ServeClient(fd);
+}
+
+ServeClient::ServeClient(ServeClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      framer_(std::move(other.framer_)),
+      buffered_(std::move(other.buffered_)) {}
+
+ServeClient& ServeClient::operator=(ServeClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    framer_ = std::move(other.framer_);
+    buffered_ = std::move(other.buffered_);
+  }
+  return *this;
+}
+
+ServeClient::~ServeClient() { close(); }
+
+void ServeClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string ServeClient::read_line() {
+  while (buffered_.empty()) {
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      throw std::runtime_error("serve client: server closed the connection");
+    }
+    auto lines = framer_.push(std::string_view(buf, static_cast<std::size_t>(n)));
+    buffered_.insert(buffered_.end(), std::make_move_iterator(lines.begin()),
+                     std::make_move_iterator(lines.end()));
+  }
+  std::string line = std::move(buffered_.front());
+  buffered_.erase(buffered_.begin());
+  return line;
+}
+
+ClientResponse ServeClient::request(const std::string& line) {
+  if (fd_ < 0) throw std::runtime_error("serve client: not connected");
+  std::string out = line;
+  out += '\n';
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("serve client: send failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ClientResponse resp;
+  resp.status = read_line();
+  const std::size_t n_payload = payload_count(resp.status).value_or(0);
+  resp.payload.reserve(n_payload);
+  for (std::size_t i = 0; i < n_payload; ++i) {
+    resp.payload.push_back(read_line());
+  }
+  return resp;
+}
+
+}  // namespace ssp::serve

@@ -1,0 +1,237 @@
+#include "serve/connection.hpp"
+
+#include <sstream>
+
+#include "core/options_io.hpp"
+#include "dynamic/journal_wire.hpp"
+#include "serve/protocol.hpp"
+
+namespace ssp::serve {
+
+namespace {
+
+std::string format_double(double v) { return format_journal_weight(v); }
+
+}  // namespace
+
+Reply Connection::handle_line(const std::string& line) {
+  ++line_no_;
+  try {
+    return dispatch(line, tokenize_journal_line(line));
+  } catch (const JournalParseError& e) {
+    return Reply{error_line("parse", e.what()), {}, false};
+  } catch (const std::invalid_argument& e) {
+    return Reply{error_line("invalid", e.what()), {}, false};
+  } catch (const std::exception& e) {
+    return Reply{error_line("error", e.what()), {}, false};
+  }
+}
+
+Reply Connection::dispatch(const std::string& line,
+                           const std::vector<std::string>& tokens) {
+  if (tokens.empty()) return Reply{"ok blank", {}, false};  // keep lockstep
+  const std::string& verb = tokens[0];
+  if (verb == "open") return handle_open(tokens);
+  if (verb == "attach") return handle_attach(tokens);
+  if (verb == "close") return handle_close(tokens);
+  if (verb == "sessions") return handle_sessions();
+  if (verb == "insert" || verb == "delete" || verb == "reweight" ||
+      verb == "commit") {
+    return handle_journal_line(line);
+  }
+  if (verb == "query") return handle_query(tokens);
+  if (verb == "snapshot") return handle_snapshot(tokens);
+  if (verb == "ping") return Reply{"ok pong", {}, false};
+  if (verb == "quit") return Reply{"ok bye", {}, true};
+  std::ostringstream os;
+  os << "unknown request '" << verb << "' (line " << line_no_ << ": \"" << line
+     << "\")";
+  return Reply{error_line("protocol", os.str()), {}, false};
+}
+
+namespace {
+
+std::string session_status(const Session& session) {
+  const SessionInfo info = session.info();
+  std::ostringstream os;
+  os << "ok session=" << session.name() << " vertices=" << info.vertices
+     << " graph_edges=" << info.graph_edges
+     << " sparsifier_edges=" << info.sparsifier_edges
+     << " sigma2=" << format_double(info.sigma2_estimate)
+     << " reached=" << (info.reached_target ? 1 : 0);
+  return os.str();
+}
+
+}  // namespace
+
+Reply Connection::handle_open(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 3) {
+    return Reply{error_line("protocol", "usage: open <name> <mtx-path|gen-spec>"),
+                 {},
+                 false};
+  }
+  auto session = sessions_.open(tokens[1], tokens[2]);
+  session_ = std::move(session);
+  pending_ = JournalBatch{};
+  return Reply{session_status(*session_), {}, false};
+}
+
+Reply Connection::handle_attach(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 2) {
+    return Reply{error_line("protocol", "usage: attach <name>"), {}, false};
+  }
+  session_ = sessions_.attach(tokens[1]);
+  pending_ = JournalBatch{};
+  return Reply{session_status(*session_), {}, false};
+}
+
+Reply Connection::handle_close(const std::vector<std::string>& tokens) {
+  if (tokens.size() > 2) {
+    return Reply{error_line("protocol", "usage: close [<name>]"), {}, false};
+  }
+  std::string name;
+  if (tokens.size() == 2) {
+    name = tokens[1];
+  } else {
+    if (session_ == nullptr) {
+      return Reply{error_line("protocol", "close: no session attached"),
+                   {},
+                   false};
+    }
+    name = session_->name();
+  }
+  sessions_.close(name);
+  if (session_ != nullptr && session_->name() == name) {
+    session_.reset();
+    pending_ = JournalBatch{};
+  }
+  return Reply{"ok closed=" + name, {}, false};
+}
+
+Reply Connection::handle_sessions() {
+  Reply reply;
+  reply.payload = sessions_.names();
+  std::ostringstream os;
+  os << "ok n=" << reply.payload.size();
+  reply.status = os.str();
+  return reply;
+}
+
+std::shared_ptr<Session> Connection::require_session() const {
+  if (session_ == nullptr) {
+    throw std::runtime_error(
+        "no session attached (use 'open <name> <source>' or 'attach <name>')");
+  }
+  return session_;
+}
+
+Reply Connection::handle_journal_line(const std::string& line) {
+  const auto session = require_session();
+  const JournalLine parsed = parse_journal_line(line, line_no_);
+  if (parsed.kind == JournalLine::Kind::kOp) {
+    pending_.ops.push_back(parsed.op);
+    std::ostringstream os;
+    os << "ok queued=" << pending_.ops.size();
+    return Reply{os.str(), {}, false};
+  }
+  // commit — empty commits are no-ops, exactly like the journal grammar.
+  if (pending_.ops.empty()) return Reply{"ok batch=empty", {}, false};
+  CommitOutcome outcome;
+  try {
+    outcome = session->commit(pending_);
+  } catch (...) {
+    // Resolve/validation failure: the session is untouched, but the
+    // buffered ops are poisoned — drop them so the client can rebuild.
+    pending_ = JournalBatch{};
+    throw;
+  }
+  if (!outcome.accepted) {
+    // Backpressure keeps the buffer: the client may simply retry commit.
+    std::ostringstream os;
+    os << "session '" << session->name() << "' has " << outcome.queued
+       << " queued batches (max "
+       << sessions_.options().max_queued_batches << "); retry commit";
+    return Reply{error_line("backpressure", os.str()), {}, false};
+  }
+  pending_ = JournalBatch{};
+  const UpdateStats& s = outcome.stats;
+  std::ostringstream os;
+  os << "ok batch=" << s.batch << " route=" << to_string(s.route)
+     << " graph_edges=" << s.graph_edges
+     << " sparsifier_edges=" << s.sparsifier_edges
+     << " sigma2=" << format_double(s.sigma2_estimate)
+     << " reached=" << (s.reached_target ? 1 : 0)
+     << " seconds=" << format_double(s.seconds);
+  return Reply{os.str(), {}, false};
+}
+
+Reply Connection::handle_query(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 2) {
+    return Reply{
+        error_line("protocol", "usage: query edges|stats|quality|journal"),
+        {},
+        false};
+  }
+  const auto session = require_session();
+  const std::string& what = tokens[1];
+  Reply reply;
+  if (what == "edges") {
+    for (const Edge& e : session->sparsifier_edges()) {
+      std::ostringstream os;
+      os << e.u << ' ' << e.v << ' ' << format_double(e.weight);
+      reply.payload.push_back(os.str());
+    }
+    std::ostringstream os;
+    os << "ok n=" << reply.payload.size();
+    reply.status = os.str();
+    return reply;
+  }
+  if (what == "journal") {
+    reply.payload = session->journal_lines();
+    const SessionInfo info = session->info();
+    std::ostringstream os;
+    os << "ok n=" << reply.payload.size() << " commits=" << info.commits;
+    reply.status = os.str();
+    return reply;
+  }
+  if (what == "stats") {
+    const SessionInfo info = session->info();
+    std::ostringstream os;
+    os << "ok batches=" << info.batches << " commits=" << info.commits
+       << " graph_edges=" << info.graph_edges
+       << " sparsifier_edges=" << info.sparsifier_edges
+       << " route=" << to_string(info.last_route)
+       << " seconds=" << format_double(info.last_seconds)
+       << " total_seconds=" << format_double(info.total_seconds);
+    reply.status = os.str();
+    return reply;
+  }
+  if (what == "quality") {
+    const SessionInfo info = session->info();
+    std::ostringstream os;
+    os << "ok sigma2=" << format_double(info.sigma2_estimate)
+       << " lambda_min=" << format_double(info.lambda_min)
+       << " lambda_max=" << format_double(info.lambda_max)
+       << " reached=" << (info.reached_target ? 1 : 0);
+    reply.status = os.str();
+    return reply;
+  }
+  return Reply{error_line("protocol", "unknown query '" + what +
+                                          "' (edges|stats|quality|journal)"),
+               {},
+               false};
+}
+
+Reply Connection::handle_snapshot(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 2) {
+    return Reply{error_line("protocol", "usage: snapshot <path>"), {}, false};
+  }
+  const auto session = require_session();
+  session->snapshot_mtx(tokens[1]);
+  const SessionInfo info = session->info();
+  std::ostringstream os;
+  os << "ok wrote=" << tokens[1] << " edges=" << info.sparsifier_edges;
+  return Reply{os.str(), {}, false};
+}
+
+}  // namespace ssp::serve

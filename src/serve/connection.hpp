@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file connection.hpp
+/// Per-client protocol state machine, socket-free so tests can drive it
+/// line by line: one `Connection` holds the attached session and the ops
+/// buffered since the last `commit`, and maps each request line
+/// (protocol.hpp grammar) to exactly one status line plus an optional
+/// payload. The socket front end (server.hpp) only frames bytes and
+/// shuttles Replies back.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dynamic/update_journal.hpp"
+#include "serve/session.hpp"
+
+namespace ssp::serve {
+
+/// What one request line produced.
+struct Reply {
+  std::string status;                ///< `ok ...` or `err <cat>: <msg>`
+  std::vector<std::string> payload;  ///< size announced as `n=<k>` in status
+  bool close = false;                ///< connection should end (quit)
+};
+
+class Connection {
+ public:
+  explicit Connection(SessionManager& sessions) : sessions_(sessions) {}
+
+  /// Handles one request line. Never throws: every failure becomes an
+  /// `err` status (parse errors echo the 1-based request line number and
+  /// offending text; backpressure and admission failures get their own
+  /// categories).
+  [[nodiscard]] Reply handle_line(const std::string& line);
+
+  /// Ops buffered since the last commit (for telemetry/tests).
+  [[nodiscard]] Index pending_ops() const {
+    return static_cast<Index>(pending_.ops.size());
+  }
+
+  [[nodiscard]] bool attached() const { return session_ != nullptr; }
+
+ private:
+  Reply dispatch(const std::string& line,
+                 const std::vector<std::string>& tokens);
+  Reply handle_open(const std::vector<std::string>& tokens);
+  Reply handle_attach(const std::vector<std::string>& tokens);
+  Reply handle_close(const std::vector<std::string>& tokens);
+  Reply handle_sessions();
+  Reply handle_journal_line(const std::string& line);  ///< ops + commit
+  Reply handle_query(const std::vector<std::string>& tokens);
+  Reply handle_snapshot(const std::vector<std::string>& tokens);
+  [[nodiscard]] std::shared_ptr<Session> require_session() const;
+
+  SessionManager& sessions_;
+  std::shared_ptr<Session> session_;
+  JournalBatch pending_;  ///< ops since the last commit
+  Index line_no_ = 0;     ///< 1-based request line counter (diagnostics)
+};
+
+}  // namespace ssp::serve

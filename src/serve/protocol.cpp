@@ -1,0 +1,60 @@
+#include "serve/protocol.hpp"
+
+#include <sstream>
+
+#include "dynamic/journal_wire.hpp"
+
+namespace ssp::serve {
+
+std::vector<std::string> LineFramer::push(std::string_view data) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < data.size()) {
+    const std::size_t nl = data.find('\n', start);
+    if (nl == std::string_view::npos) {
+      partial_.append(data.substr(start));
+      break;
+    }
+    partial_.append(data.substr(start, nl - start));
+    if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+    if (partial_.size() > max_line_) {
+      partial_.clear();
+      throw FramingError("line exceeds the framing limit");
+    }
+    lines.push_back(std::move(partial_));
+    partial_.clear();
+    start = nl + 1;
+  }
+  if (partial_.size() > max_line_) {
+    partial_.clear();
+    throw FramingError("line exceeds the framing limit");
+  }
+  return lines;
+}
+
+std::string error_line(const std::string& category,
+                       const std::string& message) {
+  std::string flat = message;
+  for (char& c : flat) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return "err " + category + ": " + flat;
+}
+
+bool is_ok(const std::string& status) {
+  return status == "ok" || status.rfind("ok ", 0) == 0;
+}
+
+std::optional<std::size_t> payload_count(const std::string& status) {
+  for (const std::string& tok : tokenize_journal_line(status)) {
+    if (tok.rfind("n=", 0) == 0) {
+      std::istringstream is(tok.substr(2));
+      std::size_t n = 0;
+      if (is >> n) return n;
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ssp::serve

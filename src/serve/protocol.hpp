@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file protocol.hpp
+/// Line framing and response grammar of the sparsification service
+/// (src/serve/). The *request* grammar is the update-journal grammar of
+/// journal_wire.hpp extended with session and read verbs:
+///
+/// ```
+/// open <name> <mtx-path|gen-spec>   % create a session and attach to it
+/// attach <name>                     % attach to an existing session
+/// close [<name>]                    % close the attached (or named) session
+/// sessions                          % list open sessions
+/// insert <u> <v> <w>                % buffer one op (journal grammar)
+/// delete <u> <v>
+/// reweight <u> <v> <w>
+/// commit                            % apply the buffered ops as one batch
+/// query edges|stats|quality|journal % read the attached session
+/// snapshot <path>                   % write the sparsifier as .mtx
+/// ping                              % liveness probe
+/// quit                              % close the connection
+/// ```
+///
+/// Every request line receives exactly one status line: `ok ...` or
+/// `err <category>: <message>`. A status of the form `ok n=<k> ...`
+/// announces a payload of exactly k data lines following it — clients
+/// read k more lines and are back in lockstep. The mutation path
+/// (insert/delete/reweight/commit) *is* the journal grammar, so the
+/// committed traffic of a session replays offline through
+/// `ssp_sparsify --update-file` byte for byte.
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ssp::serve {
+
+/// A line exceeded the framing limit (protocol violation; the server
+/// reports it and drops the connection).
+class FramingError : public std::runtime_error {
+ public:
+  explicit FramingError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Reassembles protocol lines from a byte stream: lines may arrive split
+/// across reads or several per read. `\n` terminates a line; a trailing
+/// `\r` is stripped (telnet-style clients). Lines longer than `max_line`
+/// bytes throw FramingError — a server cannot buffer unbounded garbage.
+class LineFramer {
+ public:
+  static constexpr std::size_t kDefaultMaxLine = 64 * 1024;
+
+  explicit LineFramer(std::size_t max_line = kDefaultMaxLine)
+      : max_line_(max_line) {}
+
+  /// Appends `data` and returns every line it completes, in order.
+  std::vector<std::string> push(std::string_view data);
+
+  /// Bytes of the line still under assembly (no terminator seen yet).
+  [[nodiscard]] const std::string& partial() const { return partial_; }
+
+  [[nodiscard]] std::size_t max_line() const { return max_line_; }
+
+ private:
+  std::size_t max_line_;
+  std::string partial_;
+};
+
+/// Formats an error status line: `err <category>: <message>`, with any
+/// newlines in `message` flattened to spaces (responses are one line).
+[[nodiscard]] std::string error_line(const std::string& category,
+                                     const std::string& message);
+
+/// True when `status` is an `ok` response.
+[[nodiscard]] bool is_ok(const std::string& status);
+
+/// The payload line count announced by a status line (`n=<k>` token), or
+/// nullopt when the status carries no payload.
+[[nodiscard]] std::optional<std::size_t> payload_count(
+    const std::string& status);
+
+}  // namespace ssp::serve

@@ -1,0 +1,248 @@
+#include "serve/server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include "serve/connection.hpp"
+#include "serve/protocol.hpp"
+
+namespace ssp::serve {
+
+namespace {
+
+/// Writes all of `data`, suppressing SIGPIPE; false when the peer is gone.
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string render(const Reply& reply) {
+  std::string out = reply.status;
+  out += '\n';
+  for (const std::string& line : reply.payload) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+void ServerConfig::validate() const {
+  serve.validate();
+  if (tcp_port > 65535) {
+    throw std::invalid_argument("serve: tcp port must be in [0, 65535]");
+  }
+  if (tcp_port < 0) {
+    if (socket_path.empty()) {
+      throw std::invalid_argument("serve: unix socket path must be non-empty");
+    }
+    if (socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      throw std::invalid_argument("serve: unix socket path too long (max " +
+                                  std::to_string(sizeof(sockaddr_un{}.sun_path) -
+                                                 1) +
+                                  " bytes)");
+    }
+  }
+  if (max_clients < 1) {
+    throw std::invalid_argument("serve: max_clients must be >= 1");
+  }
+  if (max_line_bytes < 16) {
+    throw std::invalid_argument("serve: max_line_bytes must be >= 16");
+  }
+}
+
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), sessions_(config_.serve) {
+  config_.validate();
+}
+
+Server::~Server() {
+  request_stop();
+  if (running_) wait();
+}
+
+void Server::start() {
+  if (running_) throw std::runtime_error("server already started");
+  stop_.store(false, std::memory_order_relaxed);
+
+  if (config_.tcp_port >= 0) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("socket(): failed");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw std::runtime_error("bind(127.0.0.1:" +
+                               std::to_string(config_.tcp_port) +
+                               "): " + std::strerror(errno));
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    bound_port_ = static_cast<int>(ntohs(addr.sin_port));
+  } else {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) throw std::runtime_error("socket(): failed");
+    ::unlink(config_.socket_path.c_str());  // stale socket from a crash
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, config_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+        0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw std::runtime_error("bind(" + config_.socket_path +
+                               "): " + std::strerror(errno));
+    }
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("listen(): failed");
+  }
+  running_ = true;
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::reap_finished_locked() {
+  for (auto it = clients_.begin(); it != clients_.end();) {
+    if (it->done.load(std::memory_order_acquire)) {
+      it->thread.join();
+      ::close(it->fd);
+      it = clients_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::accept_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&p, 1, 100);
+    {
+      std::lock_guard<std::mutex> lk(clients_mu_);
+      reap_finished_locked();
+    }
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lk(clients_mu_);
+    if (static_cast<int>(clients_.size()) >= config_.max_clients) {
+      write_all(fd, error_line("limit",
+                               "server at max clients (" +
+                                   std::to_string(config_.max_clients) + ")") +
+                        "\n");
+      ::close(fd);
+      continue;
+    }
+    clients_.emplace_back();
+    ClientSlot* slot = &clients_.back();
+    slot->fd = fd;
+    slot->thread = std::thread([this, slot] { client_loop(slot); });
+  }
+}
+
+void Server::client_loop(ClientSlot* slot) {
+  Connection conn(sessions_);
+  LineFramer framer(config_.max_line_bytes);
+  char buf[4096];
+  bool open = true;
+  while (open && !stop_.load(std::memory_order_relaxed)) {
+    pollfd p{slot->fd, POLLIN, 0};
+    const int ready = ::poll(&p, 1, 100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const ssize_t n = ::recv(slot->fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;  // peer closed (or error)
+    std::vector<std::string> lines;
+    try {
+      lines = framer.push(std::string_view(buf, static_cast<std::size_t>(n)));
+    } catch (const FramingError& e) {
+      write_all(slot->fd, error_line("framing", e.what()) + "\n");
+      break;  // cannot resynchronize mid-line — drop the connection
+    }
+    for (const std::string& line : lines) {
+      const Reply reply = conn.handle_line(line);
+      if (!write_all(slot->fd, render(reply))) {
+        open = false;
+        break;
+      }
+      if (reply.close) {
+        open = false;
+        break;
+      }
+    }
+  }
+  ::shutdown(slot->fd, SHUT_RDWR);
+  slot->done.store(true, std::memory_order_release);
+}
+
+void Server::wait() {
+  if (!running_) return;
+  // Wait for request_stop() — the acceptor exits on the same flag.
+  acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+
+  // Graceful drain: client threads notice stop_ within one poll tick once
+  // their in-flight request (commit included) finishes writing.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(
+                            config_.serve.drain_seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool all_done = true;
+    {
+      std::lock_guard<std::mutex> lk(clients_mu_);
+      for (const ClientSlot& slot : clients_) {
+        all_done = all_done && slot.done.load(std::memory_order_acquire);
+      }
+    }
+    if (all_done) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  {
+    // Force-close stragglers: shutdown() unblocks their socket reads; the
+    // join below still waits for a commit that is mid-apply.
+    std::lock_guard<std::mutex> lk(clients_mu_);
+    for (ClientSlot& slot : clients_) {
+      if (!slot.done.load(std::memory_order_acquire)) {
+        ::shutdown(slot.fd, SHUT_RDWR);
+      }
+    }
+    for (ClientSlot& slot : clients_) {
+      slot.thread.join();
+      ::close(slot.fd);
+    }
+    clients_.clear();
+  }
+  sessions_.close_all();
+  if (config_.tcp_port < 0) ::unlink(config_.socket_path.c_str());
+  running_ = false;
+}
+
+}  // namespace ssp::serve

@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file server.hpp
+/// Socket front end of the sparsification service: accepts concurrent
+/// clients on a unix-domain socket (default) or a loopback TCP port, runs
+/// one protocol `Connection` per client on its own thread, and drains
+/// gracefully on stop — in-flight commits finish and their responses are
+/// written before connections close. The compute itself fans out across
+/// the process-wide `ssp::ThreadPool` from whichever client thread
+/// commits (the engine's own parallelism contract), so the daemon adds no
+/// second pool.
+///
+/// `request_stop()` only stores an atomic flag — safe to call from a
+/// SIGINT/SIGTERM handler — and every loop polls it; `wait()` then joins
+/// the acceptor and client threads, force-closing connections that are
+/// still idle after `ServeOptions::drain_seconds`.
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/protocol.hpp"
+#include "serve/session.hpp"
+
+namespace ssp::serve {
+
+/// Transport + service configuration of one server instance.
+struct ServerConfig {
+  /// Unix-domain socket path (the default transport). Created on start,
+  /// unlinked on stop. Must fit sockaddr_un (~100 bytes).
+  std::string socket_path = "ssp_serve.sock";
+  /// TCP mode: >= 0 binds 127.0.0.1:<port> instead of the unix socket
+  /// (0 picks an ephemeral port, see Server::tcp_port()); -1 = unix.
+  int tcp_port = -1;
+  /// Admission control: connections beyond this are refused with an
+  /// `err limit` line.
+  int max_clients = 64;
+  /// Oversized-line rejection threshold for client traffic.
+  std::size_t max_line_bytes = LineFramer::kDefaultMaxLine;
+  /// Session/engine configuration.
+  ServeOptions serve;
+
+  /// Throws std::invalid_argument on the first violated constraint
+  /// (including serve.validate()).
+  void validate() const;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+
+  /// Stops and joins if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the acceptor thread. Throws
+  /// std::runtime_error when the socket cannot be set up.
+  void start();
+
+  /// Requests shutdown. Only stores an atomic flag; safe from signal
+  /// handlers. Idempotent.
+  void request_stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  /// True between start() and the end of wait().
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Blocks until the server has stopped (someone must call
+  /// request_stop() — e.g. a signal handler), drains client threads, and
+  /// closes every session.
+  void wait();
+
+  /// The bound TCP port (TCP mode; meaningful after start() — resolves
+  /// ephemeral port 0).
+  [[nodiscard]] int tcp_port() const { return bound_port_; }
+
+  [[nodiscard]] const std::string& socket_path() const {
+    return config_.socket_path;
+  }
+
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+
+  /// The session table (tests drive admission directly through this).
+  [[nodiscard]] SessionManager& sessions() { return sessions_; }
+
+ private:
+  struct ClientSlot {
+    std::thread thread;
+    int fd = -1;
+    std::atomic<bool> done{false};
+  };
+
+  void accept_loop();
+  void client_loop(ClientSlot* slot);
+  void reap_finished_locked();
+
+  ServerConfig config_;
+  SessionManager sessions_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+  int listen_fd_ = -1;
+  int bound_port_ = -1;
+  std::thread acceptor_;
+  std::mutex clients_mu_;
+  std::list<ClientSlot> clients_;
+};
+
+}  // namespace ssp::serve

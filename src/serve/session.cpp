@@ -1,0 +1,392 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <utility>
+
+#include "dynamic/journal_wire.hpp"
+#include "graph/generators/community.hpp"
+#include "graph/generators/lattice.hpp"
+#include "graph/generators/random_graphs.hpp"
+#include "graph/generators/weights.hpp"
+#include "graph/mtx_io.hpp"
+#include "util/assert.hpp"
+
+namespace ssp::serve {
+
+// ---- ServeOptions ----------------------------------------------------------
+
+void ServeOptions::validate() const {
+  dynamic.validate();
+  if (max_sessions < 1) {
+    throw std::invalid_argument("serve: max_sessions must be >= 1");
+  }
+  if (max_queued_batches < 1) {
+    throw std::invalid_argument("serve: max_queued_batches must be >= 1");
+  }
+  if (!(drain_seconds >= 0.0)) {
+    throw std::invalid_argument("serve: drain_seconds must be >= 0");
+  }
+}
+
+ServeOptions& ServeOptions::with_dynamic(DynamicOptions opts) {
+  opts.validate();
+  dynamic = std::move(opts);
+  return *this;
+}
+
+ServeOptions& ServeOptions::with_max_sessions(Index n) {
+  if (n < 1) throw std::invalid_argument("serve: max_sessions must be >= 1");
+  max_sessions = n;
+  return *this;
+}
+
+ServeOptions& ServeOptions::with_max_queued_batches(Index n) {
+  if (n < 1) {
+    throw std::invalid_argument("serve: max_queued_batches must be >= 1");
+  }
+  max_queued_batches = n;
+  return *this;
+}
+
+ServeOptions& ServeOptions::with_drain_seconds(double seconds) {
+  if (!(seconds >= 0.0)) {
+    throw std::invalid_argument("serve: drain_seconds must be >= 0");
+  }
+  drain_seconds = seconds;
+  return *this;
+}
+
+// ---- Session ---------------------------------------------------------------
+
+Session::Session(std::string name, const Graph& g, const DynamicOptions& opts,
+                 Index max_queued_batches)
+    : name_(std::move(name)),
+      max_queued_batches_(max_queued_batches),
+      dyn_(g, opts) {}
+
+void Session::require_open_locked() const {
+  if (closed_) {
+    throw std::runtime_error("session '" + name_ + "' is closed");
+  }
+}
+
+CommitOutcome Session::commit(const JournalBatch& batch) {
+  SSP_REQUIRE(!batch.ops.empty(),
+              "empty commits are no-ops and must not reach Session::commit");
+  {
+    std::lock_guard<std::mutex> lk(admit_mu_);
+    require_open_locked();
+    if (pending_ >= max_queued_batches_) {
+      CommitOutcome out;
+      out.accepted = false;
+      out.queued = pending_;
+      return out;
+    }
+    ++pending_;
+  }
+  // Balance pending_ on every exit path (success, resolve failure, close).
+  struct PendingGuard {
+    Session* s;
+    ~PendingGuard() {
+      std::lock_guard<std::mutex> lk(s->admit_mu_);
+      --s->pending_;
+    }
+  } guard{this};
+
+  std::lock_guard<std::mutex> lk(apply_mu_);
+  {
+    std::lock_guard<std::mutex> al(admit_mu_);
+    require_open_locked();  // closed while we waited for our turn
+  }
+  const UpdateBatch resolved = resolve_journal_batch(dyn_.graph(), batch);
+  CommitOutcome out;
+  out.accepted = true;
+  out.stats = dyn_.apply(resolved);
+  // Journal only what actually applied, in apply order: the offline
+  // replay of these exact lines reproduces the sparsifier bit for bit.
+  for (const JournalOp& op : batch.ops) {
+    journal_.push_back(format_journal_op(op));
+  }
+  journal_.push_back("commit");
+  ++commits_;
+  return out;
+}
+
+std::vector<std::string> Session::journal_lines() const {
+  std::lock_guard<std::mutex> lk(apply_mu_);
+  {
+    std::lock_guard<std::mutex> al(admit_mu_);
+    require_open_locked();
+  }
+  return journal_;
+}
+
+std::vector<Edge> Session::sparsifier_edges() const {
+  std::lock_guard<std::mutex> lk(apply_mu_);
+  {
+    std::lock_guard<std::mutex> al(admit_mu_);
+    require_open_locked();
+  }
+  std::vector<Edge> out;
+  out.reserve(dyn_.result().edges.size());
+  for (const EdgeId e : dyn_.result().edges) {
+    out.push_back(dyn_.graph().edge(e));
+  }
+  return out;
+}
+
+SessionInfo Session::info() const {
+  std::lock_guard<std::mutex> lk(apply_mu_);
+  {
+    std::lock_guard<std::mutex> al(admit_mu_);
+    require_open_locked();
+  }
+  SessionInfo info;
+  const SparsifyResult& res = dyn_.result();
+  info.vertices = dyn_.graph().num_vertices();
+  info.graph_edges = dyn_.graph().num_edges();
+  info.sparsifier_edges = res.num_edges();
+  info.sigma2_estimate = res.sigma2_estimate;
+  info.lambda_min = res.lambda_min;
+  info.lambda_max = res.lambda_max;
+  info.reached_target = res.reached_target;
+  info.batches = dyn_.batches_applied();
+  info.commits = commits_;
+  for (const UpdateStats& s : dyn_.history()) info.total_seconds += s.seconds;
+  const UpdateStats& last = dyn_.history().back();
+  info.last_seconds = last.seconds;
+  info.last_route = last.route;
+  return info;
+}
+
+void Session::snapshot_mtx(const std::string& path) const {
+  std::lock_guard<std::mutex> lk(apply_mu_);
+  {
+    std::lock_guard<std::mutex> al(admit_mu_);
+    require_open_locked();
+  }
+  save_graph_mtx(path, dyn_.result().extract(dyn_.graph()));
+}
+
+void Session::close() {
+  {
+    std::lock_guard<std::mutex> lk(admit_mu_);
+    closed_ = true;
+  }
+  // Wait for the in-flight apply (if any); queued commits fail their
+  // re-check instead of applying.
+  std::lock_guard<std::mutex> lk(apply_mu_);
+}
+
+bool Session::closed() const {
+  std::lock_guard<std::mutex> lk(admit_mu_);
+  return closed_;
+}
+
+void Session::set_observer(DynamicObserver* observer) {
+  std::lock_guard<std::mutex> lk(apply_mu_);
+  dyn_.set_observer(observer);
+}
+
+// ---- Graph sources ---------------------------------------------------------
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+[[noreturn]] void spec_error(const std::string& spec, const std::string& what) {
+  throw std::invalid_argument("bad gen spec '" + spec + "': " + what);
+}
+
+long long parse_spec_int(const std::string& tok, const std::string& spec) {
+  if (tok.empty() ||
+      !std::all_of(tok.begin(), tok.end(),
+                   [](unsigned char c) { return std::isdigit(c) != 0; })) {
+    spec_error(spec, "'" + tok + "' is not a non-negative integer");
+  }
+  try {
+    return std::stoll(tok);
+  } catch (const std::exception&) {
+    spec_error(spec, "'" + tok + "' overflows");
+  }
+}
+
+/// `<nx>x<ny>` dimensions token.
+std::pair<Vertex, Vertex> parse_dims(const std::string& tok,
+                                     const std::string& spec) {
+  const std::size_t x = tok.find('x');
+  if (x == std::string::npos) {
+    spec_error(spec, "expected <nx>x<ny> dimensions, got '" + tok + "'");
+  }
+  const auto nx = parse_spec_int(tok.substr(0, x), spec);
+  const auto ny = parse_spec_int(tok.substr(x + 1), spec);
+  if (nx < 2 || ny < 2) spec_error(spec, "dimensions must be >= 2");
+  return {static_cast<Vertex>(nx), static_cast<Vertex>(ny)};
+}
+
+Graph graph_from_spec(const std::string& spec) {
+  const std::vector<std::string> parts = split(spec, ':');
+  // parts[0] == "gen" (checked by the caller).
+  if (parts.size() < 3) {
+    spec_error(spec, "expected gen:<family>:<params>[:<seed>]");
+  }
+  const std::string& family = parts[1];
+  if (family == "grid2d" || family == "tri") {
+    if (parts.size() > 4) spec_error(spec, "too many fields");
+    const auto [nx, ny] = parse_dims(parts[2], spec);
+    const std::uint64_t seed =
+        parts.size() == 4
+            ? static_cast<std::uint64_t>(parse_spec_int(parts[3], spec))
+            : 1;
+    Rng rng(seed);
+    return family == "grid2d"
+               ? grid_2d(nx, ny, WeightModel::log_uniform(0.1, 10.0), &rng)
+               : triangulated_grid(nx, ny, WeightModel::uniform(0.5, 2.0),
+                                   &rng);
+  }
+  if (family == "ba" || family == "planted") {
+    if (parts.size() < 4 || parts.size() > 5) {
+      spec_error(spec, "expected gen:" + family + ":<n>:<m|k>[:<seed>]");
+    }
+    const auto n = parse_spec_int(parts[2], spec);
+    const auto mk = parse_spec_int(parts[3], spec);
+    if (n < 4 || mk < 1) spec_error(spec, "sizes out of range");
+    const std::uint64_t seed =
+        parts.size() == 5
+            ? static_cast<std::uint64_t>(parse_spec_int(parts[4], spec))
+            : 1;
+    Rng rng(seed);
+    if (family == "ba") {
+      return barabasi_albert(static_cast<Vertex>(n), static_cast<Vertex>(mk),
+                             rng);
+    }
+    return planted_partition(static_cast<Vertex>(n), static_cast<Vertex>(mk),
+                             0.1, 0.005, rng, WeightModel::uniform(0.5, 2.0));
+  }
+  spec_error(spec, "unknown family '" + family +
+                       "' (grid2d|tri|ba|planted)");
+}
+
+bool valid_session_name(const std::string& name) {
+  if (name.empty() || name.size() > 64) return false;
+  return std::all_of(name.begin(), name.end(), [](unsigned char c) {
+    return std::isalnum(c) != 0 || c == '_' || c == '-' || c == '.';
+  });
+}
+
+}  // namespace
+
+Graph load_session_graph(const std::string& source) {
+  if (source.rfind("gen:", 0) == 0) return graph_from_spec(source);
+  return load_graph_mtx(source);
+}
+
+// ---- SessionManager --------------------------------------------------------
+
+SessionManager::SessionManager(ServeOptions opts) : opts_(std::move(opts)) {
+  opts_.validate();
+}
+
+std::shared_ptr<Session> SessionManager::open(const std::string& name,
+                                              const std::string& source) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!valid_session_name(name)) {
+      throw std::invalid_argument(
+          "invalid session name '" + name +
+          "' (1-64 chars of [A-Za-z0-9_.-])");
+    }
+    if (static_cast<Index>(sessions_.size()) >= opts_.max_sessions) {
+      throw std::runtime_error(
+          "session table full (max " + std::to_string(opts_.max_sessions) +
+          ")");
+    }
+    if (sessions_.count(name) != 0) {
+      throw std::runtime_error("session '" + name + "' already exists");
+    }
+    sessions_[name] = nullptr;  // reserve while we build outside the lock
+  }
+  try {
+    const Graph g = load_session_graph(source);
+    auto session = std::make_shared<Session>(name, g, opts_.dynamic,
+                                             opts_.max_queued_batches);
+    std::lock_guard<std::mutex> lk(mu_);
+    sessions_[name] = session;
+    return session;
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    sessions_.erase(name);
+    throw;
+  }
+}
+
+std::shared_ptr<Session> SessionManager::attach(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = sessions_.find(name);
+  if (it == sessions_.end()) {
+    throw std::runtime_error("no session named '" + name + "'");
+  }
+  if (it->second == nullptr) {
+    throw std::runtime_error("session '" + name + "' is still opening");
+  }
+  return it->second;
+}
+
+void SessionManager::close(const std::string& name) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const auto it = sessions_.find(name);
+    if (it == sessions_.end()) {
+      throw std::runtime_error("no session named '" + name + "'");
+    }
+    if (it->second == nullptr) {
+      throw std::runtime_error("session '" + name + "' is still opening");
+    }
+    session = it->second;
+    sessions_.erase(it);
+  }
+  session->close();  // blocks on the in-flight commit, outside the table lock
+}
+
+std::vector<std::string> SessionManager::names() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<std::string> out;
+  out.reserve(sessions_.size());
+  for (const auto& [name, session] : sessions_) {
+    if (session != nullptr) out.push_back(name);
+  }
+  return out;
+}
+
+Index SessionManager::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<Index>(sessions_.size());
+}
+
+void SessionManager::close_all() {
+  std::map<std::string, std::shared_ptr<Session>> taken;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    taken.swap(sessions_);
+  }
+  for (auto& [name, session] : taken) {
+    if (session != nullptr) session->close();
+  }
+}
+
+}  // namespace ssp::serve

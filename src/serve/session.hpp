@@ -1,0 +1,198 @@
+#pragma once
+
+/// \file session.hpp
+/// Multi-tenant session state of the sparsification service: a `Session`
+/// wraps one `DynamicSparsifier` plus its committed journal and
+/// per-session telemetry; a `SessionManager` owns many named sessions
+/// behind admission control (max sessions, per-session commit queue caps
+/// with backpressure responses).
+///
+/// Concurrency model: any number of client threads may call into one
+/// session; commits are FIFO-serialized on a per-session apply lock (the
+/// journal records the actual apply order), and each apply fans its
+/// engine work out across the process-wide `ssp::ThreadPool` exactly like
+/// an offline run. Backpressure: a commit that finds `max_queued_batches`
+/// commits already queued or applying is rejected *before* waiting, so a
+/// client sees `err backpressure` instead of an unbounded stall.
+///
+/// Determinism contract (inherited from the dynamic layer): whatever
+/// interleaving of client commits a session observes, its sparsifier is
+/// bit-identical to replaying the session's committed journal offline
+/// through `ssp_sparsify --update-file` on the same base options — the
+/// journal is written in apply order, batch seeds derive from the batch
+/// index, and thread counts never change a bit of output.
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dynamic/dynamic_sparsifier.hpp"
+#include "dynamic/update_journal.hpp"
+#include "graph/graph.hpp"
+
+namespace ssp::serve {
+
+/// Engine + admission-control configuration of the daemon.
+struct ServeOptions {
+  /// Per-session engine options (every session gets the same base; the
+  /// per-batch seed derivation is the dynamic layer's).
+  DynamicOptions dynamic;
+  /// Admission control: `open` beyond this many live sessions is refused.
+  Index max_sessions = 64;
+  /// Per-session cap on commits queued or applying; the commit that would
+  /// exceed it gets a backpressure error instead of waiting.
+  Index max_queued_batches = 8;
+  /// Graceful-drain budget on shutdown: how long the server waits for
+  /// in-flight commits before force-closing connections.
+  double drain_seconds = 5.0;
+
+  /// Throws std::invalid_argument on the first violated constraint
+  /// (including dynamic.validate()).
+  void validate() const;
+
+  ServeOptions& with_dynamic(DynamicOptions opts);
+  ServeOptions& with_max_sessions(Index n);
+  ServeOptions& with_max_queued_batches(Index n);
+  ServeOptions& with_drain_seconds(double seconds);
+};
+
+/// Outcome of Session::commit.
+struct CommitOutcome {
+  bool accepted = false;  ///< false = backpressure (state untouched)
+  Index queued = 0;       ///< commits queued/applying at rejection time
+  UpdateStats stats{};    ///< valid iff accepted
+};
+
+/// Aggregate read-side view of one session.
+struct SessionInfo {
+  Vertex vertices = 0;
+  EdgeId graph_edges = 0;
+  EdgeId sparsifier_edges = 0;
+  double sigma2_estimate = 0.0;
+  double lambda_min = 0.0;
+  double lambda_max = 0.0;
+  bool reached_target = false;
+  Index batches = 0;           ///< dynamic-layer batches incl. initial build
+  Index commits = 0;           ///< committed (non-empty) client batches
+  double last_seconds = 0.0;   ///< wall time of the latest batch
+  double total_seconds = 0.0;  ///< summed batch wall time incl. build
+  UpdateRoute last_route = UpdateRoute::kRebuild;
+};
+
+/// One named graph session: an evolving graph + its live sparsifier +
+/// the journal of every committed batch. Thread-safe; see the file
+/// comment for the serialization and backpressure rules.
+class Session {
+ public:
+  /// Binds to `g` (finalized, connected) and runs the initial
+  /// sparsification eagerly — construction is the expensive step.
+  Session(std::string name, const Graph& g, const DynamicOptions& opts,
+          Index max_queued_batches);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Applies one committed batch (already parsed, endpoint-addressed).
+  /// Resolution/validation failures throw std::runtime_error /
+  /// std::invalid_argument and leave every bit of state untouched; a full
+  /// queue returns `accepted = false` instead. `batch` must be non-empty.
+  CommitOutcome commit(const JournalBatch& batch);
+
+  /// The committed journal in apply order: each batch's canonical op
+  /// lines followed by `commit` — exactly what `ssp_sparsify
+  /// --update-file` replays to the same bits.
+  [[nodiscard]] std::vector<std::string> journal_lines() const;
+
+  /// The sparsifier's edges materialized as `(u, v, w)` rows.
+  [[nodiscard]] std::vector<Edge> sparsifier_edges() const;
+
+  /// Aggregate telemetry + quality view.
+  [[nodiscard]] SessionInfo info() const;
+
+  /// Writes the sparsifier as a symmetric .mtx — byte-identical to
+  /// `ssp_sparsify --update-file <journal> --out <path>` on the committed
+  /// journal.
+  void snapshot_mtx(const std::string& path) const;
+
+  /// Marks the session closed: every later call fails. Blocks until the
+  /// applying commit (if any) finishes.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+
+  /// Telemetry pass-through to the underlying DynamicSparsifier. Attach
+  /// before traffic starts; the observer must outlive the session.
+  void set_observer(DynamicObserver* observer);
+
+ private:
+  void require_open_locked() const;  ///< throws when closed_
+
+  const std::string name_;
+  const Index max_queued_batches_;
+
+  mutable std::mutex admit_mu_;  ///< guards pending_ + closed_
+  Index pending_ = 0;            ///< commits queued or applying
+  bool closed_ = false;
+
+  mutable std::mutex apply_mu_;  ///< serializes applies and reads
+  DynamicSparsifier dyn_;
+  std::vector<std::string> journal_;
+  Index commits_ = 0;
+};
+
+/// Builds a session graph from `source`: a Matrix Market path, or a
+/// generator spec
+///
+/// ```
+/// gen:grid2d:<nx>x<ny>[:<seed>]    % 2-D grid, log-uniform weights
+/// gen:tri:<nx>x<ny>[:<seed>]      % triangulated grid, uniform weights
+/// gen:ba:<n>:<m>[:<seed>]         % preferential attachment, unit weights
+/// gen:planted:<n>:<k>[:<seed>]    % planted partition, uniform weights
+/// ```
+///
+/// The same spec always yields the same graph (explicit seed, default 1).
+/// Throws std::invalid_argument on malformed specs, std::runtime_error on
+/// unreadable files.
+[[nodiscard]] Graph load_session_graph(const std::string& source);
+
+/// Named-session table with admission control. Thread-safe.
+class SessionManager {
+ public:
+  explicit SessionManager(ServeOptions opts);
+
+  [[nodiscard]] const ServeOptions& options() const { return opts_; }
+
+  /// Creates (and returns) a session — the expensive graph load + initial
+  /// sparsification runs outside the table lock, so concurrent opens of
+  /// *different* names overlap. Throws on duplicate/invalid names, a full
+  /// table, or a failing load.
+  std::shared_ptr<Session> open(const std::string& name,
+                                const std::string& source);
+
+  /// Looks up an open session; throws std::runtime_error when unknown or
+  /// still opening.
+  [[nodiscard]] std::shared_ptr<Session> attach(const std::string& name) const;
+
+  /// Closes and removes a session (live attachments see "closed" errors).
+  void close(const std::string& name);
+
+  /// Open session names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] Index size() const;
+
+  /// Closes every session (shutdown path) — blocks on in-flight commits.
+  void close_all();
+
+ private:
+  const ServeOptions opts_;
+  mutable std::mutex mu_;
+  /// nullptr value = name reserved by an in-progress open.
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace ssp::serve

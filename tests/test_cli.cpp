@@ -93,6 +93,82 @@ TEST(Cli, PositionalArguments) {
   EXPECT_EQ(p.positional()[1], "extra");
 }
 
+TEST(Cli, ServeOptionsDefaultsAndOverrides) {
+  {
+    Argv a({"prog"});
+    ArgParser p("prog", "test");
+    add_serve_options(p);
+    ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+    const serve::ServerConfig config = serve_config_from(p, DynamicOptions{});
+    EXPECT_EQ(config.socket_path, "ssp_serve.sock");
+    EXPECT_EQ(config.tcp_port, -1);  // unix socket is the default transport
+    EXPECT_EQ(config.max_clients, 64);
+    EXPECT_EQ(config.max_line_bytes, 65536u);
+    EXPECT_EQ(config.serve.max_sessions, 64);
+    EXPECT_EQ(config.serve.max_queued_batches, 8);
+    EXPECT_DOUBLE_EQ(config.serve.drain_seconds, 5.0);
+  }
+  {
+    Argv a({"prog", "--socket", "/tmp/s.sock", "--max-sessions", "4",
+            "--max-queue", "2", "--max-clients", "8", "--max-line-bytes",
+            "256", "--drain-timeout", "0.5"});
+    ArgParser p("prog", "test");
+    add_serve_options(p);
+    ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+    const serve::ServerConfig config = serve_config_from(p, DynamicOptions{});
+    EXPECT_EQ(config.socket_path, "/tmp/s.sock");
+    EXPECT_EQ(config.max_clients, 8);
+    EXPECT_EQ(config.max_line_bytes, 256u);
+    EXPECT_EQ(config.serve.max_sessions, 4);
+    EXPECT_EQ(config.serve.max_queued_batches, 2);
+    EXPECT_DOUBLE_EQ(config.serve.drain_seconds, 0.5);
+  }
+}
+
+TEST(Cli, ServeTcpFlagForms) {
+  {
+    // `--tcp <port>` binds that loopback port.
+    Argv a({"prog", "--tcp", "7077"});
+    ArgParser p("prog", "test");
+    add_serve_options(p);
+    ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+    EXPECT_EQ(serve_config_from(p, DynamicOptions{}).tcp_port, 7077);
+  }
+  {
+    // Bare `--tcp` means "any ephemeral port".
+    Argv a({"prog", "--tcp"});
+    ArgParser p("prog", "test");
+    add_serve_options(p);
+    ASSERT_TRUE(p.parse(a.argc(), a.argv()));
+    EXPECT_EQ(serve_config_from(p, DynamicOptions{}).tcp_port, 0);
+  }
+}
+
+TEST(Cli, ServeOptionsRejectOutOfRangeValues) {
+  const auto config_of = [](std::vector<std::string> argv) {
+    Argv a(std::move(argv));
+    ArgParser p("prog", "test");
+    add_serve_options(p);
+    EXPECT_TRUE(p.parse(a.argc(), a.argv()));
+    return serve_config_from(p, DynamicOptions{});
+  };
+  EXPECT_THROW((void)config_of({"prog", "--tcp", "70000"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)config_of({"prog", "--socket="}), std::invalid_argument);
+  EXPECT_THROW((void)config_of({"prog", "--max-sessions", "0"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)config_of({"prog", "--max-queue", "0"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)config_of({"prog", "--max-clients", "0"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)config_of({"prog", "--max-line-bytes", "4"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)config_of({"prog", "--drain-timeout", "-1"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)config_of({"prog", "--max-sessions", "lots"}),
+               std::invalid_argument);
+}
+
 TEST(Cli, UsageListsOptions) {
   ArgParser p("prog", "does things");
   p.option("in", "input file").option("sigma2", "target", "100");

@@ -483,6 +483,119 @@ TEST(Journal, ParsesBatchesAndRejectsMalformedInput) {
                std::runtime_error);
 }
 
+TEST(Journal, ParseErrorsNameTheLineAndEchoTheText) {
+  // Every parse failure reports the 1-based line number and the offending
+  // text, so a bad line in a long journal (or a daemon request stream) is
+  // findable without bisection.
+  const auto expect_parse_error = [](const std::string& text,
+                                     Index bad_line,
+                                     const std::string& fragment) {
+    std::istringstream in(text);
+    try {
+      (void)parse_update_journal(in);
+      FAIL() << "expected JournalParseError for: " << text;
+    } catch (const JournalParseError& e) {
+      EXPECT_EQ(e.line(), bad_line) << e.what();
+      const std::string what = e.what();
+      EXPECT_NE(what.find("line " + std::to_string(bad_line)),
+                std::string::npos)
+          << what;
+      EXPECT_NE(what.find(fragment), std::string::npos) << what;
+    }
+  };
+  // Unknown verb (the error names line 3, not line 1).
+  expect_parse_error("insert 0 1 2.0\ncommit\nfrobnicate 1 2\n", 3,
+                     "frobnicate 1 2");
+  // Bad arity, both directions.
+  expect_parse_error("insert 1 2\n", 1, "'insert' expects 3 arguments");
+  expect_parse_error("reweight 1 2\n", 1, "'reweight' expects 3 arguments");
+  expect_parse_error("delete 1\n", 1, "'delete' expects 2 arguments");
+  // Trailing garbage is rejected, not silently dropped.
+  expect_parse_error("delete 1 2 3\n", 1, "'delete' expects 2 arguments");
+  expect_parse_error("insert 0 1 2.0 surprise\n", 1, "expects 3 arguments");
+  expect_parse_error("commit now\n", 1, "'commit' takes no arguments");
+  // Non-numeric and out-of-domain ids.
+  expect_parse_error("insert a 2 1.0\n", 1, "vertex id 'a'");
+  expect_parse_error("insert -1 2 1.0\n", 1, "vertex id '-1'");
+  expect_parse_error("insert 1 2x 1.0\n", 1, "vertex id '2x'");
+  expect_parse_error("insert 99999999999999999999 2 1.0\n", 1,
+                     "is not a non-negative integer");
+  // Non-numeric, non-positive, and non-finite weights.
+  expect_parse_error("insert 1 2 heavy\n", 1, "weight 'heavy'");
+  expect_parse_error("insert 1 2 0\n", 1, "positive and finite");
+  expect_parse_error("reweight 1 2 -3\n", 1, "positive and finite");
+  expect_parse_error("insert 1 2 inf\n", 1, "positive and finite");
+  expect_parse_error("insert 1 2 nan\n", 1, "positive and finite");
+  // Trailing comments are NOT garbage; full-line comments parse as blank.
+  std::istringstream good(
+      "insert 0 1 2.0 % note\n"
+      "delete 2 3 # note\n"
+      "commit % done\n");
+  EXPECT_EQ(parse_update_journal(good).size(), 1u);
+}
+
+TEST(Journal, FormatAndParseRoundTripBitExactly) {
+  // format_journal_op is the canonical spelling: parsing it back yields
+  // the identical op, weights included (17 significant digits).
+  const std::vector<JournalOp> ops = {
+      {JournalOp::Kind::kInsert, 0, 63, 1.25},
+      {JournalOp::Kind::kInsert, 7, 8, 0.1},  // 0.1 is not exact in binary
+      {JournalOp::Kind::kDelete, 3, 4, 0.0},
+      {JournalOp::Kind::kReweight, 1, 2, 1.0 / 3.0},
+      {JournalOp::Kind::kReweight, 10, 11, 1e-300},
+  };
+  for (const JournalOp& op : ops) {
+    const std::string text = format_journal_op(op);
+    const JournalLine parsed = parse_journal_line(text, 1);
+    ASSERT_EQ(parsed.kind, JournalLine::Kind::kOp) << text;
+    EXPECT_EQ(parsed.op.kind, op.kind) << text;
+    EXPECT_EQ(parsed.op.u, op.u) << text;
+    EXPECT_EQ(parsed.op.v, op.v) << text;
+    if (op.kind != JournalOp::Kind::kDelete) {
+      // Bit-exact round trip, not just approximate.
+      EXPECT_EQ(parsed.op.weight, op.weight) << text;
+    }
+  }
+  // The tokenizer drops comment tails and handles arbitrary whitespace.
+  const auto tokens = tokenize_journal_line("  insert\t0  1\t 2.0  % tail");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "insert");
+  EXPECT_EQ(tokens[3], "2.0");
+  EXPECT_TRUE(tokenize_journal_line("   % only a comment").empty());
+  EXPECT_TRUE(tokenize_journal_line("").empty());
+}
+
+TEST(Journal, ResolveErrorsNameTheSourceLine) {
+  // Ops parsed from a stream carry their source line into resolve-time
+  // errors; hand-built ops (line 0) omit the position but still name the
+  // op itself.
+  const Graph g = small_grid(3);
+  std::istringstream in(
+      "reweight 0 1 2.0\n"
+      "delete 0 63\n"  // no such edge — line 2
+      "commit\n");
+  const auto batches = parse_update_journal(in);
+  ASSERT_EQ(batches.size(), 1u);
+  try {
+    (void)resolve_journal_batch(g, batches[0]);
+    FAIL() << "expected resolve error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("delete 0 63"), std::string::npos) << what;
+  }
+  JournalBatch synthetic;
+  synthetic.ops.push_back({JournalOp::Kind::kDelete, 0, 63, 0.0});
+  try {
+    (void)resolve_journal_batch(g, synthetic);
+    FAIL() << "expected resolve error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.find("line"), std::string::npos) << what;
+    EXPECT_NE(what.find("delete 0 63"), std::string::npos) << what;
+  }
+}
+
 TEST(Journal, ResolvesEndpointsAgainstTheLiveGraph) {
   const Graph g = small_grid(3);
   JournalBatch jb;

@@ -21,6 +21,7 @@
 #include "core/sparsifier.hpp"
 #include "dynamic/dynamic_sparsifier.hpp"
 #include "scale/partitioned_sparsifier.hpp"
+#include "serve/server.hpp"
 #include "util/parallel.hpp"
 
 namespace ssp::cli {
@@ -263,6 +264,55 @@ inline ArgParser& add_dynamic_options(ArgParser& args) {
       .with_base(base)
       .with_rebuild_threshold(args.get_double("rebuild-threshold", 0.25))
       .with_warm_refine(args.get_bool("warm-refine", false));
+}
+
+/// Registers the serving flag group (src/serve/) — the transport and
+/// admission-control surface shared by ssp_serve and bench_serve.
+inline ArgParser& add_serve_options(ArgParser& args) {
+  return args
+      .option("socket", "unix-domain socket path", "ssp_serve.sock")
+      .option("tcp",
+              "bind 127.0.0.1:<port> instead of the unix socket "
+              "(0 = ephemeral port)")
+      .option("max-sessions", "admission cap on open sessions", "64")
+      .option("max-queue",
+              "per-session queued-batch cap before commits get a "
+              "backpressure response", "8")
+      .option("max-clients", "admission cap on concurrent connections", "64")
+      .option("max-line-bytes", "framing limit on one request line", "65536")
+      .option("drain-timeout",
+              "seconds wait() gives idle connections before force-closing "
+              "them", "5");
+}
+
+/// Builds a validated serve::ServerConfig from the flags registered by
+/// add_serve_options, with `dynamic` as the per-session engine options.
+/// Throws std::invalid_argument on out-of-range values.
+[[nodiscard]] inline serve::ServerConfig serve_config_from(
+    const ArgParser& args, const DynamicOptions& dynamic) {
+  serve::ServerConfig config;
+  config.socket_path = args.get("socket", "ssp_serve.sock");
+  if (args.has("tcp")) {
+    // Bare `--tcp` parses as the boolean "true"; treat it as port 0.
+    const std::string raw = args.get("tcp", "0");
+    config.tcp_port =
+        raw == "true" ? 0 : static_cast<int>(args.get_int("tcp", 0));
+  }
+  config.max_clients = static_cast<int>(args.get_int("max-clients", 64));
+  const long long line_bytes = args.get_int("max-line-bytes", 65536);
+  if (line_bytes < 16) {
+    throw std::invalid_argument(
+        "option --max-line-bytes expects a value >= 16, got '" +
+        std::to_string(line_bytes) + "'");
+  }
+  config.max_line_bytes = static_cast<std::size_t>(line_bytes);
+  config.serve = serve::ServeOptions{}
+                     .with_dynamic(dynamic)
+                     .with_max_sessions(args.get_int("max-sessions", 64))
+                     .with_max_queued_batches(args.get_int("max-queue", 8))
+                     .with_drain_seconds(args.get_double("drain-timeout", 5.0));
+  config.validate();
+  return config;
 }
 
 /// Shared main() scaffold: parses argv, prints usage on --help, runs

@@ -1,0 +1,55 @@
+// ssp_client — scripted client for the ssp_serve line protocol.
+//
+//   ssp_client --socket /tmp/ssp.sock <<'EOF'
+//   open g1 gen:grid2d:8x8
+//   reweight 0 1 2.5
+//   commit
+//   query stats
+//   EOF
+//
+// Reads request lines from stdin, sends each to the server, and prints
+// every status line (and payload) to stdout. With --payload-only, only
+// payload lines are printed — `query journal | ssp_client --payload-only`
+// extracts a replayable journal directly. Exits non-zero when any request
+// failed, so shell scripts can assert whole conversations.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "cli.hpp"
+#include "serve/client.hpp"
+
+int main(int argc, char** argv) {
+  ssp::cli::ArgParser args(
+      "ssp_client", "scripted stdin client for the ssp_serve protocol");
+  args.option("socket", "unix-domain socket path", "ssp_serve.sock")
+      .option("tcp", "connect to 127.0.0.1:<port> instead of the unix socket")
+      .option("payload-only",
+              "print only payload lines (journal/edge extraction)");
+  return ssp::cli::run_tool(args, argc, argv, [&args] {
+    ssp::serve::ServeClient client =
+        args.has("tcp")
+            ? ssp::serve::ServeClient::connect_tcp(
+                  static_cast<int>(args.get_int("tcp", 0)))
+            : ssp::serve::ServeClient::connect_unix(
+                  args.get("socket", "ssp_serve.sock"));
+    const bool payload_only = args.get_bool("payload-only", false);
+
+    int failures = 0;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      const ssp::serve::ClientResponse resp = client.request(line);
+      if (!resp.ok()) ++failures;
+      if (payload_only) {
+        for (const std::string& p : resp.payload) std::printf("%s\n", p.c_str());
+      } else {
+        std::printf("%s\n", resp.status.c_str());
+        for (const std::string& p : resp.payload) std::printf("%s\n", p.c_str());
+      }
+      if (resp.status == "ok bye") break;
+    }
+    std::fflush(stdout);
+    return failures == 0 ? 0 : 1;
+  });
+}

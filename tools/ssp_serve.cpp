@@ -1,0 +1,69 @@
+// ssp_serve — long-running sparsification service over a line protocol.
+//
+//   ssp_serve --socket /tmp/ssp.sock --sigma2 100
+//   ssp_serve --tcp 7077 --max-sessions 16 --max-queue 4
+//
+// A SessionManager owns many named graph sessions, each wrapping a
+// DynamicSparsifier behind the update-journal grammar extended with
+// session verbs (open/attach/close), read verbs (query, snapshot) and
+// admission control (max sessions, max clients, per-session queue caps
+// with backpressure responses). Any interleaving of client commits to one
+// session yields a sparsifier bit-identical to replaying the session's
+// committed journal offline through `ssp_sparsify --update-file`.
+// SIGINT/SIGTERM drain gracefully: in-flight commits finish, responses
+// are written, then connections close.
+
+#include <csignal>
+#include <cstdio>
+
+#include "cli.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+ssp::serve::Server* g_server = nullptr;
+
+// Signal-safe: request_stop() only stores an atomic flag.
+extern "C" void handle_stop_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ssp::cli::ArgParser args(
+      "ssp_serve",
+      "multi-tenant sparsification service (unix socket or loopback TCP)");
+  ssp::cli::add_serve_options(args);
+  ssp::cli::add_sparsify_options(args);
+  ssp::cli::add_dynamic_options(args);
+  return ssp::cli::run_tool(args, argc, argv, [&args] {
+    ssp::cli::apply_threads(args);
+    const ssp::SparsifyOptions base = ssp::cli::sparsify_options_from(args);
+    const ssp::DynamicOptions dynamic =
+        ssp::cli::dynamic_options_from(args, base);
+    ssp::serve::Server server(ssp::cli::serve_config_from(args, dynamic));
+
+    g_server = &server;
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+
+    server.start();
+    if (server.config().tcp_port >= 0) {
+      std::printf("listening on 127.0.0.1:%d\n", server.tcp_port());
+    } else {
+      std::printf("listening on %s\n", server.socket_path().c_str());
+    }
+    std::printf("sessions max %lld, queue max %lld, clients max %d\n",
+                static_cast<long long>(server.config().serve.max_sessions),
+                static_cast<long long>(
+                    server.config().serve.max_queued_batches),
+                server.config().max_clients);
+    std::fflush(stdout);
+
+    server.wait();
+    g_server = nullptr;
+    std::printf("drained, bye\n");
+    return 0;
+  });
+}
