@@ -1,0 +1,369 @@
+// Kernel-layer benchmark (src/la/kernels/): per-primitive bandwidth of the
+// scalar reference vs the SIMD backend selected at runtime, the multi-RHS
+// panel kernels (blocked spmv and blocked tree solve) against the
+// column-at-a-time loops they replaced, and the end effect on the
+// sparsifier's embedding stage. Every SIMD/panel result is byte-identical
+// to the scalar column-wise one (tests/test_kernels.cpp proves it); this
+// binary measures what that free determinism costs — nothing — and what
+// the blocking buys.
+//
+// Headline numbers land in BENCH_bench_kernels.json:
+//   spmv.panel_speedup       — blocked panel spmv vs r single-RHS passes
+//   tree_solve.panel_speedup — solve_multi vs r single solves
+//   embedding.speedup        — embedding stage, generic vs SIMD backend
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/sparsifier.hpp"
+#include "core/sparsifier_engine.hpp"
+#include "graph/laplacian.hpp"
+#include "la/csr_matrix.hpp"
+#include "la/kernels/kernels.hpp"
+#include "tree/kruskal.hpp"
+#include "tree/tree_solver.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace ssp;
+using bench::dim;
+using bench::Json;
+using kernels::Backend;
+
+bench::Report& report() {
+  static bench::Report r("bench_kernels");
+  return r;
+}
+
+/// The best non-scalar backend this machine can run, if any.
+std::optional<Backend> simd_backend() {
+  for (Backend b : {Backend::kAvx2, Backend::kNeon}) {
+    if (kernels::backend_supported(b)) return b;
+  }
+  return std::nullopt;
+}
+
+/// Mean seconds per call after one warm-up invocation.
+double time_reps(int reps, const std::function<void()>& fn) {
+  fn();
+  const WallTimer t;
+  for (int i = 0; i < reps; ++i) fn();
+  return t.seconds() / reps;
+}
+
+volatile double g_sink;  // defeats dead-code elimination in timing loops
+
+// ---- Per-primitive bandwidth -----------------------------------------------
+
+void print_primitives() {
+  bench::print_banner(
+      "Kernel primitives — scalar reference vs runtime-dispatched SIMD\n"
+      "bit-identical results by construction; GB/s over a 1M-element "
+      "stream");
+  const std::size_t n = std::size_t{1} << 20;
+  Rng rng(1);
+  Vec x(n), y(n), scratch(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = rng.normal();
+    y[i] = rng.normal();
+  }
+
+  struct Prim {
+    const char* name;
+    double bytes_per_elem;  // read+write traffic per element
+    std::function<void(const kernels::Ops&)> run;
+  };
+  const std::vector<Prim> prims = {
+      {"dot", 16.0,
+       [&](const kernels::Ops& k) { g_sink = k.dot(x.data(), y.data(), n); }},
+      {"sum", 8.0, [&](const kernels::Ops& k) { g_sink = k.sum(x.data(), n); }},
+      {"nrm2sq", 8.0,
+       [&](const kernels::Ops& k) { g_sink = k.nrm2sq(x.data(), n); }},
+      {"sq_dist", 16.0,
+       [&](const kernels::Ops& k) {
+         g_sink = k.sq_dist(x.data(), y.data(), n);
+       }},
+      {"axpy", 24.0,
+       [&](const kernels::Ops& k) {
+         k.axpy(1.0000001, x.data(), scratch.data(), n);
+       }},
+      {"axpy_sum", 24.0,
+       [&](const kernels::Ops& k) {
+         g_sink = k.axpy_sum(1.0000001, x.data(), scratch.data(), n);
+       }},
+      {"shift_nrm2sq", 16.0,
+       [&](const kernels::Ops& k) {
+         g_sink = k.shift_nrm2sq(1e-9, scratch.data(), n);
+       }},
+  };
+
+  const std::optional<Backend> simd = simd_backend();
+  std::printf("%-14s %12s", "primitive", "generic GB/s");
+  if (simd) std::printf(" %12s %8s", kernels::backend_name(*simd), "speedup");
+  std::printf("\n");
+  bench::print_rule(50);
+
+  const kernels::Ops& gen = *kernels::ops_for(Backend::kGeneric);
+  for (const Prim& p : prims) {
+    scratch = y;
+    const double t_gen = time_reps(40, [&] { p.run(gen); });
+    const double gbps_gen = p.bytes_per_elem * static_cast<double>(n) /
+                            t_gen / 1e9;
+    Json row = Json::object()
+                   .set("primitive", p.name)
+                   .set("elements", n)
+                   .set("generic_gbps", gbps_gen);
+    std::printf("%-14s %12.2f", p.name, gbps_gen);
+    if (simd) {
+      const kernels::Ops& sk = *kernels::ops_for(*simd);
+      scratch = y;
+      const double t_simd = time_reps(40, [&] { p.run(sk); });
+      const double gbps_simd = p.bytes_per_elem * static_cast<double>(n) /
+                               t_simd / 1e9;
+      std::printf(" %12.2f %7.2fx", gbps_simd, t_gen / t_simd);
+      row.set("simd_backend", kernels::backend_name(*simd))
+          .set("simd_gbps", gbps_simd)
+          .set("speedup", t_gen / t_simd);
+    }
+    std::printf("\n");
+    report().section("primitives").push(std::move(row));
+  }
+  bench::print_rule(50);
+  std::printf("streaming primitives are memory-bound at this size; the SIMD "
+              "win shows up while operands fit in cache (the panel kernels "
+              "below are built around exactly that).\n");
+}
+
+// ---- Blocked panel spmv vs column-at-a-time --------------------------------
+
+void print_spmv() {
+  bench::print_banner(
+      "Panel spmv — all r JL probes as one n x r panel vs r single-RHS "
+      "passes\n(the single-RHS loop is the pre-kernel-layer embedding hot "
+      "path: gather column, multiply, scatter)");
+  const Vertex side = dim(240, 500);
+  const Graph g = bench::g3_circuit_proxy(side);
+  const CsrMatrix lg = laplacian(g);
+  const auto n = lg.rows();
+  const Index r = 8;
+  const auto un = static_cast<std::size_t>(n);
+
+  Rng rng(2);
+  Vec panel_x(un * static_cast<std::size_t>(r));
+  for (double& v : panel_x) v = rng.normal();
+  Vec panel_y(panel_x.size());
+  Vec col_x(un), col_y(un);
+
+  // Before: r separate single-RHS multiplies through gather/scatter, on
+  // the scalar backend (exactly the shape of the old probe loop).
+  const double t_single = time_reps(10, [&] {
+    kernels::ScopedBackend scope(Backend::kGeneric);
+    for (Index j = 0; j < r; ++j) {
+      for (Index v = 0; v < n; ++v) {
+        col_x[static_cast<std::size_t>(v)] =
+            panel_x[static_cast<std::size_t>(v * r + j)];
+      }
+      lg.multiply(col_x, col_y);
+      for (Index v = 0; v < n; ++v) {
+        panel_y[static_cast<std::size_t>(v * r + j)] =
+            col_y[static_cast<std::size_t>(v)];
+      }
+    }
+  });
+
+  // After: one blocked pass over the matrix, SIMD across columns.
+  const double t_panel =
+      time_reps(10, [&] { lg.multiply_panel(panel_x, panel_y, r); });
+
+  const double nnz = static_cast<double>(lg.nnz());
+  const double speedup = t_single / t_panel;
+  std::printf("%-18s %10lld vertices, %12.0f nnz, r = %d\n", "graph",
+              static_cast<long long>(n), nnz, static_cast<int>(r));
+  std::printf("%-18s %10.4fs  (%6.2f Mnnz/s per RHS)\n", "r single-RHS",
+              t_single, nnz * static_cast<double>(r) / t_single / 1e6 /
+                            static_cast<double>(r));
+  std::printf("%-18s %10.4fs  (%6.2f Mnnz/s per RHS)\n", "blocked panel",
+              t_panel, nnz * static_cast<double>(r) / t_panel / 1e6 /
+                           static_cast<double>(r));
+  std::printf("%-18s %9.2fx %s\n", "panel speedup", speedup,
+              speedup >= 2.0 ? "(>= 2x target met)" : "(BELOW 2x TARGET)");
+  report().section("spmv").set("vertices", static_cast<long long>(n))
+      .set("nnz", nnz)
+      .set("rhs", static_cast<int>(r))
+      .set("single_rhs_seconds", t_single)
+      .set("panel_seconds", t_panel)
+      .set("panel_speedup", speedup)
+      .set("target_2x_met", speedup >= 2.0);
+}
+
+// ---- Blocked tree solve ----------------------------------------------------
+
+void print_tree_solve() {
+  bench::print_banner(
+      "Blocked tree solve — TreeSolver::solve_multi (one traversal for the "
+      "whole panel) vs r single solves");
+  const Vertex side = dim(240, 500);
+  const Graph g = bench::g3_circuit_proxy(side);
+  const SpanningTree tree = max_weight_spanning_tree(g);
+  const TreeSolver solver(tree);
+  const auto n = static_cast<Index>(g.num_vertices());
+  const Index r = 8;
+  const auto un = static_cast<std::size_t>(n);
+
+  Rng rng(3);
+  Vec panel_b(un * static_cast<std::size_t>(r));
+  for (double& v : panel_b) v = rng.normal();
+  Vec panel_x(panel_b.size());
+  Vec col_b(un), col_x(un);
+
+  const double t_single = time_reps(10, [&] {
+    for (Index j = 0; j < r; ++j) {
+      for (Index v = 0; v < n; ++v) {
+        col_b[static_cast<std::size_t>(v)] =
+            panel_b[static_cast<std::size_t>(v * r + j)];
+      }
+      solver.solve(col_b, col_x);
+      for (Index v = 0; v < n; ++v) {
+        panel_x[static_cast<std::size_t>(v * r + j)] =
+            col_x[static_cast<std::size_t>(v)];
+      }
+    }
+  });
+  const double t_panel =
+      time_reps(10, [&] { solver.solve_multi(panel_b, panel_x, r); });
+
+  const double speedup = t_single / t_panel;
+  std::printf("%-18s %10lld vertices, r = %d\n", "tree",
+              static_cast<long long>(n), static_cast<int>(r));
+  std::printf("%-18s %10.4fs\n", "r single solves", t_single);
+  std::printf("%-18s %10.4fs\n", "solve_multi", t_panel);
+  std::printf("%-18s %9.2fx\n", "panel speedup", speedup);
+  report().section("tree_solve").set("vertices", static_cast<long long>(n))
+      .set("rhs", static_cast<int>(r))
+      .set("single_seconds", t_single)
+      .set("panel_seconds", t_panel)
+      .set("panel_speedup", speedup);
+}
+
+// ---- Embedding stage, end to end -------------------------------------------
+
+/// Accumulates per-stage wall time, keyed by StageKind.
+class StageTimeObserver : public StageObserver {
+ public:
+  void on_stage(StageKind stage, double seconds) override {
+    seconds_[static_cast<std::size_t>(stage)] += seconds;
+  }
+  [[nodiscard]] double embedding_seconds() const {
+    return seconds_[static_cast<std::size_t>(StageKind::kEmbedding)];
+  }
+
+ private:
+  double seconds_[8] = {};
+};
+
+void print_embedding_stage() {
+  bench::print_banner(
+      "Embedding stage, end to end — sparsifier run with the kernel "
+      "backend pinned to generic vs the SIMD backend\nidentical-result "
+      "check: final edge lists must match bit-for-bit");
+  const Graph g = bench::dblp_proxy(dim(12000, 80000), 703);
+  const auto opts =
+      SparsifyOptions{}.with_sigma2(100.0).with_seed(5).with_threads(1);
+
+  const auto run_with = [&](Backend b, StageTimeObserver& obs) {
+    kernels::ScopedBackend scope(b);
+    Sparsifier engine(g, opts);
+    engine.set_observer(&obs);
+    engine.run();
+    return engine.result().edges;
+  };
+
+  StageTimeObserver obs_gen;
+  const auto edges_gen = run_with(Backend::kGeneric, obs_gen);
+
+  const std::optional<Backend> simd = simd_backend();
+  Json row = Json::object()
+                 .set("graph", "dblp")
+                 .set("embed_seconds_generic", obs_gen.embedding_seconds());
+  std::printf("%-10s | %-8s %12s\n", "graph", "backend", "embed stage");
+  bench::print_rule(40);
+  std::printf("%-10s | %-8s %11.3fs\n", "dblp", "generic",
+              obs_gen.embedding_seconds());
+  if (simd) {
+    StageTimeObserver obs_simd;
+    const auto edges_simd = run_with(*simd, obs_simd);
+    const bool identical = edges_gen == edges_simd;
+    const double speedup =
+        obs_gen.embedding_seconds() /
+        std::max(obs_simd.embedding_seconds(), 1e-12);
+    std::printf("%-10s | %-8s %11.3fs  %5.2fx  bitmatch: %s\n", "dblp",
+                kernels::backend_name(*simd), obs_simd.embedding_seconds(),
+                speedup, identical ? "yes" : "NO (BUG)");
+    row.set("simd_backend", kernels::backend_name(*simd))
+        .set("embed_seconds_simd", obs_simd.embedding_seconds())
+        .set("speedup", speedup)
+        .set("bitmatch", identical);
+  }
+  report().section("embedding").push(std::move(row));
+  bench::print_rule(40);
+  std::printf("both runs use the blocked panel path; the delta isolates the "
+              "SIMD backend. The blocking win over the old column loop is "
+              "the spmv/tree-solve sections above.\n");
+}
+
+// ---- Google-benchmark timers over the same kernels -------------------------
+
+void BM_SpmvPanel(benchmark::State& state) {
+  const Graph g =
+      bench::g3_circuit_proxy(static_cast<Vertex>(state.range(0)));
+  const CsrMatrix lg = laplacian(g);
+  const Index r = 8;
+  Rng rng(4);
+  Vec x(static_cast<std::size_t>(lg.rows() * r));
+  for (double& v : x) v = rng.normal();
+  Vec y(x.size());
+  for (auto _ : state) {
+    lg.multiply_panel(x, y, r);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SpmvPanel)->Arg(64)->Arg(160)->Unit(benchmark::kMillisecond);
+
+void BM_TreeSolveMulti(benchmark::State& state) {
+  const Graph g =
+      bench::g3_circuit_proxy(static_cast<Vertex>(state.range(0)));
+  const SpanningTree tree = max_weight_spanning_tree(g);
+  const TreeSolver solver(tree);
+  const Index r = 8;
+  Rng rng(5);
+  Vec b(static_cast<std::size_t>(g.num_vertices()) *
+        static_cast<std::size_t>(r));
+  for (double& v : b) v = rng.normal();
+  Vec x(b.size());
+  for (auto _ : state) {
+    solver.solve_multi(b, x, r);
+    benchmark::DoNotOptimize(x.data());
+  }
+}
+BENCHMARK(BM_TreeSolveMulti)->Arg(64)->Arg(160)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_primitives();
+  print_spmv();
+  print_tree_solve();
+  print_embedding_stage();
+  report().write();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

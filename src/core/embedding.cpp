@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/laplacian.hpp"
+#include "la/kernels/kernels.hpp"
 #include "la/vector_ops.hpp"
 #include "util/assert.hpp"
 #include "util/parallel.hpp"
@@ -31,7 +32,7 @@ void compute_offtree_heat(const Graph& g, const CsrMatrix& lg,
                           std::span<const char> in_sparsifier,
                           const LinOp& solve_p, const EmbeddingOptions& opts,
                           Rng& rng, EmbeddingWorkspace& ws,
-                          OffTreeEmbedding& out) {
+                          OffTreeEmbedding& out, const PanelOp& solve_p_panel) {
   SSP_REQUIRE(g.finalized(), "embedding: graph must be finalized");
   SSP_REQUIRE(static_cast<EdgeId>(in_sparsifier.size()) == g.num_edges(),
               "embedding: in_sparsifier size must equal edge count");
@@ -64,9 +65,8 @@ void compute_offtree_heat(const Graph& g, const CsrMatrix& lg,
 
   const std::size_t num_offtree = out.offtree_edges.size();
   const Index r = out.num_vectors;
+  const auto ur = static_cast<std::size_t>(r);
   const int threads = resolve_threads(opts.threads);
-  const int chunks = static_cast<int>(
-      std::min<Index>(static_cast<Index>(threads), r));
 
   // Advance the parent generator once so back-to-back embeddings (one per
   // densification round) derive fresh stream roots, then hand probe j its
@@ -75,44 +75,86 @@ void compute_offtree_heat(const Graph& g, const CsrMatrix& lg,
   (void)rng();
   const Rng probe_root = rng;
 
-  ws.probe_h.resize(static_cast<std::size_t>(r));
-  ws.chunk_gh.resize(static_cast<std::size_t>(chunks));
+  // All r probes advance together as one row-major n×r panel: vertex v's
+  // r iterate values are contiguous, so the panel kernels amortize every
+  // matrix/tree traversal over all probes at once and the per-edge heat
+  // reduces over one contiguous row pair instead of r strided vectors.
+  ws.panel_h.resize(static_cast<std::size_t>(n) * ur);
+  ws.panel_gh.resize(static_cast<std::size_t>(n) * ur);
+  ws.col_bias.resize(ur);
 
-  global_pool().run_chunks(
-      0, r, chunks, [&](int chunk, Index j_begin, Index j_end) {
-        Vec& gh = ws.chunk_gh[static_cast<std::size_t>(chunk)];
-        gh.resize(static_cast<std::size_t>(n));
-        for (Index j = j_begin; j < j_end; ++j) {
-          // The solved iterate is kept per probe (not per thread) so the
-          // heat reduction below can run in probe order.
-          Vec& h = ws.probe_h[static_cast<std::size_t>(j)];
-          h.resize(static_cast<std::size_t>(n));
-          Rng probe_rng = probe_root.split(static_cast<std::uint64_t>(j));
-          random_probe_fill(h, probe_rng);
-          for (int s = 0; s < opts.power_steps; ++s) {
-            lg.multiply(h, gh);
-            project_out_mean(gh);
-            solve_p(gh, h);
-            project_out_mean(h);
-          }
+  // Draw each probe's start column from its own stream, then scatter it
+  // into the panel (column j owned by exactly one loop index).
+  parallel_for(Index{0}, r, threads, [&](Index j) {
+    thread_local Vec col;
+    col.resize(static_cast<std::size_t>(n));
+    Rng probe_rng = probe_root.split(static_cast<std::uint64_t>(j));
+    random_probe_fill(col, probe_rng);
+    double* h = ws.panel_h.data();
+    for (Index v = 0; v < n; ++v) {
+      h[static_cast<std::size_t>(v) * ur + static_cast<std::size_t>(j)] =
+          col[static_cast<std::size_t>(v)];
+    }
+  });
+
+  const auto& krn = kernels::ops();
+  // Per-column mean projection: col_sums applies the lane-blocked order of
+  // kernels::sum per column, and x + (−m) matches project_out_mean — each
+  // panel column stays bit-identical to projecting it standalone.
+  const auto project_panel = [&](Vec& panel) {
+    krn.col_sums(panel.data(), n, r, ws.col_bias.data());
+    for (Index j = 0; j < r; ++j) {
+      ws.col_bias[static_cast<std::size_t>(j)] =
+          -(ws.col_bias[static_cast<std::size_t>(j)] / static_cast<double>(n));
+    }
+    krn.add_row_bias(panel.data(), n, r, ws.col_bias.data());
+  };
+
+  for (int s = 0; s < opts.power_steps; ++s) {
+    lg.multiply_panel(ws.panel_h, ws.panel_gh, r);
+    project_panel(ws.panel_gh);
+    if (solve_p_panel) {
+      // Blocked solve: one tree traversal serves all r columns.
+      solve_p_panel(ws.panel_gh.data(), ws.panel_h.data(), n, r);
+    } else {
+      // Column-wise fallback (e.g. PCG rounds): gather column j, solve,
+      // scatter back. Columns are independent and each is owned by one
+      // loop index, so the result is thread-count invariant.
+      parallel_for(Index{0}, r, threads, [&](Index j) {
+        thread_local Vec col_in;
+        thread_local Vec col_out;
+        col_in.resize(static_cast<std::size_t>(n));
+        col_out.resize(static_cast<std::size_t>(n));
+        const double* gh = ws.panel_gh.data();
+        for (Index v = 0; v < n; ++v) {
+          col_in[static_cast<std::size_t>(v)] =
+              gh[static_cast<std::size_t>(v) * ur + static_cast<std::size_t>(j)];
+        }
+        solve_p(col_in, col_out);
+        double* h = ws.panel_h.data();
+        for (Index v = 0; v < n; ++v) {
+          h[static_cast<std::size_t>(v) * ur + static_cast<std::size_t>(j)] =
+              col_out[static_cast<std::size_t>(v)];
         }
       });
-
-  // Per-edge Joule heat of h_t (Eq. (6)). Deterministic reduction: probe
-  // contributions summed in stream order, the same arithmetic for every
-  // thread count; each edge's sum is owned by exactly one chunk.
-  parallel_for(0, static_cast<Index>(num_offtree), threads, [&](Index ki) {
-    const auto k = static_cast<std::size_t>(ki);
-    const Edge& e = g.edge(out.offtree_edges[k]);
-    double sum = 0.0;
-    for (Index j = 0; j < r; ++j) {
-      const Vec& h = ws.probe_h[static_cast<std::size_t>(j)];
-      const double d = h[static_cast<std::size_t>(e.u)] -
-                       h[static_cast<std::size_t>(e.v)];
-      sum += e.weight * d * d;
     }
-    out.heat[k] = sum;
-  });
+    project_panel(ws.panel_h);
+  }
+
+  // Per-edge Joule heat of h_t (Eq. (6)). The probe dimension of each
+  // vertex is one contiguous panel row, so the per-edge sum is a fused
+  // squared distance over the two rows; each edge's heat is owned by
+  // exactly one chunk, so the result is thread-count invariant.
+  parallel_for(Index{0}, static_cast<Index>(num_offtree), threads,
+               [&](Index ki) {
+                 const auto k = static_cast<std::size_t>(ki);
+                 const Edge& e = g.edge(out.offtree_edges[k]);
+                 const double* hu =
+                     ws.panel_h.data() + static_cast<std::size_t>(e.u) * ur;
+                 const double* hv =
+                     ws.panel_h.data() + static_cast<std::size_t>(e.v) * ur;
+                 out.heat[k] = e.weight * krn.sq_dist(hu, hv, ur);
+               });
 
   for (double v : out.heat) {
     out.total_heat += v;

@@ -50,19 +50,20 @@ struct OffTreeEmbedding {
   Index num_vectors = 0;     ///< r actually used
 };
 
-/// Reusable scratch for `compute_offtree_heat`: per-chunk power-iteration
-/// vectors and per-probe heat partials. Owned by the caller (the
-/// `ssp::Sparsifier` engine keeps one per instance) so repeated rounds on
-/// a same-size graph allocate nothing once the buffers reach steady-state
-/// capacity.
+/// Reusable scratch for `compute_offtree_heat`: the multi-RHS panels the
+/// power iterations advance. Owned by the caller (the `ssp::Sparsifier`
+/// engine keeps one per instance) so repeated rounds on a same-size graph
+/// allocate nothing once the buffers reach steady-state capacity.
 struct EmbeddingWorkspace {
-  /// Solved iterate h_t per probe (r vectors of length n). Kept per probe
-  /// rather than per thread so the per-edge heats can be reduced in probe
-  /// order — the deterministic-reduction half of the contract — at O(r·n)
-  /// memory instead of O(r·|offtree|) heat partials.
-  std::vector<Vec> probe_h;
-  /// Per-chunk scratch holding L_G h_s before the L_P⁺ apply.
-  std::vector<Vec> chunk_gh;
+  /// Solved iterates h_t as one row-major n×r panel (vertex v's r probe
+  /// values contiguous): the panel kernels amortize each matrix/tree
+  /// traversal over all probes, and the per-edge heat reduction reads two
+  /// contiguous rows instead of r strided vectors.
+  Vec panel_h;
+  /// n×r scratch panel holding L_G h_s before the L_P⁺ apply.
+  Vec panel_gh;
+  /// r-length per-column bias scratch for panel mean projection.
+  Vec col_bias;
 };
 
 /// Computes Joule heats for every edge of `g` not marked in
@@ -82,10 +83,17 @@ struct EmbeddingWorkspace {
 /// the power-iteration buffers, and `out` is refilled in place (its vectors
 /// keep their capacity between rounds). Draws the identical Rng sequence as
 /// the allocating overload, so results are bit-for-bit equal.
+///
+/// When `solve_p_panel` is non-empty it is used instead of `solve_p` to
+/// apply L_P⁺ to the whole n×r probe panel at once (e.g. the blocked tree
+/// solve); it must produce panel columns bit-identical to `solve_p` on the
+/// corresponding single vector. When empty, columns are solved one at a
+/// time through `solve_p`.
 void compute_offtree_heat(const Graph& g, const CsrMatrix& lg,
                           std::span<const char> in_sparsifier,
                           const LinOp& solve_p, const EmbeddingOptions& opts,
                           Rng& rng, EmbeddingWorkspace& ws,
-                          OffTreeEmbedding& out);
+                          OffTreeEmbedding& out,
+                          const PanelOp& solve_p_panel = {});
 
 }  // namespace ssp

@@ -74,7 +74,7 @@ void Sparsifier::bind_backbone(const SpanningTree& backbone) {
   for (EdgeId e : result_.edges) in_p_[static_cast<std::size_t>(e)] = 1;
 }
 
-LinOp Sparsifier::make_solver(double* setup_seconds) {
+LinOp Sparsifier::make_solver(double* setup_seconds, PanelOp* panel) {
   const WallTimer timer;
   LinOp solve_p;
   const bool tree_only = static_cast<EdgeId>(result_.edges.size()) ==
@@ -83,6 +83,9 @@ LinOp Sparsifier::make_solver(double* setup_seconds) {
     // The backbone tree solver doubles as the PCG preconditioner of every
     // later sparsifier (the tree stays a subgraph of P).
     solve_p = make_tree_solver_op(*tree_solver_);
+    if (panel != nullptr) {
+      *panel = make_tree_solver_panel_op(*tree_solver_);
+    }
   } else {
     lp_ = laplacian(g_->edge_subgraph(result_.edges));
     if (opts_.inner_solver == InnerSolverKind::kAmg) {
@@ -127,7 +130,8 @@ StepStatus Sparsifier::step_impl() {
 
   // --- Step 1 (§3.7): update L_P and its solver. ---
   double setup_seconds = 0.0;
-  const LinOp solve_p = make_solver(&setup_seconds);
+  PanelOp solve_p_panel;
+  const LinOp solve_p = make_solver(&setup_seconds, &solve_p_panel);
   notify_stage(StageKind::kSolverSetup, setup_seconds);
 
   // --- Step 2: estimate the spectral similarity. ---
@@ -162,7 +166,7 @@ StepStatus Sparsifier::step_impl() {
                        {.power_steps = opts_.power_steps,
                         .num_vectors = opts_.num_vectors,
                         .threads = opts_.threads},
-                       rng_, emb_ws_, emb_);
+                       rng_, emb_ws_, emb_, solve_p_panel);
   notify_stage(StageKind::kEmbedding, stage_timer.seconds());
 
   // --- Step 5: rank and filter by normalized Joule heat (Eq. 15). ---

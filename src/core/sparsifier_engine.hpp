@@ -211,7 +211,12 @@ class Sparsifier {
   void ensure_backbone();
   void bind_backbone(const SpanningTree& backbone);
   void rearm_phase();
-  [[nodiscard]] LinOp make_solver(double* setup_seconds);
+  /// Builds the L_P⁺ operator for the current sparsifier. When `panel` is
+  /// non-null and the sparsifier supports a blocked multi-RHS apply (the
+  /// tree-only rounds), `*panel` receives the panel form; otherwise it is
+  /// left empty and callers fall back to column-wise solves.
+  [[nodiscard]] LinOp make_solver(double* setup_seconds,
+                                  PanelOp* panel = nullptr);
   void final_estimate();
   /// Stamps seconds, records, and notifies; returns on_round's verdict.
   bool finish_round(DensifyRound& stats, double seconds);

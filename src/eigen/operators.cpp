@@ -16,6 +16,13 @@ LinOp make_tree_solver_op(const TreeSolver& solver) {
   };
 }
 
+PanelOp make_tree_solver_panel_op(const TreeSolver& solver) {
+  return [&solver](const double* b, double* x, Index n, Index r) {
+    solver.solve_multi({b, static_cast<std::size_t>(n * r)},
+                       {x, static_cast<std::size_t>(n * r)}, r);
+  };
+}
+
 LinOp make_cholesky_op(const SparseCholesky& chol) {
   return [&chol](std::span<const double> x, std::span<double> y) {
     chol.solve(x, y);

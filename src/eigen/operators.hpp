@@ -24,11 +24,22 @@ namespace ssp {
 /// y := Op(x). Both spans have the operator's dimension.
 using LinOp = std::function<void(std::span<const double>, std::span<double>)>;
 
+/// Panel form: X := Op(B) applied to a row-major n×r multi-RHS panel
+/// (arguments: b, x, n, r). Implementations must make each panel column
+/// bit-identical to the corresponding single-RHS `LinOp` application —
+/// callers use a PanelOp purely as a faster route through the same
+/// arithmetic (e.g. the embedding's blocked probe loop).
+using PanelOp = std::function<void(const double*, double*, Index, Index)>;
+
 /// y = A x.
 [[nodiscard]] LinOp make_csr_op(const CsrMatrix& a);
 
 /// y = L_T⁺ x (exact tree solve, zero-mean output).
 [[nodiscard]] LinOp make_tree_solver_op(const TreeSolver& solver);
+
+/// Blocked multi-RHS form of `make_tree_solver_op` (one tree traversal for
+/// all r columns; columns bit-identical to the single-RHS operator).
+[[nodiscard]] PanelOp make_tree_solver_panel_op(const TreeSolver& solver);
 
 /// y = A⁻¹ x via a (possibly Laplacian-grounded) Cholesky factorization.
 [[nodiscard]] LinOp make_cholesky_op(const SparseCholesky& chol);

@@ -4,20 +4,11 @@
 #include <cmath>
 #include <limits>
 
+#include "la/kernels/kernels.hpp"
 #include "util/assert.hpp"
 #include "util/parallel.hpp"
 
 namespace ssp {
-
-namespace {
-
-// Row-parallel SpMV pays off only once the row loop dominates the
-// fork/join cost; below these floors the serial loop wins and the
-// parallel path is skipped entirely.
-constexpr Index kParallelMinRows = 512;
-constexpr Index kParallelMinNnz = 1 << 14;
-
-}  // namespace
 
 CsrMatrix::CsrMatrix(Index rows, Index cols, std::vector<Index> row_ptr,
                      std::vector<Vertex> col_idx, std::vector<double> values)
@@ -115,23 +106,41 @@ void CsrMatrix::multiply(std::span<const double> x,
                          std::span<double> y) const {
   SSP_REQUIRE(static_cast<Index>(x.size()) == cols_, "multiply: x size");
   SSP_REQUIRE(static_cast<Index>(y.size()) == rows_, "multiply: y size");
-  const auto row_product = [&](Index r) {
-    const Index b = row_ptr_[static_cast<std::size_t>(r)];
-    const Index e = row_ptr_[static_cast<std::size_t>(r) + 1];
-    double s = 0.0;
-    for (Index k = b; k < e; ++k) {
-      s += values_[static_cast<std::size_t>(k)] *
-           x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
-    }
-    y[static_cast<std::size_t>(r)] = s;
-  };
+  const auto& k = kernels::ops();
   // Each y[r] is owned by exactly one row, so the row-parallel form is
   // bit-identical to the serial loop for every thread count.
-  if (rows_ >= kParallelMinRows &&
-      static_cast<Index>(col_idx_.size()) >= kParallelMinNnz) {
-    parallel_for(0, rows_, 0, row_product);
+  if (rows_ >= kernels::kSpmvParallelMinRows &&
+      static_cast<Index>(col_idx_.size()) >= kernels::kSpmvParallelMinNnz) {
+    parallel_for_chunks(Index{0}, rows_, 0, [&](int, Index b, Index e) {
+      k.spmv_rows(b, e, row_ptr_.data(), col_idx_.data(), values_.data(),
+                  x.data(), y.data());
+    });
   } else {
-    for (Index r = 0; r < rows_; ++r) row_product(r);
+    k.spmv_rows(0, rows_, row_ptr_.data(), col_idx_.data(), values_.data(),
+                x.data(), y.data());
+  }
+}
+
+void CsrMatrix::multiply_panel(std::span<const double> x, std::span<double> y,
+                               Index r) const {
+  SSP_REQUIRE(r >= 1, "multiply_panel: need r >= 1");
+  SSP_REQUIRE(static_cast<Index>(x.size()) == cols_ * r,
+              "multiply_panel: x size");
+  SSP_REQUIRE(static_cast<Index>(y.size()) == rows_ * r,
+              "multiply_panel: y size");
+  const auto& k = kernels::ops();
+  // The nnz floor scales with the panel width: the panel does r times the
+  // flops per row, so the fork/join cost amortizes r times sooner.
+  if (rows_ >= kernels::kSpmvParallelMinRows &&
+      static_cast<Index>(col_idx_.size()) * r >=
+          kernels::kSpmvParallelMinNnz) {
+    parallel_for_chunks(Index{0}, rows_, 0, [&](int, Index b, Index e) {
+      k.spmv_panel(b, e, row_ptr_.data(), col_idx_.data(), values_.data(),
+                   x.data(), y.data(), r);
+    });
+  } else {
+    k.spmv_panel(0, rows_, row_ptr_.data(), col_idx_.data(), values_.data(),
+                 x.data(), y.data(), r);
   }
 }
 

@@ -54,6 +54,15 @@ class CsrMatrix {
   /// Convenience allocating form of multiply.
   [[nodiscard]] Vec multiply(std::span<const double> x) const;
 
+  /// Panel (multi-RHS) form: Y = A X for row-major n×r panels
+  /// (`x.size()==cols*r`, `y.size()==rows*r`; row = vertex, the r RHS
+  /// values of one vertex contiguous). Column j of the result is
+  /// bit-identical to `multiply` applied to column j, for every thread
+  /// count and kernel backend; the panel form amortizes the matrix
+  /// traversal (row_ptr/col_idx/values traffic) over all r RHS at once.
+  void multiply_panel(std::span<const double> x, std::span<double> y,
+                      Index r) const;
+
   /// x^T A y for square symmetric use-cases (sizes must match rows/cols).
   [[nodiscard]] double bilinear(std::span<const double> x,
                                 std::span<const double> y) const;

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file kernel_config.hpp
+/// Compile-time gating and block-size constants for the dispatchable
+/// kernel layer (src/la/kernels/).
+///
+/// ## Backends
+///
+/// Three implementations of the same kernel table exist:
+///
+///  * `generic` — portable scalar C++. Always compiled; it is the
+///    *reference semantics*: every other backend must reproduce its
+///    results bit for bit.
+///  * `avx2` — x86-64 AVX2 intrinsics. Compiled only when CMake enables it
+///    (`-DSSP_KERNEL_BACKEND=auto|avx2` on an x86-64 toolchain, which
+///    defines `SSP_KERNELS_HAVE_AVX2` and builds kernels_avx2.cpp with
+///    `-mavx2`); selected at runtime only when the CPU reports AVX2.
+///  * `neon` — AArch64 NEON intrinsics (`SSP_KERNELS_HAVE_NEON`,
+///    baseline on AArch64 so no runtime CPU check is needed).
+///
+/// Runtime selection: the first kernel call resolves the backend from the
+/// `SSP_KERNEL_BACKEND` environment variable (`auto` | `generic` | `avx2`
+/// | `neon`; default `auto` = best compiled-and-supported). Naming a
+/// backend that is not compiled in or not supported by the CPU is an
+/// error, not a silent fallback — CI legs pin backends and must fail
+/// loudly when the pin cannot be honoured. Tests and benches can switch
+/// backends in-process via `kernels::set_backend` /
+/// `kernels::ScopedBackend`.
+///
+/// ## The determinism contract for vectorized reductions
+///
+/// The library guarantees bit-identical results across thread counts AND
+/// across kernel backends. Elementwise kernels (axpy, scale, subtract,
+/// panel updates, tree sweeps) are trivially safe: every output element is
+/// computed by the same expression in every backend. Reductions (dot,
+/// sum, squared norms, Joule heats) are where vectorization normally
+/// changes the answer, because floating-point addition is not
+/// associative. The kernel layer therefore fixes ONE canonical reduction
+/// order — the *lane-blocked* order — and every backend implements it
+/// exactly:
+///
+///   * `kLanes` (= 4) independent accumulators; accumulator `l` sums the
+///     elements with index ≡ l (mod kLanes), in increasing index order.
+///     This is precisely what one 256-bit vector accumulator computes, and
+///     what a pair of 128-bit NEON accumulators computes.
+///   * The lane partials combine as `(a0 + a2) + (a1 + a3)` — the order
+///     produced by the standard 256-bit horizontal sum (add the low and
+///     high 128-bit halves, then the two remaining lanes).
+///   * The `n mod kLanes` tail elements are added sequentially *after*
+///     the lane combine.
+///
+/// The generic backend implements this same order with scalar code, so
+/// `generic` and SIMD backends agree bit for bit — including signed
+/// zeros and infinities, since both execute the same IEEE-754 operation
+/// sequence. NaN-ness is preserved (a NaN input always yields a NaN
+/// result), but the *sign/payload* of a NaN result is unspecified: for
+/// scalar `s += p`, x86 `addsd` propagates whichever NaN operand the
+/// compiler register-allocated as the destination, so `+nan + -nan` can
+/// legitimately differ between backends in the sign bit. Pipeline data is
+/// NaN-free; the contract covers it anyway so misuse fails loudly rather
+/// than subtly. Two consequences worth knowing:
+///
+///   * Per-RHS reductions in panel (multi-RHS) kernels accumulate over
+///     the sparse/tree dimension in the same sequential order as the
+///     single-RHS kernels, so a panel column is bit-identical to the
+///     corresponding single-RHS call (tested in test_kernels.cpp).
+///   * The whole library builds with `-ffp-contract=off` (see the
+///     top-level CMakeLists.txt): the scalar reference must not be
+///     contracted into FMAs the intrinsics do not use, or the backends
+///     would diverge in the last ulp.
+///
+/// ## Block sizes
+
+#include "util/types.hpp"
+
+namespace ssp::kernels {
+
+/// Canonical reduction width (doubles): one 256-bit vector, or two
+/// 128-bit NEON vectors. Fixed across backends — it defines the
+/// arithmetic, not just the implementation.
+inline constexpr int kLanes = 4;
+
+/// Column-block width of panel (multi-RHS) kernels: each inner loop
+/// advances `kPanelColBlock` RHS columns at once (one vector register).
+inline constexpr int kPanelColBlock = 4;
+
+/// Row-parallel SpMV pays off only once the row loop dominates the
+/// fork/join cost; below these floors the serial loop wins and the
+/// parallel path is skipped entirely (shared by the single-RHS and panel
+/// forms — the panel form scales its nnz by the panel width first).
+inline constexpr Index kSpmvParallelMinRows = 512;
+inline constexpr Index kSpmvParallelMinNnz = Index{1} << 14;
+
+}  // namespace ssp::kernels

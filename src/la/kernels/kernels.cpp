@@ -1,0 +1,155 @@
+// Backend dispatch: resolves SSP_KERNEL_BACKEND on first use, exposes the
+// active kernel table via an atomic pointer so tests/benches can swap
+// backends between pipeline runs without re-execing.
+
+#include "la/kernels/kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+#include "la/kernels/kernels_detail.hpp"
+
+namespace ssp::kernels {
+
+namespace {
+
+std::atomic<const Ops*> g_ops{nullptr};
+std::atomic<Backend> g_backend{Backend::kGeneric};
+std::once_flag g_init_once;
+
+bool cpu_has_avx2() {
+#if defined(SSP_KERNELS_HAVE_AVX2)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const Ops* table_for(Backend b) {
+  switch (b) {
+    case Backend::kGeneric:
+      return &detail::kGenericOps;
+    case Backend::kAvx2:
+#if defined(SSP_KERNELS_HAVE_AVX2)
+      return &detail::avx2_ops();
+#else
+      return nullptr;
+#endif
+    case Backend::kNeon:
+#if defined(SSP_KERNELS_HAVE_NEON)
+      return &detail::neon_ops();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+Backend best_backend() {
+  if (backend_supported(Backend::kAvx2)) return Backend::kAvx2;
+  if (backend_supported(Backend::kNeon)) return Backend::kNeon;
+  return Backend::kGeneric;
+}
+
+Backend backend_from_env() {
+  const char* env = std::getenv("SSP_KERNEL_BACKEND");
+  const std::string name = env == nullptr ? "auto" : env;
+  if (name.empty() || name == "auto") return best_backend();
+  for (Backend b : {Backend::kGeneric, Backend::kAvx2, Backend::kNeon}) {
+    if (name == backend_name(b)) {
+      if (!backend_supported(b)) {
+        throw std::runtime_error(
+            "SSP_KERNEL_BACKEND=" + name + " requested but backend is " +
+            (backend_compiled(b) ? "not supported by this CPU"
+                                 : "not compiled into this binary"));
+      }
+      return b;
+    }
+  }
+  throw std::runtime_error("SSP_KERNEL_BACKEND=" + name +
+                           " is not a known backend "
+                           "(auto|generic|avx2|neon)");
+}
+
+void ensure_init() {
+  std::call_once(g_init_once, [] {
+    const Backend b = backend_from_env();
+    g_backend.store(b, std::memory_order_relaxed);
+    g_ops.store(table_for(b), std::memory_order_release);
+  });
+}
+
+}  // namespace
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kGeneric:
+      return "generic";
+    case Backend::kAvx2:
+      return "avx2";
+    case Backend::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+bool backend_compiled(Backend b) {
+  switch (b) {
+    case Backend::kGeneric:
+      return true;
+    case Backend::kAvx2:
+#if defined(SSP_KERNELS_HAVE_AVX2)
+      return true;
+#else
+      return false;
+#endif
+    case Backend::kNeon:
+#if defined(SSP_KERNELS_HAVE_NEON)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool backend_supported(Backend b) {
+  if (!backend_compiled(b)) return false;
+  if (b == Backend::kAvx2) return cpu_has_avx2();
+  return true;  // generic always; neon is baseline on aarch64 builds
+}
+
+Backend active_backend() {
+  ensure_init();
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+void set_backend(Backend b) {
+  ensure_init();
+  if (!backend_supported(b)) {
+    throw std::runtime_error(std::string("kernel backend '") +
+                             backend_name(b) +
+                             "' is not available in this build/CPU");
+  }
+  g_backend.store(b, std::memory_order_relaxed);
+  g_ops.store(table_for(b), std::memory_order_release);
+}
+
+const Ops& ops() {
+  const Ops* t = g_ops.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    ensure_init();
+    t = g_ops.load(std::memory_order_acquire);
+  }
+  return *t;
+}
+
+const Ops* ops_for(Backend b) {
+  if (!backend_supported(b)) return nullptr;
+  return table_for(b);
+}
+
+}  // namespace ssp::kernels

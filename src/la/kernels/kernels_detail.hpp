@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file kernels_detail.hpp
+/// Internal cross-backend plumbing for src/la/kernels/. Not part of the
+/// public API — include kernels.hpp instead.
+
+#include "la/kernels/kernels.hpp"
+
+namespace ssp::kernels::detail {
+
+/// The always-compiled scalar reference table.
+extern const Ops kGenericOps;
+
+/// Kernels whose canonical order is the plain sequential loop share the
+/// generic implementation across backends (declared here so the SIMD
+/// tables can point at them).
+void generic_spmv_rows(Index row_begin, Index row_end, const Index* row_ptr,
+                       const Vertex* cols, const double* vals, const double* x,
+                       double* y);
+
+#if defined(SSP_KERNELS_HAVE_AVX2)
+/// Defined in kernels_avx2.cpp (compiled with -mavx2).
+const Ops& avx2_ops();
+#endif
+#if defined(SSP_KERNELS_HAVE_NEON)
+/// Defined in kernels_neon.cpp.
+const Ops& neon_ops();
+#endif
+
+}  // namespace ssp::kernels::detail

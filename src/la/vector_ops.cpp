@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/kernels/kernels.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -10,26 +11,24 @@ namespace ssp {
 
 double dot(std::span<const double> x, std::span<const double> y) {
   SSP_REQUIRE(x.size() == y.size(), "dot: size mismatch");
-  double s = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
-  return s;
+  return kernels::ops().dot(x.data(), y.data(), x.size());
 }
 
-double norm2(std::span<const double> x) { return std::sqrt(dot(x, x)); }
+double norm2(std::span<const double> x) {
+  return std::sqrt(kernels::ops().nrm2sq(x.data(), x.size()));
+}
 
 double norm_inf(std::span<const double> x) {
-  double m = 0.0;
-  for (double v : x) m = std::max(m, std::abs(v));
-  return m;
+  return kernels::ops().norm_inf(x.data(), x.size());
 }
 
 void axpy(double a, std::span<const double> x, std::span<double> y) {
   SSP_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+  kernels::ops().axpy(a, x.data(), y.data(), y.size());
 }
 
 void scale(std::span<double> x, double a) {
-  for (double& v : x) v *= a;
+  kernels::ops().scal(a, x.data(), x.size());
 }
 
 void fill(std::span<double> x, double a) {
@@ -38,14 +37,13 @@ void fill(std::span<double> x, double a) {
 
 double mean(std::span<const double> x) {
   if (x.empty()) return 0.0;
-  double s = 0.0;
-  for (double v : x) s += v;
-  return s / static_cast<double>(x.size());
+  return kernels::ops().sum(x.data(), x.size()) /
+         static_cast<double>(x.size());
 }
 
 void project_out_mean(std::span<double> x) {
-  const double m = mean(x);
-  for (double& v : x) v -= m;
+  // x + (−m) is bit-identical to x − m under IEEE-754.
+  kernels::ops().shift(-mean(x), x.data(), x.size());
 }
 
 void normalize(std::span<double> x) {
@@ -57,22 +55,23 @@ void normalize(std::span<double> x) {
 Vec subtract(std::span<const double> x, std::span<const double> y) {
   SSP_REQUIRE(x.size() == y.size(), "subtract: size mismatch");
   Vec out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] - y[i];
+  kernels::ops().sub(x.data(), y.data(), out.data(), out.size());
   return out;
 }
 
 Vec add(std::span<const double> x, std::span<const double> y) {
   SSP_REQUIRE(x.size() == y.size(), "add: size mismatch");
   Vec out(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) out[i] = x[i] + y[i];
+  kernels::ops().add(x.data(), y.data(), out.data(), out.size());
   return out;
 }
 
 double relative_error(std::span<const double> x, std::span<const double> y) {
   SSP_REQUIRE(x.size() == y.size(), "relative_error: size mismatch");
-  const Vec d = subtract(x, y);
+  const double dist =
+      std::sqrt(kernels::ops().sq_dist(x.data(), y.data(), x.size()));
   const double denom = std::max(norm2(y), 1e-300);
-  return norm2(d) / denom;
+  return dist / denom;
 }
 
 Vec random_probe_vector(Index n, Rng& rng) {

@@ -1,9 +1,12 @@
 #pragma once
 
 /// \file vector_ops.hpp
-/// Dense vector kernels. Vectors are plain `std::vector<double>`; every
+/// Dense vector operations. Vectors are plain `std::vector<double>`; every
 /// routine also has a `std::span` form so callers can operate on sub-ranges
-/// without copies.
+/// without copies. These are the size-checked convenience wrappers — the
+/// actual inner loops live in the dispatchable kernel layer
+/// (la/kernels/kernels.hpp), which owns the one definition of each
+/// primitive per backend and the cross-backend determinism contract.
 ///
 /// The spectral-sparsification pipeline works exclusively in the subspace
 /// orthogonal to the all-ones vector (the common nullspace of connected
@@ -25,7 +28,11 @@ using Vec = std::vector<double>;
 /// Euclidean norm ||x||_2.
 [[nodiscard]] double norm2(std::span<const double> x);
 
-/// Infinity norm ||x||_inf.
+/// Infinity norm ||x||_inf. NaN entries follow MAXPD lane semantics
+/// (`acc > v ? acc : v`, second operand on unordered): a NaN enters the
+/// accumulator but is NOT sticky — a later element in the same lane
+/// replaces it. The exact NaN behaviour is a function of the canonical
+/// lane order only, so it is identical across backends.
 [[nodiscard]] double norm_inf(std::span<const double> x);
 
 /// y += a*x.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "la/kernels/kernels.hpp"
 #include "la/vector_ops.hpp"
 #include "util/assert.hpp"
 
@@ -35,11 +36,11 @@ PcgResult pcg_solve(const CsrMatrix& a, std::span<const double> b,
   Vec p(static_cast<std::size_t>(n));
   Vec ap(static_cast<std::size_t>(n));
 
+  const auto& krn = kernels::ops();
+  const auto un = static_cast<std::size_t>(n);
+
   a.multiply(x, r);  // r = A x
-  for (Index i = 0; i < n; ++i) {
-    r[static_cast<std::size_t>(i)] =
-        bp[static_cast<std::size_t>(i)] - r[static_cast<std::size_t>(i)];
-  }
+  krn.sub(bp.data(), r.data(), r.data(), un);  // r := b − A x
   if (opts.project_constants) project_out_mean(r);
 
   m.apply(r, z);
@@ -65,11 +66,20 @@ PcgResult pcg_solve(const CsrMatrix& a, std::span<const double> b,
     }
     const double alpha = rz / pap;
     axpy(alpha, p, x);
-    axpy(-alpha, ap, r);
-    if (opts.project_constants) project_out_mean(r);
+    // Fused residual update: one pass updates r and yields its sum (for
+    // the mean projection), a second shifts and yields ||r||² — each
+    // bit-identical to the unfused axpy/project_out_mean/norm2 sequence.
+    double rr;
+    if (opts.project_constants) {
+      const double rsum = krn.axpy_sum(-alpha, ap.data(), r.data(), un);
+      rr = krn.shift_nrm2sq(-(rsum / static_cast<double>(n)), r.data(), un);
+    } else {
+      krn.axpy(-alpha, ap.data(), r.data(), un);
+      rr = krn.nrm2sq(r.data(), un);
+    }
 
     result.iterations = it;
-    result.relative_residual = norm2(r) / bnorm;
+    result.relative_residual = std::sqrt(rr) / bnorm;
     if (result.relative_residual <= opts.rel_tolerance) {
       result.converged = true;
       break;
@@ -80,11 +90,7 @@ PcgResult pcg_solve(const CsrMatrix& a, std::span<const double> b,
     const double rz_new = dot(r, z);
     const double beta = rz_new / rz;
     rz = rz_new;
-    for (Index i = 0; i < n; ++i) {
-      p[static_cast<std::size_t>(i)] =
-          z[static_cast<std::size_t>(i)] +
-          beta * p[static_cast<std::size_t>(i)];
-    }
+    krn.xpay(z.data(), beta, p.data(), un);  // p := z + β p
   }
   if (opts.project_constants) project_out_mean(x);
   if (result.breakdown) {
@@ -92,10 +98,7 @@ PcgResult pcg_solve(const CsrMatrix& a, std::span<const double> b,
     // recurrence residual r predates the breakdown and may not describe x
     // at all once rounding has degraded the search direction.
     a.multiply(x, ap);
-    for (Index i = 0; i < n; ++i) {
-      r[static_cast<std::size_t>(i)] =
-          bp[static_cast<std::size_t>(i)] - ap[static_cast<std::size_t>(i)];
-    }
+    krn.sub(bp.data(), ap.data(), r.data(), un);
     if (opts.project_constants) project_out_mean(r);
     result.relative_residual = norm2(r) / bnorm;
     result.converged = result.relative_residual <= opts.rel_tolerance;

@@ -65,6 +65,15 @@ class SpanningTree {
   /// after its parent — the order used by the O(n) tree solver.
   [[nodiscard]] std::span<const Vertex> bfs_order() const { return order_; }
 
+  /// Flat parent array indexed by vertex (kInvalidVertex at the root) —
+  /// the raw form the blocked tree-solve kernels consume.
+  [[nodiscard]] std::span<const Vertex> parents() const { return parent_; }
+
+  /// Flat parent-edge-weight array indexed by vertex (0 at the root).
+  [[nodiscard]] std::span<const double> parent_weights() const {
+    return parent_w_;
+  }
+
   /// The tree as a standalone (finalized) graph on the same vertex set.
   [[nodiscard]] Graph as_graph() const;
 

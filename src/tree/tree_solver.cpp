@@ -1,5 +1,6 @@
 #include "tree/tree_solver.hpp"
 
+#include "la/kernels/kernels.hpp"
 #include "util/assert.hpp"
 
 namespace ssp {
@@ -16,10 +17,10 @@ void TreeSolver::solve(std::span<const double> b, std::span<double> x) const {
   thread_local Vec flow_;
   flow_.resize(static_cast<std::size_t>(n));
 
-  // Project b onto the Laplacian range (zero sum).
-  double bmean = 0.0;
-  for (double v : b) bmean += v;
-  bmean /= static_cast<double>(n);
+  // Project b onto the Laplacian range (zero sum). kernels::sum uses the
+  // canonical lane-blocked order — the same order col_sums applies per
+  // panel column, which keeps solve_multi columns bit-identical to this.
+  const double bmean = kernels::sum(b) / static_cast<double>(n);
 
   for (Vertex v = 0; v < n; ++v) {
     flow_[static_cast<std::size_t>(v)] =
@@ -49,6 +50,44 @@ Vec TreeSolver::solve(std::span<const double> b) const {
   Vec x(static_cast<std::size_t>(num_vertices()));
   solve(b, x);
   return x;
+}
+
+void TreeSolver::solve_multi(std::span<const double> b, std::span<double> x,
+                             Index r) const {
+  const auto n = static_cast<Index>(t_->num_vertices());
+  SSP_REQUIRE(r >= 1, "tree solve_multi: need r >= 1");
+  SSP_REQUIRE(static_cast<Index>(b.size()) == n * r,
+              "tree solve_multi: b size");
+  SSP_REQUIRE(static_cast<Index>(x.size()) == n * r,
+              "tree solve_multi: x size");
+
+  const auto& k = kernels::ops();
+  thread_local Vec flow_panel_;
+  thread_local Vec col_scratch_;
+  flow_panel_.resize(static_cast<std::size_t>(n * r));
+  col_scratch_.resize(static_cast<std::size_t>(r));
+
+  // Per-column mean projection of b: c[j] = mean of column j (col_sums
+  // uses the lane-blocked order of kernels::sum, so each column matches
+  // the single-RHS solve bit for bit).
+  k.col_sums(b.data(), n, r, col_scratch_.data());
+  for (Index j = 0; j < r; ++j) col_scratch_[j] /= static_cast<double>(n);
+  k.sub_row_bias(b.data(), col_scratch_.data(), flow_panel_.data(), n, r);
+
+  const auto order = t_->bfs_order();
+  const auto parents = t_->parents();
+  const auto weights = t_->parent_weights();
+  k.tree_accumulate(order.data(), parents.data(), n, flow_panel_.data(), r);
+  k.tree_integrate(order.data(), parents.data(), weights.data(), n,
+                   flow_panel_.data(), x.data(), r);
+
+  // Per-column zero-mean output (pseudoinverse convention): x[v][j] +=
+  // −mean_j, the same x + (−m) form project_out_mean applies per column.
+  k.col_sums(x.data(), n, r, col_scratch_.data());
+  for (Index j = 0; j < r; ++j) {
+    col_scratch_[j] = -(col_scratch_[j] / static_cast<double>(n));
+  }
+  k.add_row_bias(x.data(), n, r, col_scratch_.data());
 }
 
 }  // namespace ssp

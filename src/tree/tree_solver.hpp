@@ -38,6 +38,17 @@ class TreeSolver {
   /// Allocating convenience overload.
   [[nodiscard]] Vec solve(std::span<const double> b) const;
 
+  /// Blocked multi-RHS solve: X := L_T⁺ B for row-major n×r panels
+  /// (`b.size() == x.size() == n*r`; row = vertex, the r RHS values of a
+  /// vertex contiguous). One leaf-to-root and one root-to-leaf traversal
+  /// serve all r right-hand sides — the tree walk (order/parent/weight
+  /// traffic) is amortized r times versus r calls to `solve` — and each
+  /// panel column is bit-identical to the corresponding `solve` call, for
+  /// every kernel backend. Re-entrant like `solve` (thread-local panel
+  /// scratch).
+  void solve_multi(std::span<const double> b, std::span<double> x,
+                   Index r) const;
+
   [[nodiscard]] Vertex num_vertices() const { return t_->num_vertices(); }
 
  private:

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Kernel backend parity check: runs ssp_sparsify over the checked-in
+# fixture graphs under every kernel backend compiled into the binary
+# (SSP_KERNEL_BACKEND) crossed with SSP_THREADS 1 and 4, and compares the
+# output edge lists byte for byte against the generic-backend
+# single-thread reference. Any difference is a violation of the kernel
+# layer's determinism contract (see src/la/kernels/kernel_config.hpp).
+#
+# Usage: kernel_parity.sh <ssp_sparsify> <fixtures_dir> <work_dir>
+
+set -u
+
+SPARSIFY="$1"
+FIXTURES="$2"
+WORK="$3"
+
+mkdir -p "$WORK"
+rm -f "$WORK"/*.mtx
+
+# Ask the binary which backends it can actually run here ("+" = compiled
+# and supported by this CPU); an unsupported pin must not be attempted.
+BACKENDS=$("$SPARSIFY" --kernels | awk '$1 == "backend" && $3 == "+" {print $2}')
+if [ -z "$BACKENDS" ]; then
+  echo "FAIL: ssp_sparsify --kernels reported no usable backends" >&2
+  exit 1
+fi
+echo "usable backends: $BACKENDS"
+
+run() { # run <backend> <threads> <output-name> <args...>
+  local backend="$1" threads="$2" out="$WORK/$3"
+  shift 3
+  if ! SSP_KERNEL_BACKEND="$backend" SSP_THREADS="$threads" \
+       "$SPARSIFY" "$@" --out "$out" > "$WORK/log.txt" 2>&1; then
+    echo "FAIL: [$backend t$threads] ssp_sparsify $* exited non-zero" >&2
+    cat "$WORK/log.txt" >&2
+    exit 1
+  fi
+}
+
+checked=0
+for fixture in grid8 community16; do
+  in="$FIXTURES/$fixture.mtx"
+  # Reference: scalar backend, one thread.
+  run generic 1 "${fixture}_ref.mtx" --in "$in" --sigma2 8 --seed 42
+  for backend in $BACKENDS; do
+    for threads in 1 4; do
+      [ "$backend" = generic ] && [ "$threads" = 1 ] && continue
+      out="${fixture}_${backend}_t${threads}.mtx"
+      run "$backend" "$threads" "$out" --in "$in" --sigma2 8 --seed 42
+      if ! cmp -s "$WORK/${fixture}_ref.mtx" "$WORK/$out"; then
+        echo "FAIL: $fixture output differs: $backend @ SSP_THREADS=$threads" >&2
+        echo "      vs generic @ SSP_THREADS=1 — backends must be" >&2
+        echo "      byte-identical (kernel determinism contract)." >&2
+        exit 1
+      fi
+      checked=$((checked + 1))
+    done
+  done
+done
+
+# A pin the binary cannot honour must fail loudly, never fall back.
+if SSP_KERNEL_BACKEND=bogus "$SPARSIFY" --kernels > "$WORK/log.txt" 2>&1; then
+  echo "FAIL: SSP_KERNEL_BACKEND=bogus did not error" >&2
+  exit 1
+fi
+
+echo "kernel parity OK ($checked backend/thread legs byte-identical)"

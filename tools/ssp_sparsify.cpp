@@ -26,6 +26,7 @@
 #include "dynamic/dynamic_sparsifier.hpp"
 #include "dynamic/update_journal.hpp"
 #include "graph/mtx_io.hpp"
+#include "la/kernels/kernels.hpp"
 #include "scale/partitioned_sparsifier.hpp"
 
 namespace {
@@ -243,11 +244,28 @@ int main(int argc, char** argv) {
       "similarity-aware spectral sparsification of a Matrix Market graph");
   args.option("in", "input .mtx file (required)")
       .option("out", "output .mtx for the sparsifier (optional)")
-      .option("progress", "stream per-round telemetry (=stages for more)");
+      .option("progress", "stream per-round telemetry (=stages for more)")
+      .option("kernels", "print compiled/supported kernel backends and exit");
   ssp::cli::add_sparsify_options(args);
   ssp::cli::add_partition_options(args);
   ssp::cli::add_dynamic_options(args);
   return ssp::cli::run_tool(args, argc, argv, [&args] {
+    if (args.has("kernels")) {
+      // Capability probe for scripts (tests/kernel_parity.sh): one line
+      // per compiled backend, "+" when the running CPU supports it, and
+      // the backend SSP_KERNEL_BACKEND currently resolves to.
+      for (ssp::kernels::Backend b : {ssp::kernels::Backend::kGeneric,
+                                      ssp::kernels::Backend::kAvx2,
+                                      ssp::kernels::Backend::kNeon}) {
+        if (ssp::kernels::backend_compiled(b)) {
+          std::printf("backend %s %s\n", ssp::kernels::backend_name(b),
+                      ssp::kernels::backend_supported(b) ? "+" : "-");
+        }
+      }
+      std::printf("active %s\n",
+                  ssp::kernels::backend_name(ssp::kernels::active_backend()));
+      return 0;
+    }
     ssp::cli::apply_threads(args);
     const std::string in_path = args.require("in");
     const ssp::Graph g = ssp::load_graph_mtx(in_path);
