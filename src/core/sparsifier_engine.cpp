@@ -382,4 +382,19 @@ void Sparsifier::rebind(const Graph& g, const SpanningTree& backbone,
   notify_stage(StageKind::kBackbone, elapsed_seconds_);
 }
 
+void Sparsifier::restore_result(double lambda_min, double lambda_max,
+                                double sigma2_estimate, bool reached_target,
+                                StepStatus status) {
+  SSP_REQUIRE(backbone_ != nullptr,
+              "restore_result: rebind() to the checkpointed backbone first");
+  SSP_REQUIRE(is_terminal(status),
+              "restore_result: status must be terminal");
+  result_.lambda_min = lambda_min;
+  result_.lambda_max = lambda_max;
+  result_.sigma2_estimate = sigma2_estimate;
+  result_.reached_target = reached_target;
+  done_ = true;
+  status_ = status;
+}
+
 }  // namespace ssp

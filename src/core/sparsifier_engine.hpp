@@ -207,6 +207,19 @@ class Sparsifier {
   void rebind(const Graph& g, const SpanningTree& backbone,
               std::uint64_t seed, std::span<const EdgeId> keep_offtree = {});
 
+  /// Checkpoint-restore companion to `rebind()`: stamps the telemetry
+  /// scalars of a previously *finished* run onto the freshly rebound
+  /// result and marks the engine done with `status` (which must be
+  /// terminal), without running a single round. After
+  /// `rebind(g, backbone, seed, offtree)` + `restore_result(...)` the
+  /// engine's `result()`, `done()`, and `status()` match the engine that
+  /// originally produced the checkpoint bit for bit — so a restored
+  /// serving session answers quality queries correctly and its next
+  /// warm-refine `rebind()` sees the identical previous selection.
+  void restore_result(double lambda_min, double lambda_max,
+                      double sigma2_estimate, bool reached_target,
+                      StepStatus status);
+
  private:
   void ensure_backbone();
   void bind_backbone(const SpanningTree& backbone);

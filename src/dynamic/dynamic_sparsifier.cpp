@@ -78,6 +78,62 @@ DynamicSparsifier::DynamicSparsifier(const Graph& g, DynamicOptions opts,
   if (observer_ != nullptr) observer_->on_update(history_.back());
 }
 
+DynamicSparsifier::DynamicSparsifier(const Graph& g, DynamicOptions opts,
+                                     const DynamicRestoreState& state,
+                                     DynamicObserver* observer)
+    : opts_(std::move(opts)), graph_(g), observer_(observer) {
+  opts_.validate();
+  SSP_REQUIRE(g.finalized(), "DynamicSparsifier: graph must be finalized");
+  SSP_REQUIRE(g.num_vertices() >= 2, "DynamicSparsifier: need >= 2 vertices");
+  SSP_REQUIRE(is_connected(g), "DynamicSparsifier: graph must be connected");
+  SSP_REQUIRE(state.vertices == g.num_vertices() &&
+                  state.edges == g.num_edges(),
+              "restore: graph shape does not match the checkpoint (replay "
+              "the journal to the checkpointed batch first)");
+  SSP_REQUIRE(!state.history.empty(),
+              "restore: checkpoint must include batch 0");
+
+  // Backbone and repair state come straight from the checkpoint: the
+  // stored ids are the canonical max-weight tree on this graph, so the
+  // rebuilt MaxWeightTree continues repairing exactly where the
+  // checkpointed instance left off (incremental ≡ cold contract).
+  tree_.emplace(graph_, state.tree_edges);
+  backbone_.emplace(graph_, tree_->canonical_edge_ids());
+
+  // Re-arm the engine on the stored selection: rebind() pre-accepts the
+  // off-tree keeps under the checkpointed batch's seed, restore_result()
+  // stamps the terminal telemetry — no densification rounds run.
+  const Index last_batch = static_cast<Index>(state.history.size()) - 1;
+  SparsifyOptions engine_opts = opts_.base;
+  engine_opts.seed = batch_seed(last_batch);
+  engine_.emplace(graph_, *backbone_, std::move(engine_opts));
+  engine_->rebind(graph_, *backbone_, batch_seed(last_batch),
+                  state.offtree_edges);
+  engine_->restore_result(state.lambda_min, state.lambda_max,
+                          state.sigma2_estimate, state.reached_target,
+                          state.status);
+  history_ = state.history;
+}
+
+DynamicRestoreState DynamicSparsifier::restore_state() const {
+  DynamicRestoreState state;
+  state.vertices = graph_.num_vertices();
+  state.edges = graph_.num_edges();
+  const auto tree_ids = backbone_->tree_edge_ids();
+  state.tree_edges.assign(tree_ids.begin(), tree_ids.end());
+  const SparsifyResult& r = engine_->result();
+  state.offtree_edges.assign(
+      r.edges.begin() + static_cast<std::ptrdiff_t>(r.tree_edges.size()),
+      r.edges.end());
+  state.lambda_min = r.lambda_min;
+  state.lambda_max = r.lambda_max;
+  state.sigma2_estimate = r.sigma2_estimate;
+  state.reached_target = r.reached_target;
+  state.status = engine_->status();
+  state.history = history_;
+  return state;
+}
+
 const SparsifyResult& DynamicSparsifier::result() const {
   return engine_->result();
 }
@@ -293,6 +349,15 @@ UpdateStats DynamicSparsifier::reweight_edges(
   UpdateBatch batch;
   batch.reweight.assign(updates.begin(), updates.end());
   return apply(batch);
+}
+
+void apply_batch_to_graph(Graph& g, const UpdateBatch& batch) {
+  for (const WeightUpdate& wu : batch.reweight) {
+    g.set_weight(wu.edge, wu.weight);
+  }
+  for (const Edge& e : batch.insert) g.add_edge(e.u, e.v, e.weight);
+  if (!batch.remove.empty()) g.remove_edges(batch.remove);
+  g.finalize();
 }
 
 DynamicResult dynamic_sparsify(const Graph& g,

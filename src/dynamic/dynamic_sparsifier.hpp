@@ -171,6 +171,32 @@ struct DynamicOptions {
   DynamicOptions& with_warm_refine(bool on);
 };
 
+/// Complete sparsifier state of a `DynamicSparsifier` at a batch
+/// boundary — everything a fresh process needs to continue the update
+/// stream bit-identically, *given the same graph* (reconstructed by
+/// replaying the journal's graph mutations up to the same batch). This
+/// is the payload `storage::save_checkpoint` serializes; the restoring
+/// constructor consumes it without running a single engine round.
+struct DynamicRestoreState {
+  Vertex vertices = 0;  ///< graph shape check against the replayed graph
+  EdgeId edges = 0;
+  /// Canonical max-weight backbone (rooted tree-edge order,
+  /// `SpanningTree::tree_edge_ids()` at capture time).
+  std::vector<EdgeId> tree_edges;
+  /// Accepted off-tree selection, in acceptance order (`result().edges`
+  /// minus the tree prefix).
+  std::vector<EdgeId> offtree_edges;
+  /// Engine telemetry scalars of the captured terminal result.
+  double lambda_min = 0.0;
+  double lambda_max = 0.0;
+  double sigma2_estimate = 0.0;
+  bool reached_target = false;
+  StepStatus status = StepStatus::kConverged;
+  /// Full per-batch telemetry log (restores history()/batches_applied(),
+  /// and with them the per-batch seed derivation for future batches).
+  std::vector<UpdateStats> history;
+};
+
 /// Dynamic sparsifier driver. Copies the input graph, runs the initial
 /// sparsification (batch 0) eagerly, then applies batches in order. Not
 /// copyable; API-level single-threaded like the engine (each batch fans
@@ -183,6 +209,21 @@ class DynamicSparsifier {
   /// telemetry too (the build completes before set_observer() could run).
   explicit DynamicSparsifier(const Graph& g, DynamicOptions opts = {},
                              DynamicObserver* observer = nullptr);
+
+  /// Warm restore: binds to a copy of `g` (which must be the graph the
+  /// checkpointed instance held — same vertex and edge counts, same ids;
+  /// callers rebuild it by replaying the journal's graph mutations) and
+  /// re-creates backbone, engine selection, and telemetry from `state`
+  /// WITHOUT re-running the engine. Afterwards `result()`, `history()`,
+  /// and every future `apply()` are bit-identical to the instance that
+  /// produced the checkpoint — the foundation of the serving daemon's
+  /// kill/restart warm path.
+  DynamicSparsifier(const Graph& g, DynamicOptions opts,
+                    const DynamicRestoreState& state,
+                    DynamicObserver* observer = nullptr);
+
+  /// Captures the full restore payload at the current batch boundary.
+  [[nodiscard]] DynamicRestoreState restore_state() const;
 
   DynamicSparsifier(const DynamicSparsifier&) = delete;
   DynamicSparsifier& operator=(const DynamicSparsifier&) = delete;
@@ -268,5 +309,16 @@ struct DynamicResult {
 [[nodiscard]] DynamicResult dynamic_sparsify(
     const Graph& g, std::span<const UpdateBatch> script,
     const DynamicOptions& opts = {});
+
+/// Applies only the *graph* mutations of `batch` to `g` — reweights,
+/// then inserts, then removals (with id compaction), then `finalize()`;
+/// exactly the order `DynamicSparsifier::apply` mutates its copy, so a
+/// sequence of batches replayed through this function reproduces the
+/// dynamic layer's graph bit for bit without paying a single
+/// re-sparsification. This is the fast-forward step of checkpoint
+/// restore: replay the journal's graph mutations up to the checkpointed
+/// batch, then hand the graph plus the stored `DynamicRestoreState` to
+/// the restoring constructor.
+void apply_batch_to_graph(Graph& g, const UpdateBatch& batch);
 
 }  // namespace ssp

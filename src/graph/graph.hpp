@@ -111,6 +111,7 @@ class Graph {
 
    private:
     friend class Graph;
+    friend class GraphView;
     NeighborRange(const Vertex* nbr, const EdgeId* eid, const double* w,
                   std::size_t count)
         : nbr_(nbr), eid_(eid), w_(w), count_(count) {}
@@ -138,6 +139,10 @@ class Graph {
   [[nodiscard]] Graph edge_subgraph(std::span<const EdgeId> edge_ids) const;
 
  private:
+  /// GraphView (graph/graph_view.hpp) borrows the private CSR arrays to
+  /// present heap graphs and mmap'd `.sspb` graphs behind one interface.
+  friend class GraphView;
+
   void check_vertex(Vertex v) const;
 
   Vertex n_ = 0;

@@ -1,0 +1,135 @@
+#include "graph/graph_source.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "graph/generators/community.hpp"
+#include "graph/generators/lattice.hpp"
+#include "graph/generators/random_graphs.hpp"
+#include "graph/generators/weights.hpp"
+#include "graph/mtx_io.hpp"
+#include "storage/mapped_graph.hpp"
+#include "util/rng.hpp"
+
+namespace ssp {
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+[[noreturn]] void spec_error(const std::string& spec, const std::string& what) {
+  throw std::invalid_argument("bad gen spec '" + spec + "': " + what);
+}
+
+long long parse_spec_int(const std::string& tok, const std::string& spec) {
+  if (tok.empty() ||
+      !std::all_of(tok.begin(), tok.end(),
+                   [](unsigned char c) { return std::isdigit(c) != 0; })) {
+    spec_error(spec, "'" + tok + "' is not a non-negative integer");
+  }
+  try {
+    return std::stoll(tok);
+  } catch (const std::exception&) {
+    spec_error(spec, "'" + tok + "' overflows");
+  }
+}
+
+/// `<nx>x<ny>` dimensions token.
+std::pair<Vertex, Vertex> parse_dims(const std::string& tok,
+                                     const std::string& spec) {
+  const std::size_t x = tok.find('x');
+  if (x == std::string::npos) {
+    spec_error(spec, "expected <nx>x<ny> dimensions, got '" + tok + "'");
+  }
+  const auto nx = parse_spec_int(tok.substr(0, x), spec);
+  const auto ny = parse_spec_int(tok.substr(x + 1), spec);
+  if (nx < 2 || ny < 2) spec_error(spec, "dimensions must be >= 2");
+  return {static_cast<Vertex>(nx), static_cast<Vertex>(ny)};
+}
+
+}  // namespace
+
+GraphSourceKind classify_graph_source(const std::string& source) {
+  if (source.rfind("gen:", 0) == 0) return GraphSourceKind::kGenerator;
+  constexpr const char* kExt = ".sspb";
+  constexpr std::size_t kExtLen = 5;
+  if (source.size() > kExtLen &&
+      source.compare(source.size() - kExtLen, kExtLen, kExt) == 0) {
+    return GraphSourceKind::kSspb;
+  }
+  return GraphSourceKind::kMtx;
+}
+
+Graph graph_from_spec(const std::string& spec) {
+  const std::vector<std::string> parts = split(spec, ':');
+  if (parts.empty() || parts[0] != "gen") {
+    spec_error(spec, "expected gen:<family>:<params>[:<seed>]");
+  }
+  if (parts.size() < 3) {
+    spec_error(spec, "expected gen:<family>:<params>[:<seed>]");
+  }
+  const std::string& family = parts[1];
+  if (family == "grid2d" || family == "tri") {
+    if (parts.size() > 4) spec_error(spec, "too many fields");
+    const auto [nx, ny] = parse_dims(parts[2], spec);
+    const std::uint64_t seed =
+        parts.size() == 4
+            ? static_cast<std::uint64_t>(parse_spec_int(parts[3], spec))
+            : 1;
+    Rng rng(seed);
+    return family == "grid2d"
+               ? grid_2d(nx, ny, WeightModel::log_uniform(0.1, 10.0), &rng)
+               : triangulated_grid(nx, ny, WeightModel::uniform(0.5, 2.0),
+                                   &rng);
+  }
+  if (family == "ba" || family == "planted") {
+    if (parts.size() < 4 || parts.size() > 5) {
+      spec_error(spec, "expected gen:" + family + ":<n>:<m|k>[:<seed>]");
+    }
+    const auto n = parse_spec_int(parts[2], spec);
+    const auto mk = parse_spec_int(parts[3], spec);
+    if (n < 4 || mk < 1) spec_error(spec, "sizes out of range");
+    const std::uint64_t seed =
+        parts.size() == 5
+            ? static_cast<std::uint64_t>(parse_spec_int(parts[4], spec))
+            : 1;
+    Rng rng(seed);
+    if (family == "ba") {
+      return barabasi_albert(static_cast<Vertex>(n), static_cast<Vertex>(mk),
+                             rng);
+    }
+    return planted_partition(static_cast<Vertex>(n), static_cast<Vertex>(mk),
+                             0.1, 0.005, rng, WeightModel::uniform(0.5, 2.0));
+  }
+  spec_error(spec, "unknown family '" + family +
+                       "' (grid2d|tri|ba|planted)");
+}
+
+Graph load_graph_source(const std::string& source) {
+  switch (classify_graph_source(source)) {
+    case GraphSourceKind::kGenerator:
+      return graph_from_spec(source);
+    case GraphSourceKind::kSspb:
+      return storage::MappedGraph(source).materialize();
+    case GraphSourceKind::kMtx:
+      break;
+  }
+  return load_graph_mtx(source);
+}
+
+}  // namespace ssp

@@ -1,0 +1,168 @@
+#pragma once
+
+/// \file graph_view.hpp
+/// `GraphView` — a non-owning, read-only view of a finalized weighted
+/// undirected graph in CSR form, satisfied by two producers:
+///
+///  * a heap `Graph` (implicit conversion; the view borrows its edge list
+///    and CSR arrays), and
+///  * an mmap'd `.sspb` file (`storage::MappedGraph::view()`; the arrays
+///    live in the page cache, zero-copy).
+///
+/// The read-only hot paths — `laplacian()`, subgraph extraction
+/// (graph/subgraph.hpp), `save_graph_mtx`, and the Kruskal edge scan
+/// behind `max_weight_spanning_tree` — consume a `GraphView`, so they run
+/// identically on in-core and out-of-core graphs. Edge iteration order,
+/// adjacency order, and every accessor's result are bit-identical between
+/// the two producers for the same logical graph (the `.sspb` writer
+/// serializes exactly the arrays `Graph::finalize()` builds).
+///
+/// The view borrows: the producer (Graph or MappedGraph) must outlive it.
+/// Edge storage differs between producers — heap graphs keep an AoS
+/// `Edge` array, `.sspb` files keep SoA u/v/w sections — so `edge()`
+/// returns by value and branches on the layout.
+
+#include <span>
+
+#include "graph/graph.hpp"
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace ssp {
+
+class GraphView {
+ public:
+  /// Borrows the edge list and CSR arrays of `g` (must be finalized and
+  /// outlive the view). Implicit so every `const Graph&` call site of the
+  /// view-consuming hot paths keeps compiling unchanged.
+  GraphView(const Graph& g)  // NOLINT(google-explicit-constructor)
+      : n_(g.num_vertices()),
+        m_(g.num_edges()),
+        aos_(g.edges().data()),
+        adj_ptr_(g.adj_ptr_.data()),
+        adj_nbr_(g.adj_nbr_.data()),
+        adj_eid_(g.adj_eid_.data()),
+        adj_w_(g.adj_w_.data()),
+        weighted_degree_(g.weighted_degree_.data()) {
+    SSP_REQUIRE(g.finalized(), "GraphView: graph must be finalized");
+  }
+
+  /// Assembles a view over raw CSR sections (the mmap'd `.sspb` layout):
+  /// SoA edge arrays of length m, `adj_ptr` of length n + 1, the three
+  /// adjacency arrays of length 2m, and per-vertex weighted degrees of
+  /// length n. The caller guarantees the arrays describe a consistent
+  /// finalized graph (the storage layer validates on open).
+  static GraphView from_parts(Vertex n, EdgeId m, const Vertex* edge_u,
+                              const Vertex* edge_v, const double* edge_w,
+                              const Index* adj_ptr, const Vertex* adj_nbr,
+                              const EdgeId* adj_eid, const double* adj_w,
+                              const double* weighted_degree) {
+    GraphView v;
+    v.n_ = n;
+    v.m_ = m;
+    v.soa_u_ = edge_u;
+    v.soa_v_ = edge_v;
+    v.soa_w_ = edge_w;
+    v.adj_ptr_ = adj_ptr;
+    v.adj_nbr_ = adj_nbr;
+    v.adj_eid_ = adj_eid;
+    v.adj_w_ = adj_w;
+    v.weighted_degree_ = weighted_degree;
+    return v;
+  }
+
+  [[nodiscard]] Vertex num_vertices() const { return n_; }
+  [[nodiscard]] EdgeId num_edges() const { return m_; }
+
+  /// The edge with identifier `e` (by value: the two producers store
+  /// edges in different layouts).
+  [[nodiscard]] Edge edge(EdgeId e) const {
+    SSP_DASSERT(e >= 0 && e < m_, "GraphView: edge id out of range");
+    const auto i = static_cast<std::size_t>(e);
+    if (aos_ != nullptr) return aos_[i];
+    return Edge{soa_u_[i], soa_v_[i], soa_w_[i]};
+  }
+
+  /// Neighbors of `v` in CSR order (identical to `Graph::neighbors`).
+  [[nodiscard]] Graph::NeighborRange neighbors(Vertex v) const {
+    SSP_DASSERT(v >= 0 && v < n_, "GraphView: vertex id out of range");
+    const auto b = static_cast<std::size_t>(adj_ptr_[static_cast<std::size_t>(v)]);
+    const auto e =
+        static_cast<std::size_t>(adj_ptr_[static_cast<std::size_t>(v) + 1]);
+    return Graph::NeighborRange(adj_nbr_ + b, adj_eid_ + b, adj_w_ + b, e - b);
+  }
+
+  [[nodiscard]] Index degree(Vertex v) const {
+    SSP_DASSERT(v >= 0 && v < n_, "GraphView: vertex id out of range");
+    return adj_ptr_[static_cast<std::size_t>(v) + 1] -
+           adj_ptr_[static_cast<std::size_t>(v)];
+  }
+
+  [[nodiscard]] double weighted_degree(Vertex v) const {
+    SSP_DASSERT(v >= 0 && v < n_, "GraphView: vertex id out of range");
+    return weighted_degree_[static_cast<std::size_t>(v)];
+  }
+
+  /// Sum of all edge weights, accumulated in edge-id order (the same
+  /// order `Graph::total_weight()` uses, so the result is bit-identical).
+  [[nodiscard]] double total_weight() const {
+    double s = 0.0;
+    for (EdgeId e = 0; e < m_; ++e) s += edge(e).weight;
+    return s;
+  }
+
+  /// Raw CSR sections (length n + 1, 2m, 2m, 2m, n) — the serialization
+  /// surface of the `.sspb` writer.
+  [[nodiscard]] std::span<const Index> adj_ptr() const {
+    return {adj_ptr_, static_cast<std::size_t>(n_) + 1};
+  }
+  [[nodiscard]] std::span<const Vertex> adj_nbr() const {
+    return {adj_nbr_, directed_entries()};
+  }
+  [[nodiscard]] std::span<const EdgeId> adj_eid() const {
+    return {adj_eid_, directed_entries()};
+  }
+  [[nodiscard]] std::span<const double> adj_w() const {
+    return {adj_w_, directed_entries()};
+  }
+  [[nodiscard]] std::span<const double> weighted_degrees_span() const {
+    return {weighted_degree_, static_cast<std::size_t>(n_)};
+  }
+
+  /// Deep-copies the view into a finalized heap `Graph` with the same
+  /// vertex count, edge order, and weight bits. The rebuilt CSR arrays
+  /// match the view's (finalize() derives them deterministically from the
+  /// edge list) — the round-trip identity tests/test_storage.cpp checks.
+  [[nodiscard]] Graph materialize() const {
+    Graph g(n_);
+    for (EdgeId e = 0; e < m_; ++e) {
+      const Edge ed = edge(e);
+      g.add_edge(ed.u, ed.v, ed.weight);
+    }
+    g.finalize();
+    return g;
+  }
+
+ private:
+  GraphView() = default;
+
+  [[nodiscard]] std::size_t directed_entries() const {
+    return static_cast<std::size_t>(adj_ptr_[static_cast<std::size_t>(n_)]);
+  }
+
+  Vertex n_ = 0;
+  EdgeId m_ = 0;
+  // Edge storage: exactly one of aos_ (heap Graph) or soa_* (.sspb).
+  const Edge* aos_ = nullptr;
+  const Vertex* soa_u_ = nullptr;
+  const Vertex* soa_v_ = nullptr;
+  const double* soa_w_ = nullptr;
+  // CSR adjacency + weighted degrees (both producers).
+  const Index* adj_ptr_ = nullptr;
+  const Vertex* adj_nbr_ = nullptr;
+  const EdgeId* adj_eid_ = nullptr;
+  const double* adj_w_ = nullptr;
+  const double* weighted_degree_ = nullptr;
+};
+
+}  // namespace ssp

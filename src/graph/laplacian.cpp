@@ -9,11 +9,12 @@
 
 namespace ssp {
 
-CsrMatrix laplacian(const Graph& g) {
+CsrMatrix laplacian(const GraphView& g) {
   const Index n = g.num_vertices();
   std::vector<Triplet> ts;
   ts.reserve(static_cast<std::size_t>(g.num_edges()) * 4);
-  for (const Edge& e : g.edges()) {
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    const Edge e = g.edge(id);
     ts.push_back({e.u, e.v, -e.weight});
     ts.push_back({e.v, e.u, -e.weight});
     ts.push_back({e.u, e.u, e.weight});
@@ -22,11 +23,12 @@ CsrMatrix laplacian(const Graph& g) {
   return CsrMatrix::from_triplets(n, n, ts);
 }
 
-CsrMatrix adjacency_matrix(const Graph& g) {
+CsrMatrix adjacency_matrix(const GraphView& g) {
   const Index n = g.num_vertices();
   std::vector<Triplet> ts;
   ts.reserve(static_cast<std::size_t>(g.num_edges()) * 2);
-  for (const Edge& e : g.edges()) {
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    const Edge e = g.edge(id);
     ts.push_back({e.u, e.v, e.weight});
     ts.push_back({e.v, e.u, e.weight});
   }
@@ -103,9 +105,10 @@ Graph graph_from_matrix(const CsrMatrix& a, bool unit_weights) {
   return g;
 }
 
-Vec weighted_degrees(const Graph& g) {
+Vec weighted_degrees(const GraphView& g) {
   Vec d(static_cast<std::size_t>(g.num_vertices()), 0.0);
-  for (const Edge& e : g.edges()) {
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    const Edge e = g.edge(id);
     d[static_cast<std::size_t>(e.u)] += e.weight;
     d[static_cast<std::size_t>(e.v)] += e.weight;
   }

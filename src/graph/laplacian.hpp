@@ -12,15 +12,18 @@
 /// available [pattern matrix], a unit edge weight will be assigned".
 
 #include "graph/graph.hpp"
+#include "graph/graph_view.hpp"
 #include "la/csr_matrix.hpp"
 
 namespace ssp {
 
-/// Graph Laplacian L = D - W (symmetric, rows sum to zero).
-[[nodiscard]] CsrMatrix laplacian(const Graph& g);
+/// Graph Laplacian L = D - W (symmetric, rows sum to zero). Consumes a
+/// `GraphView`, so heap graphs (implicit conversion) and mmap'd `.sspb`
+/// graphs assemble bit-identical matrices.
+[[nodiscard]] CsrMatrix laplacian(const GraphView& g);
 
 /// Weighted adjacency matrix W.
-[[nodiscard]] CsrMatrix adjacency_matrix(const Graph& g);
+[[nodiscard]] CsrMatrix adjacency_matrix(const GraphView& g);
 
 /// Inverse of `laplacian`: off-diagonal entries become edges with weight
 /// |L(i,j)| for i < j. Diagonal entries are ignored (recomputed by the
@@ -43,6 +46,6 @@ namespace ssp {
                                       bool unit_weights = false);
 
 /// L(p,p) for all p as a vector (weighted degrees).
-[[nodiscard]] Vec weighted_degrees(const Graph& g);
+[[nodiscard]] Vec weighted_degrees(const GraphView& g);
 
 }  // namespace ssp

@@ -145,14 +145,15 @@ Graph load_graph_mtx(const std::string& path) {
   return largest_component(g);
 }
 
-void save_graph_mtx(const std::string& path, const Graph& g) {
+void save_graph_mtx(const std::string& path, const GraphView& g) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
   out << "%%MatrixMarket matrix coordinate real symmetric\n";
   out << g.num_vertices() << ' ' << g.num_vertices() << ' ' << g.num_edges()
       << '\n';
   out.precision(17);
-  for (const Edge& e : g.edges()) {
+  for (EdgeId id = 0; id < g.num_edges(); ++id) {
+    const Edge e = g.edge(id);
     const Vertex lo = std::min(e.u, e.v);
     const Vertex hi = std::max(e.u, e.v);
     out << (hi + 1) << ' ' << (lo + 1) << ' ' << e.weight << '\n';

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "graph/graph.hpp"
+#include "graph/graph_view.hpp"
 #include "la/csr_matrix.hpp"
 
 namespace ssp {
@@ -36,7 +37,10 @@ void write_matrix_market_file(const std::string& path, const CsrMatrix& a);
 /// pattern files), then keeps the largest connected component.
 [[nodiscard]] Graph load_graph_mtx(const std::string& path);
 
-/// Writes the weighted adjacency of `g` as a symmetric .mtx (lower triangle).
-void save_graph_mtx(const std::string& path, const Graph& g);
+/// Writes the weighted adjacency of `g` as a symmetric .mtx (lower
+/// triangle, edge-id order). Consumes a `GraphView`: heap graphs (the
+/// generators' output path) convert implicitly, and mmap'd `.sspb` graphs
+/// export without materializing on the heap.
+void save_graph_mtx(const std::string& path, const GraphView& g);
 
 }  // namespace ssp

@@ -6,8 +6,7 @@
 
 namespace ssp {
 
-Subgraph induced_subgraph(const Graph& g, std::span<const Vertex> vertices) {
-  SSP_REQUIRE(g.finalized(), "induced_subgraph: graph must be finalized");
+Subgraph induced_subgraph(const GraphView& g, std::span<const Vertex> vertices) {
   std::vector<Vertex> global_to_local(
       static_cast<std::size_t>(g.num_vertices()), kInvalidVertex);
   for (std::size_t i = 0; i < vertices.size(); ++i) {
@@ -22,9 +21,8 @@ Subgraph induced_subgraph(const Graph& g, std::span<const Vertex> vertices) {
   Subgraph out;
   out.local_to_global.assign(vertices.begin(), vertices.end());
   out.graph = Graph(static_cast<Vertex>(vertices.size()));
-  const auto edges = g.edges();
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const Edge& edge = edges[static_cast<std::size_t>(e)];
+    const Edge edge = g.edge(e);
     const Vertex lu = global_to_local[static_cast<std::size_t>(edge.u)];
     const Vertex lv = global_to_local[static_cast<std::size_t>(edge.v)];
     if (lu != kInvalidVertex && lv != kInvalidVertex) {
@@ -36,10 +34,9 @@ Subgraph induced_subgraph(const Graph& g, std::span<const Vertex> vertices) {
   return out;
 }
 
-std::vector<Subgraph> partition_subgraphs(const Graph& g,
+std::vector<Subgraph> partition_subgraphs(const GraphView& g,
                                           std::span<const Vertex> assignment,
                                           Index num_blocks) {
-  SSP_REQUIRE(g.finalized(), "partition_subgraphs: graph must be finalized");
   SSP_REQUIRE(
       assignment.size() == static_cast<std::size_t>(g.num_vertices()),
       "partition_subgraphs: assignment size must equal num_vertices");
@@ -61,9 +58,8 @@ std::vector<Subgraph> partition_subgraphs(const Graph& g,
   for (auto& block : blocks) {
     block.graph = Graph(static_cast<Vertex>(block.local_to_global.size()));
   }
-  const auto edges = g.edges();
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const Edge& edge = edges[static_cast<std::size_t>(e)];
+    const Edge edge = g.edge(e);
     const Vertex bu = assignment[static_cast<std::size_t>(edge.u)];
     const Vertex bv = assignment[static_cast<std::size_t>(edge.v)];
     if (bu != bv) continue;
@@ -77,14 +73,13 @@ std::vector<Subgraph> partition_subgraphs(const Graph& g,
   return blocks;
 }
 
-Subgraph cut_subgraph(const Graph& g, std::span<const Vertex> assignment) {
-  SSP_REQUIRE(g.finalized(), "cut_subgraph: graph must be finalized");
+Subgraph cut_subgraph(const GraphView& g, std::span<const Vertex> assignment) {
   SSP_REQUIRE(assignment.size() == static_cast<std::size_t>(g.num_vertices()),
               "cut_subgraph: assignment size must equal num_vertices");
 
-  const auto edges = g.edges();
   std::vector<char> boundary(static_cast<std::size_t>(g.num_vertices()), 0);
-  for (const Edge& edge : edges) {
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const Edge edge = g.edge(e);
     if (assignment[static_cast<std::size_t>(edge.u)] !=
         assignment[static_cast<std::size_t>(edge.v)]) {
       boundary[static_cast<std::size_t>(edge.u)] = 1;
@@ -104,7 +99,7 @@ Subgraph cut_subgraph(const Graph& g, std::span<const Vertex> assignment) {
   }
   out.graph = Graph(static_cast<Vertex>(out.local_to_global.size()));
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const Edge& edge = edges[static_cast<std::size_t>(e)];
+    const Edge edge = g.edge(e);
     if (assignment[static_cast<std::size_t>(edge.u)] ==
         assignment[static_cast<std::size_t>(edge.v)]) {
       continue;

@@ -5,7 +5,9 @@
 /// primitive behind recursive bisection and the partition-parallel
 /// sparsification layer (src/scale/).
 ///
-/// All extractors preserve edge multiplicity and weights exactly, keep
+/// All extractors consume a `GraphView` (heap graphs convert
+/// implicitly; mmap'd `.sspb` graphs extract without materializing the
+/// host), preserve edge multiplicity and weights exactly, keep
 /// edges in host edge-id order (so local edge id order is a deterministic
 /// function of the host graph), and return finalized graphs.
 
@@ -13,6 +15,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/graph_view.hpp"
 #include "util/types.hpp"
 
 namespace ssp {
@@ -29,7 +32,7 @@ struct Subgraph {
 /// Induced subgraph on `vertices` (host ids, each at most once): every host
 /// edge with both endpoints inside. Local vertex ids follow the order of
 /// `vertices`; local edge ids follow ascending host edge id.
-[[nodiscard]] Subgraph induced_subgraph(const Graph& g,
+[[nodiscard]] Subgraph induced_subgraph(const GraphView& g,
                                         std::span<const Vertex> vertices);
 
 /// One induced subgraph per block of `assignment` (per-vertex block id in
@@ -38,12 +41,12 @@ struct Subgraph {
 /// empty (zero vertices); callers that forbid empty blocks check
 /// themselves.
 [[nodiscard]] std::vector<Subgraph> partition_subgraphs(
-    const Graph& g, std::span<const Vertex> assignment, Index num_blocks);
+    const GraphView& g, std::span<const Vertex> assignment, Index num_blocks);
 
 /// The cut graph of an assignment: vertices are the endpoints of
 /// inter-block edges (ascending host id), edges are exactly the cut edges
 /// (ascending host edge id). Empty when the assignment has no cut edges.
-[[nodiscard]] Subgraph cut_subgraph(const Graph& g,
+[[nodiscard]] Subgraph cut_subgraph(const GraphView& g,
                                     std::span<const Vertex> assignment);
 
 }  // namespace ssp

@@ -6,167 +6,21 @@
 
 #include "graph/connectivity.hpp"
 #include "graph/subgraph.hpp"
+#include "scale/component_tasks.hpp"
 #include "util/assert.hpp"
-#include "util/parallel.hpp"
 #include "util/timer.hpp"
 #include "util/union_find.hpp"
 
 namespace ssp {
 
-namespace {
-
-/// Sums engine stage wall times into a caller-owned array (one engine per
-/// task, so no synchronization is needed).
-class StageSecondsAccumulator final : public StageObserver {
- public:
-  explicit StageSecondsAccumulator(std::array<double, kNumStageKinds>* acc)
-      : acc_(acc) {}
-  void on_stage(StageKind stage, double seconds) override {
-    (*acc_)[static_cast<int>(stage)] += seconds;
-  }
-
- private:
-  std::array<double, kNumStageKinds>* acc_;
-};
-
-/// One unit of engine work: a connected component of a block (or of the
-/// cut graph), with its edge map into host edge ids and derived seed.
-/// Tasks are movable (they live in a vector), so the working graph and
-/// edge map are resolved through accessors instead of raw self-pointers:
-/// `parent` points at stable storage (the blocks vector or the cut
-/// subgraph), `owned` holds a per-component extraction when the parent
-/// subgraph is disconnected.
-struct Task {
-  Index block = 0;  ///< block id, or kCutBlock for a cut component
-  const Subgraph* parent = nullptr;  ///< block/cut subgraph (stable)
-  std::optional<Subgraph> owned;     ///< per-component extraction, if any
-  std::vector<EdgeId> composed_map;  ///< component → host ids, if owned
-  const SparsifyOptions* base_opts = nullptr;
-  std::uint64_t seed = 0;
-  // Outputs (each task writes only its own slots).
-  std::vector<EdgeId> selected;  ///< host edge ids kept
-  double sigma2 = 0.0;
-  bool reached = true;
-  bool is_tree = false;
-  double seconds = 0.0;
-  std::array<double, kNumStageKinds> stage_seconds{};
-
-  [[nodiscard]] const Graph& graph() const {
-    return owned.has_value() ? owned->graph : parent->graph;
-  }
-  [[nodiscard]] const std::vector<EdgeId>& edge_map() const {
-    return owned.has_value() ? composed_map : parent->edge_to_global;
-  }
-};
-
-/// Runs one task to completion: verbatim keep for trees (κ = 1), a
-/// single-threaded engine otherwise. Pure function of the task inputs —
-/// never of the executing thread.
-void run_task(Task& task) {
-  const WallTimer timer;
-  const Graph& sg = task.graph();
-  const std::vector<EdgeId>& emap = task.edge_map();
-  if (sg.num_edges() == static_cast<EdgeId>(sg.num_vertices()) - 1) {
-    task.selected.assign(emap.begin(), emap.end());
-    task.sigma2 = 1.0;
-    task.reached = true;
-    task.is_tree = true;
-  } else {
-    SparsifyOptions eopts = *task.base_opts;
-    eopts.seed = task.seed;
-    eopts.threads = 1;  // concurrency lives in the outer fan-out
-    StageSecondsAccumulator acc(&task.stage_seconds);
-    Sparsifier engine(sg, eopts);
-    engine.set_observer(&acc);
-    engine.run();
-    const SparsifyResult& r = engine.result();
-    task.selected.reserve(r.edges.size());
-    for (const EdgeId local : r.edges) {
-      task.selected.push_back(emap[static_cast<std::size_t>(local)]);
-    }
-    task.sigma2 = r.sigma2_estimate;
-    task.reached = r.reached_target;
-  }
-  task.seconds = timer.seconds();
-}
-
-/// Appends one task per connected component of `sub` (a block or the cut
-/// graph). Component c of block b draws its seed from
-/// parent.split(stream_id).split(c); single-component subgraphs reference
-/// `sub` directly instead of re-extracting.
-void make_tasks(const Subgraph& sub, Index block, std::uint64_t stream_id,
-                const Rng& parent, const SparsifyOptions& base_opts,
-                std::vector<Task>& tasks) {
-  if (sub.graph.num_vertices() == 0) return;
-  const Rng unit_rng = parent.split(stream_id);
-  const ComponentLabels comps = connected_components(sub.graph);
-  if (comps.num_components == 1) {
-    Task task;
-    task.block = block;
-    task.parent = &sub;
-    task.base_opts = &base_opts;
-    task.seed = unit_rng.split(0)();
-    tasks.push_back(std::move(task));
-    return;
-  }
-  std::vector<std::vector<Vertex>> members(
-      static_cast<std::size_t>(comps.num_components));
-  for (Vertex v = 0; v < sub.graph.num_vertices(); ++v) {
-    members[static_cast<std::size_t>(comps.label[static_cast<std::size_t>(v)])]
-        .push_back(v);
-  }
-  for (Vertex c = 0; c < comps.num_components; ++c) {
-    Task task;
-    task.block = block;
-    task.parent = &sub;
-    task.owned =
-        induced_subgraph(sub.graph, members[static_cast<std::size_t>(c)]);
-    // Compose the component→block and block→host edge maps.
-    task.composed_map.reserve(task.owned->edge_to_global.size());
-    for (const EdgeId block_local : task.owned->edge_to_global) {
-      task.composed_map.push_back(
-          sub.edge_to_global[static_cast<std::size_t>(block_local)]);
-    }
-    task.base_opts = &base_opts;
-    task.seed = unit_rng.split(static_cast<std::uint64_t>(c))();
-    tasks.push_back(std::move(task));
-  }
-}
-
-/// Executes `tasks[first, last)` on the global pool; each task owns its
-/// output slots, so the result is independent of the thread count.
-void run_tasks(std::vector<Task>& tasks, std::size_t first, std::size_t last,
-               int threads) {
-  parallel_for(static_cast<Index>(first), static_cast<Index>(last), threads,
-               [&tasks](Index i) {
-                 run_task(tasks[static_cast<std::size_t>(i)]);
-               });
-}
-
-/// Folds the tasks of one block (or the cut pass) into its BlockStats.
-BlockStats fold_stats(Index block, const Subgraph& sub,
-                      const std::vector<Task>& tasks) {
-  BlockStats stats;
-  stats.block = block;
-  stats.vertices = sub.graph.num_vertices();
-  stats.edges = sub.graph.num_edges();
-  for (const Task& task : tasks) {
-    if (task.block != block) continue;
-    ++stats.components;
-    if (task.is_tree) ++stats.tree_components;
-    stats.kept_edges += static_cast<EdgeId>(task.selected.size());
-    stats.sigma2_estimate = std::max(stats.sigma2_estimate, task.sigma2);
-    stats.reached_target = stats.reached_target && task.reached;
-    stats.seconds += task.seconds;
-    for (int s = 0; s < kNumStageKinds; ++s) {
-      stats.stage_seconds[static_cast<std::size_t>(s)] +=
-          task.stage_seconds[static_cast<std::size_t>(s)];
-    }
-  }
-  return stats;
-}
-
-}  // namespace
+// The per-component engine machinery (ComponentTask, make_tasks,
+// run_tasks, fold_stats, the tree-verbatim fast path, and the
+// seed-derivation contract) is shared with the out-of-core driver —
+// see scale/component_tasks.hpp.
+using scale_detail::ComponentTask;
+using scale_detail::fold_stats;
+using scale_detail::make_tasks;
+using scale_detail::run_tasks;
 
 // ---- PartitionedOptions ----------------------------------------------------
 
@@ -311,7 +165,7 @@ void PartitionedSparsifier::run_whole_graph() {
   // opts_.block verbatim: same seed, same streams, same edge list as a
   // standalone whole-graph engine run.
   Sparsifier engine(*g_, opts_.block);
-  StageSecondsAccumulator acc(&stats.stage_seconds);
+  scale_detail::StageSecondsAccumulator acc(&stats.stage_seconds);
   engine.set_observer(&acc);
   engine.run();
   SparsifyResult r = engine.take_result();
@@ -345,7 +199,7 @@ void PartitionedSparsifier::run_partitioned() {
 
   // Stage 3: one engine per block component, fanned out over the pool.
   const Rng parent(opts_.block.seed);
-  std::vector<Task> tasks;
+  std::vector<ComponentTask> tasks;
   for (Index b = 0; b < k; ++b) {
     make_tasks(blocks[static_cast<std::size_t>(b)], b,
                static_cast<std::uint64_t>(b), parent, opts_.block, tasks);

@@ -83,6 +83,12 @@ void Server::start() {
   if (running_) throw std::runtime_error("server already started");
   stop_.store(false, std::memory_order_relaxed);
 
+  // Warm-restore persisted sessions before accepting any traffic, so the
+  // first client sees every pre-restart session already open (restores
+  // replay journal tails, which can take engine time — better spent here
+  // than racing early commits).
+  sessions_.restore_all();
+
   if (config_.tcp_port >= 0) {
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd_ < 0) throw std::runtime_error("socket(): failed");

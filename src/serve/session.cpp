@@ -2,15 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
+#include <filesystem>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "dynamic/journal_wire.hpp"
-#include "graph/generators/community.hpp"
-#include "graph/generators/lattice.hpp"
-#include "graph/generators/random_graphs.hpp"
-#include "graph/generators/weights.hpp"
+#include "graph/graph_source.hpp"
 #include "graph/mtx_io.hpp"
+#include "serve/session_store.hpp"
 #include "util/assert.hpp"
 
 namespace ssp::serve {
@@ -27,6 +27,9 @@ void ServeOptions::validate() const {
   }
   if (!(drain_seconds >= 0.0)) {
     throw std::invalid_argument("serve: drain_seconds must be >= 0");
+  }
+  if (checkpoint_every < 1) {
+    throw std::invalid_argument("serve: checkpoint_every must be >= 1");
   }
 }
 
@@ -58,13 +61,82 @@ ServeOptions& ServeOptions::with_drain_seconds(double seconds) {
   return *this;
 }
 
+ServeOptions& ServeOptions::with_state_dir(std::string dir) {
+  state_dir = std::move(dir);
+  return *this;
+}
+
+ServeOptions& ServeOptions::with_checkpoint_every(Index n) {
+  if (n < 1) {
+    throw std::invalid_argument("serve: checkpoint_every must be >= 1");
+  }
+  checkpoint_every = n;
+  return *this;
+}
+
 // ---- Session ---------------------------------------------------------------
 
 Session::Session(std::string name, const Graph& g, const DynamicOptions& opts,
-                 Index max_queued_batches)
+                 Index max_queued_batches, SessionPersist persist)
     : name_(std::move(name)),
       max_queued_batches_(max_queued_batches),
+      persist_(std::move(persist)),
       dyn_(g, opts) {}
+
+DynamicSparsifier Session::make_restored(
+    const Graph& g, const DynamicOptions& opts,
+    const storage::SparsifierCheckpoint* ckpt,
+    std::span<const JournalBatch> batches) {
+  if (ckpt == nullptr || ckpt->commits == 0) {
+    // No snapshot (or one from before any commit): cold initial build,
+    // the whole journal replays through full applies in the ctor body.
+    return DynamicSparsifier(g, opts);
+  }
+  if (ckpt->commits > batches.size()) {
+    throw std::runtime_error(
+        "serve: checkpoint covers " + std::to_string(ckpt->commits) +
+        " commits but the journal holds only " +
+        std::to_string(batches.size()));
+  }
+  // Fast-forward the graph (mutations only, no sparsification) to the
+  // checkpointed batch, then restore the sparsifier without running it.
+  Graph replayed = g;
+  for (std::uint64_t b = 0; b < ckpt->commits; ++b) {
+    const UpdateBatch resolved =
+        resolve_journal_batch(replayed, batches[static_cast<std::size_t>(b)]);
+    apply_batch_to_graph(replayed, resolved);
+  }
+  return DynamicSparsifier(replayed, opts, ckpt->state);
+}
+
+Session::Session(std::string name, const Graph& g, const DynamicOptions& opts,
+                 Index max_queued_batches,
+                 const storage::SparsifierCheckpoint* ckpt,
+                 std::span<const JournalBatch> batches, SessionPersist persist)
+    : name_(std::move(name)),
+      max_queued_batches_(max_queued_batches),
+      persist_(std::move(persist)),
+      dyn_(make_restored(g, opts, ckpt, batches)) {
+  // Replay the journal tail the checkpoint does not cover — these are
+  // full applies (engine runs), each drawing the same per-batch seed the
+  // original process drew, so the resumed state is bit-identical.
+  const std::size_t start =
+      ckpt == nullptr ? 0 : static_cast<std::size_t>(ckpt->commits);
+  for (std::size_t b = start; b < batches.size(); ++b) {
+    const UpdateBatch resolved =
+        resolve_journal_batch(dyn_.graph(), batches[b]);
+    dyn_.apply(resolved);
+  }
+  // Rebuild the in-memory journal mirror so journal_lines() and the
+  // offline-replay contract are oblivious to the restart.
+  for (const JournalBatch& batch : batches) {
+    for (const JournalOp& op : batch.ops) {
+      journal_.push_back(format_journal_op(op));
+    }
+    journal_.push_back("commit");
+  }
+  commits_ = static_cast<Index>(batches.size());
+}
 
 void Session::require_open_locked() const {
   if (closed_) {
@@ -111,7 +183,34 @@ CommitOutcome Session::commit(const JournalBatch& batch) {
   }
   journal_.push_back("commit");
   ++commits_;
+  if (persist_.enabled()) {
+    persist_batch_locked(batch);
+    if (commits_ % persist_.checkpoint_every == 0) {
+      persist_checkpoint_locked();
+    }
+  }
   return out;
+}
+
+void Session::persist_batch_locked(const JournalBatch& batch) {
+  if (!journal_file_.is_open()) {
+    journal_file_.open(persist_.journal_path, std::ios::app);
+  }
+  for (const JournalOp& op : batch.ops) {
+    journal_file_ << format_journal_op(op) << '\n';
+  }
+  journal_file_ << "commit\n";
+  if (!journal_file_.flush()) {
+    throw std::runtime_error("serve: short write to journal '" +
+                             persist_.journal_path + "'");
+  }
+}
+
+void Session::persist_checkpoint_locked() {
+  storage::SparsifierCheckpoint ckpt;
+  ckpt.commits = static_cast<std::uint64_t>(commits_);
+  ckpt.state = dyn_.restore_state();
+  storage::save_checkpoint(persist_.checkpoint_path, ckpt);
 }
 
 std::vector<std::string> Session::journal_lines() const {
@@ -173,11 +272,14 @@ void Session::snapshot_mtx(const std::string& path) const {
 void Session::close() {
   {
     std::lock_guard<std::mutex> lk(admit_mu_);
+    if (closed_) return;  // idempotent; checkpoint once
     closed_ = true;
   }
   // Wait for the in-flight apply (if any); queued commits fail their
   // re-check instead of applying.
   std::lock_guard<std::mutex> lk(apply_mu_);
+  // Final checkpoint so the next start replays no journal tail at all.
+  if (persist_.enabled()) persist_checkpoint_locked();
 }
 
 bool Session::closed() const {
@@ -194,93 +296,6 @@ void Session::set_observer(DynamicObserver* observer) {
 
 namespace {
 
-std::vector<std::string> split(const std::string& s, char sep) {
-  std::vector<std::string> parts;
-  std::size_t start = 0;
-  while (true) {
-    const std::size_t pos = s.find(sep, start);
-    if (pos == std::string::npos) {
-      parts.push_back(s.substr(start));
-      return parts;
-    }
-    parts.push_back(s.substr(start, pos - start));
-    start = pos + 1;
-  }
-}
-
-[[noreturn]] void spec_error(const std::string& spec, const std::string& what) {
-  throw std::invalid_argument("bad gen spec '" + spec + "': " + what);
-}
-
-long long parse_spec_int(const std::string& tok, const std::string& spec) {
-  if (tok.empty() ||
-      !std::all_of(tok.begin(), tok.end(),
-                   [](unsigned char c) { return std::isdigit(c) != 0; })) {
-    spec_error(spec, "'" + tok + "' is not a non-negative integer");
-  }
-  try {
-    return std::stoll(tok);
-  } catch (const std::exception&) {
-    spec_error(spec, "'" + tok + "' overflows");
-  }
-}
-
-/// `<nx>x<ny>` dimensions token.
-std::pair<Vertex, Vertex> parse_dims(const std::string& tok,
-                                     const std::string& spec) {
-  const std::size_t x = tok.find('x');
-  if (x == std::string::npos) {
-    spec_error(spec, "expected <nx>x<ny> dimensions, got '" + tok + "'");
-  }
-  const auto nx = parse_spec_int(tok.substr(0, x), spec);
-  const auto ny = parse_spec_int(tok.substr(x + 1), spec);
-  if (nx < 2 || ny < 2) spec_error(spec, "dimensions must be >= 2");
-  return {static_cast<Vertex>(nx), static_cast<Vertex>(ny)};
-}
-
-Graph graph_from_spec(const std::string& spec) {
-  const std::vector<std::string> parts = split(spec, ':');
-  // parts[0] == "gen" (checked by the caller).
-  if (parts.size() < 3) {
-    spec_error(spec, "expected gen:<family>:<params>[:<seed>]");
-  }
-  const std::string& family = parts[1];
-  if (family == "grid2d" || family == "tri") {
-    if (parts.size() > 4) spec_error(spec, "too many fields");
-    const auto [nx, ny] = parse_dims(parts[2], spec);
-    const std::uint64_t seed =
-        parts.size() == 4
-            ? static_cast<std::uint64_t>(parse_spec_int(parts[3], spec))
-            : 1;
-    Rng rng(seed);
-    return family == "grid2d"
-               ? grid_2d(nx, ny, WeightModel::log_uniform(0.1, 10.0), &rng)
-               : triangulated_grid(nx, ny, WeightModel::uniform(0.5, 2.0),
-                                   &rng);
-  }
-  if (family == "ba" || family == "planted") {
-    if (parts.size() < 4 || parts.size() > 5) {
-      spec_error(spec, "expected gen:" + family + ":<n>:<m|k>[:<seed>]");
-    }
-    const auto n = parse_spec_int(parts[2], spec);
-    const auto mk = parse_spec_int(parts[3], spec);
-    if (n < 4 || mk < 1) spec_error(spec, "sizes out of range");
-    const std::uint64_t seed =
-        parts.size() == 5
-            ? static_cast<std::uint64_t>(parse_spec_int(parts[4], spec))
-            : 1;
-    Rng rng(seed);
-    if (family == "ba") {
-      return barabasi_albert(static_cast<Vertex>(n), static_cast<Vertex>(mk),
-                             rng);
-    }
-    return planted_partition(static_cast<Vertex>(n), static_cast<Vertex>(mk),
-                             0.1, 0.005, rng, WeightModel::uniform(0.5, 2.0));
-  }
-  spec_error(spec, "unknown family '" + family +
-                       "' (grid2d|tri|ba|planted)");
-}
-
 bool valid_session_name(const std::string& name) {
   if (name.empty() || name.size() > 64) return false;
   return std::all_of(name.begin(), name.end(), [](unsigned char c) {
@@ -291,14 +306,25 @@ bool valid_session_name(const std::string& name) {
 }  // namespace
 
 Graph load_session_graph(const std::string& source) {
-  if (source.rfind("gen:", 0) == 0) return graph_from_spec(source);
-  return load_graph_mtx(source);
+  // Thin wrapper kept for the serve API: all classification (gen: specs,
+  // .sspb binaries, Matrix Market) lives in graph/graph_source.hpp now.
+  return load_graph_source(source);
 }
 
 // ---- SessionManager --------------------------------------------------------
 
 SessionManager::SessionManager(ServeOptions opts) : opts_(std::move(opts)) {
   opts_.validate();
+}
+
+SessionPersist SessionManager::persist_for(const std::string& name) const {
+  SessionPersist persist;
+  if (!opts_.state_dir.empty()) {
+    persist.journal_path = session_journal_path(opts_.state_dir, name);
+    persist.checkpoint_path = session_checkpoint_path(opts_.state_dir, name);
+    persist.checkpoint_every = opts_.checkpoint_every;
+  }
+  return persist;
 }
 
 std::shared_ptr<Session> SessionManager::open(const std::string& name,
@@ -322,16 +348,66 @@ std::shared_ptr<Session> SessionManager::open(const std::string& name,
   }
   try {
     const Graph g = load_session_graph(source);
+    SessionPersist persist = persist_for(name);
+    if (persist.enabled()) {
+      std::filesystem::create_directories(opts_.state_dir);
+      create_session_journal(persist.journal_path, source);
+    }
     auto session = std::make_shared<Session>(name, g, opts_.dynamic,
-                                             opts_.max_queued_batches);
+                                             opts_.max_queued_batches,
+                                             std::move(persist));
     std::lock_guard<std::mutex> lk(mu_);
     sessions_[name] = session;
     return session;
   } catch (...) {
+    if (!opts_.state_dir.empty()) {
+      // Don't leave a header-only journal that would "restore" an empty
+      // session on the next start.
+      std::error_code ec;
+      std::filesystem::remove(session_journal_path(opts_.state_dir, name),
+                              ec);
+      std::filesystem::remove(
+          session_checkpoint_path(opts_.state_dir, name), ec);
+    }
     std::lock_guard<std::mutex> lk(mu_);
     sessions_.erase(name);
     throw;
   }
+}
+
+std::vector<std::string> SessionManager::restore_all() {
+  std::vector<std::string> restored;
+  if (opts_.state_dir.empty()) return restored;
+  for (const std::string& name : list_stored_sessions(opts_.state_dir)) {
+    if (!valid_session_name(name)) continue;  // stray file, not ours
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (sessions_.count(name) != 0) continue;  // already live
+      if (static_cast<Index>(sessions_.size()) >= opts_.max_sessions) break;
+      sessions_[name] = nullptr;
+    }
+    try {
+      const SessionPersist persist = persist_for(name);
+      const StoredSession stored =
+          read_stored_session(persist.journal_path);
+      const Graph g = load_session_graph(stored.source);
+      std::optional<storage::SparsifierCheckpoint> ckpt;
+      if (std::filesystem::exists(persist.checkpoint_path)) {
+        ckpt = storage::load_checkpoint(persist.checkpoint_path);
+      }
+      auto session = std::make_shared<Session>(
+          name, g, opts_.dynamic, opts_.max_queued_batches,
+          ckpt.has_value() ? &*ckpt : nullptr, stored.batches, persist);
+      std::lock_guard<std::mutex> lk(mu_);
+      sessions_[name] = session;
+      restored.push_back(name);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      sessions_.erase(name);
+      throw;
+    }
+  }
+  return restored;
 }
 
 std::shared_ptr<Session> SessionManager::attach(const std::string& name) const {
@@ -361,6 +437,13 @@ void SessionManager::close(const std::string& name) {
     sessions_.erase(it);
   }
   session->close();  // blocks on the in-flight commit, outside the table lock
+  if (!opts_.state_dir.empty()) {
+    // Explicit teardown: a client-closed session must not resurrect.
+    std::error_code ec;
+    std::filesystem::remove(session_journal_path(opts_.state_dir, name), ec);
+    std::filesystem::remove(session_checkpoint_path(opts_.state_dir, name),
+                            ec);
+  }
 }
 
 std::vector<std::string> SessionManager::names() const {

@@ -22,15 +22,18 @@
 /// journal is written in apply order, batch seeds derive from the batch
 /// index, and thread counts never change a bit of output.
 
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "dynamic/dynamic_sparsifier.hpp"
 #include "dynamic/update_journal.hpp"
 #include "graph/graph.hpp"
+#include "storage/checkpoint.hpp"
 
 namespace ssp::serve {
 
@@ -47,6 +50,15 @@ struct ServeOptions {
   /// Graceful-drain budget on shutdown: how long the server waits for
   /// in-flight commits before force-closing connections.
   double drain_seconds = 5.0;
+  /// Session persistence directory (see session_store.hpp). Empty (the
+  /// default) disables persistence; non-empty makes every session journal
+  /// its commits to disk, checkpoint its sparsifier, and reopen warm on
+  /// the next start — bit-identical to a never-restarted daemon.
+  std::string state_dir;
+  /// With persistence on: write a sparsifier checkpoint every N commits
+  /// (a final one is always written on graceful close). Smaller = less
+  /// journal tail to replay after a hard kill, more checkpoint I/O.
+  Index checkpoint_every = 16;
 
   /// Throws std::invalid_argument on the first violated constraint
   /// (including dynamic.validate()).
@@ -56,6 +68,19 @@ struct ServeOptions {
   ServeOptions& with_max_sessions(Index n);
   ServeOptions& with_max_queued_batches(Index n);
   ServeOptions& with_drain_seconds(double seconds);
+  ServeOptions& with_state_dir(std::string dir);
+  ServeOptions& with_checkpoint_every(Index n);
+};
+
+/// Per-session persistence wiring (paths live in
+/// `ServeOptions::state_dir`; see session_store.hpp). Default-constructed
+/// = persistence off.
+struct SessionPersist {
+  std::string journal_path;     ///< empty = no persistence
+  std::string checkpoint_path;
+  Index checkpoint_every = 16;
+
+  [[nodiscard]] bool enabled() const { return !journal_path.empty(); }
 };
 
 /// Outcome of Session::commit.
@@ -87,9 +112,23 @@ struct SessionInfo {
 class Session {
  public:
   /// Binds to `g` (finalized, connected) and runs the initial
-  /// sparsification eagerly — construction is the expensive step.
+  /// sparsification eagerly — construction is the expensive step. With
+  /// `persist` enabled, the journal file must already exist (the manager
+  /// writes its header before constructing the session).
   Session(std::string name, const Graph& g, const DynamicOptions& opts,
-          Index max_queued_batches);
+          Index max_queued_batches, SessionPersist persist = {});
+
+  /// Warm restore from on-disk state: `g` is the freshly loaded source
+  /// graph, `batches` the committed journal, `ckpt` the latest
+  /// checkpoint (nullptr when none was written yet). The graph is
+  /// fast-forwarded to the checkpointed batch without re-sparsifying
+  /// (dynamic/apply_batch_to_graph + DynamicRestoreState); only the
+  /// journal tail past `ckpt->commits` replays through full applies.
+  /// The resulting session is bit-identical to one that never restarted.
+  Session(std::string name, const Graph& g, const DynamicOptions& opts,
+          Index max_queued_batches,
+          const storage::SparsifierCheckpoint* ckpt,
+          std::span<const JournalBatch> batches, SessionPersist persist);
 
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
@@ -130,9 +169,23 @@ class Session {
 
  private:
   void require_open_locked() const;  ///< throws when closed_
+  /// Builds the restored dynamic layer: fast-forwards a copy of `g`
+  /// through the checkpointed batches' graph mutations, then restores
+  /// the sparsifier state without running it.
+  [[nodiscard]] static DynamicSparsifier make_restored(
+      const Graph& g, const DynamicOptions& opts,
+      const storage::SparsifierCheckpoint* ckpt,
+      std::span<const JournalBatch> batches);
+  /// Appends one committed batch's lines to the journal file (flushed).
+  /// Caller holds apply_mu_.
+  void persist_batch_locked(const JournalBatch& batch);
+  /// Writes the sparsifier checkpoint at the current commit count.
+  /// Caller holds apply_mu_.
+  void persist_checkpoint_locked();
 
   const std::string name_;
   const Index max_queued_batches_;
+  const SessionPersist persist_;
 
   mutable std::mutex admit_mu_;  ///< guards pending_ + closed_
   Index pending_ = 0;            ///< commits queued or applying
@@ -142,6 +195,7 @@ class Session {
   DynamicSparsifier dyn_;
   std::vector<std::string> journal_;
   Index commits_ = 0;
+  std::ofstream journal_file_;  ///< append handle, opened lazily
 };
 
 /// Builds a session graph from `source`: a Matrix Market path, or a
@@ -178,6 +232,9 @@ class SessionManager {
   [[nodiscard]] std::shared_ptr<Session> attach(const std::string& name) const;
 
   /// Closes and removes a session (live attachments see "closed" errors).
+  /// With persistence on, this is the *explicit teardown* path: the
+  /// session's journal and checkpoint files are deleted — a client-closed
+  /// session does not resurrect on the next start.
   void close(const std::string& name);
 
   /// Open session names, sorted.
@@ -186,9 +243,20 @@ class SessionManager {
   [[nodiscard]] Index size() const;
 
   /// Closes every session (shutdown path) — blocks on in-flight commits.
+  /// On-disk state is kept (each close writes a final checkpoint), so
+  /// the next start restores every session warm.
   void close_all();
 
+  /// Restores every session persisted in `state_dir` (no-op when
+  /// persistence is off or the directory is empty). Returns the restored
+  /// names. Call before serving traffic; throws on corrupt state files
+  /// (SspbError / JournalParseError name the exact offset or line).
+  std::vector<std::string> restore_all();
+
  private:
+  /// Persistence wiring for `name` (empty paths when state_dir is unset).
+  [[nodiscard]] SessionPersist persist_for(const std::string& name) const;
+
   const ServeOptions opts_;
   mutable std::mutex mu_;
   /// nullptr value = name reserved by an in-progress open.

@@ -1,0 +1,90 @@
+#include "serve/session_store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ssp::serve {
+
+namespace {
+
+constexpr const char* kJournalExt = ".journal";
+constexpr const char* kCheckpointExt = ".sspc";
+constexpr const char* kSourcePrefix = "% source ";
+
+}  // namespace
+
+std::string session_journal_path(const std::string& state_dir,
+                                 const std::string& name) {
+  return (std::filesystem::path(state_dir) / (name + kJournalExt)).string();
+}
+
+std::string session_checkpoint_path(const std::string& state_dir,
+                                    const std::string& name) {
+  return (std::filesystem::path(state_dir) / (name + kCheckpointExt))
+      .string();
+}
+
+void create_session_journal(const std::string& path,
+                            const std::string& source) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("serve: cannot create journal '" + path + "'");
+  }
+  out << "% ssp-serve session journal v1\n";
+  out << kSourcePrefix << source << "\n";
+  if (!out.flush()) {
+    throw std::runtime_error("serve: short write to journal '" + path + "'");
+  }
+}
+
+StoredSession read_stored_session(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("serve: cannot open journal '" + path + "'");
+  }
+  StoredSession stored;
+  // Pass 1: pull the source header and keep only lines up to the last
+  // `commit` — anything after it is a batch the dying process never
+  // applied (torn append), so replaying it would overshoot.
+  std::vector<std::string> lines;
+  std::string line;
+  std::size_t last_commit_end = 0;
+  bool have_source = false;
+  while (std::getline(in, line)) {
+    if (!have_source && line.rfind(kSourcePrefix, 0) == 0) {
+      stored.source = line.substr(std::string(kSourcePrefix).size());
+      have_source = true;
+      continue;
+    }
+    lines.push_back(line);
+    if (line == "commit") last_commit_end = lines.size();
+  }
+  if (!have_source || stored.source.empty()) {
+    throw std::runtime_error("serve: journal '" + path +
+                             "' has no '% source <graph>' header line");
+  }
+  lines.resize(last_commit_end);
+  std::ostringstream committed;
+  for (const std::string& l : lines) committed << l << '\n';
+  std::istringstream replay(committed.str());
+  stored.batches = parse_update_journal(replay);
+  return stored;
+}
+
+std::vector<std::string> list_stored_sessions(const std::string& state_dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(state_dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::filesystem::path& p = entry.path();
+    if (p.extension() == kJournalExt) names.push_back(p.stem().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace ssp::serve

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file session_store.hpp
+/// On-disk layout of persisted serving sessions. With a state directory
+/// configured (`ServeOptions::state_dir`), each session `<name>` owns:
+///
+///   * `<name>.journal` — the committed op journal as plain text: a
+///     comment header carrying the graph source, then exactly the lines
+///     `Session::journal_lines()` reports. Because the header lines are
+///     `%` comments, the file doubles as a valid `ssp_sparsify
+///     --update-file` input — the offline replay story and the restart
+///     story are the same file.
+///   * `<name>.sspc` — the latest sparsifier checkpoint
+///     (storage/checkpoint.hpp), written every `checkpoint_every`
+///     commits and on graceful close.
+///
+/// Restart: `read_stored_session` parses the header and the batches
+/// **up to the last `commit` line** — a batch torn by a crash mid-append
+/// is ignored, matching what the dying process actually applied. The
+/// session manager then fast-forwards the graph to the checkpoint
+/// (`apply_batch_to_graph`), restores the sparsifier without re-running
+/// it, and replays only the journal tail through full applies.
+
+#include <string>
+#include <vector>
+
+#include "dynamic/update_journal.hpp"
+
+namespace ssp::serve {
+
+/// `<dir>/<name>.journal`.
+[[nodiscard]] std::string session_journal_path(const std::string& state_dir,
+                                               const std::string& name);
+
+/// `<dir>/<name>.sspc`.
+[[nodiscard]] std::string session_checkpoint_path(const std::string& state_dir,
+                                                  const std::string& name);
+
+/// Creates (truncating) a journal file holding only the comment header:
+/// the format tag and the session's graph source. Throws
+/// std::runtime_error on I/O failure.
+void create_session_journal(const std::string& path,
+                            const std::string& source);
+
+/// A parsed on-disk session journal.
+struct StoredSession {
+  std::string source;  ///< graph source from the `% source` header line
+  /// Committed batches, in order. Trailing ops past the last `commit`
+  /// line (a torn append) are dropped, not replayed.
+  std::vector<JournalBatch> batches;
+};
+
+/// Reads and parses `<path>`. Throws std::runtime_error when the file
+/// cannot be opened or carries no `% source` header, JournalParseError
+/// on malformed committed lines.
+[[nodiscard]] StoredSession read_stored_session(const std::string& path);
+
+/// Session names with a `<name>.journal` file in `state_dir`, sorted.
+/// A missing or unreadable directory yields an empty list (first boot).
+[[nodiscard]] std::vector<std::string> list_stored_sessions(
+    const std::string& state_dir);
+
+}  // namespace ssp::serve

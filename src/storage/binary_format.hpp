@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file binary_format.hpp
+/// The `.sspb` on-disk graph format (version 1) — the zero-copy storage
+/// layer behind `storage::MappedGraph` and the `ssp_convert` tool.
+///
+/// Layout (all integers little-endian, sections 8-byte aligned, fixed
+/// order; every offset is derivable from (n, m) alone):
+///
+/// ```
+/// offset  size        field
+///      0  4           magic "SSPB"
+///      4  u32         version (currently 1)
+///      8  i64         n — vertex count
+///     16  i64         m — edge count
+///     24  u64         file_bytes — total file size (truncation check)
+///     32  i32 × m     edge_u          ┐
+///     ..  i32 × m     edge_v          │ SoA edge list, id order
+///     ..  f64 × m     edge_w          ┘
+///     ..  i64 × (n+1) adj_ptr         ┐
+///     ..  i32 × 2m    adj_nbr         │ CSR adjacency — exactly the
+///     ..  i64 × 2m    adj_eid         │ arrays Graph::finalize() builds
+///     ..  f64 × 2m    adj_w           ┘
+///     ..  f64 × n     weighted_degree
+/// ```
+///
+/// The CSR sections are byte-identical to the heap `Graph`'s private
+/// arrays for the same edge list, so a `GraphView` over the mapping and a
+/// materialized heap copy are indistinguishable to every consumer.
+///
+/// Error contract (the `JournalParseError` precedent, carried to binary
+/// files): every validation failure throws `SspbError` naming the file,
+/// the absolute byte offset, and the field being read — wrong magic,
+/// unsupported version, negative or overflowing counts, and truncation
+/// are all diagnosed precisely, never UB or silent garbage.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace ssp::storage {
+
+/// "SSPB" as a little-endian u32 (B,P,S,S bytes ascending).
+inline constexpr std::uint32_t kSspbMagic = 0x42505353u;
+inline constexpr std::uint32_t kSspbVersion = 1;
+inline constexpr std::uint64_t kSspbHeaderBytes = 32;
+
+/// Malformed / truncated `.sspb` (or checkpoint) file: names the path,
+/// the absolute byte offset of the problem, and the field being decoded.
+class SspbError : public std::runtime_error {
+ public:
+  SspbError(const std::string& path, std::uint64_t byte_offset,
+            const std::string& field, const std::string& what)
+      : std::runtime_error("sspb: " + path + ": byte " +
+                           std::to_string(byte_offset) + " (field '" + field +
+                           "'): " + what),
+        byte_offset_(byte_offset),
+        field_(field) {}
+
+  [[nodiscard]] std::uint64_t byte_offset() const { return byte_offset_; }
+  [[nodiscard]] const std::string& field() const { return field_; }
+
+ private:
+  std::uint64_t byte_offset_;
+  std::string field_;
+};
+
+/// Byte offsets of every section for a graph with `n` vertices and `m`
+/// edges. Sections are 8-byte aligned (i32 sections are padded out).
+struct SspbLayout {
+  std::uint64_t edge_u = 0;
+  std::uint64_t edge_v = 0;
+  std::uint64_t edge_w = 0;
+  std::uint64_t adj_ptr = 0;
+  std::uint64_t adj_nbr = 0;
+  std::uint64_t adj_eid = 0;
+  std::uint64_t adj_w = 0;
+  std::uint64_t weighted_degree = 0;
+  std::uint64_t file_bytes = 0;
+};
+
+[[nodiscard]] constexpr std::uint64_t sspb_align8(std::uint64_t x) {
+  return (x + 7) & ~std::uint64_t{7};
+}
+
+[[nodiscard]] constexpr SspbLayout sspb_layout(Index n, EdgeId m) {
+  const auto un = static_cast<std::uint64_t>(n);
+  const auto um = static_cast<std::uint64_t>(m);
+  SspbLayout lo;
+  lo.edge_u = kSspbHeaderBytes;
+  lo.edge_v = lo.edge_u + sspb_align8(um * 4);
+  lo.edge_w = lo.edge_v + sspb_align8(um * 4);
+  lo.adj_ptr = lo.edge_w + um * 8;
+  lo.adj_nbr = lo.adj_ptr + (un + 1) * 8;
+  lo.adj_eid = lo.adj_nbr + sspb_align8(2 * um * 4);
+  lo.adj_w = lo.adj_eid + 2 * um * 8;
+  lo.weighted_degree = lo.adj_w + 2 * um * 8;
+  lo.file_bytes = lo.weighted_degree + un * 8;
+  return lo;
+}
+
+}  // namespace ssp::storage

@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file checkpoint.hpp
+/// Sparsifier-state checkpoint files (`.sspc`): the serialized form of a
+/// `DynamicRestoreState` plus the journal position it corresponds to.
+/// A serving session periodically saves one next to its journal; on
+/// restart the daemon loads the snapshot, replays only the journal tail
+/// past `commits`, and resumes **bit-identical** to a never-restarted
+/// process (tests/test_storage.cpp and the serve restart smoke prove it).
+///
+/// Writes are atomic: the payload goes to `<path>.tmp` and is renamed
+/// over `path`, so a crash mid-checkpoint leaves the previous checkpoint
+/// intact, never a torn file. Reads validate every field and throw
+/// `SspbError` naming the byte offset and field on any corruption —
+/// the same error contract as the `.sspb` graph format.
+///
+/// Layout (version 1, little-endian, after the 8-byte magic+version):
+///
+/// ```
+/// offset  size   field
+///      0  u32    magic "SSPC"
+///      4  u32    version (currently 1)
+///      8  u64    commits — journal batches covered by this snapshot
+///     16  i64    n, 24 i64 m — graph shape at the checkpointed batch
+///     32  i64    tree_count, 40 i64 offtree_count, 48 i64 history_count
+///     56  f64    lambda_min, 64 f64 lambda_max, 72 f64 sigma2_estimate
+///     80  u32    reached_target, 84 u32 status (terminal StepStatus)
+///     88  i64 × tree_count      backbone tree edge ids (rooted order)
+///     ..  i64 × offtree_count   accepted off-tree ids (acceptance order)
+///     ..  144 × history_count   UpdateStats records (18 × 8-byte fields)
+/// ```
+
+#include <cstdint>
+#include <string>
+
+#include "dynamic/dynamic_sparsifier.hpp"
+#include "storage/binary_format.hpp"
+
+namespace ssp::storage {
+
+/// "SSPC" as a little-endian u32 (C,P,S,S bytes ascending).
+inline constexpr std::uint32_t kSspcMagic = 0x43505353u;
+inline constexpr std::uint32_t kSspcVersion = 1;
+
+/// A restorable sparsifier snapshot tied to a journal position.
+struct SparsifierCheckpoint {
+  /// Committed journal batches this snapshot covers: replay resumes at
+  /// batch `commits` (0-based) of the journal file.
+  std::uint64_t commits = 0;
+  DynamicRestoreState state;
+};
+
+/// Serializes `ckpt` to `path` atomically (`<path>.tmp` + rename).
+/// Throws std::runtime_error on I/O failure.
+void save_checkpoint(const std::string& path,
+                     const SparsifierCheckpoint& ckpt);
+
+/// Loads and fully validates a checkpoint. Throws `SspbError` (with byte
+/// offset and field name) on wrong magic, unsupported version, negative
+/// or inconsistent counts, out-of-range enums, or truncation;
+/// std::runtime_error when the file cannot be opened.
+[[nodiscard]] SparsifierCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace ssp::storage

@@ -1,0 +1,205 @@
+#include "storage/mapped_graph.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/assert.hpp"
+
+// The format is defined little-endian; the library targets little-endian
+// hosts only (x86-64 / AArch64), so reads are plain loads.
+static_assert(std::endian::native == std::endian::little,
+              ".sspb I/O requires a little-endian host");
+
+namespace ssp::storage {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& path, const char* what) {
+  throw std::runtime_error("sspb: " + path + ": " + what + ": " +
+                           std::strerror(errno));
+}
+
+}  // namespace
+
+MappedGraph::MappedGraph(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) sys_fail(path, "cannot open");
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    sys_fail(path, "cannot stat");
+  }
+  const auto actual_bytes = static_cast<std::uint64_t>(st.st_size);
+  if (actual_bytes < kSspbHeaderBytes) {
+    ::close(fd);
+    throw SspbError(path, actual_bytes, "header",
+                    "file is " + std::to_string(actual_bytes) +
+                        " bytes — shorter than the " +
+                        std::to_string(kSspbHeaderBytes) + "-byte header");
+  }
+  void* base =
+      ::mmap(nullptr, actual_bytes, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (base == MAP_FAILED) sys_fail(path, "cannot mmap");
+  base_ = base;
+  bytes_ = actual_bytes;
+
+  // Header validation — every failure names the byte offset and field.
+  const auto* u32 = section<std::uint32_t>(0);
+  if (u32[0] != kSspbMagic) {
+    throw SspbError(path, 0, "magic",
+                    "expected \"SSPB\", found bytes 0x" + [&] {
+                      char buf[9];
+                      std::snprintf(buf, sizeof(buf), "%08x", u32[0]);
+                      return std::string(buf);
+                    }());
+  }
+  if (u32[1] != kSspbVersion) {
+    throw SspbError(path, 4, "version",
+                    "unsupported version " + std::to_string(u32[1]) +
+                        " (this build reads version " +
+                        std::to_string(kSspbVersion) + ")");
+  }
+  const auto* i64 = section<std::int64_t>(8);
+  const std::int64_t n = i64[0];
+  const std::int64_t m = i64[1];
+  if (n < 0 || n > std::int64_t{0x7fffffff}) {
+    throw SspbError(path, 8, "n",
+                    "vertex count " + std::to_string(n) +
+                        " out of range [0, 2^31)");
+  }
+  if (m < 0) {
+    throw SspbError(path, 16, "m",
+                    "edge count " + std::to_string(m) + " is negative");
+  }
+  const auto declared_bytes = *section<std::uint64_t>(24);
+  const SspbLayout layout = sspb_layout(static_cast<Index>(n), m);
+  if (declared_bytes != layout.file_bytes) {
+    throw SspbError(path, 24, "file_bytes",
+                    "header declares " + std::to_string(declared_bytes) +
+                        " bytes but n=" + std::to_string(n) +
+                        ", m=" + std::to_string(m) + " requires " +
+                        std::to_string(layout.file_bytes));
+  }
+  if (actual_bytes != layout.file_bytes) {
+    // Truncation (or trailing garbage): name the first missing section.
+    const char* field = "file";
+    std::uint64_t at = actual_bytes;
+    if (actual_bytes < layout.file_bytes) {
+      struct SectionEnd {
+        std::uint64_t begin;
+        const char* name;
+      };
+      const SectionEnd sections[] = {
+          {layout.edge_u, "edge_u"},   {layout.edge_v, "edge_v"},
+          {layout.edge_w, "edge_w"},   {layout.adj_ptr, "adj_ptr"},
+          {layout.adj_nbr, "adj_nbr"}, {layout.adj_eid, "adj_eid"},
+          {layout.adj_w, "adj_w"},     {layout.weighted_degree,
+                                        "weighted_degree"},
+      };
+      for (const auto& s : sections) {
+        if (actual_bytes > s.begin) field = s.name;
+      }
+    }
+    throw SspbError(path, at, field,
+                    "file is " + std::to_string(actual_bytes) +
+                        " bytes, expected " +
+                        std::to_string(layout.file_bytes) +
+                        (actual_bytes < layout.file_bytes ? " — truncated"
+                                                          : " — oversized"));
+  }
+  n_ = static_cast<Vertex>(n);
+  m_ = m;
+  layout_ = layout;
+
+  // Structural spot-checks so a corrupt CSR can never index out of the
+  // mapping: the row pointer array must start at 0, end at 2m, and be
+  // monotone.
+  const auto* adj_ptr = section<Index>(layout_.adj_ptr);
+  if (m_ > 0 || n_ > 0) {
+    if (adj_ptr[0] != 0) {
+      throw SspbError(path, layout_.adj_ptr, "adj_ptr",
+                      "adj_ptr[0] = " + std::to_string(adj_ptr[0]) +
+                          ", expected 0");
+    }
+    if (adj_ptr[n_] != 2 * m_) {
+      throw SspbError(path,
+                      layout_.adj_ptr + static_cast<std::uint64_t>(n_) * 8,
+                      "adj_ptr",
+                      "adj_ptr[n] = " + std::to_string(adj_ptr[n_]) +
+                          ", expected 2m = " + std::to_string(2 * m_));
+    }
+    for (Vertex v = 0; v < n_; ++v) {
+      if (adj_ptr[v] > adj_ptr[v + 1]) {
+        throw SspbError(
+            path, layout_.adj_ptr + static_cast<std::uint64_t>(v) * 8,
+            "adj_ptr",
+            "row pointers not monotone at vertex " + std::to_string(v));
+      }
+    }
+  }
+}
+
+MappedGraph::~MappedGraph() { unmap(); }
+
+MappedGraph::MappedGraph(MappedGraph&& other) noexcept
+    : path_(std::move(other.path_)),
+      base_(other.base_),
+      bytes_(other.bytes_),
+      n_(other.n_),
+      m_(other.m_),
+      layout_(other.layout_) {
+  other.base_ = nullptr;
+  other.bytes_ = 0;
+}
+
+MappedGraph& MappedGraph::operator=(MappedGraph&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    path_ = std::move(other.path_);
+    base_ = other.base_;
+    bytes_ = other.bytes_;
+    n_ = other.n_;
+    m_ = other.m_;
+    layout_ = other.layout_;
+    other.base_ = nullptr;
+    other.bytes_ = 0;
+  }
+  return *this;
+}
+
+void MappedGraph::unmap() noexcept {
+  if (base_ != nullptr) {
+    ::munmap(base_, bytes_);
+    base_ = nullptr;
+    bytes_ = 0;
+  }
+}
+
+GraphView MappedGraph::view() const {
+  SSP_REQUIRE(base_ != nullptr, "MappedGraph: moved-from");
+  return GraphView::from_parts(
+      n_, m_, section<Vertex>(layout_.edge_u), section<Vertex>(layout_.edge_v),
+      section<double>(layout_.edge_w), section<Index>(layout_.adj_ptr),
+      section<Vertex>(layout_.adj_nbr), section<EdgeId>(layout_.adj_eid),
+      section<double>(layout_.adj_w), section<double>(layout_.weighted_degree));
+}
+
+void MappedGraph::release_pages() const {
+  if (base_ == nullptr || bytes_ == 0) return;
+  // Best-effort: a failing madvise only costs RSS, never correctness.
+  ::madvise(base_, bytes_, MADV_DONTNEED);
+}
+
+}  // namespace ssp::storage

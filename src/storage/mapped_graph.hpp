@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file mapped_graph.hpp
+/// mmap-backed read path of the `.sspb` format: `MappedGraph` opens a
+/// converted graph file, validates the header and section bounds (every
+/// failure names the byte offset and field — see binary_format.hpp), and
+/// exposes the file's edge list + CSR adjacency as a zero-copy
+/// `GraphView`. Pages fault in on demand and are dropped again with
+/// `release_pages()`, so repeated scans of a graph much larger than the
+/// resident-memory budget never accumulate RSS — the mechanism behind the
+/// out-of-core scale layer (scale/hierarchical_sparsifier.hpp) and
+/// `bench_outofcore`.
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/graph_view.hpp"
+#include "storage/binary_format.hpp"
+
+namespace ssp::storage {
+
+class MappedGraph {
+ public:
+  /// Opens and maps `path` read-only, validating magic, version, counts,
+  /// and the total size against the header. Throws `SspbError` on any
+  /// malformed or truncated file, std::runtime_error when the file cannot
+  /// be opened or mapped.
+  explicit MappedGraph(const std::string& path);
+
+  ~MappedGraph();
+
+  MappedGraph(MappedGraph&& other) noexcept;
+  MappedGraph& operator=(MappedGraph&& other) noexcept;
+  MappedGraph(const MappedGraph&) = delete;
+  MappedGraph& operator=(const MappedGraph&) = delete;
+
+  [[nodiscard]] Vertex num_vertices() const { return n_; }
+  [[nodiscard]] EdgeId num_edges() const { return m_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t file_bytes() const { return bytes_; }
+
+  /// Zero-copy view over the mapped sections. Valid while the
+  /// `MappedGraph` is alive (release_pages() does not invalidate it —
+  /// dropped pages fault back in on the next access).
+  [[nodiscard]] GraphView view() const;
+
+  /// Deep-copies the file into a finalized heap `Graph` (bit-identical
+  /// edge list; finalize() rebuilds the same CSR arrays the file holds).
+  [[nodiscard]] Graph materialize() const { return view().materialize(); }
+
+  /// Advises the kernel to drop the mapping's resident pages
+  /// (MADV_DONTNEED). Scans after a release re-fault pages on demand;
+  /// calling this between out-of-core blocks keeps peak RSS bounded by
+  /// one block's working set instead of the whole file.
+  void release_pages() const;
+
+ private:
+  void unmap() noexcept;
+  template <typename T>
+  [[nodiscard]] const T* section(std::uint64_t offset) const {
+    return reinterpret_cast<const T*>(static_cast<const char*>(base_) +
+                                      offset);
+  }
+
+  std::string path_;
+  void* base_ = nullptr;
+  std::uint64_t bytes_ = 0;
+  Vertex n_ = 0;
+  EdgeId m_ = 0;
+  SspbLayout layout_{};
+};
+
+}  // namespace ssp::storage

@@ -1,0 +1,385 @@
+#include "storage/sspb_io.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "storage/binary_format.hpp"
+#include "util/assert.hpp"
+#include "util/union_find.hpp"
+
+static_assert(std::endian::native == std::endian::little,
+              ".sspb I/O requires a little-endian host");
+
+namespace ssp::storage {
+
+namespace {
+
+[[noreturn]] void sys_fail(const std::string& path, const char* what) {
+  throw std::runtime_error("sspb: " + path + ": " + what + ": " +
+                           std::strerror(errno));
+}
+
+/// Read-write mapping of a freshly created output file, sized up front.
+/// ftruncate zero-fills, so counting passes can accumulate directly into
+/// the mapped sections. The header (and with it the magic) is written
+/// last, so a crash mid-write leaves a file the MappedGraph validator
+/// rejects at byte 0 instead of a silently short graph.
+class MappedOutput {
+ public:
+  MappedOutput(const std::string& path, std::uint64_t bytes)
+      : path_(path), bytes_(bytes) {
+    const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) sys_fail(path, "cannot create");
+    if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      sys_fail(path, "cannot size");
+    }
+    base_ = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (base_ == MAP_FAILED) {
+      base_ = nullptr;
+      sys_fail(path, "cannot mmap for writing");
+    }
+  }
+
+  ~MappedOutput() {
+    if (base_ != nullptr) ::munmap(base_, bytes_);
+  }
+
+  MappedOutput(const MappedOutput&) = delete;
+  MappedOutput& operator=(const MappedOutput&) = delete;
+
+  template <typename T>
+  [[nodiscard]] T* section(std::uint64_t offset) const {
+    return reinterpret_cast<T*>(static_cast<char*>(base_) + offset);
+  }
+
+  /// Writes the 32-byte header. Call once all sections are in place.
+  void write_header(Index n, EdgeId m) const {
+    auto* u32 = section<std::uint32_t>(0);
+    u32[0] = kSspbMagic;
+    u32[1] = kSspbVersion;
+    auto* i64 = section<std::int64_t>(8);
+    i64[0] = n;
+    i64[1] = m;
+    *section<std::uint64_t>(24) = bytes_;
+  }
+
+  /// Flushes the mapping to the file and checks for write-back errors so
+  /// a full disk surfaces as an exception, not a corrupt file.
+  void sync() const {
+    if (::msync(base_, bytes_, MS_SYNC) != 0) sys_fail(path_, "cannot sync");
+  }
+
+ private:
+  std::string path_;
+  std::uint64_t bytes_;
+  void* base_ = nullptr;
+};
+
+/// Fills every section after the header from the edge list `(u, v, w)[i]`
+/// (accessed through `edge_at`), rebuilding the CSR adjacency exactly as
+/// `Graph::finalize()` does: counting sort per endpoint, then `(u → v)`
+/// followed by `(v → u)` per edge in id order, then weighted degrees
+/// accumulated in the same order. All 2m-entry arrays are written
+/// directly into the mapping; the only heap scratch is the O(n) slot
+/// array.
+template <typename EdgeAt>
+void fill_sections(const MappedOutput& out, const SspbLayout& lo, Index n,
+                   EdgeId m, EdgeAt&& edge_at) {
+  auto* edge_u = out.section<Vertex>(lo.edge_u);
+  auto* edge_v = out.section<Vertex>(lo.edge_v);
+  auto* edge_w = out.section<double>(lo.edge_w);
+  auto* adj_ptr = out.section<Index>(lo.adj_ptr);
+  auto* adj_nbr = out.section<Vertex>(lo.adj_nbr);
+  auto* adj_eid = out.section<EdgeId>(lo.adj_eid);
+  auto* adj_w = out.section<double>(lo.adj_w);
+  auto* wdeg = out.section<double>(lo.weighted_degree);
+
+  // Pass 1: edge SoA + per-endpoint counts (adj_ptr starts zero-filled).
+  for (EdgeId id = 0; id < m; ++id) {
+    const Edge e = edge_at(id);
+    edge_u[id] = e.u;
+    edge_v[id] = e.v;
+    edge_w[id] = e.weight;
+    ++adj_ptr[static_cast<std::size_t>(e.u) + 1];
+    ++adj_ptr[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (Index i = 0; i < n; ++i) {
+    adj_ptr[static_cast<std::size_t>(i) + 1] +=
+        adj_ptr[static_cast<std::size_t>(i)];
+  }
+
+  // Pass 2: scatter the directed entries in finalize()'s order.
+  std::vector<Index> slot(adj_ptr, adj_ptr + n);
+  for (EdgeId id = 0; id < m; ++id) {
+    const Vertex u = edge_u[id];
+    const Vertex v = edge_v[id];
+    const double w = edge_w[id];
+    const auto put = [&](Vertex from, Vertex to) {
+      const auto pos =
+          static_cast<std::size_t>(slot[static_cast<std::size_t>(from)]++);
+      adj_nbr[pos] = to;
+      adj_eid[pos] = id;
+      adj_w[pos] = w;
+    };
+    put(u, v);
+    put(v, u);
+    wdeg[static_cast<std::size_t>(u)] += w;
+    wdeg[static_cast<std::size_t>(v)] += w;
+  }
+}
+
+// ---- streaming Matrix Market conversion ---------------------------------
+
+std::string to_lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+[[noreturn]] void mtx_fail(const std::string& msg) {
+  throw std::runtime_error("matrix market: " + msg);
+}
+
+struct MtxHeader {
+  bool pattern = false;
+  bool symmetric = false;
+  bool skew = false;
+};
+
+// Mirrors mtx_io.cpp's parse_header, including its error messages, so a
+// file rejected by load_graph_mtx is rejected here with the same text.
+MtxHeader parse_mtx_header(const std::string& line) {
+  std::istringstream is(line);
+  std::string banner, object, format, field, symmetry;
+  is >> banner >> object >> format >> field >> symmetry;
+  if (to_lower(banner) != "%%matrixmarket") {
+    mtx_fail("missing %%MatrixMarket banner");
+  }
+  if (to_lower(object) != "matrix") mtx_fail("only 'matrix' objects supported");
+  if (to_lower(format) != "coordinate") {
+    mtx_fail("only 'coordinate' format supported");
+  }
+  MtxHeader h;
+  const std::string f = to_lower(field);
+  if (f == "pattern") {
+    h.pattern = true;
+  } else if (f != "real" && f != "integer") {
+    mtx_fail("unsupported field type '" + field + "'");
+  }
+  const std::string s = to_lower(symmetry);
+  if (s == "symmetric") {
+    h.symmetric = true;
+  } else if (s == "skew-symmetric") {
+    h.symmetric = true;
+    h.skew = true;
+  } else if (s != "general") {
+    mtx_fail("unsupported symmetry '" + symmetry + "'");
+  }
+  return h;
+}
+
+/// One directed stored entry, 0-based. 16 bytes — the whole transient
+/// footprint of a conversion is one vector of these plus O(n) arrays.
+struct Entry {
+  Vertex row;
+  Vertex col;
+  double value;
+};
+static_assert(sizeof(Entry) == 16);
+
+}  // namespace
+
+void write_sspb(const std::string& path, const GraphView& g) {
+  const Index n = g.num_vertices();
+  const EdgeId m = g.num_edges();
+  const SspbLayout lo = sspb_layout(n, m);
+  MappedOutput out(path, lo.file_bytes);
+  fill_sections(out, lo, n, m, [&](EdgeId id) { return g.edge(id); });
+  out.write_header(n, m);
+  out.sync();
+}
+
+ConvertStats convert_mtx_to_sspb(const std::string& mtx_path,
+                                 const std::string& out_path) {
+  std::ifstream in(mtx_path);
+  if (!in) throw std::runtime_error("cannot open '" + mtx_path + "'");
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("empty file");
+  const MtxHeader h = parse_mtx_header(line);
+
+  // Skip comments / blanks to the size line.
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '%') continue;
+    break;
+  }
+  std::istringstream sizes(line);
+  Index rows = 0, cols = 0, nnz = 0;
+  if (!(sizes >> rows >> cols >> nnz)) mtx_fail("malformed size line");
+  if (rows < 0 || cols < 0 || nnz < 0) mtx_fail("negative sizes");
+  SSP_REQUIRE(rows == cols, "graph_from_matrix: matrix not square");
+  SSP_REQUIRE(rows <= Index{0x7fffffff},
+              "convert_mtx_to_sspb: vertex count exceeds 2^31");
+
+  // Stream the entries into packed triplets (plus the symmetric/skew
+  // mirrors read_matrix_market would synthesize). Diagonal entries ride
+  // along so the §4 finite check below sees them, exactly like the
+  // in-core path, and are dropped afterwards.
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<std::size_t>(h.symmetric ? 2 * nnz : nnz));
+  Index seen = 0;
+  while (seen < nnz) {
+    if (!std::getline(in, line)) mtx_fail("unexpected end of data");
+    if (line.empty() || line[0] == '%') continue;
+    std::istringstream es(line);
+    Index r = 0, c = 0;
+    double v = 1.0;
+    if (!(es >> r >> c)) mtx_fail("malformed entry line");
+    if (!h.pattern && !(es >> v)) mtx_fail("missing value");
+    if (r < 1 || r > rows || c < 1 || c > cols) {
+      mtx_fail("entry index out of range");
+    }
+    entries.push_back({static_cast<Vertex>(r - 1), static_cast<Vertex>(c - 1),
+                       v});
+    if (h.symmetric && r != c) {
+      entries.push_back({static_cast<Vertex>(c - 1),
+                         static_cast<Vertex>(r - 1), h.skew ? -v : v});
+    }
+    ++seen;
+  }
+  in.close();
+
+  // One sort groups everything the in-core pipeline needs: duplicates of
+  // the same directed (row, col) become adjacent (from_triplets sums
+  // them), and the two orientations of a pair become adjacent under the
+  // (lo, hi) major key (graph_from_matrix's §4 rule takes the max
+  // magnitude across them). Ordering by (lo, hi) is also exactly the
+  // coalesced edge order load_graph_mtx produces via std::map.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              const auto la = std::minmax(a.row, a.col);
+              const auto lb = std::minmax(b.row, b.col);
+              if (la != lb) return la < lb;
+              return a.row < b.row;
+            });
+
+  // Collapse each (lo, hi) group to one undirected edge, compacted into
+  // the prefix of `entries` (the write position never overtakes the read
+  // position, so the compaction is in place).
+  EdgeId me = 0;
+  std::size_t i = 0;
+  while (i < entries.size()) {
+    const std::pair<Vertex, Vertex> key =
+        std::minmax(entries[i].row, entries[i].col);
+    double magnitude = 0.0;
+    while (i < entries.size() &&
+           std::pair<Vertex, Vertex>(std::minmax(
+               entries[i].row, entries[i].col)) == key) {
+      // Sum duplicates of the same directed coordinate, then apply the
+      // §4 finite check and magnitude rule to the sum — the same value
+      // from_triplets would hand graph_from_matrix.
+      const Vertex r = entries[i].row;
+      const Vertex c = entries[i].col;
+      double sum = 0.0;
+      while (i < entries.size() && entries[i].row == r &&
+             entries[i].col == c) {
+        sum += entries[i].value;
+        ++i;
+      }
+      SSP_REQUIRE(std::isfinite(sum),
+                  "graph_from_matrix: non-finite entry at (" +
+                      std::to_string(r + 1) + ", " + std::to_string(c + 1) +
+                      ") — cannot convert to an edge weight");
+      magnitude = std::max(magnitude, std::abs(sum));
+    }
+    if (key.first == key.second) continue;  // self-loops discarded
+    if (magnitude <= 0.0) continue;         // explicit zeros are non-edges
+    entries[static_cast<std::size_t>(me)] = {
+        key.first, key.second, h.pattern ? 1.0 : magnitude};
+    ++me;
+  }
+  entries.resize(static_cast<std::size_t>(me));
+  if (me == 0) {
+    throw std::runtime_error(
+        "matrix market: '" + mtx_path +
+        "' contains no usable off-diagonal entries — the §4 conversion "
+        "produced an edgeless graph");
+  }
+
+  // Largest connected component, replicating largest_component()'s
+  // choices bit for bit: component labels in ascending first-vertex
+  // order, first label of maximal size wins, and the surviving vertices
+  // keep their relative order — so the (lo, hi)-sorted edge order above
+  // survives the relabeling unchanged.
+  UnionFind uf(rows);
+  for (EdgeId e = 0; e < me; ++e) {
+    uf.unite(entries[static_cast<std::size_t>(e)].row,
+             entries[static_cast<std::size_t>(e)].col);
+  }
+  std::vector<Vertex> comp_of_root(static_cast<std::size_t>(rows), -1);
+  std::vector<Index> comp_size;
+  for (Index v = 0; v < rows; ++v) {
+    const auto root = static_cast<std::size_t>(uf.find(v));
+    if (comp_of_root[root] < 0) {
+      comp_of_root[root] = static_cast<Vertex>(comp_size.size());
+      comp_size.push_back(0);
+    }
+    ++comp_size[static_cast<std::size_t>(comp_of_root[root])];
+  }
+  const auto best = static_cast<Vertex>(std::distance(
+      comp_size.begin(),
+      std::max_element(comp_size.begin(), comp_size.end())));
+
+  std::vector<Vertex> old_to_new(static_cast<std::size_t>(rows), -1);
+  Vertex kept_n = 0;
+  for (Index v = 0; v < rows; ++v) {
+    if (comp_of_root[static_cast<std::size_t>(uf.find(v))] == best) {
+      old_to_new[static_cast<std::size_t>(v)] = kept_n++;
+    }
+  }
+  EdgeId kept_m = 0;
+  for (EdgeId e = 0; e < me; ++e) {
+    auto& t = entries[static_cast<std::size_t>(e)];
+    const Vertex nu = old_to_new[static_cast<std::size_t>(t.row)];
+    if (nu < 0) continue;  // both endpoints share a component
+    entries[static_cast<std::size_t>(kept_m)] = {
+        nu, old_to_new[static_cast<std::size_t>(t.col)], t.value};
+    ++kept_m;
+  }
+
+  const SspbLayout lo = sspb_layout(kept_n, kept_m);
+  MappedOutput out(out_path, lo.file_bytes);
+  fill_sections(out, lo, kept_n, kept_m, [&](EdgeId id) {
+    const Entry& t = entries[static_cast<std::size_t>(id)];
+    return Edge{t.row, t.col, t.value};
+  });
+  out.write_header(kept_n, kept_m);
+  out.sync();
+
+  ConvertStats stats;
+  stats.vertices = kept_n;
+  stats.edges = kept_m;
+  stats.dropped_vertices = static_cast<Vertex>(rows) - kept_n;
+  stats.dropped_edges = me - kept_m;
+  stats.file_bytes = lo.file_bytes;
+  return stats;
+}
+
+}  // namespace ssp::storage

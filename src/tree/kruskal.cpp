@@ -11,14 +11,13 @@ namespace ssp {
 
 namespace {
 
-SpanningTree kruskal(const Graph& g, Vertex root, bool maximize) {
+std::vector<EdgeId> kruskal_edges(const GraphView& g, bool maximize) {
   SSP_REQUIRE(g.num_vertices() >= 1, "kruskal: empty graph");
   std::vector<EdgeId> ids(static_cast<std::size_t>(g.num_edges()));
   std::iota(ids.begin(), ids.end(), EdgeId{0});
-  const auto edges = g.edges();
   std::stable_sort(ids.begin(), ids.end(), [&](EdgeId a, EdgeId b) {
-    const double wa = edges[static_cast<std::size_t>(a)].weight;
-    const double wb = edges[static_cast<std::size_t>(b)].weight;
+    const double wa = g.edge(a).weight;
+    const double wb = g.edge(b).weight;
     return maximize ? wa > wb : wa < wb;
   });
 
@@ -26,7 +25,7 @@ SpanningTree kruskal(const Graph& g, Vertex root, bool maximize) {
   std::vector<EdgeId> tree;
   tree.reserve(static_cast<std::size_t>(g.num_vertices()) - 1);
   for (EdgeId id : ids) {
-    const Edge& e = edges[static_cast<std::size_t>(id)];
+    const Edge e = g.edge(id);
     if (uf.unite(e.u, e.v)) {
       tree.push_back(id);
       if (static_cast<Vertex>(tree.size()) == g.num_vertices() - 1) break;
@@ -34,17 +33,21 @@ SpanningTree kruskal(const Graph& g, Vertex root, bool maximize) {
   }
   SSP_REQUIRE(static_cast<Vertex>(tree.size()) == g.num_vertices() - 1,
               "kruskal: graph is not connected");
-  return SpanningTree(g, std::move(tree), root);
+  return tree;
 }
 
 }  // namespace
 
+std::vector<EdgeId> max_weight_tree_edges(const GraphView& g) {
+  return kruskal_edges(g, /*maximize=*/true);
+}
+
 SpanningTree max_weight_spanning_tree(const Graph& g, Vertex root) {
-  return kruskal(g, root, /*maximize=*/true);
+  return SpanningTree(g, kruskal_edges(g, /*maximize=*/true), root);
 }
 
 SpanningTree min_weight_spanning_tree(const Graph& g, Vertex root) {
-  return kruskal(g, root, /*maximize=*/false);
+  return SpanningTree(g, kruskal_edges(g, /*maximize=*/false), root);
 }
 
 }  // namespace ssp

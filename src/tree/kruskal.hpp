@@ -8,10 +8,21 @@
 /// the baseline the AKPW low-stretch tree is compared against
 /// (bench_ablation_backbone).
 
+#include <vector>
+
 #include "graph/graph.hpp"
+#include "graph/graph_view.hpp"
 #include "tree/spanning_tree.hpp"
 
 namespace ssp {
+
+/// Edge ids of the canonical maximum-weight spanning tree of `g`, in
+/// Kruskal acceptance order (stable sort by weight descending, ties by
+/// ascending id). Consumes a `GraphView`, so the scan runs directly on an
+/// mmap'd `.sspb` graph without materializing a heap `Graph`. Throws when
+/// `g` is not connected. `max_weight_spanning_tree` is this scan plus a
+/// `SpanningTree` rooting over the host graph.
+[[nodiscard]] std::vector<EdgeId> max_weight_tree_edges(const GraphView& g);
 
 /// Maximum-weight spanning tree. Throws when `g` is not connected.
 [[nodiscard]] SpanningTree max_weight_spanning_tree(const Graph& g,

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Out-of-core smoke test: generates a grid, converts it to the mmap'd
+# `.sspb` binary with ssp_convert, and asserts the hierarchical layer's
+# determinism contract end to end through the real tools —
+#
+#   * k = 1 (a budget the whole graph fits in) routes through the
+#     whole-graph fast path and its output file is byte-identical to the
+#     plain in-core engine run on the .mtx form of the same graph;
+#   * a tight budget splits into several leaves, and the multi-leaf
+#     output is byte-identical across SSP_THREADS 1 / 4 and across
+#     producers (heap .mtx input vs mmap'd .sspb input);
+#   * the mmap'd multi-leaf runs execute under a hard address-space cap
+#     (ulimit -v), so a regression that materializes the whole graph
+#     per leaf or leaks subgraphs across leaves trips the limit.
+#
+# Usage: outofcore_smoke.sh <ssp_gen> <ssp_convert> <ssp_sparsify> <work_dir>
+
+set -u
+
+GEN="$1"
+CONVERT="$2"
+SPARSIFY="$3"
+WORK="$4"
+
+NX=160
+NY=160
+SIGMA2=30
+SEED=42
+# Address-space cap for the capped runs. Generous against the ~5 MB
+# graph, but hard: a whole-graph materialization bug at real out-of-core
+# scale shows up as unbounded growth patterns even at smoke scale.
+ULIMIT_KB=1048576
+
+mkdir -p "$WORK"
+rm -f "$WORK"/*.mtx "$WORK"/*.sspb "$WORK"/*.log
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+"$GEN" --family grid2d --nx $NX --ny $NY --weights log --seed 7 \
+    --out "$WORK/g.mtx" > "$WORK/gen.log" 2>&1 \
+    || fail "ssp_gen failed: $(cat "$WORK/gen.log")"
+"$CONVERT" --in "$WORK/g.mtx" --out "$WORK/g.sspb" \
+    > "$WORK/convert.log" 2>&1 \
+    || fail "ssp_convert failed: $(cat "$WORK/convert.log")"
+
+# Reference: the plain in-core engine on the .mtx form.
+SSP_THREADS=1 "$SPARSIFY" --in "$WORK/g.mtx" --sigma2 $SIGMA2 --seed $SEED \
+    --out "$WORK/ref.mtx" > "$WORK/ref.log" 2>&1 \
+    || fail "in-core reference run failed: $(cat "$WORK/ref.log")"
+
+# k = 1: a budget the whole graph fits in must take the whole-graph fast
+# path and reproduce the reference bytes from the mmap'd input.
+SSP_THREADS=1 "$SPARSIFY" --in "$WORK/g.sspb" --memory-budget-mb 512 \
+    --sigma2 $SIGMA2 --seed $SEED --out "$WORK/whole.mtx" \
+    > "$WORK/whole.log" 2>&1 \
+    || fail "whole-graph out-of-core run failed: $(cat "$WORK/whole.log")"
+grep -q "leaves: 1 .*whole-graph" "$WORK/whole.log" \
+    || fail "512 MB budget did not take the whole-graph path: $(grep leaves: "$WORK/whole.log")"
+cmp "$WORK/ref.mtx" "$WORK/whole.mtx" \
+    || fail "k=1 out-of-core output differs from the in-core engine"
+
+# Tight budget: several leaves, mmap'd input, under the address-space
+# cap, at two thread counts.
+for threads in 1 4; do
+  ( ulimit -v $ULIMIT_KB
+    SSP_THREADS=$threads "$SPARSIFY" --in "$WORK/g.sspb" \
+        --memory-budget-mb 1 --sigma2 $SIGMA2 --seed $SEED \
+        --out "$WORK/oc_t$threads.mtx" ) > "$WORK/oc_t$threads.log" 2>&1 \
+      || fail "capped multi-leaf run (threads=$threads) failed: $(cat "$WORK/oc_t$threads.log")"
+done
+grep -q "leaves: 1" "$WORK/oc_t1.log" \
+    && fail "1 MB budget did not split: $(grep leaves: "$WORK/oc_t1.log")"
+cmp "$WORK/oc_t1.mtx" "$WORK/oc_t4.mtx" \
+    || fail "multi-leaf output differs between SSP_THREADS=1 and 4"
+
+# Same tight budget from the heap producer (.mtx input): identical bytes.
+SSP_THREADS=1 "$SPARSIFY" --in "$WORK/g.mtx" --memory-budget-mb 1 \
+    --sigma2 $SIGMA2 --seed $SEED --out "$WORK/oc_heap.mtx" \
+    > "$WORK/oc_heap.log" 2>&1 \
+    || fail "heap multi-leaf run failed: $(cat "$WORK/oc_heap.log")"
+cmp "$WORK/oc_t1.mtx" "$WORK/oc_heap.mtx" \
+    || fail "multi-leaf output differs between .sspb and .mtx producers"
+
+echo "out-of-core smoke OK: ${NX}x${NY} grid, k=1 parity + $(grep -o 'leaves: [0-9]*' "$WORK/oc_t1.log") deterministic"

@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Warm-restart smoke test: runs a real ssp_serve daemon with a state
+# directory, commits three batches against one session, SIGTERMs the
+# daemon, restarts it on the same state directory, and asserts the warm
+# restore contract end to end —
+#
+#   * the restarted daemon reopens the session from `<name>.sspc` +
+#     `<name>.journal` (checkpoint fast-forward + journal-tail replay:
+#     checkpoint_every=2 with 3 first-life commits forces both paths);
+#   * two more commits land on the restored session, and its snapshot is
+#     byte-identical to an offline `ssp_sparsify --update-file` replay of
+#     the on-disk journal over the original graph — i.e. the
+#     kill/restart cycle is invisible in the output bits;
+#   * the journal the restored session reports contains the first life's
+#     ops too (restore really replayed them, it did not start fresh).
+#
+# Runs at SSP_THREADS 1 and 4.
+#
+# Usage: serve_restart_smoke.sh <ssp_serve> <ssp_client> <ssp_sparsify> <fixtures_dir> <work_dir>
+
+set -u
+
+SERVE="$1"
+CLIENT="$2"
+SPARSIFY="$3"
+FIXTURES="$4"
+WORK="$5"
+
+GRAPH="$FIXTURES/grid8.mtx"
+OPS_PER_COMMIT=14  # rows 0-1, cols 0-6 → 14 reweights
+LIFE1_COMMITS=3
+LIFE2_COMMITS=2
+
+mkdir -p "$WORK"
+
+fail() {
+  echo "FAIL: $*" >&2
+  [ -n "${SERVER_PID:-}" ] && kill -9 "$SERVER_PID" 2>/dev/null
+  exit 1
+}
+
+# `commit_script <first> <count>` — `count` batches reweighting the
+# horizontal edges of grid rows 0-1, values keyed off the global commit
+# index so first- and second-life batches are distinguishable.
+commit_script() {
+  local first="$1" count="$2" p row col u
+  for ((p = first; p < first + count; p++)); do
+    for ((row = 0; row < 2; row++)); do
+      for ((col = 0; col < 7; col++)); do
+        u=$((row * 8 + col))
+        echo "reweight $u $((u + 1)) 1.${p}${col}5"
+      done
+    done
+    echo "commit"
+  done
+  echo "quit"
+}
+
+start_server() { # start_server <threads> <sock> <state> <log>
+  SSP_THREADS="$1" "$SERVE" --socket "$2" --sigma2 8 --seed 42 \
+      --state-dir "$3" --checkpoint-every 2 > "$4" 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    [ -S "$2" ] && return 0
+    kill -0 "$SERVER_PID" 2>/dev/null \
+        || fail "server died on startup: $(cat "$4")"
+    sleep 0.1
+  done
+  fail "socket $2 never appeared"
+}
+
+stop_server() { # stop_server <sock>
+  kill -TERM "$SERVER_PID"
+  wait "$SERVER_PID" || fail "server exited non-zero on SIGTERM"
+  [ -S "$1" ] && fail "server left its socket behind"
+  SERVER_PID=""
+}
+
+for threads in 1 4; do
+  STATE="$WORK/state_t$threads"
+  rm -rf "$STATE"
+  rm -f "$WORK"/*_t$threads.*
+  SOCK="/tmp/ssp_restart_$$_t$threads.sock"
+  rm -f "$SOCK"
+
+  # --- first life: open, three commits, SIGTERM ---
+  start_server "$threads" "$SOCK" "$STATE" "$WORK/server1_t$threads.log"
+  { echo "open g $GRAPH"; commit_script 0 $LIFE1_COMMITS; } \
+      | "$CLIENT" --socket "$SOCK" > "$WORK/life1_t$threads.txt" \
+      || fail "first life failed: $(cat "$WORK/life1_t$threads.txt")"
+  stop_server "$SOCK"
+
+  [ -f "$STATE/g.journal" ] || fail "no $STATE/g.journal after SIGTERM"
+  [ -f "$STATE/g.sspc" ] || fail "no $STATE/g.sspc after SIGTERM"
+
+  # --- second life: restore, two more commits, snapshot ---
+  start_server "$threads" "$SOCK" "$STATE" "$WORK/server2_t$threads.log"
+  { echo "attach g"; commit_script $LIFE1_COMMITS $LIFE2_COMMITS; } \
+      | "$CLIENT" --socket "$SOCK" > "$WORK/life2_t$threads.txt" \
+      || fail "restored session rejected commits: $(cat "$WORK/life2_t$threads.txt")"
+
+  # The restored session's journal spans both lives.
+  printf 'attach g\nquery journal\n' | "$CLIENT" --socket "$SOCK" \
+      --payload-only > "$WORK/t$threads.journal" \
+      || fail "journal extraction failed"
+  expected=$(( (LIFE1_COMMITS + LIFE2_COMMITS) * (OPS_PER_COMMIT + 1) ))
+  actual=$(wc -l < "$WORK/t$threads.journal")
+  [ "$actual" -eq "$expected" ] \
+      || fail "journal has $actual lines, expected $expected (restore lost ops?)"
+
+  printf 'attach g\nsnapshot %s\n' "$WORK/server_t$threads.mtx" \
+      | "$CLIENT" --socket "$SOCK" > /dev/null \
+      || fail "snapshot failed"
+  stop_server "$SOCK"
+
+  # Offline replay of the on-disk journal (its `%` header is comment
+  # grammar, so the state file doubles as an --update-file input) over
+  # the original graph must reproduce the snapshot bytes.
+  SSP_THREADS=$threads "$SPARSIFY" --in "$GRAPH" --sigma2 8 --seed 42 \
+      --update-file "$STATE/g.journal" \
+      --out "$WORK/offline_t$threads.mtx" \
+      > "$WORK/offline_t$threads.log" 2>&1 \
+      || fail "offline replay failed: $(cat "$WORK/offline_t$threads.log")"
+  cmp "$WORK/server_t$threads.mtx" "$WORK/offline_t$threads.mtx" \
+      || fail "restored snapshot differs from offline replay at SSP_THREADS=$threads"
+done
+
+echo "serve restart smoke OK: $LIFE1_COMMITS + $LIFE2_COMMITS commits across a SIGTERM, threads 1 and 4"

@@ -20,6 +20,8 @@
 #include "core/options_io.hpp"
 #include "core/sparsifier.hpp"
 #include "dynamic/dynamic_sparsifier.hpp"
+#include "graph/graph_source.hpp"
+#include "scale/hierarchical_sparsifier.hpp"
 #include "scale/partitioned_sparsifier.hpp"
 #include "serve/server.hpp"
 #include "util/parallel.hpp"
@@ -242,6 +244,42 @@ inline ArgParser& add_partition_options(ArgParser& args) {
   return opts;
 }
 
+/// Help text for the shared --in graph-source surface: a Matrix Market
+/// path, a converted `.sspb` binary (mmap-backed), or a `gen:` spec
+/// (graph/graph_source.hpp).
+inline constexpr const char* kGraphSourceHelp =
+    "input graph: .mtx file, .sspb binary (ssp_convert), or generator "
+    "spec gen:<family>:... (required)";
+
+/// Loads the tool's `--in` graph through the unified source resolver
+/// (.mtx / .sspb / gen: spec) as a heap graph.
+[[nodiscard]] inline Graph load_graph_arg(const ArgParser& args) {
+  return load_graph_source(args.require("in"));
+}
+
+/// Registers the out-of-core flag group (scale/hierarchical_sparsifier.hpp).
+inline ArgParser& add_outofcore_options(ArgParser& args) {
+  return args
+      .option("memory-budget-mb",
+              "out-of-core mode: sparsify hierarchically, one leaf "
+              "subgraph under this many MiB at a time (0 = in-core)", "0")
+      .option("oc-max-depth",
+              "out-of-core split recursion limit", "48");
+}
+
+/// Builds HierarchicalOptions from the flags registered by
+/// add_outofcore_options, with `block` as the per-leaf engine options.
+[[nodiscard]] inline HierarchicalOptions hierarchical_options_from(
+    const ArgParser& args, const SparsifyOptions& block) {
+  return HierarchicalOptions{}
+      .with_memory_budget_bytes(
+          static_cast<std::uint64_t>(args.get_int("memory-budget-mb", 0))
+          << 20)
+      .with_block_options(block)
+      .with_threads(block.threads)
+      .with_max_depth(args.get_int("oc-max-depth", 48));
+}
+
 /// Registers the dynamic-update flag group (src/dynamic/) — the
 /// update-journal replay surface of ssp_sparsify.
 inline ArgParser& add_dynamic_options(ArgParser& args) {
@@ -282,7 +320,13 @@ inline ArgParser& add_serve_options(ArgParser& args) {
       .option("max-line-bytes", "framing limit on one request line", "65536")
       .option("drain-timeout",
               "seconds wait() gives idle connections before force-closing "
-              "them", "5");
+              "them", "5")
+      .option("state-dir",
+              "persist sessions here (journal + checkpoint per session) "
+              "and restore them warm on the next start; empty = off")
+      .option("checkpoint-every",
+              "with --state-dir: write a sparsifier checkpoint every N "
+              "commits (a final one is written on graceful close)", "16");
 }
 
 /// Builds a validated serve::ServerConfig from the flags registered by
@@ -310,7 +354,9 @@ inline ArgParser& add_serve_options(ArgParser& args) {
                      .with_dynamic(dynamic)
                      .with_max_sessions(args.get_int("max-sessions", 64))
                      .with_max_queued_batches(args.get_int("max-queue", 8))
-                     .with_drain_seconds(args.get_double("drain-timeout", 5.0));
+                     .with_drain_seconds(args.get_double("drain-timeout", 5.0))
+                     .with_state_dir(args.get("state-dir", ""))
+                     .with_checkpoint_every(args.get_int("checkpoint-every", 16));
   config.validate();
   return config;
 }

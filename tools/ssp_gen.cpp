@@ -1,8 +1,10 @@
 // ssp_gen — generate the synthetic workload families used by the
-// benchmarks as Matrix Market files, so external tools (or the other ssp_*
-// tools) can consume identical graphs.
+// benchmarks as Matrix Market files (or `.sspb` binaries, picked by the
+// --out extension), so external tools (or the other ssp_* tools) can
+// consume identical graphs.
 //
 //   ssp_gen --family grid2d --nx 512 --ny 512 --weights log --out g.mtx
+//   ssp_gen --family grid2d --nx 800 --ny 800 --out g.sspb
 //
 // Families: grid2d | grid2d8 | tri | grid3d | torus2d | torus3d | airfoil |
 //           ba | ws | er | knn | planted.
@@ -18,7 +20,9 @@
 #include "graph/generators/lattice.hpp"
 #include "graph/generators/points.hpp"
 #include "graph/generators/random_graphs.hpp"
+#include "graph/graph_source.hpp"
 #include "graph/mtx_io.hpp"
+#include "storage/sspb_io.hpp"
 #include "util/parallel.hpp"
 
 namespace {
@@ -41,7 +45,7 @@ int main(int argc, char** argv) {
   args.option("family",
               "grid2d|grid2d8|tri|grid3d|torus2d|torus3d|airfoil|ba|ws|er|"
               "knn|planted (required)")
-      .option("out", "output .mtx path (required)")
+      .option("out", "output path, .mtx or .sspb by extension (required)")
       .option("nx", "grid x dimension", "128")
       .option("ny", "grid y dimension", "128")
       .option("nz", "grid z dimension", "16")
@@ -94,7 +98,13 @@ int main(int argc, char** argv) {
     } else {
       throw std::invalid_argument("unknown family '" + family + "'");
     }
-    save_graph_mtx(out, g);
+    // An .sspb extension writes the mmap-ready binary directly (same
+    // bits `ssp_convert` would produce from the .mtx form).
+    if (classify_graph_source(out) == GraphSourceKind::kSspb) {
+      storage::write_sspb(out, g);
+    } else {
+      save_graph_mtx(out, g);
+    }
     std::printf("wrote %s: |V| = %d, |E| = %lld\n", out.c_str(),
                 g.num_vertices(), static_cast<long long>(g.num_edges()));
     return 0;

@@ -20,8 +20,8 @@
 
 int main(int argc, char** argv) {
   ssp::cli::ArgParser args("ssp_partition",
-                           "spectral partitioning / clustering from .mtx");
-  args.option("in", "input .mtx graph (required)")
+                           "spectral partitioning / clustering");
+  args.option("in", ssp::cli::kGraphSourceHelp)
       .option("k", "number of parts", "2")
       .option("solver", "direct|sparsifier (k=2 only)", "sparsifier")
       .option("sigma2", "sparsifier target", "200")
@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   ssp::cli::add_execution_options(args);
   return ssp::cli::run_tool(args, argc, argv, [&args] {
     ssp::cli::apply_threads(args);
-    const ssp::Graph g = ssp::load_graph_mtx(args.require("in"));
+    const ssp::Graph g = ssp::cli::load_graph_arg(args);
     const auto k = args.get_int("k", 2);
     std::printf("|V| = %d, |E| = %lld, k = %lld\n", g.num_vertices(),
                 static_cast<long long>(g.num_edges()), k);

@@ -33,8 +33,8 @@ using namespace ssp;
 
 int main(int argc, char** argv) {
   cli::ArgParser args("ssp_solve",
-                      "solve a graph Laplacian system from .mtx input");
-  args.option("in", "input .mtx graph (required)")
+                      "solve a graph Laplacian system");
+  args.option("in", cli::kGraphSourceHelp)
       .option("method", "cg|jacobi|ichol|tree|sparsifier|cholesky|amg",
               "sparsifier")
       .option("sigma2", "sparsifier target (method=sparsifier)", "100")
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   cli::add_execution_options(args, "random RHS seed");
   return cli::run_tool(args, argc, argv, [&args] {
     cli::apply_threads(args);
-    const Graph g = load_graph_mtx(args.require("in"));
+    const Graph g = cli::load_graph_arg(args);
     const CsrMatrix l = laplacian(g);
     Rng rng(cli::seed_from(args));
     Vec b = rng.normal_vector(g.num_vertices());

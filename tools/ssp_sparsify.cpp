@@ -1,19 +1,25 @@
-// ssp_sparsify — sparsify a Matrix Market graph to a target σ² level.
+// ssp_sparsify — sparsify a graph to a target σ² level.
 //
 //   ssp_sparsify --in graph.mtx --out sparsifier.mtx --sigma2 100
 //   ssp_sparsify --in graph.mtx --partitions 8 --cut-policy filter
 //   ssp_sparsify --in graph.mtx --update-file updates.journal --out p.mtx
+//   ssp_sparsify --in graph.sspb --memory-budget-mb 256 --out p.mtx
 //
-// Reads any SuiteSparse-style .mtx (converted per the paper's §4 rule) and
-// runs the similarity-aware pipeline through the staged ssp::Sparsifier
-// engine — or, with --partitions k > 1, through the partition-parallel
-// scale layer (one engine per block, concurrent, bit-identical for every
-// --threads value) — or, with --update-file, through the dynamic update
-// layer, replaying an insert/delete/reweight journal batch by batch and
-// re-sparsifying incrementally after each commit. Writes the (final)
-// sparsifier back as a symmetric .mtx and prints a machine-greppable stats
-// block. --progress streams per-round / per-block / per-batch telemetry
-// (per-stage wall times with --progress=stages).
+// `--in` accepts a SuiteSparse-style .mtx (converted per the paper's §4
+// rule), a converted `.sspb` binary (ssp_convert; mmap-backed), or a
+// `gen:<family>` generator spec. The graph runs through the staged
+// ssp::Sparsifier engine — or, with --partitions k > 1, through the
+// partition-parallel scale layer (one engine per block, concurrent,
+// bit-identical for every --threads value) — or, with --update-file,
+// through the dynamic update layer, replaying an insert/delete/reweight
+// journal batch by batch and re-sparsifying incrementally after each
+// commit — or, with --memory-budget-mb, through the out-of-core
+// hierarchical layer, which keeps at most one leaf subgraph on the heap
+// at a time (a `.sspb` input is never materialized whole). Writes the
+// (final) sparsifier back as a symmetric .mtx and prints a
+// machine-greppable stats block. --progress streams per-round /
+// per-block / per-batch telemetry (per-stage wall times with
+// --progress=stages).
 
 #include <algorithm>
 #include <cstdio>
@@ -25,9 +31,12 @@
 #include "core/sparsifier_engine.hpp"
 #include "dynamic/dynamic_sparsifier.hpp"
 #include "dynamic/update_journal.hpp"
+#include "graph/graph_source.hpp"
 #include "graph/mtx_io.hpp"
 #include "la/kernels/kernels.hpp"
+#include "scale/hierarchical_sparsifier.hpp"
 #include "scale/partitioned_sparsifier.hpp"
+#include "storage/mapped_graph.hpp"
 
 namespace {
 
@@ -167,6 +176,78 @@ int run_partitioned(const ssp::cli::ArgParser& args, const ssp::Graph& g,
   return reached ? 0 : 2;
 }
 
+/// Materializes the sparsifier `edges` of a view as a finalized heap
+/// graph in the listed order — the view-side twin of
+/// `Graph::edge_subgraph`, so the written .mtx is byte-identical between
+/// the heap and mmap paths for the same edge list.
+ssp::Graph extract_from_view(const ssp::GraphView& v,
+                             const std::vector<ssp::EdgeId>& edges) {
+  ssp::Graph p(v.num_vertices());
+  for (const ssp::EdgeId e : edges) {
+    const ssp::Edge ed = v.edge(e);
+    p.add_edge(ed.u, ed.v, ed.weight);
+  }
+  p.finalize();
+  return p;
+}
+
+int report_outofcore(const ssp::cli::ArgParser& args, const ssp::GraphView& v,
+                     const ssp::HierarchicalOptions& opts,
+                     const ssp::HierarchicalResult& res) {
+  std::printf("edges: %lld  density: %.4f x |V|\n",
+              static_cast<long long>(res.num_edges()),
+              static_cast<double>(res.num_edges()) / v.num_vertices());
+  std::printf("leaves: %lld (depth %lld%s)  cut edges kept %lld\n",
+              static_cast<long long>(res.leaves),
+              static_cast<long long>(res.depth),
+              res.whole_graph ? ", whole-graph" : "",
+              static_cast<long long>(res.cut_edges));
+  bool reached = true;
+  double worst_sigma2 = 0.0;
+  for (const ssp::BlockStats& b : res.leaf_stats) {
+    reached = reached && b.reached_target;
+    worst_sigma2 = std::max(worst_sigma2, b.sigma2_estimate);
+  }
+  std::printf("leaf sigma2: target %.3f, worst estimate %.3f (%s)\n",
+              opts.block.sigma2, worst_sigma2,
+              reached ? "reached" : "NOT reached");
+  std::printf("time %.3fs\n", res.total_seconds);
+
+  if (args.has("out")) {
+    const ssp::Graph p = extract_from_view(v, res.edges);
+    ssp::save_graph_mtx(args.get("out", ""), p);
+    std::printf("wrote %s\n", args.get("out", "").c_str());
+  }
+  return reached ? 0 : 2;
+}
+
+/// Out-of-core routing: a `.sspb` input stays mmap'd (pages released
+/// between leaves); other sources load once onto the heap and run through
+/// the same hierarchy, so the budget still bounds the per-leaf engines.
+int run_outofcore(const ssp::cli::ArgParser& args, const std::string& in_path,
+                  const ssp::SparsifyOptions& base) {
+  const ssp::HierarchicalOptions opts =
+      ssp::cli::hierarchical_options_from(args, base);
+  ScaleProgressPrinter progress(args.get("progress", "") == "stages");
+  if (ssp::classify_graph_source(in_path) == ssp::GraphSourceKind::kSspb) {
+    const ssp::storage::MappedGraph mapped(in_path);
+    std::printf("mapped %s: |V| = %d, |E| = %lld (%llu bytes)\n",
+                in_path.c_str(), mapped.num_vertices(),
+                static_cast<long long>(mapped.num_edges()),
+                static_cast<unsigned long long>(mapped.file_bytes()));
+    ssp::HierarchicalSparsifier driver(mapped.view(), opts);
+    driver.set_release_hook([&mapped] { mapped.release_pages(); });
+    if (args.has("progress")) driver.set_observer(&progress);
+    return report_outofcore(args, mapped.view(), opts, driver.run());
+  }
+  const ssp::Graph g = ssp::load_graph_source(in_path);
+  std::printf("loaded %s: |V| = %d, |E| = %lld\n", in_path.c_str(),
+              g.num_vertices(), static_cast<long long>(g.num_edges()));
+  ssp::HierarchicalSparsifier driver(g, opts);
+  if (args.has("progress")) driver.set_observer(&progress);
+  return report_outofcore(args, g, opts, driver.run());
+}
+
 /// Streams dynamic-layer telemetry: one line per applied batch (stage
 /// breakdown with --progress=stages).
 class DynamicProgressPrinter : public ssp::DynamicObserver {
@@ -242,13 +323,14 @@ int main(int argc, char** argv) {
   ssp::cli::ArgParser args(
       "ssp_sparsify",
       "similarity-aware spectral sparsification of a Matrix Market graph");
-  args.option("in", "input .mtx file (required)")
+  args.option("in", ssp::cli::kGraphSourceHelp)
       .option("out", "output .mtx for the sparsifier (optional)")
       .option("progress", "stream per-round telemetry (=stages for more)")
       .option("kernels", "print compiled/supported kernel backends and exit");
   ssp::cli::add_sparsify_options(args);
   ssp::cli::add_partition_options(args);
   ssp::cli::add_dynamic_options(args);
+  ssp::cli::add_outofcore_options(args);
   return ssp::cli::run_tool(args, argc, argv, [&args] {
     if (args.has("kernels")) {
       // Capability probe for scripts (tests/kernel_parity.sh): one line
@@ -268,10 +350,6 @@ int main(int argc, char** argv) {
     }
     ssp::cli::apply_threads(args);
     const std::string in_path = args.require("in");
-    const ssp::Graph g = ssp::load_graph_mtx(in_path);
-    std::printf("loaded %s: |V| = %d, |E| = %lld\n", in_path.c_str(),
-                g.num_vertices(), static_cast<long long>(g.num_edges()));
-
     const ssp::SparsifyOptions opts = ssp::cli::sparsify_options_from(args);
     // Any scale-layer flag routes through PartitionedSparsifier (whose
     // k = 1 path is the whole-graph engine bit for bit), so
@@ -285,6 +363,17 @@ int main(int argc, char** argv) {
     const bool dynamic = args.has("update-file") ||
                          args.has("rebuild-threshold") ||
                          args.has("warm-refine");
+    const bool outofcore = args.get_int("memory-budget-mb", 0) > 0;
+    if (outofcore) {
+      SSP_REQUIRE(!partitioned && !dynamic,
+                  "--memory-budget-mb routes through the out-of-core "
+                  "hierarchical layer; it cannot be combined with "
+                  "partition or update flags");
+      return run_outofcore(args, in_path, opts);
+    }
+    const ssp::Graph g = ssp::load_graph_source(in_path);
+    std::printf("loaded %s: |V| = %d, |E| = %lld\n", in_path.c_str(),
+                g.num_vertices(), static_cast<long long>(g.num_edges()));
     if (dynamic) {
       SSP_REQUIRE(!partitioned,
                   "--update-file replays through the whole-graph dynamic "
