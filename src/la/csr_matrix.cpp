@@ -71,8 +71,13 @@ CsrMatrix CsrMatrix::from_triplets(Index rows, Index cols,
     for (std::size_t i = begin; i < end; ++i) {
       row_buf.emplace_back(cols_tmp[i], vals_tmp[i]);
     }
-    std::sort(row_buf.begin(), row_buf.end(),
-              [](const auto& a, const auto& b) { return a.first < b.first; });
+    // Stable: duplicate columns must coalesce in insertion order so the
+    // floating-point sum below is reproducible (and matches the
+    // streaming .sspb converter bit for bit).
+    std::stable_sort(row_buf.begin(), row_buf.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
     for (std::size_t i = 0; i < row_buf.size();) {
       const Vertex c = row_buf[i].first;
       double sum = 0.0;

@@ -31,8 +31,10 @@ class CsrMatrix {
   CsrMatrix() = default;
 
   /// Builds a rows×cols matrix from unsorted triplets; duplicate (r,c) pairs
-  /// are summed; entries that sum to exactly zero are kept (callers that
-  /// want dropping can call `drop_explicit_zeros`).
+  /// are summed in triplet order (floating-point addition is order
+  /// sensitive, so the order is part of the determinism contract); entries
+  /// that sum to exactly zero are kept (callers that want dropping can
+  /// call `drop_explicit_zeros`).
   [[nodiscard]] static CsrMatrix from_triplets(Index rows, Index cols,
                                                std::span<const Triplet> ts);
 

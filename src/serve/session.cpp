@@ -390,6 +390,10 @@ std::vector<std::string> SessionManager::restore_all() {
       const SessionPersist persist = persist_for(name);
       const StoredSession stored =
           read_stored_session(persist.journal_path);
+      // Cut the torn tail off the file before the session appends to it:
+      // stale uncommitted ops left in place would merge into the next
+      // committed batch and poison the *following* restart's replay.
+      truncate_stored_session(persist.journal_path, stored);
       const Graph g = load_session_graph(stored.source);
       std::optional<storage::SparsifierCheckpoint> ckpt;
       if (std::filesystem::exists(persist.checkpoint_path)) {

@@ -1,6 +1,7 @@
 #include "serve/session_store.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -41,37 +42,65 @@ void create_session_journal(const std::string& path,
 }
 
 StoredSession read_stored_session(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("serve: cannot open journal '" + path + "'");
   }
+  std::ostringstream raw;
+  raw << in.rdbuf();
+  const std::string data = raw.str();
+
   StoredSession stored;
-  // Pass 1: pull the source header and keep only lines up to the last
-  // `commit` — anything after it is a batch the dying process never
-  // applied (torn append), so replaying it would overshoot.
-  std::vector<std::string> lines;
-  std::string line;
-  std::size_t last_commit_end = 0;
-  bool have_source = false;
-  while (std::getline(in, line)) {
-    if (!have_source && line.rfind(kSourcePrefix, 0) == 0) {
-      stored.source = line.substr(std::string(kSourcePrefix).size());
-      have_source = true;
+  // Walk the bytes tracking where the committed prefix ends: the header
+  // comment lines, then everything up to (and including) the last
+  // newline-terminated `commit` line. Anything past that point — ops of
+  // a batch the dying process never finished appending, or a `commit`
+  // whose own newline never hit the disk — is a torn tail: it is neither
+  // replayed nor kept (truncate_stored_session cuts the file at
+  // `committed_bytes` so later appends cannot merge into it).
+  bool in_header = true;
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t nl = data.find('\n', pos);
+    if (nl == std::string::npos) break;  // unterminated fragment: torn
+    const std::string line = data.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (in_header && !line.empty() && line[0] == '%') {
+      if (stored.source.empty() && line.rfind(kSourcePrefix, 0) == 0) {
+        stored.source = line.substr(std::string(kSourcePrefix).size());
+      }
+      stored.committed_bytes = pos;
       continue;
     }
-    lines.push_back(line);
-    if (line == "commit") last_commit_end = lines.size();
+    in_header = false;
+    if (line == "commit") stored.committed_bytes = pos;
   }
-  if (!have_source || stored.source.empty()) {
+  if (stored.source.empty()) {
     throw std::runtime_error("serve: journal '" + path +
                              "' has no '% source <graph>' header line");
   }
-  lines.resize(last_commit_end);
-  std::ostringstream committed;
-  for (const std::string& l : lines) committed << l << '\n';
-  std::istringstream replay(committed.str());
+  // Parse exactly the committed prefix (its `%` header lines are comment
+  // grammar to the journal parser).
+  std::istringstream replay(
+      data.substr(0, static_cast<std::size_t>(stored.committed_bytes)));
   stored.batches = parse_update_journal(replay);
   return stored;
+}
+
+void truncate_stored_session(const std::string& path,
+                             const StoredSession& stored) {
+  std::error_code ec;
+  const std::uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    throw std::runtime_error("serve: cannot stat journal '" + path +
+                             "': " + ec.message());
+  }
+  if (size <= stored.committed_bytes) return;  // clean shutdown: no tail
+  std::filesystem::resize_file(path, stored.committed_bytes, ec);
+  if (ec) {
+    throw std::runtime_error("serve: cannot truncate torn tail of journal '" +
+                             path + "': " + ec.message());
+  }
 }
 
 std::vector<std::string> list_stored_sessions(const std::string& state_dir) {

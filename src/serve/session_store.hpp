@@ -15,12 +15,16 @@
 ///     commits and on graceful close.
 ///
 /// Restart: `read_stored_session` parses the header and the batches
-/// **up to the last `commit` line** — a batch torn by a crash mid-append
-/// is ignored, matching what the dying process actually applied. The
-/// session manager then fast-forwards the graph to the checkpoint
+/// **up to the last newline-terminated `commit` line** — a batch torn by
+/// a crash mid-append is ignored, matching what the dying process
+/// durably journaled. The session manager then calls
+/// `truncate_stored_session` to cut the torn tail off the file itself
+/// (otherwise the restored session's appends would merge into the stale
+/// ops on the next restart), fast-forwards the graph to the checkpoint
 /// (`apply_batch_to_graph`), restores the sparsifier without re-running
 /// it, and replays only the journal tail through full applies.
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -45,15 +49,29 @@ void create_session_journal(const std::string& path,
 /// A parsed on-disk session journal.
 struct StoredSession {
   std::string source;  ///< graph source from the `% source` header line
-  /// Committed batches, in order. Trailing ops past the last `commit`
-  /// line (a torn append) are dropped, not replayed.
+  /// Committed batches, in order. Trailing ops past the last
+  /// newline-terminated `commit` line (a torn append) are dropped, not
+  /// replayed.
   std::vector<JournalBatch> batches;
+  /// Byte length of the committed prefix: the header plus every line up
+  /// to and including the last durable `commit`. Bytes past this offset
+  /// are the torn tail.
+  std::uint64_t committed_bytes = 0;
 };
 
 /// Reads and parses `<path>`. Throws std::runtime_error when the file
 /// cannot be opened or carries no `% source` header, JournalParseError
 /// on malformed committed lines.
 [[nodiscard]] StoredSession read_stored_session(const std::string& path);
+
+/// Truncates `<path>` to `stored.committed_bytes`, discarding the torn
+/// tail a crash left behind — must run before the restored session
+/// appends, or the stale ops would merge into its next committed batch
+/// and the following restart would replay state the live session never
+/// held. No-op when the journal ends exactly at a commit. Throws
+/// std::runtime_error on I/O failure.
+void truncate_stored_session(const std::string& path,
+                             const StoredSession& stored);
 
 /// Session names with a `<name>.journal` file in `state_dir`, sorted.
 /// A missing or unreadable directory yields an empty list (first boot).

@@ -54,7 +54,19 @@ MappedGraph::MappedGraph(const std::string& path) : path_(path) {
   if (base == MAP_FAILED) sys_fail(path, "cannot mmap");
   base_ = base;
   bytes_ = actual_bytes;
+  // The destructor does not run when a constructor throws, so every
+  // rejection below must release the mapping itself — otherwise a
+  // long-lived daemon probing corrupt client files leaks address space.
+  try {
+    validate(path, actual_bytes);
+  } catch (...) {
+    unmap();
+    throw;
+  }
+}
 
+void MappedGraph::validate(const std::string& path,
+                           std::uint64_t actual_bytes) {
   // Header validation — every failure names the byte offset and field.
   const auto* u32 = section<std::uint32_t>(0);
   if (u32[0] != kSspbMagic) {
@@ -79,9 +91,15 @@ MappedGraph::MappedGraph(const std::string& path) : path_(path) {
                     "vertex count " + std::to_string(n) +
                         " out of range [0, 2^31)");
   }
-  if (m < 0) {
+  // Bound m well below the point where sspb_layout's uint64 arithmetic
+  // (largest term 16m) could wrap: a crafted huge m must fail here, not
+  // overflow into a file_bytes that matches a small file and leave the
+  // section pointers past the mapping.
+  constexpr std::int64_t kMaxEdges = std::int64_t{1} << 48;
+  if (m < 0 || m > kMaxEdges) {
     throw SspbError(path, 16, "m",
-                    "edge count " + std::to_string(m) + " is negative");
+                    "edge count " + std::to_string(m) +
+                        " out of range [0, 2^48]");
   }
   const auto declared_bytes = *section<std::uint64_t>(24);
   const SspbLayout layout = sspb_layout(static_cast<Index>(n), m);
@@ -123,9 +141,11 @@ MappedGraph::MappedGraph(const std::string& path) : path_(path) {
   m_ = m;
   layout_ = layout;
 
-  // Structural spot-checks so a corrupt CSR can never index out of the
-  // mapping: the row pointer array must start at 0, end at 2m, and be
-  // monotone.
+  // Structural checks so a corrupt CSR can never index out of the
+  // mapping (the "never UB" contract): the row pointer array must start
+  // at 0, end at 2m, and be monotone; every neighbor / edge-id /
+  // endpoint must land inside its array. One sequential O(n + m) read
+  // of the file, paid once at open.
   const auto* adj_ptr = section<Index>(layout_.adj_ptr);
   if (m_ > 0 || n_ > 0) {
     if (adj_ptr[0] != 0) {
@@ -147,6 +167,42 @@ MappedGraph::MappedGraph(const std::string& path) : path_(path) {
             "adj_ptr",
             "row pointers not monotone at vertex " + std::to_string(v));
       }
+    }
+  }
+  const auto* edge_u = section<Vertex>(layout_.edge_u);
+  const auto* edge_v = section<Vertex>(layout_.edge_v);
+  for (EdgeId e = 0; e < m_; ++e) {
+    const auto i = static_cast<std::size_t>(e);
+    if (edge_u[i] < 0 || edge_u[i] >= n_) {
+      throw SspbError(path, layout_.edge_u + static_cast<std::uint64_t>(e) * 4,
+                      "edge_u",
+                      "endpoint " + std::to_string(edge_u[i]) + " of edge " +
+                          std::to_string(e) + " out of range [0, " +
+                          std::to_string(n_) + ")");
+    }
+    if (edge_v[i] < 0 || edge_v[i] >= n_) {
+      throw SspbError(path, layout_.edge_v + static_cast<std::uint64_t>(e) * 4,
+                      "edge_v",
+                      "endpoint " + std::to_string(edge_v[i]) + " of edge " +
+                          std::to_string(e) + " out of range [0, " +
+                          std::to_string(n_) + ")");
+    }
+  }
+  const auto* adj_nbr = section<Vertex>(layout_.adj_nbr);
+  const auto* adj_eid = section<EdgeId>(layout_.adj_eid);
+  const auto entries = static_cast<std::size_t>(2 * m_);
+  for (std::size_t i = 0; i < entries; ++i) {
+    if (adj_nbr[i] < 0 || adj_nbr[i] >= n_) {
+      throw SspbError(path, layout_.adj_nbr + std::uint64_t{i} * 4, "adj_nbr",
+                      "neighbor " + std::to_string(adj_nbr[i]) +
+                          " at adjacency slot " + std::to_string(i) +
+                          " out of range [0, " + std::to_string(n_) + ")");
+    }
+    if (adj_eid[i] < 0 || adj_eid[i] >= m_) {
+      throw SspbError(path, layout_.adj_eid + std::uint64_t{i} * 8, "adj_eid",
+                      "edge id " + std::to_string(adj_eid[i]) +
+                          " at adjacency slot " + std::to_string(i) +
+                          " out of range [0, " + std::to_string(m_) + ")");
     }
   }
 }

@@ -56,6 +56,13 @@ class MappedGraph {
   void release_pages() const;
 
  private:
+  /// Header + structural validation over the live mapping: magic,
+  /// version, count bounds, declared vs actual size, adj_ptr monotonicity,
+  /// and range checks on every endpoint / neighbor / edge id — so no
+  /// consumer of view() can be driven out of the mapping by a corrupt
+  /// file. Sets n_, m_, layout_. Throws SspbError; the constructor
+  /// unmaps on any throw.
+  void validate(const std::string& path, std::uint64_t actual_bytes);
   void unmap() noexcept;
   template <typename T>
   [[nodiscard]] const T* section(std::uint64_t offset) const {

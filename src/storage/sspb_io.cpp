@@ -33,21 +33,23 @@ namespace {
 }
 
 /// Read-write mapping of a freshly created output file, sized up front.
-/// ftruncate zero-fills, so counting passes can accumulate directly into
-/// the mapped sections. The header (and with it the magic) is written
-/// last, so a crash mid-write leaves a file the MappedGraph validator
-/// rejects at byte 0 instead of a silently short graph.
+/// posix_fallocate reserves the blocks for real (a sparse ftruncate would
+/// leave page write-back to fail with SIGBUS on a full filesystem) and
+/// the new extent reads as zeros, so counting passes can accumulate
+/// directly into the mapped sections. The header (and with it the magic)
+/// is written last, so a crash mid-write leaves a file the MappedGraph
+/// validator rejects at byte 0 instead of a silently short graph.
 class MappedOutput {
  public:
   MappedOutput(const std::string& path, std::uint64_t bytes)
       : path_(path), bytes_(bytes) {
     const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
     if (fd < 0) sys_fail(path, "cannot create");
-    if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
-      const int saved = errno;
+    if (const int rc = ::posix_fallocate(fd, 0, static_cast<off_t>(bytes));
+        rc != 0) {
       ::close(fd);
-      errno = saved;
-      sys_fail(path, "cannot size");
+      errno = rc;  // posix_fallocate returns the error, errno is unspecified
+      sys_fail(path, "cannot allocate");
     }
     base_ = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
     ::close(fd);
@@ -80,8 +82,9 @@ class MappedOutput {
     *section<std::uint64_t>(24) = bytes_;
   }
 
-  /// Flushes the mapping to the file and checks for write-back errors so
-  /// a full disk surfaces as an exception, not a corrupt file.
+  /// Flushes the mapping to the file and checks for write-back errors.
+  /// Space was reserved up front, so msync failures here are genuine I/O
+  /// errors, not late ENOSPC.
   void sync() const {
     if (::msync(base_, bytes_, MS_SYNC) != 0) sys_fail(path_, "cannot sync");
   }
@@ -271,14 +274,18 @@ ConvertStats convert_mtx_to_sspb(const std::string& mtx_path,
   // them), and the two orientations of a pair become adjacent under the
   // (lo, hi) major key (graph_from_matrix's §4 rule takes the max
   // magnitude across them). Ordering by (lo, hi) is also exactly the
-  // coalesced edge order load_graph_mtx produces via std::map.
-  std::sort(entries.begin(), entries.end(),
-            [](const Entry& a, const Entry& b) {
-              const auto la = std::minmax(a.row, a.col);
-              const auto lb = std::minmax(b.row, b.col);
-              if (la != lb) return la < lb;
-              return a.row < b.row;
-            });
+  // coalesced edge order load_graph_mtx produces via std::map. The sort
+  // must be stable: duplicates of one directed coordinate compare
+  // equivalent, and their sum below has to run in file order — the order
+  // load_graph_mtx accumulates in — for bit-for-bit identity
+  // (floating-point addition does not commute in bits).
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     const auto la = std::minmax(a.row, a.col);
+                     const auto lb = std::minmax(b.row, b.col);
+                     if (la != lb) return la < lb;
+                     return a.row < b.row;
+                   });
 
   // Collapse each (lo, hi) group to one undirected edge, compacted into
   // the prefix of `entries` (the write position never overtakes the read

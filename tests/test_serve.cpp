@@ -14,6 +14,8 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <mutex>
 #include <sstream>
 #include <string>
@@ -27,6 +29,7 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/session.hpp"
+#include "serve/session_store.hpp"
 #include "util/parallel.hpp"
 
 namespace ssp::serve {
@@ -602,6 +605,118 @@ TEST(Server, ConcurrentCommitsMatchOfflineReplay) {
     server.wait();
   }
   set_default_threads(0);
+}
+
+// ---- On-disk session store: torn journal tails ------------------------------
+
+std::string temp_state_dir(const char* tag) {
+  std::ostringstream os;
+  os << "/tmp/ssp_serve_state_" << tag << "_" << ::getpid();
+  return os.str();
+}
+
+TEST(SessionStore, TornTailIsParsedOutAndTruncatedOnDisk) {
+  const std::string dir = temp_state_dir("torn");
+  std::filesystem::create_directories(dir);
+  const std::string path = session_journal_path(dir, "g");
+  create_session_journal(path, "gen:grid2d:4x4:7");
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "reweight 0 1 2.5\ncommit\n";        // durable batch
+    out << "reweight 1 2 9.0\nreweight 2 3 4";  // torn mid-append
+  }
+  const StoredSession stored = read_stored_session(path);
+  EXPECT_EQ(stored.source, "gen:grid2d:4x4:7");
+  ASSERT_EQ(stored.batches.size(), 1u);
+  ASSERT_EQ(stored.batches[0].ops.size(), 1u);
+
+  truncate_stored_session(path, stored);
+  EXPECT_EQ(std::filesystem::file_size(path), stored.committed_bytes);
+  // After the cut, fresh appends follow the last commit directly — a new
+  // committed batch holds only its own ops, never the stale tail's.
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "reweight 4 5 6.5\ncommit\n";
+  }
+  const StoredSession again = read_stored_session(path);
+  ASSERT_EQ(again.batches.size(), 2u);
+  ASSERT_EQ(again.batches[1].ops.size(), 1u);
+  EXPECT_EQ(again.batches[1].ops[0].u, 4);
+  EXPECT_EQ(again.batches[1].ops[0].v, 5);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SessionStore, CommitMissingItsNewlineIsTorn) {
+  // A `commit` whose own newline never reached the disk is not durable:
+  // replaying it would diverge from the file the next append produces
+  // ("commitreweight ..." on one line).
+  const std::string dir = temp_state_dir("nonl");
+  std::filesystem::create_directories(dir);
+  const std::string path = session_journal_path(dir, "g");
+  create_session_journal(path, "gen:grid2d:4x4:7");
+  const auto header_bytes =
+      static_cast<std::uint64_t>(std::filesystem::file_size(path));
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "reweight 0 1 2.5\ncommit";  // newline lost in the crash
+  }
+  const StoredSession stored = read_stored_session(path);
+  EXPECT_TRUE(stored.batches.empty());
+  EXPECT_EQ(stored.committed_bytes, header_bytes);
+  truncate_stored_session(path, stored);
+  EXPECT_EQ(std::filesystem::file_size(path), header_bytes);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SessionStore, RestartAfterCrashDoesNotMergeTornOpsIntoNextBatch) {
+  const std::string dir = temp_state_dir("restart");
+  std::filesystem::remove_all(dir);
+  const ServeOptions opts = ServeOptions{}
+                                .with_dynamic(test_dynamic_options())
+                                .with_state_dir(dir);
+  {
+    SessionManager mgr(opts);
+    const auto s = mgr.open("g", "gen:grid2d:4x4:7");
+    JournalBatch b;
+    b.ops.push_back({JournalOp::Kind::kReweight, 0, 1, 2.5, 0});
+    ASSERT_TRUE(s->commit(b).accepted);
+    // Hard crash mid-append: a torn op lands after the commit and the
+    // manager is destroyed without close() (no final checkpoint).
+    std::ofstream out(session_journal_path(dir, "g"), std::ios::app);
+    out << "reweight 1 2 9.0\n";
+  }
+  {
+    SessionManager mgr(opts);
+    ASSERT_EQ(mgr.restore_all().size(), 1u);
+    const auto s = mgr.attach("g");
+    JournalBatch b;
+    b.ops.push_back({JournalOp::Kind::kReweight, 2, 3, 4.5, 0});
+    ASSERT_TRUE(s->commit(b).accepted);
+    // Crash again before any close().
+  }
+  // The file now holds exactly the two committed batches: the torn op
+  // neither replayed nor merged into the second life's batch.
+  const StoredSession stored =
+      read_stored_session(session_journal_path(dir, "g"));
+  ASSERT_EQ(stored.batches.size(), 2u);
+  ASSERT_EQ(stored.batches[0].ops.size(), 1u);
+  ASSERT_EQ(stored.batches[1].ops.size(), 1u);
+  EXPECT_EQ(stored.batches[1].ops[0].u, 2);
+  EXPECT_EQ(stored.batches[1].ops[0].v, 3);
+
+  // A third life restores to the same bits as an offline replay of those
+  // two batches over the source graph.
+  SessionManager mgr(opts);
+  ASSERT_EQ(mgr.restore_all().size(), 1u);
+  const auto s = mgr.attach("g");
+  EXPECT_EQ(s->journal_lines().size(), 4u);  // op, commit, op, commit
+  DynamicSparsifier offline(load_session_graph("gen:grid2d:4x4:7"),
+                            test_dynamic_options());
+  for (const JournalBatch& batch : stored.batches) {
+    offline.apply(resolve_journal_batch(offline.graph(), batch));
+  }
+  EXPECT_EQ(s->info().sparsifier_edges, offline.result().num_edges());
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

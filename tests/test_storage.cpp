@@ -200,6 +200,33 @@ TEST(SspbFormat, ConvertAppliesMagnitudeRuleLikeTheLoader) {
   std::remove(bin.c_str());
 }
 
+TEST(SspbFormat, DuplicateEntriesSumInFileOrderLikeTheLoader) {
+  // Duplicate directed (row, col) entries whose floating-point sum
+  // depends on the order of addition: in file order 1e16 + 1 loses the 1
+  // and the total lands on 2.5; any other order changes the bits. Both
+  // pipelines must coalesce in file order (stable sorts), or the .sspb
+  // file silently diverges from the in-core graph.
+  const std::string mtx = tmp_path("dup", ".mtx");
+  const std::string bin = tmp_path("dup", ".sspb");
+  {
+    std::ofstream out(mtx);
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << "3 3 6\n";
+    out << "1 2 1e16\n";
+    out << "1 2 1\n";
+    out << "1 2 -1e16\n";
+    out << "1 2 2.5\n";   // file-order sum: ((1e16 + 1) - 1e16) + 2.5 = 2.5
+    out << "2 3 0.125\n";
+    out << "2 3 0.25\n";  // keeps vertex 3 in the largest component
+  }
+  const Graph via_loader = load_graph_mtx(mtx);
+  storage::convert_mtx_to_sspb(mtx, bin);
+  const storage::MappedGraph mapped(bin);
+  expect_graphs_bit_identical(via_loader, mapped.view(), "duplicates");
+  std::remove(mtx.c_str());
+  std::remove(bin.c_str());
+}
+
 // ---- .sspb error contract --------------------------------------------------
 
 /// A valid small .sspb file for the corruption tests.
@@ -286,6 +313,78 @@ TEST(SspbErrors, InconsistentDeclaredSizeNamesFileBytesField) {
     EXPECT_EQ(e.byte_offset(), 24u);
     EXPECT_EQ(e.field(), "file_bytes");
     EXPECT_NE(std::string(e.what()).find("99999"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SspbErrors, HugeEdgeCountIsRejectedBeforeLayoutOverflow) {
+  const std::string path = make_valid_sspb("hugem");
+  // Large enough that sspb_layout's uint64 arithmetic (largest term 16m)
+  // would wrap and could collide with a small file's size — the bound
+  // check must reject it before any layout math runs.
+  const std::int64_t huge = std::int64_t{1} << 59;
+  patch_file(path, 16, &huge, 8);
+  try {
+    storage::MappedGraph mapped(path);
+    FAIL() << "huge edge count must throw";
+  } catch (const storage::SspbError& e) {
+    EXPECT_EQ(e.byte_offset(), 16u);
+    EXPECT_EQ(e.field(), "m");
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SspbErrors, OutOfRangeNeighborIsRejected) {
+  const std::string path = make_valid_sspb("nbr");
+  Rng rng(7);
+  const Graph g = grid_2d(6, 6, WeightModel::log_uniform(0.5, 2.0), &rng);
+  const storage::SspbLayout layout =
+      storage::sspb_layout(g.num_vertices(), g.num_edges());
+  const Vertex bogus = g.num_vertices();  // one past the last vertex
+  patch_file(path, layout.adj_nbr, &bogus, 4);
+  try {
+    storage::MappedGraph mapped(path);
+    FAIL() << "out-of-range neighbor must throw";
+  } catch (const storage::SspbError& e) {
+    EXPECT_EQ(e.byte_offset(), layout.adj_nbr);
+    EXPECT_EQ(e.field(), "adj_nbr");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SspbErrors, OutOfRangeEdgeIdIsRejected) {
+  const std::string path = make_valid_sspb("eid");
+  Rng rng(7);
+  const Graph g = grid_2d(6, 6, WeightModel::log_uniform(0.5, 2.0), &rng);
+  const storage::SspbLayout layout =
+      storage::sspb_layout(g.num_vertices(), g.num_edges());
+  const EdgeId bogus = g.num_edges();  // one past the last edge
+  patch_file(path, layout.adj_eid, &bogus, 8);
+  try {
+    storage::MappedGraph mapped(path);
+    FAIL() << "out-of-range edge id must throw";
+  } catch (const storage::SspbError& e) {
+    EXPECT_EQ(e.byte_offset(), layout.adj_eid);
+    EXPECT_EQ(e.field(), "adj_eid");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SspbErrors, OutOfRangeEndpointIsRejected) {
+  const std::string path = make_valid_sspb("endp");
+  Rng rng(7);
+  const Graph g = grid_2d(6, 6, WeightModel::log_uniform(0.5, 2.0), &rng);
+  const storage::SspbLayout layout =
+      storage::sspb_layout(g.num_vertices(), g.num_edges());
+  const Vertex bogus = -1;
+  patch_file(path, layout.edge_u, &bogus, 4);
+  try {
+    storage::MappedGraph mapped(path);
+    FAIL() << "out-of-range endpoint must throw";
+  } catch (const storage::SspbError& e) {
+    EXPECT_EQ(e.byte_offset(), layout.edge_u);
+    EXPECT_EQ(e.field(), "edge_u");
   }
   std::remove(path.c_str());
 }
