@@ -15,6 +15,7 @@
 #include "core/resistance_sampling.hpp"
 #include "core/sparsifier.hpp"
 #include "core/sparsifier_engine.hpp"
+#include "obs/metrics.hpp"
 #include "scale/quality.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
@@ -208,6 +209,58 @@ void print_thread_scaling() {
               "stream order, so N-thread output is bit-identical.\n");
 }
 
+// Observability overhead: the same sparsification with the metrics
+// registry off (the default) vs on must produce bit-identical edge lists,
+// and the disabled instrumentation must be nearly free (ISSUE 9 budget:
+// <1% on this bench). A flaky hard gate in CI would be worse than the
+// data, so the measured ratio is reported into BENCH_baseline_ss.json for
+// the perf-trajectory tracking instead of asserted here; the disabled
+// per-call cost (one relaxed load + branch) is timed directly as well.
+void print_obs_overhead() {
+  bench::print_banner(
+      "Observability overhead — metrics registry off vs on\n"
+      "identical-result check: edge lists must match bit-for-bit");
+  const Graph g = bench::g3_circuit_proxy(dim(120, 500), 701);
+  const auto opts = SparsifyOptions{}.with_sigma2(100.0).with_seed(5);
+
+  obs::set_metrics_enabled(false);
+  const WallTimer t_off;
+  const SparsifyResult off = sparsify(g, opts);
+  const double off_seconds = t_off.seconds();
+
+  obs::set_metrics_enabled(true);
+  const WallTimer t_on;
+  const SparsifyResult on = sparsify(g, opts);
+  const double on_seconds = t_on.seconds();
+  obs::set_metrics_enabled(false);
+
+  const bool identical = off.edges == on.edges;
+  const double ratio = off_seconds > 0.0 ? on_seconds / off_seconds : 1.0;
+
+  // Disabled-path per-call cost: a tight loop of counter_add while the
+  // registry is off. DoNotOptimize keeps the load+branch alive.
+  constexpr int kCalls = 1 << 20;
+  const WallTimer t_call;
+  for (int i = 0; i < kCalls; ++i) {
+    obs::counter_add("bench.obs.disabled_probe", 1);
+    benchmark::DoNotOptimize(i);
+  }
+  const double ns_per_disabled_call = t_call.seconds() * 1e9 / kCalls;
+
+  std::printf("obs off %.3fs, on %.3fs (%.2fx), disabled call %.2f ns, "
+              "bitmatch %s\n",
+              off_seconds, on_seconds, ratio, ns_per_disabled_call,
+              identical ? "yes" : "NO (BUG)");
+  report().section("obs_overhead").push(
+      Json::object()
+          .set("graph", "grid")
+          .set("off_seconds", off_seconds)
+          .set("on_seconds", on_seconds)
+          .set("on_off_ratio", ratio)
+          .set("disabled_call_ns", ns_per_disabled_call)
+          .set("bitmatch", identical));
+}
+
 void BM_SpielmanSrivastava(benchmark::State& state) {
   const Graph g = bench::g3_circuit_proxy(static_cast<Vertex>(state.range(0)));
   SsOptions opts;
@@ -238,6 +291,7 @@ int main(int argc, char** argv) {
   print_baseline();
   print_warm_start();
   print_thread_scaling();
+  print_obs_overhead();
   report().write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -40,13 +40,6 @@ struct RunResult {
   int failures = 0;
 };
 
-double percentile(std::vector<double> sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const auto idx = static_cast<std::size_t>(
-      q * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(idx, sorted.size() - 1)];
-}
-
 /// One client: attach, then kCommitsPerClient reweight-only commits over
 /// the client's own grid rows (disjoint across clients of a session).
 void run_client(const std::string& socket_path, const std::string& session,
@@ -167,8 +160,8 @@ int main() {
     std::vector<double> sorted = result.commit_seconds;
     std::sort(sorted.begin(), sorted.end());
     const auto commits = static_cast<double>(sorted.size());
-    const double p50 = percentile(sorted, 0.50);
-    const double p99 = percentile(sorted, 0.99);
+    const double p50 = ssp::bench::percentile(sorted, 0.50);
+    const double p99 = ssp::bench::percentile(sorted, 0.99);
     const double commits_per_sec =
         result.wall_seconds > 0.0 ? commits / result.wall_seconds : 0.0;
     const double updates_per_sec = commits_per_sec * kOpsPerCommit;
@@ -187,6 +180,13 @@ int main() {
             .set("failures", result.failures)
             .set("p50_ms", p50 * 1e3)
             .set("p99_ms", p99 * 1e3)
+            .set("latency_ms",
+                 ssp::bench::latency_summary([&] {
+                   std::vector<double> ms;
+                   ms.reserve(sorted.size());
+                   for (const double s : sorted) ms.push_back(s * 1e3);
+                   return ms;
+                 }()))
             .set("commits_per_sec", commits_per_sec)
             .set("updates_per_sec", updates_per_sec)
             .set("wall_seconds", result.wall_seconds));

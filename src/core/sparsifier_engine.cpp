@@ -8,6 +8,8 @@
 #include "core/eigen_estimate.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/laplacian.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tree/akpw.hpp"
 #include "tree/dijkstra_tree.hpp"
 #include "tree/kruskal.hpp"
@@ -102,14 +104,41 @@ LinOp Sparsifier::make_solver(double* setup_seconds, PanelOp* panel) {
   return solve_p;
 }
 
+namespace {
+
+// Indexed by StageKind; keep in sync with the enum in the header.
+constexpr const char* kStageSpanName[kNumStageKinds] = {
+    "engine.backbone",  "engine.solver-setup", "engine.spectral-estimate",
+    "engine.embedding", "engine.filtering",    "engine.final-estimate"};
+constexpr obs::MetricId kStageNsMetric[kNumStageKinds] = {
+    "engine.stage.backbone.ns",          "engine.stage.solver-setup.ns",
+    "engine.stage.spectral-estimate.ns", "engine.stage.embedding.ns",
+    "engine.stage.filtering.ns",         "engine.stage.final-estimate.ns"};
+constexpr obs::MetricId kStageCallsMetric[kNumStageKinds] = {
+    "engine.stage.backbone.calls",          "engine.stage.solver-setup.calls",
+    "engine.stage.spectral-estimate.calls", "engine.stage.embedding.calls",
+    "engine.stage.filtering.calls",         "engine.stage.final-estimate.calls"};
+
+}  // namespace
+
 bool Sparsifier::finish_round(DensifyRound& stats, double seconds) {
   stats.seconds = seconds;
+  obs::counter_add("engine.rounds", 1);
+  obs::counter_add("engine.filter.edges_added",
+                   static_cast<std::uint64_t>(stats.edges_added));
   result_.rounds.push_back(stats);
   ++next_round_;
   return observer_ == nullptr || observer_->on_round(stats);
 }
 
 void Sparsifier::notify_stage(StageKind stage, double seconds) {
+  // Telemetry only: nothing below feeds back into the computation, so
+  // output stays bit-identical with observability on or off.
+  const auto idx = static_cast<int>(stage);
+  obs::counter_add(kStageNsMetric[idx],
+                   static_cast<std::uint64_t>(seconds * 1e9));
+  obs::counter_add(kStageCallsMetric[idx], 1);
+  obs::TraceScope span(kStageSpanName[idx], seconds);
   if (observer_ != nullptr) observer_->on_stage(stage, seconds);
 }
 
@@ -168,6 +197,8 @@ StepStatus Sparsifier::step_impl() {
                         .threads = opts_.threads},
                        rng_, emb_ws_, emb_, solve_p_panel);
   notify_stage(StageKind::kEmbedding, stage_timer.seconds());
+  obs::counter_add("engine.embedding.vectors",
+                   static_cast<std::uint64_t>(opts_.num_vectors));
 
   // --- Step 5: rank and filter by normalized Joule heat (Eq. 15). ---
   stage_timer.reset();

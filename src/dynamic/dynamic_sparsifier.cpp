@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "graph/connectivity.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tree/kruskal.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
@@ -145,9 +147,26 @@ SparsifyOptions DynamicSparsifier::cold_equivalent_options() const {
   return opts;
 }
 
+namespace {
+
+// Indexed by DynamicStage; keep in sync with the enum in the header.
+constexpr const char* kDynSpanName[kNumDynamicStages] = {
+    "dynamic.validate", "dynamic.apply-graph", "dynamic.tree-repair",
+    "dynamic.rebind", "dynamic.sparsify"};
+constexpr obs::MetricId kDynStageNs[kNumDynamicStages] = {
+    "dynamic.stage.validate.ns", "dynamic.stage.apply-graph.ns",
+    "dynamic.stage.tree-repair.ns", "dynamic.stage.rebind.ns",
+    "dynamic.stage.sparsify.ns"};
+
+}  // namespace
+
 void DynamicSparsifier::notify_stage(DynamicStage stage, double seconds,
                                      UpdateStats& stats) const {
   stats.stage_seconds[static_cast<std::size_t>(stage)] += seconds;
+  // Telemetry only — consumes no RNG and never feeds back into routing.
+  const auto idx = static_cast<int>(stage);
+  obs::counter_add(kDynStageNs[idx], static_cast<std::uint64_t>(seconds * 1e9));
+  obs::TraceScope span(kDynSpanName[idx], seconds);
   if (observer_ != nullptr) observer_->on_dynamic_stage(stage, seconds);
 }
 
@@ -326,6 +345,20 @@ UpdateStats DynamicSparsifier::apply(const UpdateBatch& batch) {
   stats.sigma2_estimate = r.sigma2_estimate;
   stats.reached_target = r.reached_target;
   for (const double s : stats.stage_seconds) stats.seconds += s;
+  obs::counter_add("dynamic.batches", 1);
+  obs::counter_add("dynamic.tree_swaps",
+                   static_cast<std::uint64_t>(stats.tree_swaps));
+  switch (stats.route) {
+    case UpdateRoute::kResparsify:
+      obs::counter_add("dynamic.route.resparsify", 1);
+      break;
+    case UpdateRoute::kTreeRepair:
+      obs::counter_add("dynamic.route.tree-repair", 1);
+      break;
+    case UpdateRoute::kRebuild:
+      obs::counter_add("dynamic.route.rebuild", 1);
+      break;
+  }
   history_.push_back(stats);
   if (observer_ != nullptr) observer_->on_update(history_.back());
   return history_.back();

@@ -1,0 +1,199 @@
+#include "obs/metrics.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace ssp::obs {
+
+namespace {
+
+constexpr int kCapacity = 512;  // power of two; probe mask below
+constexpr int kMaxNameLen = 95;
+constexpr std::uint64_t kClaiming = ~std::uint64_t{0};
+
+struct Slot {
+  std::atomic<std::uint64_t> hash{0};  // 0 empty, kClaiming mid-claim
+  std::atomic<std::uint8_t> kind{0};
+  char name[kMaxNameLen + 1] = {};
+  std::atomic<std::uint64_t> value{0};  // counter count / gauge bits
+  std::atomic<std::uint64_t> hist_count{0};
+  std::atomic<std::uint64_t> hist_sum_bits{0};  // double, CAS-accumulated
+  std::atomic<std::uint64_t> buckets[HistogramView::kBuckets]{};
+};
+
+// Static storage: the registry must outlive every static destructor
+// that might still record (thread pools, session teardown), so it is
+// plain zero-initialized BSS with no destructor of its own.
+Slot g_slots[kCapacity];
+std::atomic<int> g_count{0};
+std::atomic<bool> g_enabled{false};
+
+/// Find or claim the slot for (hash, name). Lock-free: losers of the
+/// CAS spin only while the winner memcpys a <=96-byte name. Returns
+/// nullptr when the table is full (metric silently dropped) — with 512
+/// slots and ~100 metrics that never happens in practice.
+Slot* find_slot(std::uint64_t hash, std::string_view name,
+                MetricKind kind) noexcept {
+  const std::uint64_t mask = kCapacity - 1;
+  for (std::uint64_t probe = 0; probe < kCapacity; ++probe) {
+    Slot& s = g_slots[(hash + probe) & mask];
+    for (;;) {
+      const std::uint64_t h = s.hash.load(std::memory_order_acquire);
+      if (h == hash) return &s;
+      if (h == kClaiming) continue;  // another thread is naming this slot
+      if (h != 0) break;             // occupied by a different metric
+      std::uint64_t expected = 0;
+      if (s.hash.compare_exchange_weak(expected, kClaiming,
+                                       std::memory_order_acq_rel)) {
+        const std::size_t len =
+            name.size() < kMaxNameLen ? name.size() : kMaxNameLen;
+        std::memcpy(s.name, name.data(), len);
+        s.name[len] = '\0';
+        s.kind.store(static_cast<std::uint8_t>(kind),
+                     std::memory_order_relaxed);
+        g_count.fetch_add(1, std::memory_order_relaxed);
+        s.hash.store(hash, std::memory_order_release);
+        return &s;
+      }
+    }
+  }
+  return nullptr;
+}
+
+/// Bucket i covers [2^i, 2^(i+1)), except bucket 0 which covers [0, 2).
+int bucket_index(double value) noexcept {
+  if (!(value >= 2.0)) return 0;  // also catches NaN / negatives
+  const auto u = static_cast<std::uint64_t>(value);
+  const int idx = 63 - std::countl_zero(u);
+  return idx < HistogramView::kBuckets - 1 ? idx
+                                           : HistogramView::kBuckets - 1;
+}
+
+void atomic_add_double(std::atomic<std::uint64_t>& bits,
+                       double delta) noexcept {
+  std::uint64_t cur = bits.load(std::memory_order_relaxed);
+  for (;;) {
+    const double next = std::bit_cast<double>(cur) + delta;
+    if (bits.compare_exchange_weak(cur, std::bit_cast<std::uint64_t>(next),
+                                   std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+bool metrics_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void counter_add(MetricId id, std::uint64_t delta) noexcept {
+  if (!metrics_enabled()) return;
+  if (Slot* s = find_slot(id.hash, id.name, MetricKind::kCounter)) {
+    s->value.fetch_add(delta, std::memory_order_relaxed);
+  }
+}
+
+void gauge_set(MetricId id, std::int64_t value) noexcept {
+  if (!metrics_enabled()) return;
+  if (Slot* s = find_slot(id.hash, id.name, MetricKind::kGauge)) {
+    s->value.store(static_cast<std::uint64_t>(value),
+                   std::memory_order_relaxed);
+  }
+}
+
+void gauge_add(MetricId id, std::int64_t delta) noexcept {
+  if (!metrics_enabled()) return;
+  if (Slot* s = find_slot(id.hash, id.name, MetricKind::kGauge)) {
+    s->value.fetch_add(static_cast<std::uint64_t>(delta),
+                       std::memory_order_relaxed);
+  }
+}
+
+void histogram_observe(MetricId id, double value) noexcept {
+  if (!metrics_enabled()) return;
+  if (Slot* s = find_slot(id.hash, id.name, MetricKind::kHistogram)) {
+    s->buckets[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    s->hist_count.fetch_add(1, std::memory_order_relaxed);
+    atomic_add_double(s->hist_sum_bits, value < 0.0 ? 0.0 : value);
+  }
+}
+
+void counter_add_named(std::string_view name, std::uint64_t delta) noexcept {
+  if (!metrics_enabled()) return;
+  if (Slot* s = find_slot(fnv1a(name), name, MetricKind::kCounter)) {
+    s->value.fetch_add(delta, std::memory_order_relaxed);
+  }
+}
+
+void histogram_observe_named(std::string_view name, double value) noexcept {
+  if (!metrics_enabled()) return;
+  if (Slot* s = find_slot(fnv1a(name), name, MetricKind::kHistogram)) {
+    s->buckets[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    s->hist_count.fetch_add(1, std::memory_order_relaxed);
+    atomic_add_double(s->hist_sum_bits, value < 0.0 ? 0.0 : value);
+  }
+}
+
+double HistogramView::percentile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto target =
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+  const std::uint64_t rank = target == 0 ? 1 : target;
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += buckets[i];
+    if (cum >= rank) return std::ldexp(1.0, i + 1);
+  }
+  return std::ldexp(1.0, kBuckets);
+}
+
+void visit_metrics(void (*fn)(const MetricEntry&, void*), void* ctx) {
+  std::uint64_t bucket_copy[HistogramView::kBuckets];
+  for (int i = 0; i < kCapacity; ++i) {
+    Slot& s = g_slots[i];
+    const std::uint64_t h = s.hash.load(std::memory_order_acquire);
+    if (h == 0 || h == kClaiming) continue;
+    MetricEntry e{};
+    e.name = s.name;
+    e.kind = static_cast<MetricKind>(s.kind.load(std::memory_order_relaxed));
+    const std::uint64_t raw = s.value.load(std::memory_order_relaxed);
+    e.counter = raw;
+    e.gauge = static_cast<std::int64_t>(raw);
+    if (e.kind == MetricKind::kHistogram) {
+      for (int b = 0; b < HistogramView::kBuckets; ++b) {
+        bucket_copy[b] = s.buckets[b].load(std::memory_order_relaxed);
+      }
+      e.hist.buckets = bucket_copy;
+      e.hist.count = s.hist_count.load(std::memory_order_relaxed);
+      e.hist.sum = std::bit_cast<double>(
+          s.hist_sum_bits.load(std::memory_order_relaxed));
+    }
+    fn(e, ctx);
+  }
+}
+
+int metric_count() noexcept { return g_count.load(std::memory_order_relaxed); }
+
+void reset_metrics_for_tests() noexcept {
+  for (Slot& s : g_slots) {
+    s.hash.store(0, std::memory_order_relaxed);
+    s.kind.store(0, std::memory_order_relaxed);
+    s.name[0] = '\0';
+    s.value.store(0, std::memory_order_relaxed);
+    s.hist_count.store(0, std::memory_order_relaxed);
+    s.hist_sum_bits.store(0, std::memory_order_relaxed);
+    for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+  }
+  g_count.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ssp::obs

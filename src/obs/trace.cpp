@@ -1,0 +1,210 @@
+#include "obs/trace.hpp"
+
+#ifndef SSP_OBS_NO_TRACE
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <ostream>
+
+namespace ssp::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  const char* arg_name;
+  std::int64_t arg;
+  std::uint64_t start_ns;
+  std::uint64_t dur_ns;
+};
+
+/// One ring per recording thread. Writers publish with a release store
+/// of the new count so a quiesced reader (acquire load) sees complete
+/// events; a ring that wraps keeps the newest kCapacity spans.
+struct ThreadBuffer {
+  static constexpr std::uint64_t kCapacity = 8192;
+  TraceEvent events[kCapacity];
+  std::atomic<std::uint64_t> count{0};
+  int tid = 0;
+
+  void push(const TraceEvent& e) noexcept {
+    const std::uint64_t n = count.load(std::memory_order_relaxed);
+    events[n % kCapacity] = e;
+    count.store(n + 1, std::memory_order_release);
+  }
+};
+
+constexpr int kMaxThreads = 256;
+ThreadBuffer* g_buffers[kMaxThreads];
+int g_num_buffers = 0;          // guarded by g_reg_mu; read via acquire fence
+std::atomic<int> g_num_published{0};
+std::mutex g_reg_mu;
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint64_t> g_epoch_ns{0};
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// First span on a thread allocates its ring (never freed: flushing
+/// must outlive thread exit) and registers it. Every later span is
+/// allocation-free.
+ThreadBuffer* local_buffer() noexcept {
+  static thread_local ThreadBuffer* buf = [] {
+    auto* b = new ThreadBuffer();
+    std::lock_guard<std::mutex> lock(g_reg_mu);
+    if (g_num_buffers < kMaxThreads) {
+      b->tid = g_num_buffers + 1;
+      g_buffers[g_num_buffers] = b;
+      ++g_num_buffers;
+      g_num_published.store(g_num_buffers, std::memory_order_release);
+    }
+    return b;  // tid 0: table full, ring records but is never flushed
+  }();
+  return buf;
+}
+
+void escape_into(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      os << buf;
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+bool trace_enabled() noexcept {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void start_trace() noexcept {
+  std::lock_guard<std::mutex> lock(g_reg_mu);
+  for (int i = 0; i < g_num_buffers; ++i) {
+    g_buffers[i]->count.store(0, std::memory_order_relaxed);
+  }
+  g_epoch_ns.store(now_ns(), std::memory_order_relaxed);
+  g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void stop_trace() noexcept { g_enabled.store(false, std::memory_order_relaxed); }
+
+void emit_span(const char* name, double seconds, const char* arg_name,
+               std::int64_t arg) noexcept {
+  if (!trace_enabled()) return;
+  const std::uint64_t end = now_ns();
+  const auto dur = seconds > 0.0
+                       ? static_cast<std::uint64_t>(seconds * 1e9)
+                       : std::uint64_t{0};
+  const std::uint64_t epoch = g_epoch_ns.load(std::memory_order_relaxed);
+  std::uint64_t start = end > dur ? end - dur : 0;
+  if (start < epoch) start = epoch;  // clamp spans that predate the trace
+  local_buffer()->push({name, arg_name, arg, start, end - start});
+}
+
+Span::Span(const char* name, const char* arg_name, std::int64_t arg) noexcept
+    : name_(name),
+      arg_name_(arg_name),
+      arg_(arg),
+      start_ns_(0),
+      armed_(trace_enabled()) {
+  if (armed_) start_ns_ = now_ns();
+}
+
+Span::~Span() {
+  if (!armed_ || !trace_enabled()) return;
+  const std::uint64_t end = now_ns();
+  local_buffer()->push(
+      {name_, arg_name_, arg_, start_ns_, end > start_ns_ ? end - start_ns_ : 0});
+}
+
+void write_chrome_trace(std::ostream& os) {
+  // Readers only touch rings already published (acquire), and flushing
+  // happens after writers quiesce, so event payloads are stable.
+  const int n = g_num_published.load(std::memory_order_acquire);
+  const std::uint64_t epoch = g_epoch_ns.load(std::memory_order_relaxed);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  char num[64];
+  for (int i = 0; i < n; ++i) {
+    const ThreadBuffer& tb = *g_buffers[i];
+    if (tb.tid == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tb.tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"ssp-thread-"
+       << tb.tid << "\"}}";
+    const std::uint64_t total = tb.count.load(std::memory_order_acquire);
+    const std::uint64_t kept =
+        total < ThreadBuffer::kCapacity ? total : ThreadBuffer::kCapacity;
+    for (std::uint64_t k = total - kept; k < total; ++k) {
+      const TraceEvent& e = tb.events[k % ThreadBuffer::kCapacity];
+      const double ts_us =
+          e.start_ns >= epoch
+              ? static_cast<double>(e.start_ns - epoch) / 1000.0
+              : 0.0;
+      const double dur_us = static_cast<double>(e.dur_ns) / 1000.0;
+      os << ",{\"ph\":\"X\",\"cat\":\"ssp\",\"pid\":1,\"tid\":" << tb.tid
+         << ",\"name\":\"";
+      escape_into(os, e.name);
+      std::snprintf(num, sizeof(num), "\",\"ts\":%.3f,\"dur\":%.3f", ts_us,
+                    dur_us);
+      os << num;
+      if (e.arg_name != nullptr) {
+        os << ",\"args\":{\"";
+        escape_into(os, e.arg_name);
+        os << "\":" << e.arg << '}';
+      }
+      os << '}';
+    }
+    if (total > kept) {
+      os << ",{\"ph\":\"M\",\"pid\":1,\"tid\":" << tb.tid
+         << ",\"name\":\"process_labels\",\"args\":{\"labels\":\"dropped "
+         << (total - kept) << " spans (ring wrapped)\"}}";
+    }
+  }
+  os << "]}\n";
+}
+
+bool write_trace_file(const std::string& path) {
+  stop_trace();
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "trace: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  write_chrome_trace(out);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "trace: write to %s failed\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::uint64_t trace_span_count() noexcept {
+  const int n = g_num_published.load(std::memory_order_acquire);
+  std::uint64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += g_buffers[i]->count.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+}  // namespace ssp::obs
+
+#endif  // SSP_OBS_NO_TRACE

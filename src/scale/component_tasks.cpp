@@ -1,9 +1,12 @@
 #include "scale/component_tasks.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "graph/connectivity.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -15,6 +18,9 @@ namespace {
 /// single-threaded engine otherwise. Pure function of the task inputs —
 /// never of the executing thread.
 void run_task(ComponentTask& task) {
+  // Live span on the executing worker thread: each component shows up on
+  // its real timeline track in the trace, labeled by host block.
+  const obs::Span span("scale.component", "block", task.block);
   const WallTimer timer;
   const Graph& sg = task.graph();
   const std::vector<EdgeId>& emap = task.edge_map();
@@ -109,6 +115,27 @@ BlockStats fold_stats(Index block, const Subgraph& sub,
       stats.stage_seconds[static_cast<std::size_t>(s)] +=
           task.stage_seconds[static_cast<std::size_t>(s)];
     }
+  }
+  // Per-block per-stage seconds go into the registry under a per-block
+  // label. Blocks fold concurrently-computed task timings only here, on
+  // the driving thread after the run_tasks barrier, and the registry is
+  // lock-free besides — no shared mutable struct to race on.
+  if (obs::metrics_enabled()) {
+    static constexpr const char* kStageName[kNumStageKinds] = {
+        "backbone",  "solver-setup", "spectral-estimate",
+        "embedding", "filtering",    "final-estimate"};
+    char name[64];
+    for (int s = 0; s < kNumStageKinds; ++s) {
+      const double sec = stats.stage_seconds[static_cast<std::size_t>(s)];
+      if (sec <= 0.0) continue;
+      std::snprintf(name, sizeof(name), "scale.block.%lld.stage.%s.ns",
+                    static_cast<long long>(block), kStageName[s]);
+      obs::counter_add_named(name, static_cast<std::uint64_t>(sec * 1e9));
+    }
+    std::snprintf(name, sizeof(name), "scale.block.%lld.components",
+                  static_cast<long long>(block));
+    obs::counter_add_named(name,
+                           static_cast<std::uint64_t>(stats.components));
   }
   return stats;
 }

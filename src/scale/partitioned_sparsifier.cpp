@@ -6,6 +6,8 @@
 
 #include "graph/connectivity.hpp"
 #include "graph/subgraph.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scale/component_tasks.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
@@ -111,8 +113,26 @@ PartitionedSparsifier::PartitionedSparsifier(const Graph& g,
   user_assignment_ = std::move(assignment);
 }
 
+namespace {
+
+// Indexed by ScaleStage; keep in sync with the enum in the header.
+constexpr const char* kScaleSpanName[kNumScaleStages] = {
+    "scale.partition",    "scale.extract", "scale.block-sparsify",
+    "scale.cut-sparsify", "scale.stitch",  "scale.quality"};
+constexpr obs::MetricId kScaleStageNs[kNumScaleStages] = {
+    "scale.stage.partition.ns",    "scale.stage.extract.ns",
+    "scale.stage.block-sparsify.ns", "scale.stage.cut-sparsify.ns",
+    "scale.stage.stitch.ns",       "scale.stage.quality.ns"};
+
+}  // namespace
+
 void PartitionedSparsifier::notify_stage(ScaleStage stage, double seconds) {
   result_.stage_seconds[static_cast<std::size_t>(stage)] = seconds;
+  // Telemetry only: recording never alters partitioning or seeds.
+  const auto idx = static_cast<int>(stage);
+  obs::counter_add(kScaleStageNs[idx],
+                   static_cast<std::uint64_t>(seconds * 1e9));
+  obs::TraceScope span(kScaleSpanName[idx], seconds);
   if (observer_ != nullptr) observer_->on_scale_stage(stage, seconds);
 }
 

@@ -1,9 +1,11 @@
 #include "serve/connection.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/options_io.hpp"
 #include "dynamic/journal_wire.hpp"
+#include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
 
 namespace ssp::serve {
@@ -41,6 +43,8 @@ Reply Connection::dispatch(const std::string& line,
   }
   if (verb == "query") return handle_query(tokens);
   if (verb == "snapshot") return handle_snapshot(tokens);
+  if (verb == "stats") return handle_stats(tokens);
+  if (verb == "metrics") return handle_metrics(tokens);
   if (verb == "ping") return Reply{"ok pong", {}, false};
   if (verb == "quit") return Reply{"ok bye", {}, true};
   std::ostringstream os;
@@ -220,6 +224,124 @@ Reply Connection::handle_query(const std::vector<std::string>& tokens) {
                                           "' (edges|stats|quality|journal)"),
                {},
                false};
+}
+
+namespace {
+
+/// One-line summary of a session for the daemon-wide `stats` listing.
+std::string stats_summary_line(const Session& session) {
+  const SessionInfo info = session.info();
+  std::ostringstream os;
+  os << "session=" << session.name() << " vertices=" << info.vertices
+     << " graph_edges=" << info.graph_edges
+     << " sparsifier_edges=" << info.sparsifier_edges
+     << " sigma2=" << format_double(info.sigma2_estimate)
+     << " reached=" << (info.reached_target ? 1 : 0)
+     << " batches=" << info.batches << " commits=" << info.commits
+     << " queued=" << session.queued()
+     << " route=" << to_string(info.last_route)
+     << " total_seconds=" << format_double(info.total_seconds);
+  return os.str();
+}
+
+}  // namespace
+
+Reply Connection::handle_stats(const std::vector<std::string>& tokens) {
+  if (tokens.size() > 2) {
+    return Reply{error_line("protocol", "usage: stats [<session>]"), {}, false};
+  }
+  Reply reply;
+  if (tokens.size() == 2) {
+    // Detailed key=value view of one session, including the dynamic
+    // layer's per-stage breakdown of the latest batch.
+    const auto session = sessions_.attach(tokens[1]);
+    const SessionInfo info = session->info();
+    const UpdateStats last = session->last_update();
+    auto line = [&reply](const std::string& key, const std::string& value) {
+      reply.payload.push_back(key + "=" + value);
+    };
+    line("name", session->name());
+    line("vertices", std::to_string(info.vertices));
+    line("graph_edges", std::to_string(info.graph_edges));
+    line("sparsifier_edges", std::to_string(info.sparsifier_edges));
+    line("sigma2", format_double(info.sigma2_estimate));
+    line("lambda_min", format_double(info.lambda_min));
+    line("lambda_max", format_double(info.lambda_max));
+    line("reached", info.reached_target ? "1" : "0");
+    line("batches", std::to_string(info.batches));
+    line("commits", std::to_string(info.commits));
+    line("queued", std::to_string(session->queued()));
+    line("max_queued", std::to_string(sessions_.options().max_queued_batches));
+    line("total_seconds", format_double(info.total_seconds));
+    line("last.route", to_string(last.route));
+    line("last.batch", std::to_string(last.batch));
+    line("last.seconds", format_double(last.seconds));
+    line("last.dirty_fraction", format_double(last.dirty_fraction));
+    line("last.tree_swaps", std::to_string(last.tree_swaps));
+    for (int s = 0; s < kNumDynamicStages; ++s) {
+      line(std::string("last.stage.") +
+               to_string(static_cast<DynamicStage>(s)) + ".seconds",
+           format_double(last.stage_seconds[static_cast<std::size_t>(s)]));
+    }
+    std::ostringstream os;
+    os << "ok n=" << reply.payload.size() << " session=" << session->name();
+    reply.status = os.str();
+    return reply;
+  }
+  // Daemon-wide: one summary line per open session. A session closing
+  // between the listing and its info read simply drops out.
+  for (const std::string& name : sessions_.names()) {
+    try {
+      reply.payload.push_back(stats_summary_line(*sessions_.attach(name)));
+    } catch (const std::exception&) {
+      // closed concurrently — skip
+    }
+  }
+  std::ostringstream os;
+  os << "ok n=" << reply.payload.size();
+  reply.status = os.str();
+  return reply;
+}
+
+Reply Connection::handle_metrics(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 1) {
+    return Reply{error_line("protocol", "usage: metrics"), {}, false};
+  }
+  Reply reply;
+  obs::for_each_metric([&reply](const obs::MetricEntry& e) {
+    std::ostringstream os;
+    switch (e.kind) {
+      case obs::MetricKind::kCounter:
+        os << e.name << ' ' << e.counter;
+        reply.payload.push_back(os.str());
+        break;
+      case obs::MetricKind::kGauge:
+        os << e.name << ' ' << e.gauge;
+        reply.payload.push_back(os.str());
+        break;
+      case obs::MetricKind::kHistogram: {
+        const std::string base(e.name);
+        reply.payload.push_back(base + ".count " +
+                                std::to_string(e.hist.count));
+        reply.payload.push_back(base + ".sum " + format_double(e.hist.sum));
+        reply.payload.push_back(base + ".p50 " +
+                                format_double(e.hist.percentile(0.50)));
+        reply.payload.push_back(base + ".p95 " +
+                                format_double(e.hist.percentile(0.95)));
+        reply.payload.push_back(base + ".p99 " +
+                                format_double(e.hist.percentile(0.99)));
+        break;
+      }
+    }
+  });
+  // Registry slot order depends on hash probing; sort for a stable wire
+  // format clients can diff.
+  std::sort(reply.payload.begin(), reply.payload.end());
+  std::ostringstream os;
+  os << "ok n=" << reply.payload.size()
+     << " enabled=" << (obs::metrics_enabled() ? 1 : 0);
+  reply.status = os.str();
+  return reply;
 }
 
 Reply Connection::handle_snapshot(const std::vector<std::string>& tokens) {

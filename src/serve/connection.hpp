@@ -51,6 +51,8 @@ class Connection {
   Reply handle_journal_line(const std::string& line);  ///< ops + commit
   Reply handle_query(const std::vector<std::string>& tokens);
   Reply handle_snapshot(const std::vector<std::string>& tokens);
+  Reply handle_stats(const std::vector<std::string>& tokens);
+  Reply handle_metrics(const std::vector<std::string>& tokens);
   [[nodiscard]] std::shared_ptr<Session> require_session() const;
 
   SessionManager& sessions_;

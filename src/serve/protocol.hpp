@@ -16,6 +16,11 @@
 /// commit                            % apply the buffered ops as one batch
 /// query edges|stats|quality|journal % read the attached session
 /// snapshot <path>                   % write the sparsifier as .mtx
+/// stats [<session>]                 % introspection: all-session summary
+///                                   %   lines, or key=value detail (incl.
+///                                   %   per-stage seconds) for one session
+/// metrics                           % dump the obs registry snapshot as
+///                                   %   sorted "<name> <value>" lines
 /// ping                              % liveness probe
 /// quit                              % close the connection
 /// ```

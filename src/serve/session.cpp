@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <optional>
 #include <stdexcept>
@@ -10,8 +11,11 @@
 #include "dynamic/journal_wire.hpp"
 #include "graph/graph_source.hpp"
 #include "graph/mtx_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/session_store.hpp"
 #include "util/assert.hpp"
+#include "util/timer.hpp"
 
 namespace ssp::serve {
 
@@ -147,10 +151,13 @@ void Session::require_open_locked() const {
 CommitOutcome Session::commit(const JournalBatch& batch) {
   SSP_REQUIRE(!batch.ops.empty(),
               "empty commits are no-ops and must not reach Session::commit");
+  const WallTimer commit_timer;
+  const obs::Span commit_span("serve.commit");
   {
     std::lock_guard<std::mutex> lk(admit_mu_);
     require_open_locked();
     if (pending_ >= max_queued_batches_) {
+      obs::counter_add("serve.backpressure.rejections", 1);
       CommitOutcome out;
       out.accepted = false;
       out.queued = pending_;
@@ -188,6 +195,17 @@ CommitOutcome Session::commit(const JournalBatch& batch) {
     if (commits_ % persist_.checkpoint_every == 0) {
       persist_checkpoint_locked();
     }
+  }
+  obs::counter_add("serve.commits", 1);
+  const double latency_us = commit_timer.seconds() * 1e6;
+  obs::histogram_observe("serve.commit.latency_us", latency_us);
+  if (obs::metrics_enabled()) {
+    // Per-session latency under a runtime label (names are <= 64 chars,
+    // so the composed name fits the registry's fixed buffer).
+    char label[96];
+    std::snprintf(label, sizeof(label), "serve.session.%s.commit_us",
+                  name_.c_str());
+    obs::histogram_observe_named(label, latency_us);
   }
   return out;
 }
@@ -258,6 +276,20 @@ SessionInfo Session::info() const {
   info.last_seconds = last.seconds;
   info.last_route = last.route;
   return info;
+}
+
+Index Session::queued() const {
+  std::lock_guard<std::mutex> lk(admit_mu_);
+  return pending_;
+}
+
+UpdateStats Session::last_update() const {
+  std::lock_guard<std::mutex> lk(apply_mu_);
+  {
+    std::lock_guard<std::mutex> al(admit_mu_);
+    require_open_locked();
+  }
+  return dyn_.history().back();
 }
 
 void Session::snapshot_mtx(const std::string& path) const {
@@ -337,6 +369,7 @@ std::shared_ptr<Session> SessionManager::open(const std::string& name,
           "' (1-64 chars of [A-Za-z0-9_.-])");
     }
     if (static_cast<Index>(sessions_.size()) >= opts_.max_sessions) {
+      obs::counter_add("serve.admission.rejections", 1);
       throw std::runtime_error(
           "session table full (max " + std::to_string(opts_.max_sessions) +
           ")");
@@ -356,6 +389,7 @@ std::shared_ptr<Session> SessionManager::open(const std::string& name,
     auto session = std::make_shared<Session>(name, g, opts_.dynamic,
                                              opts_.max_queued_batches,
                                              std::move(persist));
+    obs::counter_add("serve.sessions.opened", 1);
     std::lock_guard<std::mutex> lk(mu_);
     sessions_[name] = session;
     return session;
@@ -440,6 +474,7 @@ void SessionManager::close(const std::string& name) {
     session = it->second;
     sessions_.erase(it);
   }
+  obs::counter_add("serve.sessions.closed", 1);
   session->close();  // blocks on the in-flight commit, outside the table lock
   if (!opts_.state_dir.empty()) {
     // Explicit teardown: a client-closed session must not resurrect.

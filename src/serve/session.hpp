@@ -152,6 +152,14 @@ class Session {
   /// Aggregate telemetry + quality view.
   [[nodiscard]] SessionInfo info() const;
 
+  /// Commits queued or applying right now (the `stats` verb's queue
+  /// depth; bounded by max_queued_batches).
+  [[nodiscard]] Index queued() const;
+
+  /// Per-stage breakdown of the latest batch (the dynamic layer's
+  /// UpdateStats, including the initial build as batch 0).
+  [[nodiscard]] UpdateStats last_update() const;
+
   /// Writes the sparsifier as a symmetric .mtx — byte-identical to
   /// `ssp_sparsify --update-file <journal> --out <path>` on the committed
   /// journal.

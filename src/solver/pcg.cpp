@@ -4,6 +4,7 @@
 
 #include "la/kernels/kernels.hpp"
 #include "la/vector_ops.hpp"
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace ssp {
@@ -103,6 +104,10 @@ PcgResult pcg_solve(const CsrMatrix& a, std::span<const double> b,
     result.relative_residual = norm2(r) / bnorm;
     result.converged = result.relative_residual <= opts.rel_tolerance;
   }
+  obs::counter_add("solver.pcg.solves", 1);
+  obs::counter_add("solver.pcg.iterations",
+                   static_cast<std::uint64_t>(result.iterations));
+  if (result.breakdown) obs::counter_add("solver.pcg.breakdowns", 1);
   return result;
 }
 

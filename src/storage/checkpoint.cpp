@@ -9,6 +9,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 static_assert(std::endian::native == std::endian::little,
               "checkpoint I/O requires a little-endian host");
 
@@ -164,6 +166,8 @@ void save_checkpoint(const std::string& path,
     throw std::runtime_error("checkpoint: cannot rename '" + tmp +
                              "' over '" + path + "'");
   }
+  obs::counter_add("storage.checkpoint.saves", 1);
+  obs::counter_add("storage.checkpoint.bytes_written", w.bytes().size());
 }
 
 SparsifierCheckpoint load_checkpoint(const std::string& path) {
@@ -172,6 +176,8 @@ SparsifierCheckpoint load_checkpoint(const std::string& path) {
   std::vector<char> buf((std::istreambuf_iterator<char>(in)),
                         std::istreambuf_iterator<char>());
   Reader r(path, std::move(buf));
+  obs::counter_add("storage.checkpoint.loads", 1);
+  obs::counter_add("storage.checkpoint.bytes_read", r.size());
 
   const auto magic = r.get<std::uint32_t>("magic");
   if (magic != kSspcMagic) {

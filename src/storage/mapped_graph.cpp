@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 // The format is defined little-endian; the library targets little-endian
@@ -63,6 +64,8 @@ MappedGraph::MappedGraph(const std::string& path) : path_(path) {
     unmap();
     throw;
   }
+  obs::counter_add("storage.mmap.opens", 1);
+  obs::counter_add("storage.mmap.bytes", bytes_);
 }
 
 void MappedGraph::validate(const std::string& path,
@@ -254,6 +257,7 @@ GraphView MappedGraph::view() const {
 
 void MappedGraph::release_pages() const {
   if (base_ == nullptr || bytes_ == 0) return;
+  obs::counter_add("storage.mmap.release_pages", 1);
   // Best-effort: a failing madvise only costs RSS, never correctness.
   ::madvise(base_, bytes_, MADV_DONTNEED);
 }

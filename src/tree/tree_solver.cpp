@@ -1,6 +1,7 @@
 #include "tree/tree_solver.hpp"
 
 #include "la/kernels/kernels.hpp"
+#include "obs/metrics.hpp"
 #include "util/assert.hpp"
 
 namespace ssp {
@@ -11,6 +12,9 @@ void TreeSolver::solve(std::span<const double> b, std::span<double> x) const {
   const Vertex n = t_->num_vertices();
   SSP_REQUIRE(static_cast<Vertex>(b.size()) == n, "tree solve: b size");
   SSP_REQUIRE(static_cast<Vertex>(x.size()) == n, "tree solve: x size");
+
+  // Hot path: the disabled-metrics cost is one relaxed load + branch.
+  obs::counter_add("solver.tree.solves", 1);
 
   // Per-thread scratch keeps solve() re-entrant without allocating in the
   // steady state (each worker thread reuses its own buffer).
@@ -60,6 +64,9 @@ void TreeSolver::solve_multi(std::span<const double> b, std::span<double> x,
               "tree solve_multi: b size");
   SSP_REQUIRE(static_cast<Index>(x.size()) == n * r,
               "tree solve_multi: x size");
+
+  obs::counter_add("solver.tree.panel_solves", 1);
+  obs::counter_add("solver.tree.panel_columns", static_cast<std::uint64_t>(r));
 
   const auto& k = kernels::ops();
   thread_local Vec flow_panel_;

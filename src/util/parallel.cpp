@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace ssp {
@@ -13,6 +17,22 @@ namespace {
 /// Set while a thread executes chunks for any ThreadPool, so nested
 /// parallel regions detect they are already inside one.
 thread_local bool t_on_worker = false;
+
+std::uint64_t busy_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-worker busy-time accounting (worker 0 = the submitting thread).
+/// Telemetry only — never feeds back into chunk decomposition, so the
+/// schedule and results are unchanged by metrics being on.
+void add_worker_busy(int worker, std::uint64_t ns) {
+  char name[48];
+  std::snprintf(name, sizeof(name), "pool.worker.%d.busy_ns", worker);
+  obs::counter_add_named(name, ns);
+}
 
 std::atomic<int> g_default_override{0};
 
@@ -77,7 +97,7 @@ ThreadPool::ThreadPool(int workers) : workers_(workers) {
   SSP_REQUIRE(workers >= 1, "ThreadPool: need at least one worker");
   threads_.reserve(static_cast<std::size_t>(workers - 1));
   for (int i = 1; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -92,7 +112,7 @@ ThreadPool::~ThreadPool() {
 
 bool ThreadPool::on_worker_thread() { return t_on_worker; }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int worker) {
   t_on_worker = true;
   std::uint64_t seen_epoch = 0;
   for (;;) {
@@ -110,7 +130,10 @@ void ThreadPool::worker_loop() {
       // between our pointer read and this increment.
       region->workers_inside.fetch_add(1, std::memory_order_relaxed);
     }
+    const bool timed = obs::metrics_enabled();
+    const std::uint64_t t0 = timed ? busy_now_ns() : 0;
     region->run_claimed_chunks();
+    if (timed) add_worker_busy(worker, busy_now_ns() - t0);
     bool region_complete = false;
     {
       const std::lock_guard<std::mutex> lock(mutex_);
@@ -153,11 +176,16 @@ void ThreadPool::run_chunks(Index begin, Index end, int n_chunks,
   // Nested or trivial region: run on the calling thread. The chunk
   // decomposition is unchanged, so results are bit-identical.
   if (n_chunks == 1 || t_on_worker || workers_ == 1) {
+    obs::counter_add("pool.inline_regions", 1);
     run_chunks_inline(begin, end, n_chunks, body);
     return;
   }
 
   const std::lock_guard<std::mutex> serialize(submit_mutex_);
+  obs::counter_add("pool.regions", 1);
+  obs::counter_add("pool.chunks", static_cast<std::uint64_t>(n_chunks));
+  obs::gauge_set("pool.queue_depth", n_chunks);
+  const obs::Span region_span("pool.region", "chunks", n_chunks);
   Region region;
   region.begin = begin;
   region.end = end;
@@ -171,9 +199,13 @@ void ThreadPool::run_chunks(Index begin, Index end, int n_chunks,
   }
   wake_.notify_all();
 
-  // The submitting thread participates as a worker.
+  // The submitting thread participates as a worker (worker 0 in the
+  // busy-time accounting).
   t_on_worker = true;
+  const bool timed = obs::metrics_enabled();
+  const std::uint64_t t0 = timed ? busy_now_ns() : 0;
   region.run_claimed_chunks();
+  if (timed) add_worker_busy(0, busy_now_ns() - t0);
   t_on_worker = false;
 
   {
@@ -184,6 +216,7 @@ void ThreadPool::run_chunks(Index begin, Index end, int n_chunks,
     });
     region_ = nullptr;
   }
+  obs::gauge_set("pool.queue_depth", 0);
   if (region.error) std::rethrow_exception(region.error);
 }
 

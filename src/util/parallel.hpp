@@ -72,7 +72,9 @@ class ThreadPool {
   [[nodiscard]] static bool on_worker_thread();
 
  private:
-  void worker_loop();
+  /// `worker` indexes the busy-time metrics (`pool.worker.<i>.busy_ns`);
+  /// the submitting thread reports as worker 0, spawned threads as 1..N-1.
+  void worker_loop(int worker);
   void run_chunks_inline(Index begin, Index end, int n_chunks,
                          const std::function<void(int, Index, Index)>& body);
 

@@ -90,6 +90,32 @@ for threads in 1 4; do
       | "$CLIENT" --socket "$SOCK" > /dev/null \
       || fail "snapshot failed"
 
+  # Live introspection: the daemon answers `stats`/`metrics` mid-life.
+  printf 'stats\n' | "$CLIENT" --socket "$SOCK" \
+      > "$WORK/stats_t$threads.txt" || fail "stats request failed"
+  grep -q '^ok n=1' "$WORK/stats_t$threads.txt" \
+      || fail "stats: expected one session: $(cat "$WORK/stats_t$threads.txt")"
+  grep -q '^session=g .*commits=' "$WORK/stats_t$threads.txt" \
+      || fail "stats: missing summary line: $(cat "$WORK/stats_t$threads.txt")"
+  expected_commits=$((NCLIENTS * NCOMMITS))
+  printf 'stats g\n' | "$CLIENT" --socket "$SOCK" --payload-only \
+      > "$WORK/stats_g_t$threads.txt" || fail "stats g request failed"
+  grep -q "^commits=$expected_commits\$" "$WORK/stats_g_t$threads.txt" \
+      || fail "stats g: expected commits=$expected_commits: $(cat "$WORK/stats_g_t$threads.txt")"
+  grep -q '^last\.stage\.sparsify\.seconds=' "$WORK/stats_g_t$threads.txt" \
+      || fail "stats g: missing per-stage seconds"
+  printf 'stats nosuch\n' | "$CLIENT" --socket "$SOCK" \
+      > "$WORK/stats_err_t$threads.txt" \
+      && fail "stats on unknown session should fail the client"
+  grep -q '^err ' "$WORK/stats_err_t$threads.txt" \
+      || fail "stats nosuch: expected err status"
+  "$CLIENT" --socket "$SOCK" --metrics \
+      > "$WORK/metrics_t$threads.txt" || fail "metrics one-shot failed"
+  grep -q "^ssp_serve_commits $expected_commits\$" "$WORK/metrics_t$threads.txt" \
+      || fail "metrics: expected ssp_serve_commits $expected_commits: $(grep ssp_serve "$WORK/metrics_t$threads.txt")"
+  grep -q '^ssp_serve_commit_latency_us_p50 ' "$WORK/metrics_t$threads.txt" \
+      || fail "metrics: missing commit latency histogram"
+
   # Offline replay of that exact journal must reproduce the same bytes.
   SSP_THREADS=$threads "$SPARSIFY" --in "$GRAPH" --sigma2 8 --seed 42 \
       --update-file "$WORK/t$threads.journal" \

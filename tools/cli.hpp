@@ -21,6 +21,8 @@
 #include "core/sparsifier.hpp"
 #include "dynamic/dynamic_sparsifier.hpp"
 #include "graph/graph_source.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scale/hierarchical_sparsifier.hpp"
 #include "scale/partitioned_sparsifier.hpp"
 #include "serve/server.hpp"
@@ -170,6 +172,40 @@ inline int apply_threads(const ArgParser& args) {
 /// The parsed --seed value.
 [[nodiscard]] inline std::uint64_t seed_from(const ArgParser& args) {
   return static_cast<std::uint64_t>(args.get_int("seed", 42));
+}
+
+/// Registers the shared observability flag: `--trace <out.json>` records
+/// spans + metrics and writes a Chrome trace_event file on exit.
+inline ArgParser& add_trace_option(ArgParser& args) {
+  return args.option(
+      "trace",
+      "record spans and metrics, writing a chrome://tracing / Perfetto "
+      "JSON trace here on exit (observability never changes output bytes)");
+}
+
+/// Applies --trace: enables the metrics registry and span recording,
+/// returning the output path ("" = tracing off). Call before the
+/// workload; pass the returned path to finish_trace() at tool exit.
+[[nodiscard]] inline std::string apply_trace(const ArgParser& args) {
+  const std::string path = args.has("trace") ? args.get("trace", "") : "";
+  if (!path.empty() && path != "true") {
+    obs::set_metrics_enabled(true);
+    obs::start_trace();
+    return path;
+  }
+  if (path == "true") {
+    throw std::invalid_argument("option --trace expects an output path");
+  }
+  return "";
+}
+
+/// Flushes the trace recorded since apply_trace() to `path` (no-op when
+/// empty). Returns false when the file could not be written.
+inline bool finish_trace(const std::string& path) {
+  if (path.empty()) return true;
+  const bool ok = obs::write_trace_file(path);
+  if (ok) std::fprintf(stderr, "trace: wrote %s\n", path.c_str());
+  return ok;
 }
 
 /// Registers the full SparsifyOptions flag surface (plus --threads/--seed

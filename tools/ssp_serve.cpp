@@ -37,8 +37,15 @@ int main(int argc, char** argv) {
   ssp::cli::add_serve_options(args);
   ssp::cli::add_sparsify_options(args);
   ssp::cli::add_dynamic_options(args);
+  ssp::cli::add_trace_option(args);
   return ssp::cli::run_tool(args, argc, argv, [&args] {
     ssp::cli::apply_threads(args);
+    // The daemon always keeps the metrics registry live so the `metrics`
+    // and `stats` protocol verbs have data to report; --trace additionally
+    // records spans. Telemetry only — commits stay bit-identical to the
+    // offline replay either way.
+    ssp::obs::set_metrics_enabled(true);
+    const std::string trace_path = ssp::cli::apply_trace(args);
     const ssp::SparsifyOptions base = ssp::cli::sparsify_options_from(args);
     const ssp::DynamicOptions dynamic =
         ssp::cli::dynamic_options_from(args, base);
@@ -64,6 +71,6 @@ int main(int argc, char** argv) {
     server.wait();
     g_server = nullptr;
     std::printf("drained, bye\n");
-    return 0;
+    return ssp::cli::finish_trace(trace_path) ? 0 : 1;
   });
 }

@@ -331,6 +331,7 @@ int main(int argc, char** argv) {
   ssp::cli::add_partition_options(args);
   ssp::cli::add_dynamic_options(args);
   ssp::cli::add_outofcore_options(args);
+  ssp::cli::add_trace_option(args);
   return ssp::cli::run_tool(args, argc, argv, [&args] {
     if (args.has("kernels")) {
       // Capability probe for scripts (tests/kernel_parity.sh): one line
@@ -349,6 +350,10 @@ int main(int argc, char** argv) {
       return 0;
     }
     ssp::cli::apply_threads(args);
+    // Spans/metrics record from here on; flushed below. Observability is
+    // read-only telemetry — the emitted graph is bit-identical with or
+    // without --trace.
+    const std::string trace_path = ssp::cli::apply_trace(args);
     const std::string in_path = args.require("in");
     const ssp::SparsifyOptions opts = ssp::cli::sparsify_options_from(args);
     // Any scale-layer flag routes through PartitionedSparsifier (whose
@@ -364,26 +369,30 @@ int main(int argc, char** argv) {
                          args.has("rebuild-threshold") ||
                          args.has("warm-refine");
     const bool outofcore = args.get_int("memory-budget-mb", 0) > 0;
-    if (outofcore) {
-      SSP_REQUIRE(!partitioned && !dynamic,
-                  "--memory-budget-mb routes through the out-of-core "
-                  "hierarchical layer; it cannot be combined with "
-                  "partition or update flags");
-      return run_outofcore(args, in_path, opts);
-    }
-    const ssp::Graph g = ssp::load_graph_source(in_path);
-    std::printf("loaded %s: |V| = %d, |E| = %lld\n", in_path.c_str(),
-                g.num_vertices(), static_cast<long long>(g.num_edges()));
-    if (dynamic) {
-      SSP_REQUIRE(!partitioned,
-                  "--update-file replays through the whole-graph dynamic "
-                  "layer; it cannot be combined with partition flags");
-      return run_dynamic(args, g, opts);
-    }
-    if (partitioned) {
-      return run_partitioned(args, g,
-                             ssp::cli::partitioned_options_from(args, opts));
-    }
-    return run_whole_graph(args, g, opts);
+    const int rc = [&]() -> int {
+      if (outofcore) {
+        SSP_REQUIRE(!partitioned && !dynamic,
+                    "--memory-budget-mb routes through the out-of-core "
+                    "hierarchical layer; it cannot be combined with "
+                    "partition or update flags");
+        return run_outofcore(args, in_path, opts);
+      }
+      const ssp::Graph g = ssp::load_graph_source(in_path);
+      std::printf("loaded %s: |V| = %d, |E| = %lld\n", in_path.c_str(),
+                  g.num_vertices(), static_cast<long long>(g.num_edges()));
+      if (dynamic) {
+        SSP_REQUIRE(!partitioned,
+                    "--update-file replays through the whole-graph dynamic "
+                    "layer; it cannot be combined with partition flags");
+        return run_dynamic(args, g, opts);
+      }
+      if (partitioned) {
+        return run_partitioned(
+            args, g, ssp::cli::partitioned_options_from(args, opts));
+      }
+      return run_whole_graph(args, g, opts);
+    }();
+    if (!ssp::cli::finish_trace(trace_path) && rc == 0) return 1;
+    return rc;
   });
 }
