@@ -1,24 +1,41 @@
 // Dynamic update layer (src/dynamic/) vs cold rebuild: wall-clock and
-// quality (κ via the shared estimator) across update-batch sizes on two
-// generator families. Three modes per point:
+// quality (κ via the shared estimator) across update-batch sizes, two
+// generator families, and both estimation modes. Three measurements per
+// point:
 //
-//   cold    — what a user without the dynamic layer does: rebuild the
-//             Graph from the updated edge list and run a fresh engine
-//             (canonical kMaxWeight backbone, same per-batch seed, so the
-//             output matches the exact mode bit for bit);
+//   cold    — what a user without the dynamic layer does: rerun a fresh
+//             engine on the updated graph (canonical kMaxWeight backbone,
+//             same per-batch seed, so the output matches the exact mode
+//             bit for bit — checked, and a mismatch fails the run). The
+//             timer covers ONLY the sparsify() call: graph mutation is
+//             paid identically by every mode and the incremental path
+//             never copies the graph, so charging a per-batch rebuild to
+//             the baseline would inflate every speedup.
 //   exact   — DynamicSparsifier, bit-identical to cold (tree repair +
-//             engine rebind reuse; densification restarts from the tree);
+//             engine rebind; under kLocalized the warm start recomputes
+//             only the heats the batch dirtied).
 //   refine  — DynamicSparsifier with warm_refine: keeps the previous
 //             selection, so an update that leaves κ under target costs
 //             one estimation round instead of a full densification.
+//
+// The kLocalized reweight-workload rows are the headline (the exact
+// dynamic mode on the parameter-update pattern the paper targets — see
+// Workload below); mixed-workload and kPower rows document structural
+// churn and the randomized estimator, whose global dataflow makes every
+// batch recompute the world. This binary is also the CI regression gate:
+// it exits non-zero when a gated (localized, reweight) batch ≤ 64 point
+// drops under 1.5× vs cold, or when ANY row's cold/exact bit-parity
+// check fails — parity is enforced on every workload, gated or not.
 //
 // Emits BENCH_bench_dynamic.json for the perf trajectory.
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/options_io.hpp"
 #include "dynamic/dynamic_sparsifier.hpp"
 #include "graph/generators/community.hpp"
 #include "harness.hpp"  // tests/harness.hpp: shared update-script generator
@@ -33,17 +50,38 @@ using bench::dim;
 using bench::Json;
 
 constexpr double kSigma2 = 100.0;
-constexpr Index kBatches = 3;
+constexpr Index kBatches = 5;
+constexpr double kGateMinSpeedup = 1.5;  ///< localized, batch_size <= 64
+constexpr EdgeId kGateMaxBatch = 64;
 
-/// Mixed update script: ~60% reweights, ~20% inserts, ~20% deletes per
-/// batch, via the differential harness's generator.
+/// The two measured workloads. `kReweight` is the paper's motivating
+/// pattern — circuit parameter updates change edge weights, not topology —
+/// and is the headline the CI gate runs against: reweight-only batches
+/// keep the graph finalized and (when no tree edge is touched) the
+/// backbone bit-valid, so the incremental path pays none of the O(m)
+/// compaction / re-root costs. `kMixed` (~60% reweights, ~20% inserts,
+/// ~20% deletes) stresses the structural-repair machinery and is reported
+/// ungated: every delete batch inherently costs O(m) compaction that the
+/// cold baseline also pays only inside its rebuild.
+enum class Workload { kReweight, kMixed };
+
+const char* to_string(Workload w) {
+  return w == Workload::kReweight ? "reweight" : "mixed";
+}
+
 std::vector<UpdateBatch> make_script(const Graph& g, EdgeId batch_size,
-                                     Rng& rng) {
+                                     Workload workload, Rng& rng) {
   ssp::testing::ScriptOptions opts;
   opts.batches = kBatches;
-  opts.reweights_per_batch = std::max<Index>(1, batch_size * 3 / 5);
-  opts.inserts_per_batch = std::max<Index>(1, batch_size / 5);
-  opts.deletes_per_batch = std::max<Index>(1, batch_size / 5);
+  if (workload == Workload::kReweight) {
+    opts.reweights_per_batch = std::max<Index>(1, batch_size);
+    opts.inserts_per_batch = 0;
+    opts.deletes_per_batch = 0;
+  } else {
+    opts.reweights_per_batch = std::max<Index>(1, batch_size * 3 / 5);
+    opts.inserts_per_batch = std::max<Index>(1, batch_size / 5);
+    opts.deletes_per_batch = std::max<Index>(1, batch_size / 5);
+  }
   return ssp::testing::make_update_script(g, rng, opts);
 }
 
@@ -51,12 +89,25 @@ struct ModeResult {
   double update_seconds = 0.0;  ///< batches only (initial build excluded)
   double sigma2 = 0.0;          ///< independent κ estimate, final state
   EdgeId edges = 0;
+  EdgeId heats_reused = 0;      ///< localized exact mode only
+  EdgeId heats_recomputed = 0;
   std::vector<EdgeId> edge_ids;
 };
 
-DynamicOptions make_options(bool refine) {
+/// Failures accumulated across points; reported and turned into a
+/// non-zero exit at the end so one bad point doesn't mask another.
+struct Gate {
+  std::vector<std::string> failures;
+  void fail(std::string what) {
+    std::printf("GATE FAILURE: %s\n", what.c_str());
+    failures.push_back(std::move(what));
+  }
+};
+
+DynamicOptions make_options(bool refine, EstimationMode estimation) {
   DynamicOptions opts;
   opts.base.sigma2 = kSigma2;
+  opts.base.estimation = estimation;
   opts.rebuild_threshold = 1e9;  // measure the incremental paths
   opts.warm_refine = refine;
   return opts;
@@ -64,37 +115,38 @@ DynamicOptions make_options(bool refine) {
 
 ModeResult run_dynamic_mode(const Graph& g,
                             const std::vector<UpdateBatch>& script,
-                            bool refine) {
-  DynamicSparsifier dyn(g, make_options(refine));
+                            bool refine, EstimationMode estimation) {
+  DynamicSparsifier dyn(g, make_options(refine, estimation));
   const WallTimer timer;
   for (const UpdateBatch& batch : script) dyn.apply(batch);
   ModeResult out;
   out.update_seconds = timer.seconds();
   out.edges = dyn.result().num_edges();
   out.edge_ids = dyn.result().edges;
+  for (std::size_t b = 1; b < dyn.history().size(); ++b) {
+    out.heats_reused += dyn.history()[b].heats_reused;
+    out.heats_recomputed += dyn.history()[b].heats_recomputed;
+  }
   out.sigma2 = estimate_sparsifier_quality(
                    dyn.graph(), dyn.result().extract(dyn.graph()))
                    .sigma2;
   return out;
 }
 
-/// The no-dynamic-layer baseline: after every batch, rebuild the graph
-/// from its edge list and run a cold engine with the same canonical
-/// backbone and per-batch seed (its edge list matches the exact mode bit
-/// for bit — checked — so the comparison is pure wall-clock).
+/// The no-dynamic-layer baseline: after every batch, run a cold engine on
+/// the updated graph with the same canonical backbone and per-batch seed.
+/// Mutations advance a shadow graph OUTSIDE the timer — every mode pays
+/// them equally, and the old habit of also timing a full Graph copy per
+/// batch overstated cold cost (and thus every speedup) by the copy's
+/// O(m) for work the incremental path never does.
 ModeResult run_cold_mode(const Graph& g,
                          const std::vector<UpdateBatch>& script,
-                         const std::vector<EdgeId>& exact_final_edges) {
-  // Replay graph mutations through a zero-cost shadow driver to obtain
-  // each post-batch edge list (mutation cost is negligible next to the
-  // sparsifier run; the timer covers only the cold path's own work).
-  DynamicOptions shadow_opts = make_options(false);
-  const SparsifyOptions base = shadow_opts.base;
+                         EstimationMode estimation) {
+  const SparsifyOptions base = make_options(false, estimation).base;
   Graph current = g;
   ModeResult out;
-  std::vector<UpdateBatch> applied;
   for (std::size_t b = 0; b < script.size(); ++b) {
-    // Advance the shadow graph exactly like the layer does.
+    // Advance the shadow graph exactly like the layer does — untimed.
     const UpdateBatch& batch = script[b];
     for (const WeightUpdate& wu : batch.reweight) {
       current.set_weight(wu.edge, wu.weight);
@@ -103,50 +155,72 @@ ModeResult run_cold_mode(const Graph& g,
     current.remove_edges(batch.remove);
     current.finalize();
 
-    const WallTimer timer;
-    // The cold path pays for: copying the edge list into a fresh Graph,
-    // finalizing it, and a from-scratch engine run (Kruskal backbone).
-    Graph rebuilt(current.num_vertices());
-    for (const Edge& e : current.edges()) {
-      rebuilt.add_edge(e.u, e.v, e.weight);
-    }
-    rebuilt.finalize();
     SparsifyOptions cold = base;
     cold.backbone = BackboneKind::kMaxWeight;
     cold.seed = DynamicSparsifier::batch_seed(base.seed,
                                               static_cast<Index>(b) + 1);
-    const SparsifyResult res = sparsify(rebuilt, cold);
+    const WallTimer timer;
+    const SparsifyResult res = sparsify(current, cold);
     out.update_seconds += timer.seconds();
     if (b + 1 == script.size()) {
       out.edges = res.num_edges();
-      out.sigma2 =
-          estimate_sparsifier_quality(rebuilt, res.extract(rebuilt)).sigma2;
-      if (res.edges != exact_final_edges) {
-        std::printf("WARNING: cold baseline diverged from exact mode\n");
-      }
+      out.edge_ids = res.edges;
+      // No independent quality estimate here: bit-parity with the exact
+      // mode is enforced below, so cold's κ IS exact's κ — measuring it
+      // again would double the most expensive part of every point.
     }
   }
   return out;
 }
 
 void run_point(const char* name, const Graph& g, EdgeId batch_size,
-               Json& rows) {
+               EstimationMode estimation, Workload workload, bool gated,
+               Json& rows, Gate& gate) {
   Rng rng(77);
-  const std::vector<UpdateBatch> script = make_script(g, batch_size, rng);
+  const std::vector<UpdateBatch> script =
+      make_script(g, batch_size, workload, rng);
 
-  const ModeResult exact = run_dynamic_mode(g, script, /*refine=*/false);
-  const ModeResult refine = run_dynamic_mode(g, script, /*refine=*/true);
-  const ModeResult cold = run_cold_mode(g, script, exact.edge_ids);
+  const ModeResult exact =
+      run_dynamic_mode(g, script, /*refine=*/false, estimation);
+  const ModeResult refine =
+      run_dynamic_mode(g, script, /*refine=*/true, estimation);
+  const ModeResult cold = run_cold_mode(g, script, estimation);
+
+  if (cold.edge_ids != exact.edge_ids) {
+    gate.fail(std::string(name) + " estimation=" + to_string(estimation) +
+              " batch=" + std::to_string(batch_size) +
+              ": exact mode diverged from cold rebuild (bit-parity broken)");
+  }
 
   const double exact_speedup = cold.update_seconds / exact.update_seconds;
   const double refine_speedup = cold.update_seconds / refine.update_seconds;
-  std::printf("%6lld  %8.3f %8.3f %8.3f   %6.2fx %6.2fx   %8.2f %8.2f\n",
-              static_cast<long long>(batch_size), cold.update_seconds,
-              exact.update_seconds, refine.update_seconds, exact_speedup,
-              refine_speedup, exact.sigma2, refine.sigma2);
+  if (gated && estimation == EstimationMode::kLocalized &&
+      batch_size <= kGateMaxBatch && exact_speedup < kGateMinSpeedup) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s localized %s batch=%lld: exact speedup %.2fx < %.1fx",
+                  name, to_string(workload),
+                  static_cast<long long>(batch_size), exact_speedup,
+                  kGateMinSpeedup);
+    gate.fail(buf);
+  }
+
+  std::printf(
+      "%6lld  %8.3f %8.3f %8.3f   %6.2fx %6.2fx   %8.2f %8.2f  %5.1f%%\n",
+      static_cast<long long>(batch_size), cold.update_seconds,
+      exact.update_seconds, refine.update_seconds, exact_speedup,
+      refine_speedup, exact.sigma2, refine.sigma2,
+      exact.heats_reused + exact.heats_recomputed == 0
+          ? 0.0
+          : 100.0 * static_cast<double>(exact.heats_reused) /
+                static_cast<double>(exact.heats_reused +
+                                    exact.heats_recomputed));
 
   rows.push(Json::object()
                 .set("graph", name)
+                .set("estimation", to_string(estimation))
+                .set("workload", to_string(workload))
+                .set("gated", gated)
                 .set("batch_size", static_cast<long long>(batch_size))
                 .set("batches", static_cast<long long>(kBatches))
                 .set("cold_seconds", cold.update_seconds)
@@ -154,28 +228,37 @@ void run_point(const char* name, const Graph& g, EdgeId batch_size,
                 .set("refine_seconds", refine.update_seconds)
                 .set("exact_speedup_vs_cold", exact_speedup)
                 .set("refine_speedup_vs_cold", refine_speedup)
-                .set("cold_sigma2", cold.sigma2)
+                .set("cold_sigma2", exact.sigma2)  // == exact by bit-parity
                 .set("exact_sigma2", exact.sigma2)
                 .set("refine_sigma2", refine.sigma2)
                 .set("exact_edges", static_cast<long long>(exact.edges))
                 .set("refine_edges", static_cast<long long>(refine.edges))
+                .set("heats_reused", static_cast<long long>(exact.heats_reused))
+                .set("heats_recomputed",
+                     static_cast<long long>(exact.heats_recomputed))
+                .set("bit_parity", cold.edge_ids == exact.edge_ids)
                 .set("incremental_beats_cold",
                      exact.update_seconds < cold.update_seconds ||
                          refine.update_seconds < cold.update_seconds));
 }
 
-void run_graph(const char* name, const Graph& g, bench::Report& report) {
-  bench::print_banner(
-      ("dynamic updates vs cold rebuild — " + std::string(name)).c_str());
+void run_graph(const char* name, const Graph& g, EstimationMode estimation,
+               Workload workload, bool gated, bench::Report& report,
+               Gate& gate) {
+  bench::print_banner(("dynamic updates vs cold rebuild — " +
+                       std::string(name) + " [" + to_string(estimation) +
+                       ", " + to_string(workload) + "]")
+                          .c_str());
   std::printf("|V| = %d  |E| = %lld  sigma2 target %.0f  %lld batches/point\n",
               g.num_vertices(), static_cast<long long>(g.num_edges()),
               kSigma2, static_cast<long long>(kBatches));
-  std::printf("%6s  %8s %8s %8s   %6s %6s   %8s %8s\n", "batch", "cold_s",
-              "exact_s", "refine_s", "ex_spd", "rf_spd", "ex_s2", "rf_s2");
-  bench::print_rule(78);
+  std::printf("%6s  %8s %8s %8s   %6s %6s   %8s %8s  %6s\n", "batch",
+              "cold_s", "exact_s", "refine_s", "ex_spd", "rf_spd", "ex_s2",
+              "rf_s2", "reuse");
+  bench::print_rule(84);
   Json& rows = report.section("cases");
   for (const EdgeId batch_size : {8, 64, 512}) {
-    run_point(name, g, batch_size, rows);
+    run_point(name, g, batch_size, estimation, workload, gated, rows, gate);
   }
 }
 
@@ -185,11 +268,46 @@ int main() {
   set_default_threads(std::max(4, hardware_threads()));
   bench::Report report("bench_dynamic");
   report.root().set("sigma2_target", kSigma2);
+  Gate gate;
 
+  // Headline: the localized exact route under the parameter-update
+  // workload (reweight-only batches — the circuit-simulation pattern the
+  // paper targets). These rows carry the CI speedup gate.
+  run_graph("g3_circuit_proxy", bench::g3_circuit_proxy(dim(256, 512)),
+            EstimationMode::kLocalized, Workload::kReweight, /*gated=*/true,
+            report, gate);
+  run_graph("dblp_proxy", bench::dblp_proxy(dim(40000, 300000)),
+            EstimationMode::kLocalized, Workload::kReweight, /*gated=*/true,
+            report, gate);
+
+  // Structural-churn rows: inserts and deletes force O(m) compaction and
+  // tree surgery per batch, which the cold baseline amortises inside its
+  // rebuild — documented, not gated (bit-parity is still enforced).
+  run_graph("g3_circuit_proxy", bench::g3_circuit_proxy(dim(160, 512)),
+            EstimationMode::kLocalized, Workload::kMixed, /*gated=*/false,
+            report, gate);
+  run_graph("dblp_proxy", bench::dblp_proxy(dim(40000, 300000)),
+            EstimationMode::kLocalized, Workload::kMixed, /*gated=*/false,
+            report, gate);
+
+  // Secondary: the randomized power estimator at the historical sizes —
+  // its global dataflow recomputes everything per batch, so exact rarely
+  // beats cold here; documented, not gated.
   run_graph("g3_circuit_proxy", bench::g3_circuit_proxy(dim(44, 320)),
-            report);
-  run_graph("dblp_proxy", bench::dblp_proxy(dim(1800, 120000)), report);
+            EstimationMode::kPower, Workload::kMixed, /*gated=*/false,
+            report, gate);
+  run_graph("dblp_proxy", bench::dblp_proxy(dim(1800, 120000)),
+            EstimationMode::kPower, Workload::kMixed, /*gated=*/false,
+            report, gate);
 
   report.write();
+  if (!gate.failures.empty()) {
+    std::printf("\n%zu gate failure(s) — failing the bench.\n",
+                gate.failures.size());
+    return 1;
+  }
+  std::printf("\nGate passed: localized exact >= %.1fx vs cold at batch <= "
+              "%lld, bit-parity intact.\n",
+              kGateMinSpeedup, static_cast<long long>(kGateMaxBatch));
   return 0;
 }

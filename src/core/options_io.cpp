@@ -30,6 +30,16 @@ const char* to_string(InnerSolverKind kind) {
   return "?";
 }
 
+const char* to_string(EstimationMode mode) {
+  switch (mode) {
+    case EstimationMode::kPower:
+      return "power";
+    case EstimationMode::kLocalized:
+      return "localized";
+  }
+  return "?";
+}
+
 const char* to_string(SimilarityPolicy policy) {
   switch (policy) {
     case SimilarityPolicy::kNone:
@@ -131,6 +141,13 @@ InnerSolverKind parse_inner_solver_kind(const std::string& name) {
   if (name == "amg") return InnerSolverKind::kAmg;
   throw std::invalid_argument("unknown inner solver '" + name +
                               "' (tree-pcg|amg)");
+}
+
+EstimationMode parse_estimation_mode(const std::string& name) {
+  if (name == "power") return EstimationMode::kPower;
+  if (name == "localized") return EstimationMode::kLocalized;
+  throw std::invalid_argument("unknown estimation mode '" + name +
+                              "' (power|localized)");
 }
 
 SimilarityPolicy parse_similarity_policy(const std::string& name) {

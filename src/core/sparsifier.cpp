@@ -129,6 +129,11 @@ SparsifyOptions& SparsifyOptions::with_seed(std::uint64_t value) {
   return *this;
 }
 
+SparsifyOptions& SparsifyOptions::with_estimation(EstimationMode mode) {
+  estimation = mode;
+  return *this;
+}
+
 SparsifyResult sparsify(const Graph& g, const SparsifyOptions& opts) {
   Sparsifier engine(g, opts);
   engine.run();

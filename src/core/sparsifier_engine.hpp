@@ -120,6 +120,32 @@ enum class StepStatus {
   return s != StepStatus::kAdvanced;
 }
 
+/// Localized warm-start descriptor for `rebind()` (EstimationMode::
+/// kLocalized only). Carries the dynamic layer's knowledge of *which*
+/// per-edge heats survived the batch:
+///  * `old_to_new` — edge-id remap from the previously bound graph to the
+///    new one (the `Graph::remove_edges` convention: old id → new id,
+///    kInvalidEdge for removed ids; empty span = identity). The engine
+///    migrates its heat cache through it.
+///  * `dirty` — one flag per *new* edge id; nonzero means the edge's tree
+///    path may have changed (or the edge is new/reweighted) and its heat
+///    must be recomputed. Clean off-tree edges reuse the cached double
+///    verbatim — same bits, because the canonical stretch walk
+///    (core/stretch.hpp) is a pure function of the untouched path.
+/// The caller is responsible for `dirty` being a superset of the truly
+/// affected edges; the differential tests enforce it against a cold
+/// recompute.
+struct HeatWarmStart {
+  std::span<const EdgeId> old_to_new;
+  std::span<const char> dirty;
+};
+
+/// Reuse accounting of the most recent localized heat (re)build.
+struct LocalizedHeatStats {
+  EdgeId reused = 0;      ///< off-tree heats taken from the warm cache
+  EdgeId recomputed = 0;  ///< off-tree heats recomputed by the stretch walk
+};
+
 class Sparsifier {
  public:
   /// Validates `opts` and binds the engine to `g` (connected, finalized;
@@ -204,8 +230,18 @@ class Sparsifier {
   /// ids, not tree edges, pairwise distinct) into the sparsifier before the
   /// first round — the incremental-refine warm start: densification then
   /// tops up from the previous selection instead of from the bare tree.
+  ///
+  /// `warm` (EstimationMode::kLocalized only, ignored otherwise) migrates
+  /// the per-edge heat cache of the previously bound graph into the new
+  /// binding instead of discarding it: cached heats are remapped through
+  /// `warm->old_to_new` and only ids flagged in `warm->dirty` are
+  /// recomputed on the next step — see HeatWarmStart. Passing nullptr (or
+  /// rebinding a power-mode engine) invalidates the cache, so the next
+  /// step recomputes every off-tree heat; either way the resulting bits
+  /// are identical to a cold run, only the work differs.
   void rebind(const Graph& g, const SpanningTree& backbone,
-              std::uint64_t seed, std::span<const EdgeId> keep_offtree = {});
+              std::uint64_t seed, std::span<const EdgeId> keep_offtree = {},
+              const HeatWarmStart* warm = nullptr);
 
   /// Checkpoint-restore companion to `rebind()`: stamps the telemetry
   /// scalars of a previously *finished* run onto the freshly rebound
@@ -220,10 +256,31 @@ class Sparsifier {
                       double sigma2_estimate, bool reached_target,
                       StepStatus status);
 
+  /// Reuse accounting of the most recent localized heat (re)build (zeros
+  /// in power mode or before the first localized step). Read by the
+  /// dynamic layer for UpdateStats / dynamic.heats.* metrics.
+  [[nodiscard]] LocalizedHeatStats localized_heat_stats() const {
+    return heat_stats_;
+  }
+
+  /// The localized per-edge heat cache, indexed by edge id (tree-edge and
+  /// pre-kept slots are unspecified). Valid after a localized step; empty
+  /// in power mode. Exposed for the dirty-set differential tests, which
+  /// compare it bitwise against a cold stretch recompute.
+  [[nodiscard]] std::span<const double> localized_heat_cache() const {
+    return stretch_ready_ ? std::span<const double>(stretch_cache_)
+                          : std::span<const double>{};
+  }
+
  private:
   void ensure_backbone();
   void bind_backbone(const SpanningTree& backbone);
   void rearm_phase();
+  /// (Re)builds the localized heat cache: full canonical stretch sweep
+  /// cold, dirty-only patch after a warm rebind. Updates heat_stats_.
+  void ensure_stretch();
+  StepStatus step_impl_localized();
+  void final_estimate_localized();
   /// Builds the L_P⁺ operator for the current sparsifier. When `panel` is
   /// non-null and the sparsifier supports a blocked multi-RHS apply (the
   /// tree-only rounds), `*panel` receives the panel form; otherwise it is
@@ -256,6 +313,13 @@ class Sparsifier {
   AmgHierarchy amg_;             ///< current AMG hierarchy (kAmg only)
   EmbeddingWorkspace emb_ws_;    ///< power-iteration vectors
   OffTreeEmbedding emb_;         ///< off-tree heats, refilled in place
+
+  // Localized-estimation state (EstimationMode::kLocalized only).
+  std::vector<double> stretch_cache_;  ///< per-edge heat, indexed by edge id
+  std::vector<char> stretch_dirty_;    ///< warm-rebind recompute flags
+  bool stretch_ready_ = false;         ///< cache valid for current binding
+  bool stretch_warm_pending_ = false;  ///< cache holds remapped prior heats
+  LocalizedHeatStats heat_stats_;
 
   SparsifyResult result_;
   Index next_round_ = 0;         ///< global round counter (stats.round)

@@ -1,0 +1,49 @@
+#include "core/stretch.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace ssp {
+
+double edge_stretch(const SpanningTree& t, EdgeId e) {
+  const Graph& g = t.graph();
+  SSP_REQUIRE(e < g.num_edges(), "edge_stretch: edge id out of range");
+  const std::span<const Vertex> parent = t.parents();
+  const std::span<const double> parent_w = t.parent_weights();
+  const std::span<const Index> depth = t.depths();
+
+  const Edge& edge = g.edges()[e];
+  Vertex a = edge.u;
+  Vertex b = edge.v;
+  // The depths only *steer* the two pointers to the LCA; the value is
+  // accumulated in path order u → v (u's leg bottom-up, then v's leg
+  // top-down), so every rounding step is a pure function of the path's
+  // edge sequence and weights. Where the LCA happens to fall relative to
+  // the current root does not enter — see header contract.
+  double r = 0.0;
+  thread_local std::vector<double> vleg;
+  vleg.clear();
+  while (a != b) {
+    if (depth[a] >= depth[b]) {
+      r += 1.0 / parent_w[a];
+      a = parent[a];
+    } else {
+      vleg.push_back(1.0 / parent_w[b]);
+      b = parent[b];
+    }
+  }
+  for (std::size_t i = vleg.size(); i > 0; --i) r += vleg[i - 1];
+  return edge.weight * r;
+}
+
+void compute_all_stretches(const SpanningTree& t, std::span<double> out) {
+  const Graph& g = t.graph();
+  SSP_REQUIRE(out.size() == g.num_edges(),
+              "compute_all_stretches: output size mismatch");
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!t.contains(e)) out[e] = edge_stretch(t, e);
+  }
+}
+
+}  // namespace ssp

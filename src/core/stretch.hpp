@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file stretch.hpp
+/// Canonical per-edge tree-stretch evaluation — the heat function of the
+/// engine's localized estimation mode (EstimationMode::kLocalized).
+///
+/// For an off-tree edge e = (u, v) with weight w_e, the stretch is
+///   stretch(e) = w_e * R_T(u, v),  R_T = Σ 1/w_f over f on the tree path,
+/// i.e. the paper's Joule heat specialised to the exact tree embedding
+/// (h = tree voltages for a unit u→v current instead of smoothed JL
+/// probes). Its value depends only on the path edges and nothing else,
+/// which is what makes per-edge caching across dynamic batches sound: an
+/// edge whose tree path is untouched reuses the cached double verbatim.
+///
+/// Bit-determinism contract: the walk below is *canonical*. The two
+/// endpoints climb toward their LCA strictly by depth (deeper side first,
+/// u's side on ties) — but the depths only steer the pointers; the sum is
+/// accumulated in path order from u to v (u's leg bottom-up, then v's leg
+/// top-down), so every rounding step is a pure function of the path's edge
+/// sequence and weights alone. In particular the result does NOT depend on
+/// where the LCA falls relative to the current root: re-rooting or
+/// re-hanging a subtree elsewhere cannot perturb the bits of an edge whose
+/// path is unchanged. That invariance is precisely what the dynamic layer's
+/// clean/dirty rule relies on when it reuses cached heats verbatim.
+
+#include <span>
+
+#include "tree/spanning_tree.hpp"
+#include "util/types.hpp"
+
+namespace ssp {
+
+/// Stretch of graph edge `e` against tree `t` by the canonical two-pointer
+/// walk. `e` may be a tree edge (result is exactly 1.0 analytically; the
+/// walk returns w_e * (1/w_e), kept for generality). O(path length).
+[[nodiscard]] double edge_stretch(const SpanningTree& t, EdgeId e);
+
+/// Fills `out[e]` with edge_stretch(t, e) for every off-tree edge, leaving
+/// other slots untouched. `out.size()` must equal the graph's edge count.
+/// Single-threaded by design — the per-edge walk is already the canonical
+/// order, and this path is only hot in cold builds where it is dominated
+/// by the backbone sort anyway.
+void compute_all_stretches(const SpanningTree& t, std::span<double> out);
+
+}  // namespace ssp

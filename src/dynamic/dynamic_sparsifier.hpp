@@ -58,6 +58,34 @@
 /// the cold path. The differential harness (tests/harness.hpp) checks
 /// both regimes.
 ///
+/// **Localized re-estimation** (`base.estimation =
+/// EstimationMode::kLocalized`) makes the *exact* route fast without
+/// giving up a bit of the cold contract. What is cached: the engine keeps
+/// one double per off-tree edge — its tree stretch w_e·R_T(u,v), the
+/// localized heat (core/stretch.hpp) — across batches. When caches
+/// invalidate: the repaired `MaxWeightTree` records every previous-tree
+/// edge that was reweighted, swapped out, or deleted
+/// (tree/tree_repair.hpp). Because the final tree keeps every
+/// previous-tree edge that is *not* recorded, an edge's tree path — and
+/// with it the cached stretch — changed iff its path in the PREVIOUS
+/// tree crossed a recorded edge. This layer tests exactly that on the
+/// outgoing backbone before replacing it: label each vertex with its
+/// innermost recorded ancestor edge in one O(n) pass, and flag an edge
+/// dirty iff its endpoints' labels differ or the batch touched the edge
+/// itself (inserted/reweighted). The rule is exact, not a
+/// detour-path over-approximation: a clean flag proves the old and new
+/// paths are the same edges at the same weights. Only flagged heats are
+/// recomputed; everything
+/// else is reused verbatim through `rebind()`'s HeatWarmStart. The
+/// kRebuild route and `resparsify()`-style weight rebinds drop the cache
+/// wholesale. Why bit-parity survives: the canonical stretch walk is a
+/// pure function of the edge's own rooted tree path, so an edge whose
+/// path the batch provably did not touch reproduces the cold-computed
+/// double exactly — reuse returns the same bits recomputation would, and
+/// the filter consumes an embedding indistinguishable from a cold run's.
+/// `UpdateStats::heats_reused/heats_recomputed` and the
+/// `dynamic.heats.*` metrics report the split per batch.
+///
 /// The vertex set is fixed for the lifetime of the sparsifier; deletions
 /// that would disconnect the graph are rejected.
 
@@ -131,6 +159,11 @@ struct UpdateStats {
   EdgeId sparsifier_edges = 0;  ///< |Es| after re-sparsification
   double sigma2_estimate = 0.0;
   bool reached_target = false;
+  /// Localized-estimation reuse accounting (EstimationMode::kLocalized
+  /// only; zeros in power mode): off-tree heats reused from the previous
+  /// batch's cache vs recomputed because the batch dirtied them.
+  EdgeId heats_reused = 0;
+  EdgeId heats_recomputed = 0;
   double seconds = 0.0;
   /// Wall seconds per DynamicStage for this batch.
   std::array<double, kNumDynamicStages> stage_seconds{};
@@ -275,6 +308,14 @@ class DynamicSparsifier {
 
   [[nodiscard]] const DynamicOptions& options() const { return opts_; }
 
+  /// The engine's localized per-edge heat cache (empty in power mode) —
+  /// exposed so the differential tests can prove dirty-set correctness by
+  /// diffing it bitwise against a cold stretch recompute after every
+  /// batch. Indexed by current edge id; tree-edge slots unspecified.
+  [[nodiscard]] std::span<const double> localized_heat_cache() const {
+    return engine_->localized_heat_cache();
+  }
+
  private:
   [[nodiscard]] std::uint64_t batch_seed(Index batch) const {
     return batch_seed(opts_.base.seed, batch);
@@ -283,6 +324,15 @@ class DynamicSparsifier {
   void rebuild_backbone_cold();
   void notify_stage(DynamicStage stage, double seconds,
                     UpdateStats& stats) const;
+  /// Fills dirty_scratch_ (one flag per current edge id) from the tree's
+  /// recorded previous-tree dirty edges + the batch-touched ids — the
+  /// localized warm start's recompute set. Must run on the OUTGOING
+  /// backbone (before it is re-emplaced): the labels are computed on the
+  /// previous tree. `old_m` is the edge count before this batch's
+  /// mutations and `remap` the compaction map from `Graph::remove_edges`
+  /// (empty = identity). See the file comment for the exactness argument.
+  void compute_dirty_mask(std::span<const EdgeId> touched_new_ids,
+                          std::span<const EdgeId> remap, EdgeId old_m);
 
   DynamicOptions opts_;
   Graph graph_;
@@ -294,6 +344,10 @@ class DynamicSparsifier {
   /// Connectivity pre-check scratch, reset() per batch instead of
   /// reallocated.
   mutable UnionFind uf_scratch_{0};
+  // Localized dirty-set scratch, reused across batches.
+  std::vector<char> dirty_scratch_;       ///< per new edge id
+  std::vector<char> dirty_tree_scratch_;  ///< per OLD edge id (tree edges)
+  std::vector<EdgeId> label_scratch_;     ///< innermost dirty ancestor edge
 };
 
 /// One-shot wrapper outcome: the final graph, its sparsifier, and the

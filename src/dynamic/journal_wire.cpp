@@ -129,6 +129,20 @@ JournalLine parse_journal_line(const std::string& line, Index line_no) {
 }
 
 std::string format_journal_weight(double w) {
+  // Mirror parse_weight's domain exactly so parse(format(w)) == w holds for
+  // every weight the formatter accepts and both sides reject the rest in
+  // agreement. `!(w > 0.0)` (not `w <= 0.0`) catches NaN and — crucially —
+  // negative zero, which "%.17g" would print as "-0": a token the parser
+  // refuses, so emitting it would produce an unreadable journal line.
+  // Subnormals (down to DBL_TRUE_MIN) are in-domain on both sides: strtod
+  // sets ERANGE for them but still returns the value, and parse_weight
+  // deliberately does not consult errno.
+  if (!(w > 0.0) || !std::isfinite(w)) {
+    std::ostringstream os;
+    os << "journal weight " << w
+       << " is not representable (must be positive and finite)";
+    throw std::invalid_argument(os.str());
+  }
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.17g", w);
   return buf;

@@ -76,11 +76,18 @@ class JournalParseError : public std::runtime_error {
                                              Index line_no);
 
 /// Canonical text of a weight: round-trips through parse_journal_line to
-/// the bit-identical double.
+/// the bit-identical double across the full positive-finite range,
+/// subnormals (DBL_TRUE_MIN, nextafter(0, 1)) included. Weights the wire
+/// format cannot represent — non-positive (including negative zero, which
+/// "%.17g" would misprint as the parser-rejected token "-0") or
+/// non-finite — throw std::invalid_argument, so formatter and parser agree
+/// on exactly the same domain on both the file and wire paths.
 [[nodiscard]] std::string format_journal_weight(double w);
 
 /// Canonical text of one operation (no trailing newline), e.g.
-/// `insert 0 63 1.25`. Inverse of parse_journal_line for valid ops.
+/// `insert 0 63 1.25`. Inverse of parse_journal_line for valid ops;
+/// insert/reweight ops with unrepresentable weights throw (see
+/// format_journal_weight). Delete ops never format their weight field.
 [[nodiscard]] std::string format_journal_op(const JournalOp& op);
 
 }  // namespace ssp

@@ -1,6 +1,7 @@
 #include "serve/connection.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "core/options_io.hpp"
@@ -12,7 +13,14 @@ namespace ssp::serve {
 
 namespace {
 
-std::string format_double(double v) { return format_journal_weight(v); }
+// Raw shortest-round-trip text. Deliberately NOT format_journal_weight:
+// that formatter enforces the journal's positive-weight domain, while the
+// introspection fields here (seconds, fractions, λ bounds) may be zero.
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
 
 }  // namespace
 

@@ -32,24 +32,57 @@ SpanningTree::SpanningTree(const Graph& g, std::vector<EdgeId> tree_edges,
   order_.clear();
   order_.reserve(static_cast<std::size_t>(n));
 
-  // BFS from the root over tree edges only.
+  // BFS from the root over a counting-sorted tree adjacency built from
+  // the n−1 tree edges alone — O(n), independent of the graph's edge
+  // count (scanning full graph adjacency is O(m) and hub-heavy graphs
+  // made that the dominant construction cost). A vertex is reached by
+  // exactly one tree path, so the parent/depth/resistance arrays do not
+  // depend on the visit order; only `order_` reflects it.
+  std::vector<Index> tree_ptr(static_cast<std::size_t>(n) + 1, 0);
+  for (const EdgeId e : tree_edges_) {
+    const Edge& edge = g.edge(e);
+    ++tree_ptr[static_cast<std::size_t>(edge.u) + 1];
+    ++tree_ptr[static_cast<std::size_t>(edge.v) + 1];
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+    tree_ptr[i + 1] += tree_ptr[i];
+  }
+  std::vector<Vertex> tree_nbr(tree_edges_.size() * 2);
+  std::vector<EdgeId> tree_eid(tree_edges_.size() * 2);
+  std::vector<Index> slot(tree_ptr.begin(), tree_ptr.end() - 1);
+  for (const EdgeId e : tree_edges_) {
+    const Edge& edge = g.edge(e);
+    auto put = [&](Vertex from, Vertex to) {
+      const auto pos = static_cast<std::size_t>(
+          slot[static_cast<std::size_t>(from)]++);
+      tree_nbr[pos] = to;
+      tree_eid[pos] = e;
+    };
+    put(edge.u, edge.v);
+    put(edge.v, edge.u);
+  }
+
   std::vector<char> visited(static_cast<std::size_t>(n), 0);
   visited[static_cast<std::size_t>(root_)] = 1;
   order_.push_back(root_);
   for (std::size_t head = 0; head < order_.size(); ++head) {
     const Vertex v = order_[head];
-    for (const auto item : g.neighbors(v)) {
-      if (in_tree_[static_cast<std::size_t>(item.edge)] == 0) continue;
-      const Vertex u = item.neighbor;
+    const auto b = static_cast<std::size_t>(tree_ptr[static_cast<std::size_t>(v)]);
+    const auto lim =
+        static_cast<std::size_t>(tree_ptr[static_cast<std::size_t>(v) + 1]);
+    for (std::size_t pos = b; pos < lim; ++pos) {
+      const Vertex u = tree_nbr[pos];
       if (visited[static_cast<std::size_t>(u)] != 0) continue;
+      const EdgeId e = tree_eid[pos];
+      const double w = g.edge(e).weight;
       visited[static_cast<std::size_t>(u)] = 1;
       parent_[static_cast<std::size_t>(u)] = v;
-      parent_eid_[static_cast<std::size_t>(u)] = item.edge;
-      parent_w_[static_cast<std::size_t>(u)] = item.weight;
+      parent_eid_[static_cast<std::size_t>(u)] = e;
+      parent_w_[static_cast<std::size_t>(u)] = w;
       depth_[static_cast<std::size_t>(u)] =
           depth_[static_cast<std::size_t>(v)] + 1;
       res_to_root_[static_cast<std::size_t>(u)] =
-          res_to_root_[static_cast<std::size_t>(v)] + 1.0 / item.weight;
+          res_to_root_[static_cast<std::size_t>(v)] + 1.0 / w;
       order_.push_back(u);
     }
   }

@@ -21,7 +21,12 @@
 ///  * delete tree edges   — union-find over the surviving tree edges, then
 ///                          a greedy strongest-crossing-edge reconnection
 ///                          (exact by the cut property: deletions never
-///                          evict surviving tree edges).
+///                          evict surviving tree edges). The reconnection
+///                          order is canonical: per-pair bests are unique
+///                          maxima under the total order, and the greedy
+///                          pass consumes them stable-sorted by that same
+///                          order, so the repaired tree is independent of
+///                          any container iteration order.
 ///
 /// Because the keys are unique, the maintained tree is bit-identical to a
 /// cold Kruskal rebuild on the updated graph — `canonical_edge_ids()`
@@ -30,12 +35,47 @@
 /// the property the dynamic layer's incremental-equals-cold determinism
 /// contract rests on (see dynamic/dynamic_sparsifier.hpp).
 ///
-/// Costs per operation: O(n) for path exchanges, O(m) for cut scans
-/// (tree-edge deletions / weight decreases), amortized over a batch. The
-/// host graph must outlive the index and already reflect each mutation
-/// when the corresponding `after_*` hook runs.
+/// **Dirty-edge tracking.** Between `begin_batch()` calls the index
+/// records every *previous-tree* edge whose weight changed or that left
+/// the tree:
+///
+///  * tree-edge reweight (either direction, swap or not) — the edge
+///    itself (every path through it changed resistance);
+///  * exchange swap (insert or reweight) — the edge swapped *out*;
+///  * batched deletion — each deleted tree edge.
+///
+/// `dirty_tree_edges()` exposes the recorded ids in pre-`remap_ids()`
+/// numbering. They support an *exact* localized invalidation rule: the
+/// final tree contains every previous-tree edge that is not recorded, so
+/// a path between two vertices — and therefore any off-tree stretch
+/// through it — changed iff its path in the PREVIOUS tree crossed a
+/// recorded edge. Testing that takes one O(n) labelling pass over the
+/// previous rooted backbone (dynamic/dynamic_sparsifier.cpp), with no
+/// per-edge path walks and no over-approximation from reconnection
+/// detours. Ids ≥ the previous edge count (same-batch inserts that were
+/// swapped out again) can be skipped by that pass: they were never
+/// previous-tree edges, and inserted edges are invalidated wholesale.
+///
+/// **Costs.** The index keeps a rooted parent-pointer view of the tree
+/// (root 0) patched in place by every exchange, so path exchanges are
+/// O(path length) with epoch-stamped walks — no per-operation O(n) BFS.
+/// Tree-edge weight decreases locate the strongest crossing edge by
+/// enumerating only the *smaller* side of the cut (alternating two-sided
+/// BFS) and scanning its incident graph edges. Batched deletions pay one
+/// fused O(m) candidate scan (which doubles as the connectivity
+/// pre-check — the greedy reconnection is simulated on scratch
+/// union-find state before the tree is touched) + an O(n)
+/// rooted-structure rebuild. The canonical Kruskal acceptance order is
+/// maintained incrementally: hooks log the ids whose key or membership
+/// changed, and `canonical_edge_ids()` folds them in with one O(n) merge
+/// instead of re-sorting n−1 ids per batch. The host graph must outlive
+/// the index and already reflect each mutation when the corresponding
+/// `after_*` hook runs; reweight hooks additionally require the graph to
+/// be finalized (they scan graph adjacency), which the dynamic layer's
+/// reweights-before-inserts apply order guarantees.
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -62,15 +102,20 @@ class MaxWeightTree {
 
   /// Tree edge ids sorted by (weight desc, id asc) — exactly the order
   /// Kruskal accepts them in, so a SpanningTree built from this list is
-  /// bit-identical to `max_weight_spanning_tree(graph())`.
-  [[nodiscard]] std::vector<EdgeId> canonical_edge_ids() const;
+  /// bit-identical to `max_weight_spanning_tree(graph())`. Maintained
+  /// incrementally: the call folds the batch's membership/key changes
+  /// into the cached order with one O(n) merge (plus O(k log k) for the
+  /// k changed ids) and returns a view valid until the next mutating
+  /// call.
+  [[nodiscard]] std::span<const EdgeId> canonical_edge_ids();
 
   /// Exchange step after `e` was appended to the graph. Returns true when
   /// the tree changed (a path edge was swapped out for `e`).
   bool after_insert(EdgeId e);
 
   /// Exchange step after edge `e`'s weight changed from `old_weight` to
-  /// its current value. Returns true when the tree changed.
+  /// its current value. Returns true when the tree changed. Requires a
+  /// finalized graph (crossing-edge scans use graph adjacency).
   bool after_reweight(EdgeId e, double old_weight);
 
   /// Repairs the tree after the edges flagged in `deleted` (indexed by
@@ -87,8 +132,22 @@ class MaxWeightTree {
 
   /// Renumbers edge ids after `Graph::remove_edges` compaction;
   /// `old_to_new` is the remap it returned. No deleted edge may still be
-  /// in the tree (run `after_deletions` first).
+  /// in the tree (run `after_deletions` first). Recorded dirty edge ids
+  /// are deliberately NOT remapped — they identify previous-tree edges
+  /// and stay in pre-compaction numbering (see the header comment).
   void remap_ids(std::span<const EdgeId> old_to_new);
+
+  /// Starts a new dirty-tracking window: clears the recorded edge ids.
+  void begin_batch() { dirty_edges_.clear(); }
+
+  /// Previous-tree edges recorded since `begin_batch()` (reweighted tree
+  /// edges, swapped-out edges, deleted tree edges) in pre-`remap_ids()`
+  /// numbering — see the header comment for the exact invalidation rule
+  /// they support. May contain duplicates and same-batch insert ids;
+  /// order is the order changes were applied.
+  [[nodiscard]] std::span<const EdgeId> dirty_tree_edges() const {
+    return dirty_edges_;
+  }
 
  private:
   struct HalfEdge {
@@ -99,25 +158,49 @@ class MaxWeightTree {
   /// True when key(a) = (w_a, -a) beats key(b) in the canonical order.
   [[nodiscard]] bool beats(EdgeId a, EdgeId b) const;
 
-  /// Fills `path` with the tree edges joining `u` and `v` (BFS, O(n)).
-  void tree_path(Vertex u, Vertex v, std::vector<EdgeId>& path) const;
-
-  /// Marks `side[x] = 1` for every vertex reachable from `u` without
-  /// crossing tree edge `cut` (BFS, O(n)).
-  void mark_side(Vertex u, EdgeId cut, std::vector<char>& side) const;
-
   void link(EdgeId e);
   void unlink(EdgeId e);
+
+  /// Logs `e` as needing a canonical-order re-merge (membership or key
+  /// changed since the last canonical_edge_ids() call).
+  void canon_touch(EdgeId e) { canon_touched_.push_back(e); }
+
+  /// Rebuilds parent_/parent_eid_ by BFS from the root over adj_ (O(n)).
+  void rebuild_rooted();
+
+  /// Fresh epoch for the stamp array (monotone, never reused).
+  [[nodiscard]] std::uint64_t next_epoch() { return ++epoch_; }
+
+  /// Reverses the parent chain from `from` up to `chain_end` (an ancestor
+  /// of `from`), then attaches `from` to `attach_to` via edge
+  /// `attach_edge` — the O(chain) re-rooting of the subtree detached by an
+  /// exchange. `chain_end`'s old parent edge must already be unlinked.
+  void rehang(Vertex from, Vertex chain_end, Vertex attach_to,
+              EdgeId attach_edge);
+
+  /// True when `x`'s root path (current parent pointers) traverses tree
+  /// edge `via`.
+  [[nodiscard]] bool root_path_uses(Vertex x, EdgeId via) const;
 
   const Graph* g_;
   std::vector<char> in_tree_;               ///< by edge id
   std::vector<std::vector<HalfEdge>> adj_;  ///< tree adjacency
+  // Rooted view (root 0), patched in place by every exchange.
+  std::vector<Vertex> parent_;
+  std::vector<EdgeId> parent_eid_;
+  // Epoch-stamped scratch: a fresh epoch per walk replaces O(n) clears.
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t epoch_ = 0;
   // Reused BFS / exchange scratch (no per-operation allocation).
-  mutable std::vector<Vertex> queue_;
-  mutable std::vector<EdgeId> parent_edge_;
-  mutable std::vector<char> visited_;
-  std::vector<EdgeId> path_;
-  std::vector<char> side_;
+  std::vector<Vertex> queue_;
+  std::vector<Vertex> queue2_;
+  std::vector<EdgeId> dirty_edges_;
+  // Incrementally maintained canonical acceptance order + the ids whose
+  // key or membership changed since the last merge (epoch-stamped by
+  // edge id during the merge itself).
+  std::vector<EdgeId> canon_;
+  std::vector<EdgeId> canon_touched_;
+  std::vector<std::uint64_t> edge_stamp_;
 };
 
 }  // namespace ssp

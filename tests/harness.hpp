@@ -20,6 +20,8 @@
 
 #include "dynamic/dynamic_sparsifier.hpp"
 #include "graph/graph.hpp"
+#include "tree/kruskal.hpp"
+#include "util/assert.hpp"
 #include "util/rng.hpp"
 #include "util/union_find.hpp"
 
@@ -104,6 +106,76 @@ inline std::vector<UpdateBatch> make_update_script(const Graph& g, Rng& rng,
     script.push_back(std::move(batch));
   }
   return script;
+}
+
+// ---- Adversarial scripts ---------------------------------------------------
+//
+// Deterministic worst-case batches for the localized re-estimation path:
+// each one concentrates churn on the structures the dirty-set tracking
+// must get exactly right (the same tree path over and over, an edge that
+// exists for exactly one batch, a batch that dirties every tree edge at
+// once). They are valid update scripts for any DynamicSparsifier mode —
+// the differential tests replay them in power and localized estimation and
+// at several thread counts.
+
+/// Repeatedly reweights the SAME max-weight-tree edge, alternating far
+/// above and far below its original weight. Every batch re-dirties one
+/// tree path; odd batches also force an exchange swap and even ones swap
+/// it back, so the dirty set must cover the swapped-out edge's detour in
+/// both directions.
+inline std::vector<UpdateBatch> make_repeated_reweight_script(
+    const Graph& g, Index batches = 6) {
+  const SpanningTree t = max_weight_spanning_tree(g);
+  const EdgeId victim = t.tree_edge_ids()[t.tree_edge_ids().size() / 2];
+  const double w = g.edge(victim).weight;
+  std::vector<UpdateBatch> script;
+  for (Index b = 0; b < batches; ++b) {
+    UpdateBatch batch;
+    const double factor = (b % 2 == 0) ? 1e-3 : 1e3;
+    batch.reweight.push_back(WeightUpdate{victim, w * factor});
+    script.push_back(std::move(batch));
+  }
+  return script;
+}
+
+/// Inserts an edge between two far-apart vertices, then deletes exactly
+/// that edge in the next batch, several times over. The inserted edge's id
+/// is the tail id of its batch and a different id (post-compaction) in the
+/// deleting batch — exercising cache migration through the id remap and
+/// the insert/delete dirty rules for the same endpoints.
+inline std::vector<UpdateBatch> make_insert_delete_script(const Graph& g,
+                                                          Index cycles = 3) {
+  const Vertex u = 0;
+  const Vertex v = g.num_vertices() - 1;
+  SSP_REQUIRE(g.find_edge(u, v) == kInvalidEdge,
+              "insert_delete script: corner pair already joined");
+  std::vector<UpdateBatch> script;
+  const EdgeId inserted_id = g.num_edges();  // tail id, stable per cycle
+  for (Index c = 0; c < cycles; ++c) {
+    UpdateBatch ins;
+    ins.insert.push_back(Edge{u, v, 100.0 + static_cast<double>(c)});
+    script.push_back(std::move(ins));
+    UpdateBatch del;
+    del.remove.push_back(inserted_id);
+    script.push_back(std::move(del));
+  }
+  return script;
+}
+
+/// One batch deleting EVERY current max-weight-tree edge (requires the
+/// off-tree edges alone to keep `g` connected — true for 2D lattices and
+/// most dense families). The repair reconnects n−1 components in a single
+/// after_deletions() call; every off-tree stretch is dirty by
+/// construction, so a localized run must recompute all of them and still
+/// match cold bit for bit.
+inline std::vector<UpdateBatch> make_all_tree_edge_deletion_script(
+    const Graph& g) {
+  const SpanningTree t = max_weight_spanning_tree(g);
+  UpdateBatch batch;
+  batch.remove.assign(t.tree_edge_ids().begin(), t.tree_edge_ids().end());
+  SSP_REQUIRE(stays_connected(g, batch.remove),
+              "all_tree_edge script: off-tree edges do not span the graph");
+  return {std::move(batch)};
 }
 
 /// Replays `script` through a DynamicSparsifier at the given thread count

@@ -9,12 +9,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/options_io.hpp"
 #include "core/sparsifier.hpp"
+#include "core/stretch.hpp"
 #include "dynamic/dynamic_sparsifier.hpp"
 #include "dynamic/update_journal.hpp"
 #include "graph/connectivity.hpp"
@@ -192,6 +195,154 @@ TEST(Differential, WarmRefineStaysSpectrallyEquivalent) {
   }
 }
 
+// ---- Localized re-estimation (EstimationMode::kLocalized) ------------------
+
+Graph small_grid(std::uint64_t seed = 5) {
+  Rng rng(seed);
+  return grid_2d(8, 8, WeightModel::log_uniform(0.5, 2.0), &rng);
+}
+
+DynamicOptions localized_options(std::uint64_t seed = 42) {
+  DynamicOptions opts = incremental_options(seed);
+  opts.base.estimation = EstimationMode::kLocalized;
+  return opts;
+}
+
+/// Bitwise-compares the engine's warm heat cache against a cold stretch
+/// recompute on the current graph — the dirty set under-approximating
+/// would surface here as a stale double.
+void expect_heat_cache_matches_cold(const DynamicSparsifier& dyn,
+                                    const char* context) {
+  const std::span<const double> cache = dyn.localized_heat_cache();
+  ASSERT_EQ(cache.size(),
+            static_cast<std::size_t>(dyn.graph().num_edges()))
+      << context;
+  const SpanningTree cold_tree = max_weight_spanning_tree(dyn.graph());
+  std::vector<double> expected(cache.size(), 0.0);
+  compute_all_stretches(cold_tree, expected);
+  for (EdgeId e = 0; e < dyn.graph().num_edges(); ++e) {
+    if (cold_tree.contains(e)) continue;  // tree slots are unspecified
+    ASSERT_EQ(cache[static_cast<std::size_t>(e)],
+              expected[static_cast<std::size_t>(e)])
+        << context << " edge " << e;  // exact, not approximate
+  }
+}
+
+TEST(Localized, BitIdenticalToColdRebuildAcrossFamiliesAndThreads) {
+  // The tentpole contract: the localized exact route reuses unchanged
+  // heats across batches yet stays bit-identical to a cold localized
+  // rebuild on the final graph — and reuse actually happens.
+  for (auto& [name, g] : generator_families()) {
+    Rng script_rng(101);
+    const std::vector<UpdateBatch> script =
+        make_update_script(g, script_rng, ScriptOptions{});
+    for (const int threads : {1, 4}) {
+      DynamicOptions opts = localized_options();
+      opts.base.threads = threads;
+      DynamicSparsifier dyn(g, opts);
+      EdgeId total_reused = 0;
+      Index batch_no = 0;
+      for (const UpdateBatch& batch : script) {
+        const UpdateStats& stats = dyn.apply(batch);
+        ++batch_no;
+        ASSERT_NE(stats.route, UpdateRoute::kRebuild) << name;
+        total_reused += stats.heats_reused;
+        const SparsifyResult cold =
+            sparsify(dyn.graph(), dyn.cold_equivalent_options());
+        ASSERT_EQ(dyn.result().edges, cold.edges)
+            << name << " batch " << batch_no << " threads " << threads;
+        ASSERT_DOUBLE_EQ(dyn.result().sigma2_estimate, cold.sigma2_estimate)
+            << name << " batch " << batch_no;
+        ASSERT_EQ(dyn.result().reached_target, cold.reached_target);
+        expect_heat_cache_matches_cold(dyn, name);
+      }
+      // Small batches on these graphs leave most heats untouched; the
+      // warm start must actually exploit that, not recompute the world.
+      EXPECT_GT(total_reused, 0) << name << " threads " << threads;
+    }
+  }
+}
+
+TEST(Localized, ReuseDominatesOnSingleEdgeReweight) {
+  // One off-tree reweight dirties only the paths through one edge: almost
+  // every heat must carry over, and the stats/metrics must say so.
+  const Graph g = small_grid(17);
+  DynamicSparsifier dyn(g, localized_options());
+  const SpanningTree t = max_weight_spanning_tree(dyn.graph());
+  const EdgeId offtree = t.offtree_edge_ids().back();
+  const double w = dyn.graph().edge(offtree).weight;
+  const UpdateStats& stats =
+      dyn.reweight_edges(std::vector<WeightUpdate>{{offtree, w * 1.01}});
+  EXPECT_GT(stats.heats_reused, 0);
+  EXPECT_GT(stats.heats_recomputed, 0);  // at least the edge itself
+  EXPECT_GT(stats.heats_reused, stats.heats_recomputed);
+  const SparsifyResult cold =
+      sparsify(dyn.graph(), dyn.cold_equivalent_options());
+  EXPECT_EQ(dyn.result().edges, cold.edges);
+  expect_heat_cache_matches_cold(dyn, "single reweight");
+}
+
+TEST(Localized, AdversarialScriptsStayBitIdentical) {
+  // Worst-case churn for the dirty-set tracking: the same tree edge
+  // reweighted (and exchange-swapped) every batch, an edge inserted then
+  // deleted across consecutive batches (id remap migration), and one
+  // batch deleting the entire tree (everything dirty). Each must stay
+  // bit-identical to cold and keep the heat cache exact at 1 and 4
+  // threads.
+  const Graph grid = small_grid(29);
+  // Deleting the whole tree needs the off-tree edges alone to span the
+  // graph — true on a complete graph, never on a grid (corner vertices
+  // have every incident edge in the tree).
+  Graph complete(12);
+  {
+    Rng rng(59);
+    for (Vertex u = 0; u < complete.num_vertices(); ++u) {
+      for (Vertex v = u + 1; v < complete.num_vertices(); ++v) {
+        complete.add_edge(u, v, rng.uniform(0.5, 2.0));
+      }
+    }
+    complete.finalize();
+  }
+  const struct {
+    const char* name;
+    const Graph& graph;
+    std::vector<UpdateBatch> script;
+  } cases[] = {
+      {"repeated-reweight", grid, testing::make_repeated_reweight_script(grid)},
+      {"insert-then-delete", grid, testing::make_insert_delete_script(grid)},
+      {"all-tree-edges", complete,
+       testing::make_all_tree_edge_deletion_script(complete)},
+  };
+  for (const auto& [name, g, script] : cases) {
+    for (const int threads : {1, 4}) {
+      DynamicOptions opts = localized_options();
+      opts.base.threads = threads;
+      DynamicSparsifier dyn(g, opts);
+      Index batch_no = 0;
+      for (const UpdateBatch& batch : script) {
+        dyn.apply(batch);
+        ++batch_no;
+        const SparsifyResult cold =
+            sparsify(dyn.graph(), dyn.cold_equivalent_options());
+        ASSERT_EQ(dyn.result().edges, cold.edges)
+            << name << " batch " << batch_no << " threads " << threads;
+        expect_heat_cache_matches_cold(dyn, name);
+      }
+    }
+  }
+}
+
+TEST(Localized, PowerModeKeepsEmptyCacheAndZeroStats) {
+  // The default power route is untouched by the feature: no cache, zero
+  // reuse counters, and the crown-jewel parity as before.
+  const Graph g = small_grid(31);
+  DynamicSparsifier dyn(g, incremental_options());
+  dyn.insert_edges(std::vector<Edge>{Edge{0, 27, 1.1}});
+  EXPECT_TRUE(dyn.localized_heat_cache().empty());
+  EXPECT_EQ(dyn.history().back().heats_reused, 0);
+  EXPECT_EQ(dyn.history().back().heats_recomputed, 0);
+}
+
 // ---- Tree repair (the primitive the contract rests on) ---------------------
 
 TEST(TreeRepair, MaintainedTreeMatchesColdKruskalUnderRandomChurn) {
@@ -227,12 +378,114 @@ TEST(TreeRepair, MaintainedTreeMatchesColdKruskalUnderRandomChurn) {
       tree.remap_ids(remap);
       g.finalize();
     }
-    const std::vector<EdgeId> maintained = tree.canonical_edge_ids();
+    const std::span<const EdgeId> canon = tree.canonical_edge_ids();
+    const std::vector<EdgeId> maintained(canon.begin(), canon.end());
     const SpanningTree cold = max_weight_spanning_tree(g);
     const std::vector<EdgeId> expected(cold.tree_edge_ids().begin(),
                                        cold.tree_edge_ids().end());
     ASSERT_EQ(maintained, expected) << "round " << round;
   }
+}
+
+TEST(TreeRepair, DeletionReconnectionTieBreakIsCanonical) {
+  // Regression: deleting several tree edges at once creates components
+  // whose best crossing candidates TIE in weight across *different*
+  // component pairs. Only two of the three w=5 candidates below fit in the
+  // repaired tree, so consuming them in container order (e.g. a map keyed
+  // by union-find roots) instead of the canonical (weight desc, id asc)
+  // order picks the wrong pair — here it would keep edge 7 over edge 6 —
+  // and silently breaks the bit-identical-to-Kruskal contract.
+  Graph g(6);
+  g.add_edge(0, 1, 10.0);  // 0: intra component A
+  g.add_edge(2, 3, 10.0);  // 1: intra component B
+  g.add_edge(4, 5, 10.0);  // 2: intra component C
+  g.add_edge(1, 2, 10.0);  // 3: A—B connector (deleted)
+  g.add_edge(3, 4, 10.0);  // 4: B—C connector (deleted)
+  g.add_edge(0, 2, 5.0);   // 5: A—B candidate, tie
+  g.add_edge(2, 4, 5.0);   // 6: B—C candidate, tie — canonical pick
+  g.add_edge(0, 4, 5.0);   // 7: A—C candidate, tie — canonical reject
+  g.finalize();
+
+  MaxWeightTree tree(g, max_weight_spanning_tree(g).tree_edge_ids());
+  std::vector<char> mask(8, 0);
+  mask[3] = mask[4] = 1;
+  EXPECT_EQ(tree.after_deletions(mask), 2);
+  const std::vector<EdgeId> removed = {3, 4};
+  const std::vector<EdgeId> remap = g.remove_edges(removed);
+  tree.remap_ids(remap);
+  g.finalize();
+
+  const std::span<const EdgeId> canon = tree.canonical_edge_ids();
+  const std::vector<EdgeId> maintained(canon.begin(), canon.end());
+  const SpanningTree cold = max_weight_spanning_tree(g);
+  const std::vector<EdgeId> expected(cold.tree_edge_ids().begin(),
+                                     cold.tree_edge_ids().end());
+  EXPECT_EQ(maintained, expected);
+  // Spell the canonical winner out: old edges 5 and 6 (now 3 and 4), not 7.
+  EXPECT_TRUE(tree.contains(3));
+  EXPECT_TRUE(tree.contains(4));
+  EXPECT_FALSE(tree.contains(5));
+}
+
+TEST(TreeRepair, DirtyEdgesCoverEveryStructuralChange) {
+  // begin_batch() opens a window; every previous-tree edge that is
+  // reweighted, swapped out, or deleted is recorded by id.
+  Rng rng(3);
+  Graph g = grid_2d(6, 6, WeightModel::log_uniform(0.5, 2.0), &rng);
+  MaxWeightTree tree(g, max_weight_spanning_tree(g).tree_edge_ids());
+
+  tree.begin_batch();
+  EXPECT_TRUE(tree.dirty_tree_edges().empty());
+
+  // Off-tree reweight that cannot enter the tree: records nothing (no
+  // previous-tree path changed).
+  const SpanningTree t0 = max_weight_spanning_tree(g);
+  const EdgeId off = t0.offtree_edge_ids().front();
+  const double old_off = g.edge(off).weight;
+  g.set_weight(off, old_off * 0.5);
+  EXPECT_FALSE(tree.after_reweight(off, old_off));
+  EXPECT_TRUE(tree.dirty_tree_edges().empty());
+
+  // Tree-edge reweight (no swap): records the edge itself.
+  const EdgeId te = t0.tree_edge_ids()[5];
+  const double old_te = g.edge(te).weight;
+  g.set_weight(te, old_te * 1.5);  // increase: provably no swap
+  EXPECT_FALSE(tree.after_reweight(te, old_te));
+  ASSERT_EQ(tree.dirty_tree_edges().size(), 1u);
+  EXPECT_EQ(tree.dirty_tree_edges()[0], te);
+
+  // A dominating insert swaps out a path edge: the swapped-OUT edge is
+  // recorded (paths that used it are exactly the rerouted ones).
+  tree.begin_batch();
+  const EdgeId heavy = g.add_edge(0, g.num_vertices() - 1, 1e6);
+  g.finalize();
+  EXPECT_TRUE(tree.after_insert(heavy));
+  ASSERT_EQ(tree.dirty_tree_edges().size(), 1u);
+  const EdgeId swapped_out = tree.dirty_tree_edges()[0];
+  EXPECT_NE(swapped_out, heavy);
+  EXPECT_FALSE(tree.contains(swapped_out));
+  EXPECT_TRUE(tree.contains(heavy));
+
+  // Batched deletion records each deleted tree edge by (pre-remap) id.
+  tree.begin_batch();
+  EdgeId victim = kInvalidEdge;
+  for (const EdgeId e : tree.canonical_edge_ids()) {
+    if (testing::stays_connected(g, {e})) {
+      victim = e;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidEdge);
+  std::vector<char> mask(static_cast<std::size_t>(g.num_edges()), 0);
+  mask[static_cast<std::size_t>(victim)] = 1;
+  tree.after_deletions(mask);
+  const auto recorded = tree.dirty_tree_edges();
+  EXPECT_TRUE(std::find(recorded.begin(), recorded.end(), victim) !=
+              recorded.end());
+
+  // begin_batch() clears the window.
+  tree.begin_batch();
+  EXPECT_TRUE(tree.dirty_tree_edges().empty());
 }
 
 TEST(TreeRepair, DeletionsThatDisconnectThrow) {
@@ -246,11 +499,6 @@ TEST(TreeRepair, DeletionsThatDisconnectThrow) {
 }
 
 // ---- DynamicSparsifier unit behavior ---------------------------------------
-
-Graph small_grid(std::uint64_t seed = 5) {
-  Rng rng(seed);
-  return grid_2d(8, 8, WeightModel::log_uniform(0.5, 2.0), &rng);
-}
 
 TEST(Dynamic, InitialBuildMatchesColdEquivalentOptions) {
   const Graph g = small_grid();
@@ -563,6 +811,56 @@ TEST(Journal, FormatAndParseRoundTripBitExactly) {
   EXPECT_EQ(tokens[3], "2.0");
   EXPECT_TRUE(tokenize_journal_line("   % only a comment").empty());
   EXPECT_TRUE(tokenize_journal_line("").empty());
+}
+
+TEST(Journal, WeightBoundaryValuesRoundTripOrRejectConsistently) {
+  // Formatter and parser must agree on one weight domain — positive finite
+  // doubles, subnormals included — on both the file and wire paths.
+  // Historically the formatter happily printed -0.0 as "-0", a token the
+  // parser rejects, so parse(format(op)) neither held nor failed cleanly.
+  const double tiny_subnormal = std::nextafter(0.0, 1.0);  // DBL_TRUE_MIN
+  ASSERT_GT(tiny_subnormal, 0.0);
+  ASSERT_LT(tiny_subnormal, std::numeric_limits<double>::min());
+
+  // In-domain: bit-exact round trip, including the subnormal range.
+  for (const double w :
+       {std::numeric_limits<double>::min(),        // DBL_MIN
+        tiny_subnormal,                            // smallest positive
+        std::numeric_limits<double>::min() / 2.0,  // mid-subnormal
+        std::numeric_limits<double>::denorm_min(), 1e-300, 0.1,
+        std::numeric_limits<double>::max()}) {
+    const std::string text = format_journal_weight(w);
+    const JournalOp op{JournalOp::Kind::kReweight, 1, 2, w};
+    const JournalLine parsed = parse_journal_line(format_journal_op(op), 1);
+    ASSERT_EQ(parsed.kind, JournalLine::Kind::kOp) << text;
+    EXPECT_EQ(parsed.op.weight, w) << text;  // same bits
+  }
+
+  // Out-of-domain: the parser rejects the text, and the formatter refuses
+  // to produce it in the first place — consistent on both sides.
+  for (const double w : {-0.0, 0.0, -1.5,
+                         std::numeric_limits<double>::infinity(),
+                         -std::numeric_limits<double>::infinity(),
+                         std::numeric_limits<double>::quiet_NaN()}) {
+    EXPECT_THROW((void)format_journal_weight(w), std::invalid_argument)
+        << w;
+    const JournalOp op{JournalOp::Kind::kInsert, 0, 1, w};
+    EXPECT_THROW((void)format_journal_op(op), std::invalid_argument) << w;
+  }
+  std::istringstream neg_zero("reweight 1 2 -0\n");
+  EXPECT_THROW((void)parse_update_journal(neg_zero), std::runtime_error);
+  std::istringstream neg_zero_exp("reweight 1 2 -0.0e0\n");
+  EXPECT_THROW((void)parse_update_journal(neg_zero_exp), std::runtime_error);
+  // Subnormal text parses to the exact subnormal (strtod's ERANGE for
+  // subnormals must not be treated as an error).
+  std::istringstream sub("reweight 1 2 4.9406564584124654e-324\n");
+  const auto batches = parse_update_journal(sub);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].ops[0].weight,
+            std::numeric_limits<double>::denorm_min());
+  // Delete ops never format a weight, so a zero weight field is fine.
+  EXPECT_EQ(format_journal_op({JournalOp::Kind::kDelete, 3, 4, 0.0}),
+            "delete 3 4");
 }
 
 TEST(Journal, ResolveErrorsNameTheSourceLine) {
